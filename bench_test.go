@@ -1,0 +1,402 @@
+// Package sdnpc holds the repository-level benchmark harness: one benchmark
+// per table and figure of the paper's evaluation (Tables I–VII, Fig. 3 and
+// Fig. 5, plus the §V.A update experiment) and ablation benchmarks for the
+// design choices called out in DESIGN.md.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks report the paper's metrics (memory accesses per packet, memory
+// bits, clock cycles, Gbps) through b.ReportMetric in addition to the usual
+// ns/op, so the figures that belong in EXPERIMENTS.md appear directly in the
+// benchmark output.
+package sdnpc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sdnpc/internal/algo/bst"
+	"sdnpc/internal/algo/mbt"
+	"sdnpc/internal/bench"
+	"sdnpc/internal/classbench"
+	"sdnpc/internal/core"
+	"sdnpc/internal/fivetuple"
+	"sdnpc/internal/hw/hashunit"
+	"sdnpc/internal/hw/memory"
+	"sdnpc/internal/label"
+)
+
+// benchWorkload is shared across benchmarks; 5K rules keeps the RFC
+// cross-product tables tractable while exercising a realistic rule count.
+var benchWorkload = bench.NewWorkload(classbench.ACL, classbench.Size5K, 20000)
+
+// smallWorkload is used by per-lookup benchmarks where build time would
+// otherwise dominate.
+var benchSmallWorkload = bench.NewWorkload(classbench.ACL, classbench.Size1K, 5000)
+
+// ---------------------------------------------------------------------------
+// Table I — baseline comparison
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable1_Baselines(b *testing.B) {
+	var rows []bench.Table1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Table1(benchSmallWorkload)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := strings.ReplaceAll(r.Algorithm, " ", "_")
+		b.ReportMetric(r.AvgAccesses, name+"_accesses/pkt")
+		b.ReportMetric(r.MemorySpaceMb, name+"_Mbit")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tables II and III — filter-set statistics
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable2_UniqueFields(b *testing.B) {
+	var rows []bench.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table2()
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.UniqueCount[fivetuple.FieldSrcIP]), "acl10k_unique_srcIP")
+	b.ReportMetric(float64(last.UniqueCount[fivetuple.FieldDstPort]), "acl10k_unique_dstPort")
+}
+
+func BenchmarkTable3_FilterSetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.Table3()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table IV — port labelling
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable4_PortLabelling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table V — synthesis estimate
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable5_Synthesis(b *testing.B) {
+	var result bench.Table5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		result, err = bench.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(result.Report.BlockMemoryBits), "block_memory_bits")
+	b.ReportMetric(result.Report.FmaxMHz, "fmax_MHz")
+	b.ReportMetric(float64(result.Report.LogicALMs), "ALMs")
+}
+
+// ---------------------------------------------------------------------------
+// Table VI — MBT versus BST
+// ---------------------------------------------------------------------------
+
+func benchmarkTable6Lookup(b *testing.B, alg memory.AlgSelect) {
+	cfg := core.DefaultConfig()
+	cfg.IPAlgorithm = alg
+	c := core.MustNew(cfg)
+	if _, err := c.InstallRuleSet(benchSmallWorkload.RuleSet); err != nil {
+		b.Fatal(err)
+	}
+	trace := benchSmallWorkload.Trace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(trace[i%len(trace)])
+	}
+	b.StopTimer()
+	stats := c.Stats()
+	report := c.MemoryReport()
+	b.ReportMetric(stats.AverageFieldAccesses(), "field_accesses/pkt")
+	b.ReportMetric(stats.AverageLatencyCycles(), "latency_cycles")
+	b.ReportMetric(float64(c.Pipeline().BottleneckInterval()), "cycles/pkt_provisioned")
+	b.ReportMetric(bench.Kbit(report.IPAlgorithmUsedBits()), "ip_memory_Kbit")
+	b.ReportMetric(float64(c.RuleCapacity()), "rule_capacity")
+}
+
+func BenchmarkTable6_MBT(b *testing.B) { benchmarkTable6Lookup(b, memory.SelectMBT) }
+func BenchmarkTable6_BST(b *testing.B) { benchmarkTable6Lookup(b, memory.SelectBST) }
+
+// ---------------------------------------------------------------------------
+// Table VII — throughput comparison
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable7_Throughput(b *testing.B) {
+	var rows []bench.Table7Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Table7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Source == "measured" {
+			b.ReportMetric(r.ThroughputGbps, strings.ReplaceAll(r.Algorithm, " ", "_")+"_Gbps")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — pipeline, Fig. 5 — memory sharing, §V.A — updates
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig3_PipelineLatency(b *testing.B) {
+	var result bench.Fig3Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		result, err = bench.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(result.MBTLatencyCycles), "mbt_latency_cycles")
+	b.ReportMetric(float64(result.BSTLatencyCycles), "bst_latency_cycles")
+}
+
+func BenchmarkFig5_MemorySharing(b *testing.B) {
+	var result bench.Fig5Result
+	for i := 0; i < b.N; i++ {
+		result = bench.Fig5()
+	}
+	b.ReportMetric(float64(result.RuleCapacityMBT), "rules_mbt")
+	b.ReportMetric(float64(result.RuleCapacityBST), "rules_bst")
+}
+
+func BenchmarkUpdate_RuleInsertion(b *testing.B) {
+	// §V.A: rule insertion costs a constant 3 clock cycles of upload on the
+	// data plane; this benchmark measures the controller-side software cost
+	// per inserted rule as well.
+	rules := benchSmallWorkload.RuleSet.Rules()
+	b.ResetTimer()
+	var c *core.Classifier
+	for i := 0; i < b.N; i++ {
+		if i%len(rules) == 0 {
+			b.StopTimer()
+			c = core.MustNew(core.DefaultConfig())
+			b.StartTimer()
+		}
+		if _, err := c.InsertRule(rules[i%len(rules)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(core.UpdateCyclesPerRule()), "hw_cycles/rule")
+}
+
+func BenchmarkUpdate_RuleDeletion(b *testing.B) {
+	rules := benchSmallWorkload.RuleSet.Rules()
+	c := core.MustNew(core.DefaultConfig())
+	if _, err := c.InstallRuleSet(benchSmallWorkload.RuleSet); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rules[i%len(rules)]
+		if _, err := c.DeleteRule(r); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.InsertRule(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-field engine microbenchmarks (§V.B)
+// ---------------------------------------------------------------------------
+
+func BenchmarkFieldLookup_MBTSegment(b *testing.B) {
+	e := mbt.MustNew(mbt.SegmentConfig())
+	for i := 0; i < 2000; i++ {
+		if _, err := e.Insert(uint32(i*31)&0xFFFF, 16, label.Label(i%4096), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Lookup(uint32(i) & 0xFFFF)
+	}
+	b.ReportMetric(float64(e.WorstCaseAccesses()), "worst_accesses")
+}
+
+func BenchmarkFieldLookup_BSTSegment(b *testing.B) {
+	e := bst.MustNew(bst.SegmentConfig())
+	for i := 0; i < 2000; i++ {
+		if _, err := e.Insert(uint32(i*31)&0xFFFF, 16, label.Label(i%4096), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Lookup(uint32(i) & 0xFFFF)
+	}
+	b.ReportMetric(float64(e.WorstCaseAccessesFor()), "worst_accesses")
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end classifier lookup benchmarks (software model speed)
+// ---------------------------------------------------------------------------
+
+func benchmarkClassifierLookup(b *testing.B, mode core.CombineMode) {
+	cfg := core.DefaultConfig()
+	cfg.CombineMode = mode
+	c := core.MustNew(cfg)
+	if _, err := c.InstallRuleSet(benchWorkload.RuleSet); err != nil {
+		b.Fatal(err)
+	}
+	trace := benchWorkload.Trace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(trace[i%len(trace)])
+	}
+	b.StopTimer()
+	b.ReportMetric(c.Stats().AverageCombinations(), "combinations/pkt")
+}
+
+func BenchmarkLookup_ExactCombination(b *testing.B) {
+	benchmarkClassifierLookup(b, core.CombineCrossProduct)
+}
+
+func BenchmarkLookup_HPMLSingleProbe(b *testing.B) {
+	benchmarkClassifierLookup(b, core.CombineHPML)
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblation_MBTStrides compares the paper's 5/5/6 stride split with
+// alternative splits of the 16-bit segment.
+func BenchmarkAblation_MBTStrides(b *testing.B) {
+	strideSets := map[string][]int{
+		"5-5-6":   {5, 5, 6},
+		"4-6-6":   {4, 6, 6},
+		"8-8":     {8, 8},
+		"4-4-4-4": {4, 4, 4, 4},
+	}
+	values := benchSmallWorkload.RuleSet.Rules()
+	for name, strides := range strideSets {
+		b.Run(name, func(b *testing.B) {
+			cfg := mbt.Config{KeyBits: 16, Strides: strides, NodeEntryBits: 32, LabelEntryBits: 13}
+			e := mbt.MustNew(cfg)
+			for i, r := range values {
+				hi, bits := r.SrcPrefix.HighSegment()
+				if bits == 0 {
+					continue
+				}
+				if _, err := e.Insert(uint32(hi), bits, label.Label(i%8192), i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Lookup(uint32(i) & 0xFFFF)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(e.MemoryBits())/1024, "node_Kbit")
+			b.ReportMetric(float64(e.WorstCaseAccesses()), "levels")
+		})
+	}
+}
+
+// BenchmarkAblation_LabelMethod quantifies the §III.C storage-saving claim.
+func BenchmarkAblation_LabelMethod(b *testing.B) {
+	var a bench.LabelMethodAblation
+	for i := 0; i < b.N; i++ {
+		a = bench.LabelMethod(benchWorkload.RuleSet)
+	}
+	b.ReportMetric(100*a.FieldSavingFraction, "field_saving_pct")
+	b.ReportMetric(100*a.NetSavingFraction, "net_saving_pct")
+}
+
+// BenchmarkAblation_MemorySharing compares rule capacity with and without the
+// Fig. 5 shared-block scheme.
+func BenchmarkAblation_MemorySharing(b *testing.B) {
+	var withSharing, withoutSharing int
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		withSharing = cfg.RuleCapacity(memory.SelectBST)
+		withoutSharing = cfg.RuleCapacity(memory.SelectMBT)
+	}
+	b.ReportMetric(float64(withSharing), "rules_with_sharing")
+	b.ReportMetric(float64(withoutSharing), "rules_without_sharing")
+}
+
+// BenchmarkAblation_HashLoad measures Rule Filter probe counts as the load
+// factor grows, validating the single-cycle rule-address assumption of §V.A.
+func BenchmarkAblation_HashLoad(b *testing.B) {
+	for _, load := range []float64{0.25, 0.5, 0.75, 0.9} {
+		b.Run(fmt.Sprintf("load_%.2f", load), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			c := core.MustNew(cfg)
+			target := int(load * float64(cfg.RuleFilterSlots()))
+			rules := classbench.Generate(classbench.Config{Class: classbench.ACL, Rules: target, Seed: 7})
+			var totalProbes, inserted int
+			for _, r := range rules.Rules() {
+				rep, err := c.InsertRule(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalProbes += rep.RuleFilterProbes
+				inserted++
+			}
+			b.ResetTimer()
+			trace := classbench.GenerateTrace(rules, classbench.TraceConfig{Packets: 1000, Seed: 9, MatchFraction: 1})
+			for i := 0; i < b.N; i++ {
+				c.Lookup(trace[i%len(trace)])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(totalProbes)/float64(inserted), "insert_probes/rule")
+		})
+	}
+}
+
+// BenchmarkAblation_BSTRebuild measures the software rebuild cost that the
+// BST pays on every update (the structural drawback §IV.C discusses).
+func BenchmarkAblation_BSTRebuild(b *testing.B) {
+	e := bst.MustNew(bst.SegmentConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := uint32(i*17) & 0xFFFF
+		if _, err := e.Insert(v, 16, label.Label(i%4096), i); err != nil {
+			b.Fatal(err)
+		}
+		if i%512 == 511 {
+			// Keep the structure bounded so the benchmark measures steady
+			// rebuild cost rather than unbounded growth.
+			b.StopTimer()
+			e = bst.MustNew(bst.SegmentConfig())
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkHashUnit measures the hardware hash model itself.
+func BenchmarkHashUnit(b *testing.B) {
+	u := hashunit.MustNew(13)
+	key := [9]byte{0x0A, 1, 2, 3, 4, 5, 6, 7, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key[8] = byte(i)
+		u.Hash(key)
+	}
+}

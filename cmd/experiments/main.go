@@ -1,0 +1,174 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section from the packages in this repository.
+//
+// Usage:
+//
+//	experiments [-experiment all|table1|table2|table3|table4|table5|table6|table7|fig3|fig5|update|hpml|labelmethod]
+//	            [-class acl|fw|ipc] [-size 1k|5k|10k] [-packets N]
+//
+// The measured values are printed next to the values the paper reports, in
+// the same row/column structure, so the output can be pasted into
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdnpc/internal/bench"
+	"sdnpc/internal/classbench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "experiment to run (all, table1..table7, fig3, fig5, update, hpml, labelmethod)")
+	className := fs.String("class", "acl", "filter-set class for workload-driven experiments (acl, fw, ipc)")
+	sizeName := fs.String("size", "5k", "filter-set size for workload-driven experiments (1k, 5k, 10k)")
+	packets := fs.Int("packets", 20000, "trace length for workload-driven experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	class, err := parseClass(*className)
+	if err != nil {
+		return err
+	}
+	size, err := parseSize(*sizeName)
+	if err != nil {
+		return err
+	}
+
+	selected := strings.ToLower(*experiment)
+	wants := func(name string) bool { return selected == "all" || selected == name }
+	ranAny := false
+
+	var workload bench.Workload
+	workloadReady := false
+	getWorkload := func() bench.Workload {
+		if !workloadReady {
+			workload = bench.NewWorkload(class, size, *packets)
+			workloadReady = true
+		}
+		return workload
+	}
+
+	if wants("table1") {
+		ranAny = true
+		rows, err := bench.Table1(getWorkload())
+		if err != nil {
+			return fmt.Errorf("table1: %w", err)
+		}
+		fmt.Println(bench.RenderTable1(rows))
+	}
+	if wants("table2") {
+		ranAny = true
+		fmt.Println(bench.RenderTable2(bench.Table2()))
+	}
+	if wants("table3") {
+		ranAny = true
+		fmt.Println(bench.RenderTable3(bench.Table3()))
+	}
+	if wants("table4") {
+		ranAny = true
+		result, err := bench.Table4()
+		if err != nil {
+			return fmt.Errorf("table4: %w", err)
+		}
+		fmt.Println(bench.RenderTable4(result))
+	}
+	if wants("table5") {
+		ranAny = true
+		result, err := bench.Table5()
+		if err != nil {
+			return fmt.Errorf("table5: %w", err)
+		}
+		fmt.Println(bench.RenderTable5(result))
+	}
+	if wants("table6") {
+		ranAny = true
+		rows, err := bench.Table6(getWorkload())
+		if err != nil {
+			return fmt.Errorf("table6: %w", err)
+		}
+		fmt.Println(bench.RenderTable6(rows))
+	}
+	if wants("table7") {
+		ranAny = true
+		rows, err := bench.Table7()
+		if err != nil {
+			return fmt.Errorf("table7: %w", err)
+		}
+		fmt.Println(bench.RenderTable7(rows))
+	}
+	if wants("fig3") {
+		ranAny = true
+		result, err := bench.Fig3()
+		if err != nil {
+			return fmt.Errorf("fig3: %w", err)
+		}
+		fmt.Println(bench.RenderFig3(result))
+	}
+	if wants("fig5") {
+		ranAny = true
+		fmt.Println(bench.RenderFig5(bench.Fig5()))
+	}
+	if wants("update") {
+		ranAny = true
+		result, err := bench.UpdateExperiment(getWorkload())
+		if err != nil {
+			return fmt.Errorf("update: %w", err)
+		}
+		fmt.Println(bench.RenderUpdate(result))
+	}
+	if wants("hpml") {
+		ranAny = true
+		result, err := bench.HPMLAccuracy(getWorkload())
+		if err != nil {
+			return fmt.Errorf("hpml: %w", err)
+		}
+		fmt.Println(bench.RenderHPMLAccuracy(result))
+	}
+	if wants("labelmethod") {
+		ranAny = true
+		fmt.Println(bench.RenderLabelMethod(bench.LabelMethod(getWorkload().RuleSet)))
+	}
+	if !ranAny {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}
+
+func parseClass(name string) (classbench.Class, error) {
+	switch strings.ToLower(name) {
+	case "acl", "acl1":
+		return classbench.ACL, nil
+	case "fw", "fw1":
+		return classbench.FW, nil
+	case "ipc", "ipc1":
+		return classbench.IPC, nil
+	default:
+		return 0, fmt.Errorf("unknown filter-set class %q", name)
+	}
+}
+
+func parseSize(name string) (classbench.Size, error) {
+	switch strings.ToLower(name) {
+	case "1k":
+		return classbench.Size1K, nil
+	case "5k":
+		return classbench.Size5K, nil
+	case "10k":
+		return classbench.Size10K, nil
+	default:
+		return 0, fmt.Errorf("unknown filter-set size %q", name)
+	}
+}

@@ -1,0 +1,84 @@
+// Quickstart: build a classifier, install a handful of rules, classify a few
+// packets, and print the architecture's throughput and memory figures.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdnpc/internal/core"
+	"sdnpc/internal/fivetuple"
+	"sdnpc/internal/hw/memory"
+)
+
+func main() {
+	// The default configuration is the paper's evaluated geometry: MBT IP
+	// lookup, 8K-rule filter, 133.51 MHz clock, exact label combination.
+	classifier, err := core.New(core.DefaultConfig())
+	if err != nil {
+		log.Fatalf("creating classifier: %v", err)
+	}
+
+	// A tiny access-control policy: allow web traffic to the DMZ, rate-limit
+	// DNS to the controller, drop everything else.
+	rules := []fivetuple.Rule{
+		{
+			SrcPrefix: fivetuple.MustParsePrefix("0.0.0.0/0"),
+			DstPrefix: fivetuple.MustParsePrefix("203.0.113.0/24"),
+			SrcPort:   fivetuple.WildcardPortRange(),
+			DstPort:   fivetuple.ExactPort(443),
+			Protocol:  fivetuple.ExactProtocol(fivetuple.ProtoTCP),
+			Priority:  0,
+			Action:    fivetuple.ActionForward,
+			ActionArg: 1,
+		},
+		{
+			SrcPrefix: fivetuple.MustParsePrefix("10.0.0.0/8"),
+			DstPrefix: fivetuple.MustParsePrefix("0.0.0.0/0"),
+			SrcPort:   fivetuple.WildcardPortRange(),
+			DstPort:   fivetuple.ExactPort(53),
+			Protocol:  fivetuple.ExactProtocol(fivetuple.ProtoUDP),
+			Priority:  1,
+			Action:    fivetuple.ActionController,
+		},
+		fivetuple.Wildcard(2, fivetuple.ActionDrop),
+	}
+	for _, r := range rules {
+		report, err := classifier.InsertRule(r)
+		if err != nil {
+			log.Fatalf("inserting rule %s: %v", r, err)
+		}
+		fmt.Printf("installed rule %d: %d new labels, %d engine writes, %d clock cycles\n",
+			r.Priority, report.NewLabels, report.EngineWrites, report.ClockCycles)
+	}
+
+	packets := []fivetuple.Header{
+		{SrcIP: fivetuple.MustParseIPv4("198.51.100.7"), DstIP: fivetuple.MustParseIPv4("203.0.113.10"), SrcPort: 50000, DstPort: 443, Protocol: fivetuple.ProtoTCP},
+		{SrcIP: fivetuple.MustParseIPv4("10.1.2.3"), DstIP: fivetuple.MustParseIPv4("8.8.8.8"), SrcPort: 5353, DstPort: 53, Protocol: fivetuple.ProtoUDP},
+		{SrcIP: fivetuple.MustParseIPv4("192.0.2.1"), DstIP: fivetuple.MustParseIPv4("192.0.2.2"), SrcPort: 1, DstPort: 2, Protocol: fivetuple.ProtoGRE},
+	}
+	for _, h := range packets {
+		result := classifier.Lookup(h)
+		fmt.Printf("%-55s -> matched=%v action=%v priority=%d latency=%d cycles\n",
+			h, result.Matched, result.Action, result.Priority, result.LatencyCycles)
+	}
+
+	fmt.Printf("\nMBT configuration: %.2f Gbps at 40-byte packets, %d-rule capacity\n",
+		classifier.ThroughputGbps(40), classifier.RuleCapacity())
+
+	// Flip the IPalg_s signal to the memory-efficient BST configuration, as
+	// the SDN controller would for a capacity-bound application.
+	if err := classifier.SelectIPAlgorithm(memory.SelectBST); err != nil {
+		log.Fatalf("selecting BST: %v", err)
+	}
+	fmt.Printf("BST configuration: %.2f Gbps at 40-byte packets, %d-rule capacity\n",
+		classifier.ThroughputGbps(40), classifier.RuleCapacity())
+
+	report := classifier.MemoryReport()
+	fmt.Printf("block memory provisioned: %d bits (%.2f Mbit), in use: %d bits\n",
+		report.TotalProvisionedBits(), float64(report.TotalProvisionedBits())/(1<<20), report.TotalUsedBits())
+}

@@ -1,0 +1,391 @@
+// Package hypercuts implements the HyperCuts decision-tree packet classifier
+// (Singh et al., SIGCOMM 2003), the decision-tree baseline of Table I.
+//
+// HyperCuts recursively partitions the multi-dimensional rule space: each
+// internal node cuts one or more dimensions into equal-sized slices and every
+// child receives the rules overlapping its slice. Recursion stops when a node
+// holds at most binth rules (a leaf), which are then searched linearly.
+// Lookup walks one child per level and finishes with the leaf's linear scan;
+// the number of memory accesses is the path length plus the leaf occupancy —
+// the quantity behind HyperCuts' Table I row.
+package hypercuts
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sdnpc/internal/fivetuple"
+)
+
+// Config parameterises tree construction.
+type Config struct {
+	// Binth is the maximum number of rules in a leaf.
+	Binth int
+	// SpaceFactor bounds the number of cuts per node: the cut count chosen
+	// for a node is at most SpaceFactor * sqrt(rules at the node), the
+	// heuristic from the HyperCuts paper.
+	SpaceFactor float64
+	// MaxCutsPerNode caps the total child count of one node.
+	MaxCutsPerNode int
+	// MaxDepth bounds recursion as a safety net for highly overlapping rule
+	// sets.
+	MaxDepth int
+}
+
+// DefaultConfig returns the construction parameters commonly used in
+// HyperCuts evaluations (binth 16, space factor 4).
+func DefaultConfig() Config {
+	return Config{Binth: 16, SpaceFactor: 4, MaxCutsPerNode: 64, MaxDepth: 32}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Binth < 1 {
+		return fmt.Errorf("hypercuts: binth %d must be positive", c.Binth)
+	}
+	if c.SpaceFactor <= 0 {
+		return fmt.Errorf("hypercuts: space factor %v must be positive", c.SpaceFactor)
+	}
+	if c.MaxCutsPerNode < 2 {
+		return fmt.Errorf("hypercuts: max cuts %d must be at least 2", c.MaxCutsPerNode)
+	}
+	if c.MaxDepth < 1 {
+		return fmt.Errorf("hypercuts: max depth %d must be positive", c.MaxDepth)
+	}
+	return nil
+}
+
+// region is a hyper-rectangle of the 5-dimensional header space.
+type region struct {
+	lo [fivetuple.NumFields]uint64
+	hi [fivetuple.NumFields]uint64
+}
+
+func fullRegion() region {
+	var r region
+	for i, f := range fivetuple.Fields() {
+		r.lo[i] = 0
+		r.hi[i] = dimensionMax(f)
+	}
+	return r
+}
+
+func dimensionMax(f fivetuple.Field) uint64 {
+	switch f {
+	case fivetuple.FieldSrcIP, fivetuple.FieldDstIP:
+		return math.MaxUint32
+	case fivetuple.FieldSrcPort, fivetuple.FieldDstPort:
+		return math.MaxUint16
+	default:
+		return math.MaxUint8
+	}
+}
+
+// ruleRange returns the rule's covered range in the given dimension.
+func ruleRange(r fivetuple.Rule, f fivetuple.Field) (uint64, uint64) {
+	switch f {
+	case fivetuple.FieldSrcIP:
+		p := r.SrcPrefix.Canonical()
+		span := uint64(1) << (32 - uint64(p.Len))
+		return uint64(p.Addr), uint64(p.Addr) + span - 1
+	case fivetuple.FieldDstIP:
+		p := r.DstPrefix.Canonical()
+		span := uint64(1) << (32 - uint64(p.Len))
+		return uint64(p.Addr), uint64(p.Addr) + span - 1
+	case fivetuple.FieldSrcPort:
+		return uint64(r.SrcPort.Lo), uint64(r.SrcPort.Hi)
+	case fivetuple.FieldDstPort:
+		return uint64(r.DstPort.Lo), uint64(r.DstPort.Hi)
+	default:
+		if r.Protocol.IsWildcard() {
+			return 0, 255
+		}
+		return uint64(r.Protocol.Value), uint64(r.Protocol.Value)
+	}
+}
+
+func headerValue(h fivetuple.Header, f fivetuple.Field) uint64 {
+	switch f {
+	case fivetuple.FieldSrcIP:
+		return uint64(h.SrcIP)
+	case fivetuple.FieldDstIP:
+		return uint64(h.DstIP)
+	case fivetuple.FieldSrcPort:
+		return uint64(h.SrcPort)
+	case fivetuple.FieldDstPort:
+		return uint64(h.DstPort)
+	default:
+		return uint64(h.Protocol)
+	}
+}
+
+// node is one decision-tree node.
+type node struct {
+	// Leaf nodes hold rule indices; internal nodes hold the cut description
+	// and children.
+	leafRules []int
+
+	cutDims  []int // indices into fivetuple.Fields()
+	cutsPer  []int // number of slices per cut dimension
+	children []*node
+	region   region
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+// Classifier is a HyperCuts decision tree built from a rule set.
+type Classifier struct {
+	cfg   Config
+	rules []fivetuple.Rule
+	root  *node
+
+	nodeCount int
+	leafCount int
+	rulePtrs  int
+	maxDepth  int
+
+	lookups        uint64
+	lookupAccesses uint64
+}
+
+// Build constructs a HyperCuts tree for the rule set.
+func Build(rs *fivetuple.RuleSet, cfg Config) (*Classifier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rs.Len() == 0 {
+		return nil, fmt.Errorf("hypercuts: empty rule set")
+	}
+	c := &Classifier{cfg: cfg, rules: rs.Rules()}
+	all := make([]int, len(c.rules))
+	for i := range all {
+		all[i] = i
+	}
+	c.root = c.build(all, fullRegion(), 0)
+	return c, nil
+}
+
+func (c *Classifier) build(ruleIdx []int, reg region, depth int) *node {
+	c.nodeCount++
+	if depth > c.maxDepth {
+		c.maxDepth = depth
+	}
+	n := &node{region: reg}
+	if len(ruleIdx) <= c.cfg.Binth || depth >= c.cfg.MaxDepth {
+		n.leafRules = append([]int(nil), ruleIdx...)
+		sort.Ints(n.leafRules)
+		c.leafCount++
+		c.rulePtrs += len(n.leafRules)
+		return n
+	}
+
+	dims, cuts := c.chooseCuts(ruleIdx, reg)
+	if len(dims) == 0 {
+		n.leafRules = append([]int(nil), ruleIdx...)
+		sort.Ints(n.leafRules)
+		c.leafCount++
+		c.rulePtrs += len(n.leafRules)
+		return n
+	}
+	n.cutDims = dims
+	n.cutsPer = cuts
+
+	totalChildren := 1
+	for _, k := range cuts {
+		totalChildren *= k
+	}
+	n.children = make([]*node, totalChildren)
+	for child := 0; child < totalChildren; child++ {
+		childReg := childRegion(reg, dims, cuts, child)
+		var childRules []int
+		for _, ri := range ruleIdx {
+			if ruleOverlapsRegion(c.rules[ri], childReg) {
+				childRules = append(childRules, ri)
+			}
+		}
+		// Heuristic guard: a child that did not shrink its rule list becomes
+		// a leaf to prevent unbounded recursion on fully overlapping rules.
+		if len(childRules) == len(ruleIdx) {
+			leaf := &node{region: childReg, leafRules: append([]int(nil), childRules...)}
+			sort.Ints(leaf.leafRules)
+			c.nodeCount++
+			c.leafCount++
+			c.rulePtrs += len(leaf.leafRules)
+			n.children[child] = leaf
+			continue
+		}
+		n.children[child] = c.build(childRules, childReg, depth+1)
+	}
+	return n
+}
+
+// chooseCuts picks the dimensions to cut (those with the most distinct rule
+// projections) and the number of slices per dimension.
+func (c *Classifier) chooseCuts(ruleIdx []int, reg region) (dims []int, cuts []int) {
+	fields := fivetuple.Fields()
+	type dimScore struct {
+		dim      int
+		distinct int
+	}
+	scores := make([]dimScore, 0, len(fields))
+	for di, f := range fields {
+		if reg.hi[di] == reg.lo[di] {
+			continue // nothing left to cut in this dimension
+		}
+		uniq := make(map[[2]uint64]struct{})
+		for _, ri := range ruleIdx {
+			lo, hi := ruleRange(c.rules[ri], f)
+			uniq[[2]uint64{lo, hi}] = struct{}{}
+		}
+		if len(uniq) > 1 {
+			scores = append(scores, dimScore{dim: di, distinct: len(uniq)})
+		}
+	}
+	if len(scores) == 0 {
+		return nil, nil
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].distinct > scores[j].distinct })
+	// Cut the best one or two dimensions (the HyperCuts multi-dimensional
+	// cut), splitting the cut budget between them.
+	budget := int(c.cfg.SpaceFactor * math.Sqrt(float64(len(ruleIdx))))
+	if budget > c.cfg.MaxCutsPerNode {
+		budget = c.cfg.MaxCutsPerNode
+	}
+	if budget < 2 {
+		budget = 2
+	}
+	chosen := scores
+	if len(chosen) > 2 {
+		chosen = chosen[:2]
+	}
+	if len(chosen) == 1 {
+		return []int{chosen[0].dim}, []int{budget}
+	}
+	per := int(math.Sqrt(float64(budget)))
+	if per < 2 {
+		per = 2
+	}
+	return []int{chosen[0].dim, chosen[1].dim}, []int{per, per}
+}
+
+// childRegion computes the sub-region of the child with the given index.
+func childRegion(parent region, dims, cuts []int, child int) region {
+	reg := parent
+	for i, di := range dims {
+		k := cuts[i]
+		slice := child % k
+		child /= k
+		span := parent.hi[di] - parent.lo[di] + 1
+		width := span / uint64(k)
+		if width == 0 {
+			width = 1
+		}
+		lo := parent.lo[di] + uint64(slice)*width
+		hi := lo + width - 1
+		if slice == k-1 || hi > parent.hi[di] {
+			hi = parent.hi[di]
+		}
+		if lo > parent.hi[di] {
+			lo = parent.hi[di]
+		}
+		reg.lo[di] = lo
+		reg.hi[di] = hi
+	}
+	return reg
+}
+
+func ruleOverlapsRegion(r fivetuple.Rule, reg region) bool {
+	for di, f := range fivetuple.Fields() {
+		lo, hi := ruleRange(r, f)
+		if hi < reg.lo[di] || lo > reg.hi[di] {
+			return false
+		}
+	}
+	return true
+}
+
+// Classify returns the index of the highest-priority matching rule, whether
+// any rule matched and the number of memory accesses (tree nodes visited plus
+// leaf rules scanned).
+func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, accesses int) {
+	c.lookups++
+	n := c.root
+	for !n.isLeaf() {
+		accesses++
+		child := 0
+		mult := 1
+		for i, di := range n.cutDims {
+			k := n.cutsPer[i]
+			span := n.region.hi[di] - n.region.lo[di] + 1
+			width := span / uint64(k)
+			if width == 0 {
+				width = 1
+			}
+			v := headerValue(h, fivetuple.Fields()[di])
+			if v < n.region.lo[di] {
+				v = n.region.lo[di]
+			}
+			slice := int((v - n.region.lo[di]) / width)
+			if slice >= k {
+				slice = k - 1
+			}
+			child += slice * mult
+			mult *= k
+		}
+		n = n.children[child]
+	}
+	accesses++ // reading the leaf header
+	best := -1
+	for _, ri := range n.leafRules {
+		accesses++
+		if c.rules[ri].Matches(h) {
+			best = ri
+			break // leaf rules are sorted by priority
+		}
+	}
+	c.lookupAccesses += uint64(accesses)
+	if best < 0 {
+		return 0, false, accesses
+	}
+	return best, true, accesses
+}
+
+// NodeCount returns the number of tree nodes.
+func (c *Classifier) NodeCount() int { return c.nodeCount }
+
+// LeafCount returns the number of leaves.
+func (c *Classifier) LeafCount() int { return c.leafCount }
+
+// Depth returns the maximum tree depth.
+func (c *Classifier) Depth() int { return c.maxDepth }
+
+// MemoryBits returns the storage consumed by the tree: each node header
+// stores its cut description and child pointer base (~128 bits), plus one
+// 14-bit rule pointer per stored leaf rule and the rule table itself (each
+// rule ~144 bits of match data).
+func (c *Classifier) MemoryBits() int {
+	const nodeBits = 128
+	const rulePtrBits = 14
+	const ruleBits = 144
+	return c.nodeCount*nodeBits + c.rulePtrs*rulePtrBits + len(c.rules)*ruleBits
+}
+
+// Stats summarises lookup counters.
+type Stats struct {
+	Lookups        uint64
+	LookupAccesses uint64
+}
+
+// AverageAccesses returns the mean memory accesses per lookup.
+func (s Stats) AverageAccesses() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.LookupAccesses) / float64(s.Lookups)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Classifier) Stats() Stats {
+	return Stats{Lookups: c.lookups, LookupAccesses: c.lookupAccesses}
+}

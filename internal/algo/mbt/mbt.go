@@ -1,0 +1,379 @@
+// Package mbt implements the Multi-Bit Trie (MBT) single-field lookup
+// engine, the fast IP-segment algorithm of the paper's configurable
+// architecture (§IV.B, §IV.C).
+//
+// The engine looks up a fixed-width key (16 bits for the architecture's IP
+// segments; up to 32 bits for the multi-level tries used by the Table I
+// baselines) against a set of prefixes, each tagged with a label and a
+// priority. A lookup returns the priority-ordered list of labels of every
+// matching prefix together with the number of node-memory accesses
+// performed — the quantity the paper's evaluation is based on.
+//
+// Structure: the trie is divided into levels of fixed stride (5, 5 and 6
+// bits for the architecture's 16-bit segments). Each node is an array of
+// 2^stride entries; an entry holds an optional child pointer and an optional
+// label list containing the labels of all prefixes that terminate at this
+// level and cover the entry (controlled prefix expansion). Because the
+// structure is fixed, rule insertion and deletion are incremental — the
+// property that makes the label method applicable (§III.C).
+package mbt
+
+import (
+	"fmt"
+
+	"sdnpc/internal/label"
+)
+
+// Config describes the trie geometry.
+type Config struct {
+	// KeyBits is the width of lookup keys and prefixes, at most 32.
+	KeyBits int
+	// Strides is the number of bits consumed per level; it must sum to
+	// KeyBits.
+	Strides []int
+	// NodeEntryBits is the storage width of one node entry, used for memory
+	// accounting. The architecture's entry holds a 13-bit child pointer, a
+	// 13-bit label-list pointer and two valid flags, padded to 32 bits.
+	NodeEntryBits int
+	// LabelEntryBits is the width of one stored label in the Labels memory
+	// block (13 bits for IP segments).
+	LabelEntryBits int
+}
+
+// SegmentConfig returns the architecture's default geometry for one 16-bit
+// IP segment: three levels with 5-, 5- and 6-bit strides (§IV.C).
+func SegmentConfig() Config {
+	return Config{KeyBits: 16, Strides: []int{5, 5, 6}, NodeEntryBits: 32, LabelEntryBits: 13}
+}
+
+// UniformConfig returns a trie over keyBits-wide keys with the given number
+// of levels and near-uniform strides, as used by the Option 1 (5-level) and
+// Option 2 (4-level) baselines of Table I.
+func UniformConfig(keyBits, levels int) Config {
+	strides := make([]int, levels)
+	base := keyBits / levels
+	extra := keyBits % levels
+	for i := range strides {
+		strides[i] = base
+		if i < extra {
+			strides[i]++
+		}
+	}
+	return Config{KeyBits: keyBits, Strides: strides, NodeEntryBits: 32, LabelEntryBits: 13}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.KeyBits < 1 || c.KeyBits > 32 {
+		return fmt.Errorf("mbt: key width %d out of range [1,32]", c.KeyBits)
+	}
+	if len(c.Strides) == 0 {
+		return fmt.Errorf("mbt: at least one stride level is required")
+	}
+	sum := 0
+	for i, s := range c.Strides {
+		if s < 1 || s > 16 {
+			return fmt.Errorf("mbt: stride %d at level %d out of range [1,16]", s, i)
+		}
+		sum += s
+	}
+	if sum != c.KeyBits {
+		return fmt.Errorf("mbt: strides sum to %d, want %d", sum, c.KeyBits)
+	}
+	if c.NodeEntryBits < 1 {
+		return fmt.Errorf("mbt: node entry width must be positive")
+	}
+	if c.LabelEntryBits < 1 {
+		return fmt.Errorf("mbt: label entry width must be positive")
+	}
+	return nil
+}
+
+// Levels returns the number of trie levels.
+func (c Config) Levels() int { return len(c.Strides) }
+
+// entry is one slot of a trie node.
+type entry struct {
+	child  *node
+	labels *label.List
+}
+
+// node is one trie node: an array of 2^stride entries.
+type node struct {
+	level   int
+	entries []entry
+}
+
+func newNode(level, stride int) *node {
+	return &node{level: level, entries: make([]entry, 1<<stride)}
+}
+
+// Engine is a Multi-Bit Trie lookup engine.
+type Engine struct {
+	cfg  Config
+	root *node
+
+	// nodes counts allocated nodes per level for memory accounting.
+	nodesPerLevel []int
+	labelEntries  int
+	// counters for the access model.
+	lookupAccesses uint64
+	lookups        uint64
+	updateWrites   uint64
+}
+
+// New creates an engine with the given configuration.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, nodesPerLevel: make([]int, cfg.Levels())}
+	e.root = e.allocNode(0)
+	return e, nil
+}
+
+// MustNew is like New but panics on error; intended for static
+// configurations validated by tests.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+func (e *Engine) allocNode(level int) *node {
+	e.nodesPerLevel[level]++
+	return newNode(level, e.cfg.Strides[level])
+}
+
+func (e *Engine) freeNode(level int) {
+	e.nodesPerLevel[level]--
+}
+
+// checkPrefix validates an inserted or removed prefix.
+func (e *Engine) checkPrefix(value uint32, bits uint8) error {
+	if int(bits) > e.cfg.KeyBits {
+		return fmt.Errorf("mbt: prefix length %d exceeds key width %d", bits, e.cfg.KeyBits)
+	}
+	if e.cfg.KeyBits < 32 && value >= 1<<e.cfg.KeyBits {
+		return fmt.Errorf("mbt: prefix value %#x exceeds key width %d", value, e.cfg.KeyBits)
+	}
+	return nil
+}
+
+// Insert adds a prefix (value with the given number of significant leading
+// bits) carrying a label and the priority of the best rule that uses it.
+// Inserting an existing (prefix, label) pair refreshes the priority if the
+// new one is better. The returned count is the number of node-entry writes,
+// the engine-side cost of the incremental update.
+func (e *Engine) Insert(value uint32, bits uint8, lbl label.Label, priority int) (writes int, err error) {
+	if err := e.checkPrefix(value, bits); err != nil {
+		return 0, err
+	}
+	writes = e.insert(e.root, value, int(bits), 0, lbl, priority)
+	e.updateWrites += uint64(writes)
+	return writes, nil
+}
+
+// insert walks the trie placing the label on every entry covered by the
+// prefix at its terminal level, allocating child nodes on the way.
+func (e *Engine) insert(n *node, value uint32, bits, consumed int, lbl label.Label, priority int) int {
+	stride := e.cfg.Strides[n.level]
+	remaining := bits - consumed
+	chunk := e.chunk(value, n.level)
+	if remaining <= stride {
+		// The prefix terminates in this node: it covers 2^(stride-remaining)
+		// consecutive entries starting at the expanded chunk.
+		span := 1 << (stride - remaining)
+		start := 0
+		if remaining > 0 {
+			start = (chunk >> (stride - remaining)) << (stride - remaining)
+		}
+		writes := 0
+		for i := start; i < start+span; i++ {
+			if n.entries[i].labels == nil {
+				n.entries[i].labels = &label.List{}
+				e.labelEntries++
+			} else if _, present := containsLabel(n.entries[i].labels, lbl); !present {
+				e.labelEntries++
+			}
+			n.entries[i].labels.Insert(label.PriorityLabel{Label: lbl, Priority: priority})
+			writes++
+		}
+		return writes
+	}
+	// Descend.
+	writes := 0
+	if n.entries[chunk].child == nil {
+		n.entries[chunk].child = e.allocNode(n.level + 1)
+		writes++ // writing the new child pointer
+	}
+	return writes + e.insert(n.entries[chunk].child, value, bits, consumed+stride, lbl, priority)
+}
+
+// Remove deletes a (prefix, label) pair. It reports the number of node-entry
+// writes and an error if the pair is not present.
+func (e *Engine) Remove(value uint32, bits uint8, lbl label.Label) (writes int, err error) {
+	if err := e.checkPrefix(value, bits); err != nil {
+		return 0, err
+	}
+	writes, found := e.remove(e.root, value, int(bits), 0, lbl)
+	if !found {
+		return writes, fmt.Errorf("mbt: prefix %#x/%d with label %d not present", value, bits, lbl)
+	}
+	e.updateWrites += uint64(writes)
+	return writes, nil
+}
+
+func (e *Engine) remove(n *node, value uint32, bits, consumed int, lbl label.Label) (writes int, found bool) {
+	stride := e.cfg.Strides[n.level]
+	remaining := bits - consumed
+	chunk := e.chunk(value, n.level)
+	if remaining <= stride {
+		span := 1 << (stride - remaining)
+		start := 0
+		if remaining > 0 {
+			start = (chunk >> (stride - remaining)) << (stride - remaining)
+		}
+		for i := start; i < start+span; i++ {
+			lst := n.entries[i].labels
+			if lst != nil && lst.Remove(lbl) {
+				found = true
+				writes++
+				e.labelEntries--
+				if lst.Len() == 0 {
+					n.entries[i].labels = nil
+				}
+			}
+		}
+		return writes, found
+	}
+	child := n.entries[chunk].child
+	if child == nil {
+		return 0, false
+	}
+	writes, found = e.remove(child, value, bits, consumed+stride, lbl)
+	if found && childIsEmpty(child) {
+		n.entries[chunk].child = nil
+		e.freeNode(child.level)
+		writes++
+	}
+	return writes, found
+}
+
+func childIsEmpty(n *node) bool {
+	for _, en := range n.entries {
+		if en.child != nil || (en.labels != nil && en.labels.Len() > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsLabel(l *label.List, lbl label.Label) (int, bool) {
+	for i, item := range l.Items() {
+		if item.Label == lbl {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// chunk extracts the stride-sized slice of the key addressed by the given
+// level.
+func (e *Engine) chunk(value uint32, level int) int {
+	shift := e.cfg.KeyBits
+	for i := 0; i <= level; i++ {
+		shift -= e.cfg.Strides[i]
+	}
+	return int(value>>shift) & ((1 << e.cfg.Strides[level]) - 1)
+}
+
+// Lookup returns the priority-ordered list of labels of every prefix
+// matching the key, and the number of node-memory accesses performed (one
+// per level visited). The returned list is freshly allocated and safe to
+// modify.
+func (e *Engine) Lookup(key uint32) (*label.List, int) {
+	result := &label.List{}
+	accesses := 0
+	n := e.root
+	for n != nil {
+		accesses++
+		chunk := e.chunk(key, n.level)
+		en := n.entries[chunk]
+		if en.labels != nil {
+			result.Merge(en.labels)
+		}
+		n = en.child
+	}
+	e.lookups++
+	e.lookupAccesses += uint64(accesses)
+	return result, accesses
+}
+
+// WorstCaseAccesses returns the maximum number of node accesses a lookup can
+// take: the number of levels.
+func (e *Engine) WorstCaseAccesses() int { return e.cfg.Levels() }
+
+// NodeCount returns the number of allocated trie nodes.
+func (e *Engine) NodeCount() int {
+	total := 0
+	for _, n := range e.nodesPerLevel {
+		total += n
+	}
+	return total
+}
+
+// NodesPerLevel returns the allocated node count of each level.
+func (e *Engine) NodesPerLevel() []int {
+	out := make([]int, len(e.nodesPerLevel))
+	copy(out, e.nodesPerLevel)
+	return out
+}
+
+// MemoryBits returns the node storage consumed by the trie: every allocated
+// node occupies 2^stride entries of NodeEntryBits.
+func (e *Engine) MemoryBits() int {
+	bits := 0
+	for level, count := range e.nodesPerLevel {
+		bits += count * (1 << e.cfg.Strides[level]) * e.cfg.NodeEntryBits
+	}
+	return bits
+}
+
+// LabelListBits returns the Labels-memory storage consumed by the label
+// lists referenced from trie entries.
+func (e *Engine) LabelListBits() int {
+	return e.labelEntries * e.cfg.LabelEntryBits
+}
+
+// Stats summarises the engine's access counters.
+type Stats struct {
+	Lookups        uint64
+	LookupAccesses uint64
+	UpdateWrites   uint64
+}
+
+// AverageAccesses returns the mean node accesses per lookup.
+func (s Stats) AverageAccesses() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.LookupAccesses) / float64(s.Lookups)
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Lookups: e.lookups, LookupAccesses: e.lookupAccesses, UpdateWrites: e.updateWrites}
+}
+
+// ResetStats zeroes the counters without touching the trie.
+func (e *Engine) ResetStats() {
+	e.lookups = 0
+	e.lookupAccesses = 0
+	e.updateWrites = 0
+}

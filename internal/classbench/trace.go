@@ -1,0 +1,123 @@
+package classbench
+
+import (
+	"math/rand"
+
+	"sdnpc/internal/fivetuple"
+)
+
+// TraceConfig parameterises packet-header trace generation.
+type TraceConfig struct {
+	// Packets is the number of headers to generate.
+	Packets int
+	// Seed makes generation deterministic.
+	Seed int64
+	// MatchFraction is the fraction of headers engineered to match a
+	// non-default rule of the filter set (the remainder are uniformly
+	// random and usually fall through to the default rule). 1.0 means every
+	// header is derived from some rule, as in the ClassBench trace
+	// generator; lower values add background noise traffic.
+	MatchFraction float64
+	// Locality, in [0,1), biases rule selection towards high-priority rules
+	// to model flow locality. 0 selects rules uniformly.
+	Locality float64
+}
+
+// GenerateTrace derives a header trace from a filter set. Headers engineered
+// to match a rule are drawn uniformly inside that rule's hyper-rectangle so
+// they may also match other (possibly higher-priority) rules — exactly the
+// behaviour of the ClassBench trace generator.
+func GenerateTrace(rs *fivetuple.RuleSet, cfg TraceConfig) []fivetuple.Header {
+	if cfg.Packets <= 0 {
+		return nil
+	}
+	if cfg.MatchFraction < 0 {
+		cfg.MatchFraction = 0
+	}
+	if cfg.MatchFraction > 1 {
+		cfg.MatchFraction = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	headers := make([]fivetuple.Header, 0, cfg.Packets)
+	for i := 0; i < cfg.Packets; i++ {
+		if rs.Len() > 0 && rng.Float64() < cfg.MatchFraction {
+			ruleIdx := pickRule(rng, rs.Len(), cfg.Locality)
+			headers = append(headers, headerInRule(rng, rs.Rule(ruleIdx)))
+		} else {
+			headers = append(headers, randomHeader(rng))
+		}
+	}
+	return headers
+}
+
+// pickRule selects a rule index with optional bias towards low indices
+// (high-priority rules).
+func pickRule(rng *rand.Rand, n int, locality float64) int {
+	if locality <= 0 {
+		return rng.Intn(n)
+	}
+	u := rng.Float64()
+	// Raising the uniform variate to a power > 1 concentrates selection near
+	// zero; locality in (0,1) maps to exponents in (1, 5].
+	exp := 1 + 4*locality
+	biased := 1.0
+	for i := 0; i < int(exp); i++ {
+		biased *= u
+	}
+	idx := int(biased * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// headerInRule draws a header uniformly from the rule's match region.
+func headerInRule(rng *rand.Rand, r fivetuple.Rule) fivetuple.Header {
+	return fivetuple.Header{
+		SrcIP:    addrInPrefix(rng, r.SrcPrefix),
+		DstIP:    addrInPrefix(rng, r.DstPrefix),
+		SrcPort:  portInRange(rng, r.SrcPort),
+		DstPort:  portInRange(rng, r.DstPort),
+		Protocol: protocolInMatch(rng, r.Protocol),
+	}
+}
+
+func addrInPrefix(rng *rand.Rand, p fivetuple.Prefix) fivetuple.IPv4 {
+	hostBits := 32 - uint32(p.Len)
+	random := fivetuple.IPv4(rng.Uint32())
+	if hostBits == 32 {
+		return random
+	}
+	hostMask := fivetuple.IPv4((uint64(1) << hostBits) - 1)
+	return (p.Addr & p.Mask()) | (random & hostMask)
+}
+
+func portInRange(rng *rand.Rand, r fivetuple.PortRange) uint16 {
+	span := uint32(r.Hi) - uint32(r.Lo) + 1
+	return r.Lo + uint16(rng.Intn(int(span)))
+}
+
+func protocolInMatch(rng *rand.Rand, m fivetuple.ProtocolMatch) uint8 {
+	if m.IsWildcard() {
+		// Wildcard protocol rules are still overwhelmingly hit by TCP/UDP
+		// traffic in practice.
+		if rng.Intn(2) == 0 {
+			return fivetuple.ProtoTCP
+		}
+		return fivetuple.ProtoUDP
+	}
+	// Respect the mask: free bits are randomised.
+	free := ^m.Mask
+	return (m.Value & m.Mask) | (uint8(rng.Intn(256)) & free)
+}
+
+func randomHeader(rng *rand.Rand) fivetuple.Header {
+	protos := []uint8{fivetuple.ProtoTCP, fivetuple.ProtoUDP, fivetuple.ProtoICMP, fivetuple.ProtoGRE}
+	return fivetuple.Header{
+		SrcIP:    fivetuple.IPv4(rng.Uint32()),
+		DstIP:    fivetuple.IPv4(rng.Uint32()),
+		SrcPort:  uint16(rng.Intn(65536)),
+		DstPort:  uint16(rng.Intn(65536)),
+		Protocol: protos[rng.Intn(len(protos))],
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+
+	"sdnpc/internal/algo/bst"
+	"sdnpc/internal/algo/lut"
+	"sdnpc/internal/algo/mbt"
+	"sdnpc/internal/algo/portreg"
+	"sdnpc/internal/fivetuple"
+	"sdnpc/internal/hw/memory"
+	"sdnpc/internal/label"
+)
+
+// ipSegmentDims lists the four IP-segment label dimensions in a fixed order.
+var ipSegmentDims = []label.Dimension{
+	label.DimSrcIPHigh, label.DimSrcIPLow, label.DimDstIPHigh, label.DimDstIPLow,
+}
+
+// segValue is the 16-bit segment slice of a rule's IP prefix in one segment
+// dimension.
+type segValue struct {
+	value uint16
+	bits  uint8
+}
+
+func (s segValue) key() string { return fmt.Sprintf("%04x/%d", s.value, s.bits) }
+
+// fieldUse tracks which rule priorities currently use a labelled field value
+// in one dimension, so that the label list order can be maintained when
+// rules are added and removed (§IV.A: "the lists of labels are reorganized
+// according to the priority rule").
+type fieldUse struct {
+	counts map[int]int
+	best   int
+}
+
+func newFieldUse() *fieldUse {
+	return &fieldUse{counts: make(map[int]int), best: int(^uint(0) >> 1)}
+}
+
+func (u *fieldUse) add(priority int) {
+	u.counts[priority]++
+	if priority < u.best {
+		u.best = priority
+	}
+}
+
+// remove deletes one use at the given priority and returns the new best
+// priority together with whether the best changed.
+func (u *fieldUse) remove(priority int) (newBest int, changed bool) {
+	u.counts[priority]--
+	if u.counts[priority] <= 0 {
+		delete(u.counts, priority)
+	}
+	if priority != u.best {
+		return u.best, false
+	}
+	newBest = int(^uint(0) >> 1)
+	for p := range u.counts {
+		if p < newBest {
+			newBest = p
+		}
+	}
+	changed = newBest != u.best
+	u.best = newBest
+	return newBest, changed
+}
+
+func (u *fieldUse) empty() bool { return len(u.counts) == 0 }
+
+// installedRule is the software shadow of one hardware rule: what the
+// controller needs to re-programme the data plane after an algorithm switch
+// and to undo an installation.
+type installedRule struct {
+	rule fivetuple.Rule
+	key  label.CombinationKey
+}
+
+// Classifier is one instance of the configurable packet classification
+// architecture.
+//
+// Classifier is not safe for concurrent use: in the modelled hardware the
+// lookup data path and the update interface are time-multiplexed by the
+// controller, and the software model mirrors that by requiring external
+// serialisation.
+type Classifier struct {
+	cfg Config
+	alg memory.AlgSelect
+
+	labels    *label.Bank
+	fieldUses map[label.Dimension]map[string]*fieldUse
+
+	mbtEngines map[label.Dimension]*mbt.Engine
+	bstEngines map[label.Dimension]*bst.Engine
+	srcPorts   *portreg.Bank
+	dstPorts   *portreg.Bank
+	protoLUT   *lut.Table
+
+	// sharedL2 models the IPalg_s-selected shared blocks of Fig. 5, one per
+	// IP segment.
+	sharedL2 map[label.Dimension]*memory.SharedBlock
+
+	filter    *ruleFilter
+	installed []installedRule
+
+	stats Stats
+}
+
+// New creates a classifier with the given configuration.
+func New(cfg Config) (*Classifier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Classifier{cfg: cfg, alg: cfg.IPAlgorithm}
+	c.resetDataPath()
+	return c, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(cfg Config) *Classifier {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// resetDataPath (re)builds every engine, label table and the rule filter for
+// the current algorithm selection, leaving the installed-rule shadow intact.
+func (c *Classifier) resetDataPath() {
+	c.labels = label.NewBank()
+	c.fieldUses = make(map[label.Dimension]map[string]*fieldUse, label.NumDimensions)
+	for _, d := range label.Dimensions() {
+		c.fieldUses[d] = make(map[string]*fieldUse)
+	}
+
+	c.mbtEngines = make(map[label.Dimension]*mbt.Engine, len(ipSegmentDims))
+	c.bstEngines = make(map[label.Dimension]*bst.Engine, len(ipSegmentDims))
+	if c.sharedL2 == nil {
+		c.sharedL2 = make(map[label.Dimension]*memory.SharedBlock, len(ipSegmentDims))
+	}
+	for _, d := range ipSegmentDims {
+		mbtCfg := mbt.SegmentConfig()
+		c.mbtEngines[d] = mbt.MustNew(mbtCfg)
+		c.bstEngines[d] = bst.MustNew(bst.SegmentConfig())
+		if c.sharedL2[d] == nil {
+			block := memory.NewBlock(fmt.Sprintf("shared-l2/%s", d), DefaultMBTEntryBits, c.cfg.MBTLevel2Entries)
+			c.sharedL2[d] = memory.NewSharedBlock(block, c.alg)
+		} else {
+			c.sharedL2[d].Select(c.alg)
+		}
+	}
+	c.srcPorts = portreg.MustNew(c.cfg.PortRegisters, label.DimSrcPort.Bits())
+	c.dstPorts = portreg.MustNew(c.cfg.PortRegisters, label.DimDstPort.Bits())
+	c.protoLUT = lut.MustNew(DefaultProtocolLabelBits)
+	c.filter = newRuleFilter(c.cfg.RuleFilterAddressBits, c.cfg.RuleCapacity(c.alg), c.cfg.RuleEntryBits)
+}
+
+// Config returns the classifier configuration.
+func (c *Classifier) Config() Config { return c.cfg }
+
+// IPAlgorithm returns the current setting of the IPalg_s signal.
+func (c *Classifier) IPAlgorithm() memory.AlgSelect { return c.alg }
+
+// RuleCount returns the number of installed rules.
+func (c *Classifier) RuleCount() int { return len(c.installed) }
+
+// RuleCapacity returns the rule capacity under the current algorithm
+// selection.
+func (c *Classifier) RuleCapacity() int { return c.cfg.RuleCapacity(c.alg) }
+
+// InstalledRules returns a copy of the installed rules in installation
+// order.
+func (c *Classifier) InstalledRules() []fivetuple.Rule {
+	out := make([]fivetuple.Rule, len(c.installed))
+	for i, ir := range c.installed {
+		out[i] = ir.rule
+	}
+	return out
+}
+
+// SelectIPAlgorithm drives the IPalg_s signal (§III.A): it reconfigures the
+// IP lookup algorithm, re-purposes the shared memory blocks (Fig. 5) and
+// re-programmes the data path with the installed rules, exactly as the
+// software controller would re-download the memory images after a
+// configuration change. Selecting the already-active algorithm is a no-op.
+func (c *Classifier) SelectIPAlgorithm(alg memory.AlgSelect) error {
+	if alg != memory.SelectMBT && alg != memory.SelectBST {
+		return fmt.Errorf("core: unknown IP algorithm selection %v", alg)
+	}
+	if alg == c.alg {
+		return nil
+	}
+	if len(c.installed) > c.cfg.RuleCapacity(alg) {
+		return fmt.Errorf("core: %d installed rules exceed the %d-rule capacity of the %s configuration",
+			len(c.installed), c.cfg.RuleCapacity(alg), alg)
+	}
+	rules := c.InstalledRules()
+	c.alg = alg
+	c.installed = nil
+	c.resetDataPath()
+	for _, r := range rules {
+		if _, err := c.InsertRule(r); err != nil {
+			return fmt.Errorf("core: re-programming after algorithm switch: %w", err)
+		}
+	}
+	return nil
+}
+
+// segmentValues returns the four IP-segment slices of a rule.
+func segmentValues(r fivetuple.Rule) map[label.Dimension]segValue {
+	srcHi, srcHiBits := r.SrcPrefix.HighSegment()
+	srcLo, srcLoBits := r.SrcPrefix.LowSegment()
+	dstHi, dstHiBits := r.DstPrefix.HighSegment()
+	dstLo, dstLoBits := r.DstPrefix.LowSegment()
+	return map[label.Dimension]segValue{
+		label.DimSrcIPHigh: {value: srcHi, bits: srcHiBits},
+		label.DimSrcIPLow:  {value: srcLo, bits: srcLoBits},
+		label.DimDstIPHigh: {value: dstHi, bits: dstHiBits},
+		label.DimDstIPLow:  {value: dstLo, bits: dstLoBits},
+	}
+}
+
+// fieldValueKey returns the canonical label-table key of a rule's field value
+// in one dimension.
+func fieldValueKey(d label.Dimension, r fivetuple.Rule) string {
+	switch d {
+	case label.DimSrcIPHigh, label.DimSrcIPLow, label.DimDstIPHigh, label.DimDstIPLow:
+		return segmentValues(r)[d].key()
+	case label.DimSrcPort:
+		return r.SrcPort.String()
+	case label.DimDstPort:
+		return r.DstPort.String()
+	case label.DimProtocol:
+		if r.Protocol.IsWildcard() {
+			return "*"
+		}
+		return fivetuple.ExactProtocol(r.Protocol.Value).String()
+	default:
+		return ""
+	}
+}
+
+// installFieldValue writes a newly labelled field value into the appropriate
+// lookup engine. It returns the number of engine memory writes.
+func (c *Classifier) installFieldValue(d label.Dimension, r fivetuple.Rule, lbl label.Label, priority int) (int, error) {
+	switch d {
+	case label.DimSrcIPHigh, label.DimSrcIPLow, label.DimDstIPHigh, label.DimDstIPLow:
+		seg := segmentValues(r)[d]
+		if c.alg == memory.SelectBST {
+			// BST interval nodes live in the shared level-2 block
+			// (Fig. 5). Workloads whose unique segment values exceed the
+			// published geometry overflow that block; the model accepts
+			// them (so arbitrary filter sets can be evaluated) and the
+			// overflow is visible in MemoryReport, where BSTUsedBits may
+			// exceed BSTProvisionedBits.
+			return c.bstEngines[d].Insert(uint32(seg.value), seg.bits, lbl, priority)
+		}
+		return c.mbtEngines[d].Insert(uint32(seg.value), seg.bits, lbl, priority)
+	case label.DimSrcPort:
+		return c.srcPorts.Insert(r.SrcPort, lbl, priority)
+	case label.DimDstPort:
+		return c.dstPorts.Insert(r.DstPort, lbl, priority)
+	case label.DimProtocol:
+		if r.Protocol.IsWildcard() {
+			return c.protoLUT.InsertWildcard(lbl, priority), nil
+		}
+		return c.protoLUT.InsertExact(r.Protocol.Value, lbl, priority), nil
+	default:
+		return 0, fmt.Errorf("core: unknown dimension %v", d)
+	}
+}
+
+// removeFieldValue deletes a field value from the appropriate engine when
+// its last rule is gone.
+func (c *Classifier) removeFieldValue(d label.Dimension, r fivetuple.Rule, lbl label.Label) (int, error) {
+	switch d {
+	case label.DimSrcIPHigh, label.DimSrcIPLow, label.DimDstIPHigh, label.DimDstIPLow:
+		seg := segmentValues(r)[d]
+		if c.alg == memory.SelectBST {
+			return c.bstEngines[d].Remove(uint32(seg.value), seg.bits, lbl)
+		}
+		return c.mbtEngines[d].Remove(uint32(seg.value), seg.bits, lbl)
+	case label.DimSrcPort:
+		return c.srcPorts.Remove(r.SrcPort)
+	case label.DimDstPort:
+		return c.dstPorts.Remove(r.DstPort)
+	case label.DimProtocol:
+		if r.Protocol.IsWildcard() {
+			return c.protoLUT.RemoveWildcard()
+		}
+		return c.protoLUT.RemoveExact(r.Protocol.Value)
+	default:
+		return 0, fmt.Errorf("core: unknown dimension %v", d)
+	}
+}
+
+// reprioritiseFieldValue re-installs an IP-segment field value at a new best
+// priority after the rule that defined the old best priority was deleted.
+// Port and protocol engines order their lists positionally (specificity), so
+// only the IP engines need this.
+func (c *Classifier) reprioritiseFieldValue(d label.Dimension, r fivetuple.Rule, lbl label.Label, newBest int) error {
+	switch d {
+	case label.DimSrcIPHigh, label.DimSrcIPLow, label.DimDstIPHigh, label.DimDstIPLow:
+		seg := segmentValues(r)[d]
+		if c.alg == memory.SelectBST {
+			if _, err := c.bstEngines[d].Remove(uint32(seg.value), seg.bits, lbl); err != nil {
+				return err
+			}
+			_, err := c.bstEngines[d].Insert(uint32(seg.value), seg.bits, lbl, newBest)
+			return err
+		}
+		if _, err := c.mbtEngines[d].Remove(uint32(seg.value), seg.bits, lbl); err != nil {
+			return err
+		}
+		_, err := c.mbtEngines[d].Insert(uint32(seg.value), seg.bits, lbl, newBest)
+		return err
+	default:
+		return nil
+	}
+}
+
+// ruleLabels returns the per-dimension labels of a rule's own field values,
+// for building its combination key. Every value must already be labelled.
+func (c *Classifier) ruleLabels(r fivetuple.Rule) (map[label.Dimension]label.Label, error) {
+	out := make(map[label.Dimension]label.Label, label.NumDimensions)
+	for _, d := range label.Dimensions() {
+		lbl, ok := c.labels.Table(d).Lookup(fieldValueKey(d, r))
+		if !ok {
+			return nil, fmt.Errorf("core: field value %q in dimension %s is not labelled", fieldValueKey(d, r), d)
+		}
+		out[d] = lbl
+	}
+	return out, nil
+}

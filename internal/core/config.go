@@ -1,0 +1,239 @@
+// Package core implements the paper's primary contribution: the configurable
+// label-based packet classification architecture for SDN (§III, §IV).
+//
+// A Classifier holds one single-field lookup engine per header dimension —
+// four IP-segment engines that can be switched at run time between a
+// Multi-Bit Trie (fast) and a Binary Search Tree (memory-efficient), two
+// port register banks and a protocol look-up table — plus the three memory
+// block families of §III.D: the Algorithm blocks (owned by the engines), the
+// Labels blocks (the per-dimension label tables) and the Rule Filter block
+// (a hash table addressed by the hardware hash of the 68-bit label
+// combination key).
+//
+// Lookups follow the four pipelined phases of Fig. 3; updates follow the
+// incremental label-counting procedure of Fig. 4; and the IPalg_s
+// configuration signal (§IV.C.2, Fig. 5) selects the IP algorithm and with
+// it how the shared memory blocks are used and how many rules fit.
+package core
+
+import (
+	"fmt"
+
+	"sdnpc/internal/hw/memory"
+)
+
+// Default architecture geometry. The constants reproduce the memory budget
+// the paper reports: ~2.1 Mbit of block memory (Tables V and VII), an 8K-rule
+// filter in the MBT configuration growing to ~12K rules in the BST
+// configuration (Table VI), 128-entry port register banks and the label
+// widths of §IV.C.1.
+const (
+	// DefaultClockHz is the synthesised clock frequency (Table V).
+	DefaultClockHz = 133.51e6
+
+	// Multi-Bit Trie provisioning per 16-bit IP segment: the three levels use
+	// 5-, 5- and 6-bit strides; level 1 is a single 32-entry node and levels
+	// 2 and 3 are provisioned with a fixed node budget.
+	DefaultMBTLevel1Entries = 32
+	DefaultMBTLevel2Entries = 1024
+	DefaultMBTLevel3Entries = 3288
+	DefaultMBTEntryBits     = 32
+
+	// DefaultBSTNodeBits is the width of one BST interval node stored in the
+	// shared level-2 block.
+	DefaultBSTNodeBits = 32
+
+	// DefaultRuleFilterAddressBits gives an 8192-slot Rule Filter (13-bit
+	// addresses produced by the hash unit).
+	DefaultRuleFilterAddressBits = 13
+	// DefaultRuleEntryBits is the width of one Rule Filter entry: the 68-bit
+	// combination key, a 14-bit priority, a 3-bit action, a 16-bit action
+	// argument and a valid flag, padded to a power-of-two word.
+	DefaultRuleEntryBits = 128
+
+	// DefaultLabelMemoryEntries provisions the Labels memory block shared by
+	// the label lists of every dimension.
+	DefaultLabelMemoryEntries = 32768
+	// DefaultLabelMemoryEntryBits is the width of one stored label entry.
+	DefaultLabelMemoryEntryBits = 16
+
+	// DefaultPortRegisters is the number of port-range registers per port
+	// dimension (bounded by the 7-bit port label space).
+	DefaultPortRegisters = 128
+
+	// DefaultProtocolLabelBits is the protocol label width (§IV.C.1).
+	DefaultProtocolLabelBits = 2
+
+	// Lookup latency model (Fig. 3 and §V.B), in clock cycles.
+	CyclesDispatch     = 1 // phase 1: header split and engine dispatch
+	CyclesPerMBTLevel  = 2 // the 3-level MBT completes in 6 cycles
+	CyclesBSTIteration = 1 // one memory access per bisection step
+	CyclesPortLookup   = 2
+	CyclesProtoLookup  = 1
+	CyclesLabelFetch   = 1 // phase 2→3: fetch the label list pointer target
+	CyclesResult       = 2 // phases 3+4: combination and Rule Filter access
+
+	// Update cost model (§V.A), in clock cycles per rule.
+	CyclesUpdateMemoryUpload = 2 // one cycle per direction (source, destination)
+	CyclesUpdateHash         = 1 // hardware hash producing the rule address
+)
+
+// CombineMode selects how the label lists of the seven dimensions are
+// combined into Rule Filter probes in lookup phase 3.
+type CombineMode uint8
+
+// Combination modes.
+const (
+	// CombineHPML is the paper's single-probe method: the Highest Priority
+	// Matching Label of every dimension is concatenated and hashed once
+	// (§III.B). It is the fastest mode and the one the latency and
+	// throughput figures assume, but it can miss the true
+	// highest-priority matching rule when that rule does not hold the
+	// first-position label in every dimension.
+	CombineHPML CombineMode = iota + 1
+	// CombineCrossProduct probes every combination of returned labels and
+	// returns the best-priority hit. It is exact (it always agrees with a
+	// linear reference search) at the cost of extra Rule Filter probes, and
+	// is used to validate the architecture and to quantify how often the
+	// single-probe mode is optimal.
+	CombineCrossProduct
+)
+
+// String names the mode.
+func (m CombineMode) String() string {
+	switch m {
+	case CombineHPML:
+		return "hpml"
+	case CombineCrossProduct:
+		return "cross-product"
+	default:
+		return fmt.Sprintf("CombineMode(%d)", uint8(m))
+	}
+}
+
+// Config parameterises a Classifier. Use DefaultConfig and override fields as
+// needed.
+type Config struct {
+	// IPAlgorithm is the initial setting of the IPalg_s signal.
+	IPAlgorithm memory.AlgSelect
+	// CombineMode selects the phase-3 combination strategy.
+	CombineMode CombineMode
+	// ClockHz is the clock frequency used to convert cycle counts into time
+	// and throughput.
+	ClockHz float64
+
+	// MBTLevel2Entries and MBTLevel3Entries size the provisioned node budget
+	// of levels 2 and 3 of each IP-segment trie (level 1 always holds one
+	// 32-entry node).
+	MBTLevel2Entries int
+	MBTLevel3Entries int
+
+	// RuleFilterAddressBits sizes the Rule Filter hash table at
+	// 2^RuleFilterAddressBits slots.
+	RuleFilterAddressBits int
+	// RuleEntryBits is the stored width of one Rule Filter entry.
+	RuleEntryBits int
+
+	// LabelMemoryEntries and LabelMemoryEntryBits size the Labels memory.
+	LabelMemoryEntries   int
+	LabelMemoryEntryBits int
+
+	// PortRegisters is the number of port-range registers per port dimension.
+	PortRegisters int
+
+	// MaxCrossProductProbes bounds the number of Rule Filter probes issued by
+	// the cross-product combination mode for a single lookup.
+	MaxCrossProductProbes int
+}
+
+// DefaultConfig returns the architecture configuration evaluated in the
+// paper, with the MBT selected and the exact (cross-product) combination
+// mode.
+func DefaultConfig() Config {
+	return Config{
+		IPAlgorithm:           memory.SelectMBT,
+		CombineMode:           CombineCrossProduct,
+		ClockHz:               DefaultClockHz,
+		MBTLevel2Entries:      DefaultMBTLevel2Entries,
+		MBTLevel3Entries:      DefaultMBTLevel3Entries,
+		RuleFilterAddressBits: DefaultRuleFilterAddressBits,
+		RuleEntryBits:         DefaultRuleEntryBits,
+		LabelMemoryEntries:    DefaultLabelMemoryEntries,
+		LabelMemoryEntryBits:  DefaultLabelMemoryEntryBits,
+		PortRegisters:         DefaultPortRegisters,
+		MaxCrossProductProbes: 65536,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.IPAlgorithm != memory.SelectMBT && c.IPAlgorithm != memory.SelectBST {
+		return fmt.Errorf("core: unknown IP algorithm selection %v", c.IPAlgorithm)
+	}
+	if c.CombineMode != CombineHPML && c.CombineMode != CombineCrossProduct {
+		return fmt.Errorf("core: unknown combination mode %v", c.CombineMode)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("core: clock frequency must be positive, got %v", c.ClockHz)
+	}
+	if c.MBTLevel2Entries < 32 || c.MBTLevel3Entries < 64 {
+		return fmt.Errorf("core: MBT level budgets (%d, %d) must hold at least one node each",
+			c.MBTLevel2Entries, c.MBTLevel3Entries)
+	}
+	if c.RuleFilterAddressBits < 4 || c.RuleFilterAddressBits > 24 {
+		return fmt.Errorf("core: rule filter address width %d out of range [4,24]", c.RuleFilterAddressBits)
+	}
+	if c.RuleEntryBits < 86 {
+		return fmt.Errorf("core: rule entry width %d cannot hold key, priority and action", c.RuleEntryBits)
+	}
+	if c.LabelMemoryEntries < 1 || c.LabelMemoryEntryBits < 13 {
+		return fmt.Errorf("core: label memory geometry (%d x %d) too small",
+			c.LabelMemoryEntries, c.LabelMemoryEntryBits)
+	}
+	if c.PortRegisters < 1 || c.PortRegisters > 128 {
+		return fmt.Errorf("core: port register count %d out of range [1,128]", c.PortRegisters)
+	}
+	if c.MaxCrossProductProbes < 1 {
+		return fmt.Errorf("core: cross-product probe budget must be positive")
+	}
+	return nil
+}
+
+// RuleFilterSlots returns the number of Rule Filter slots in the base (MBT)
+// configuration.
+func (c Config) RuleFilterSlots() int { return 1 << c.RuleFilterAddressBits }
+
+// mbtProvisionedBitsPerSegment returns the provisioned node storage of one
+// IP-segment trie.
+func (c Config) mbtProvisionedBitsPerSegment() int {
+	return (DefaultMBTLevel1Entries + c.MBTLevel2Entries + c.MBTLevel3Entries) * DefaultMBTEntryBits
+}
+
+// sharedLevel2BitsPerSegment returns the capacity of the shared level-2 /
+// BST block of one IP segment.
+func (c Config) sharedLevel2BitsPerSegment() int {
+	return c.MBTLevel2Entries * DefaultMBTEntryBits
+}
+
+// freedMBTBitsPerSegment returns the MBT storage released for rule data when
+// the BST is selected: levels 1 and 3 (level 2 keeps the BST nodes).
+func (c Config) freedMBTBitsPerSegment() int {
+	return (DefaultMBTLevel1Entries + c.MBTLevel3Entries) * DefaultMBTEntryBits
+}
+
+// ExtraRuleCapacityBST returns how many additional Rule Filter entries fit in
+// the MBT blocks freed by selecting the BST (Fig. 5: "the rest of the memory
+// determined for MBT can be used to collect more rules").
+func (c Config) ExtraRuleCapacityBST() int {
+	return 4 * c.freedMBTBitsPerSegment() / c.RuleEntryBits
+}
+
+// RuleCapacity returns the number of rules the architecture can hold under
+// the given IP algorithm selection (Table VI: 8K with the MBT, ~12K with the
+// BST).
+func (c Config) RuleCapacity(alg memory.AlgSelect) int {
+	if alg == memory.SelectBST {
+		return c.RuleFilterSlots() + c.ExtraRuleCapacityBST()
+	}
+	return c.RuleFilterSlots()
+}

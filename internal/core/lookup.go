@@ -1,0 +1,274 @@
+package core
+
+import (
+	"sdnpc/internal/fivetuple"
+	"sdnpc/internal/hw/memory"
+	"sdnpc/internal/label"
+)
+
+// Result is the outcome of one lookup.
+type Result struct {
+	// Matched reports whether a rule matched; the remaining action fields are
+	// meaningful only when it is true.
+	Matched bool
+	// Priority is the priority of the returned rule (the HPMR).
+	Priority int
+	// Action and ActionArg are the rule's action.
+	Action    fivetuple.Action
+	ActionArg uint32
+
+	// FieldAccesses is the number of algorithm-block memory accesses
+	// performed by the per-field engines for this packet.
+	FieldAccesses int
+	// LabelFetches is the number of Labels-memory reads (one per non-empty
+	// field list).
+	LabelFetches int
+	// RuleFilterProbes is the number of Rule Filter slots read in phase 4.
+	RuleFilterProbes int
+	// Combinations is the number of label combinations examined in phase 3
+	// (always 1 in HPML mode).
+	Combinations int
+	// LatencyCycles is the end-to-end latency of this lookup in clock cycles
+	// under the Fig. 3 pipeline model.
+	LatencyCycles int
+}
+
+// fieldLookup is the phase-2 result of one dimension.
+type fieldLookup struct {
+	dim      label.Dimension
+	list     *label.List
+	accesses int
+	cycles   int
+}
+
+// Lookup classifies one packet header through the four pipelined phases of
+// Fig. 3 and returns the Highest Priority Matching Rule found by the
+// configured combination mode.
+func (c *Classifier) Lookup(h fivetuple.Header) Result {
+	// Phase 1: split the header into per-dimension segments and dispatch to
+	// the engines selected by IPalg_s (the dispatch itself costs one cycle).
+	// Phase 2: parallel single-field lookups.
+	fields := c.lookupFields(h)
+
+	result := Result{}
+	maxFieldCycles := 0
+	for _, f := range fields {
+		result.FieldAccesses += f.accesses
+		if f.cycles > maxFieldCycles {
+			maxFieldCycles = f.cycles
+		}
+		if f.list.Len() > 0 {
+			result.LabelFetches++
+		}
+	}
+	result.LatencyCycles = CyclesDispatch + maxFieldCycles + CyclesLabelFetch + CyclesResult
+
+	// Phase 3 + 4: combine the label lists into Rule Filter probes and fetch
+	// the HPMR. If any dimension produced no matching label, no rule can
+	// match the packet.
+	for _, f := range fields {
+		if f.list.Len() == 0 {
+			c.recordLookup(result)
+			return result
+		}
+	}
+
+	switch c.cfg.CombineMode {
+	case CombineHPML:
+		result = c.combineHPML(fields, result)
+	default:
+		result = c.combineCrossProduct(fields, result)
+	}
+	c.recordLookup(result)
+	return result
+}
+
+// lookupFields performs the parallel phase-2 lookups.
+func (c *Classifier) lookupFields(h fivetuple.Header) []fieldLookup {
+	segments := map[label.Dimension]uint16{
+		label.DimSrcIPHigh: h.SrcIP.High16(),
+		label.DimSrcIPLow:  h.SrcIP.Low16(),
+		label.DimDstIPHigh: h.DstIP.High16(),
+		label.DimDstIPLow:  h.DstIP.Low16(),
+	}
+	out := make([]fieldLookup, 0, label.NumDimensions)
+	for _, d := range ipSegmentDims {
+		var (
+			list     *label.List
+			accesses int
+			cycles   int
+		)
+		if c.alg == memory.SelectBST {
+			list, accesses = c.bstEngines[d].Lookup(uint32(segments[d]))
+			cycles = bstLookupCycles()
+		} else {
+			list, accesses = c.mbtEngines[d].Lookup(uint32(segments[d]))
+			cycles = mbtLookupCycles()
+		}
+		out = append(out, fieldLookup{dim: d, list: list, accesses: accesses, cycles: cycles})
+	}
+	srcList, srcAcc := c.srcPorts.Lookup(h.SrcPort)
+	out = append(out, fieldLookup{dim: label.DimSrcPort, list: srcList, accesses: srcAcc, cycles: CyclesPortLookup})
+	dstList, dstAcc := c.dstPorts.Lookup(h.DstPort)
+	out = append(out, fieldLookup{dim: label.DimDstPort, list: dstList, accesses: dstAcc, cycles: CyclesPortLookup})
+	protoList, protoAcc := c.protoLUT.Lookup(h.Protocol)
+	out = append(out, fieldLookup{dim: label.DimProtocol, list: protoList, accesses: protoAcc, cycles: CyclesProtoLookup})
+	return out
+}
+
+// mbtLookupCycles returns the phase-2 latency of the MBT engines (§V.B: the
+// three-level trie completes in 6 cycles).
+func mbtLookupCycles() int { return 3 * CyclesPerMBTLevel }
+
+// bstLookupCycles returns the phase-2 latency the BST engines are
+// provisioned for (§V.B / Table VI: 16 accesses per packet).
+func bstLookupCycles() int { return 16 * CyclesBSTIteration }
+
+// combineHPML implements the paper's phase-3 combination: the first (highest
+// priority) label of each list is concatenated into the 68-bit key and the
+// Rule Filter is probed once.
+func (c *Classifier) combineHPML(fields []fieldLookup, result Result) Result {
+	labels := make(map[label.Dimension]label.Label, label.NumDimensions)
+	for _, f := range fields {
+		hpml, _ := f.list.HPML()
+		labels[f.dim] = hpml.Label
+	}
+	result.Combinations = 1
+	entry, found, probes := c.filter.lookup(label.PackKey(labels))
+	result.RuleFilterProbes = probes
+	if found {
+		result.Matched = true
+		result.Priority = entry.priority
+		result.Action = entry.action
+		result.ActionArg = entry.actionArg
+	}
+	return result
+}
+
+// combineCrossProduct probes every combination of matching labels and keeps
+// the best-priority hit; it terminates early once the probe budget is
+// exhausted.
+func (c *Classifier) combineCrossProduct(fields []fieldLookup, result Result) Result {
+	items := make([][]label.PriorityLabel, len(fields))
+	for i, f := range fields {
+		items[i] = f.list.Items()
+	}
+	current := make(map[label.Dimension]label.Label, label.NumDimensions)
+	best := Result{}
+	foundAny := false
+
+	var walk func(depth int) bool
+	walk = func(depth int) bool {
+		if result.Combinations >= c.cfg.MaxCrossProductProbes {
+			return true // budget exhausted
+		}
+		if depth == len(fields) {
+			result.Combinations++
+			entry, found, probes := c.filter.lookup(label.PackKey(current))
+			result.RuleFilterProbes += probes
+			if found && (!foundAny || entry.priority < best.Priority) {
+				foundAny = true
+				best.Priority = entry.priority
+				best.Action = entry.action
+				best.ActionArg = entry.actionArg
+			}
+			return false
+		}
+		for _, item := range items[depth] {
+			current[fields[depth].dim] = item.Label
+			if walk(depth + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(0)
+
+	if foundAny {
+		result.Matched = true
+		result.Priority = best.Priority
+		result.Action = best.Action
+		result.ActionArg = best.ActionArg
+	}
+	// Additional probes beyond the first extend the result phase by one cycle
+	// each in the latency model.
+	if result.Combinations > 1 {
+		result.LatencyCycles += result.Combinations - 1
+	}
+	return result
+}
+
+// Stats accumulates data-plane counters across lookups and updates.
+type Stats struct {
+	Lookups          uint64
+	Matches          uint64
+	FieldAccesses    uint64
+	LabelFetches     uint64
+	RuleFilterProbes uint64
+	Combinations     uint64
+	LatencyCycles    uint64
+
+	Inserts      uint64
+	Deletes      uint64
+	UpdateCycles uint64
+}
+
+// AverageFieldAccesses returns the mean per-packet algorithm-block accesses.
+func (s Stats) AverageFieldAccesses() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.FieldAccesses) / float64(s.Lookups)
+}
+
+// AverageLatencyCycles returns the mean per-packet latency in cycles.
+func (s Stats) AverageLatencyCycles() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.LatencyCycles) / float64(s.Lookups)
+}
+
+// AverageCombinations returns the mean phase-3 combinations per packet.
+func (s Stats) AverageCombinations() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Combinations) / float64(s.Lookups)
+}
+
+// MatchRate returns the fraction of lookups that returned a rule.
+func (s Stats) MatchRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Matches) / float64(s.Lookups)
+}
+
+func (c *Classifier) recordLookup(r Result) {
+	c.stats.Lookups++
+	if r.Matched {
+		c.stats.Matches++
+	}
+	c.stats.FieldAccesses += uint64(r.FieldAccesses)
+	c.stats.LabelFetches += uint64(r.LabelFetches)
+	c.stats.RuleFilterProbes += uint64(r.RuleFilterProbes)
+	c.stats.Combinations += uint64(r.Combinations)
+	c.stats.LatencyCycles += uint64(r.LatencyCycles)
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (c *Classifier) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching installed rules.
+func (c *Classifier) ResetStats() {
+	c.stats = Stats{}
+	c.filter.resetCounters()
+	for _, d := range ipSegmentDims {
+		c.mbtEngines[d].ResetStats()
+		c.bstEngines[d].ResetStats()
+	}
+	c.srcPorts.ResetStats()
+	c.dstPorts.ResetStats()
+	c.protoLUT.ResetStats()
+}

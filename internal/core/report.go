@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sdnpc/internal/hw/memory"
+	"sdnpc/internal/hw/pipeline"
+	"sdnpc/internal/hw/synth"
+	"sdnpc/internal/label"
+)
+
+// MemoryReport breaks down the architecture's memory consumption into the
+// three block families of §III.D, distinguishing provisioned capacity (what
+// the synthesised design reserves, Table V) from used bits (what the current
+// rule set occupies, Table VI).
+type MemoryReport struct {
+	Algorithm memory.AlgSelect
+
+	// IP algorithm blocks.
+	MBTProvisionedBits int
+	MBTUsedBits        int
+	BSTProvisionedBits int
+	BSTUsedBits        int
+
+	// Other algorithm blocks.
+	ProtocolLUTBits  int
+	PortRegisterBits int
+
+	// Labels memory block.
+	LabelMemoryProvisionedBits int
+	LabelMemoryUsedBits        int
+	LabelTableBits             int
+
+	// Rule Filter block.
+	RuleFilterProvisionedBits int
+	RuleFilterUsedBits        int
+
+	RulesInstalled int
+	RuleCapacity   int
+}
+
+// IPAlgorithmUsedBits returns the used node storage of the currently
+// selected IP algorithm — the "Memory Space Required" column of Table VI.
+func (m MemoryReport) IPAlgorithmUsedBits() int {
+	if m.Algorithm == memory.SelectBST {
+		return m.BSTUsedBits
+	}
+	return m.MBTUsedBits
+}
+
+// TotalProvisionedBits returns the block-memory capacity of the synthesised
+// design (the Table V / Table VII memory figure). Port registers live in
+// logic registers, not block RAM, and are excluded.
+func (m MemoryReport) TotalProvisionedBits() int {
+	return m.MBTProvisionedBits + m.ProtocolLUTBits +
+		m.LabelMemoryProvisionedBits + m.RuleFilterProvisionedBits
+}
+
+// TotalUsedBits returns the occupied block-memory bits.
+func (m MemoryReport) TotalUsedBits() int {
+	return m.IPAlgorithmUsedBits() + m.ProtocolLUTBits +
+		m.LabelMemoryUsedBits + m.LabelTableBits + m.RuleFilterUsedBits
+}
+
+// MemoryReport computes the current memory breakdown.
+func (c *Classifier) MemoryReport() MemoryReport {
+	report := MemoryReport{
+		Algorithm:          c.alg,
+		MBTProvisionedBits: 4 * c.cfg.mbtProvisionedBitsPerSegment(),
+		BSTProvisionedBits: 4 * c.cfg.sharedLevel2BitsPerSegment(),
+		ProtocolLUTBits:    c.protoLUT.MemoryBits(),
+		PortRegisterBits:   c.srcPorts.MemoryBits() + c.dstPorts.MemoryBits(),
+
+		LabelMemoryProvisionedBits: c.cfg.LabelMemoryEntries * c.cfg.LabelMemoryEntryBits,
+		LabelTableBits:             c.labels.StorageBits(),
+
+		// The provisioned Rule Filter is the base hash-addressed block; the
+		// extra capacity available under the BST selection reuses the freed
+		// MBT blocks, which are already counted in MBTProvisionedBits.
+		RuleFilterProvisionedBits: c.cfg.RuleFilterSlots() * c.cfg.RuleEntryBits,
+		RuleFilterUsedBits:        c.filter.usedBits(),
+
+		RulesInstalled: len(c.installed),
+		RuleCapacity:   c.RuleCapacity(),
+	}
+	// Only the selected algorithm's node data is resident in the (shared)
+	// memory blocks, so usage is reported for that algorithm alone.
+	for _, d := range ipSegmentDims {
+		if c.alg == memory.SelectBST {
+			report.BSTUsedBits += c.bstEngines[d].MemoryBits()
+			report.LabelMemoryUsedBits += c.bstEngines[d].LabelListBits()
+		} else {
+			report.MBTUsedBits += c.mbtEngines[d].MemoryBits()
+			report.LabelMemoryUsedBits += c.mbtEngines[d].LabelListBits()
+		}
+	}
+	return report
+}
+
+// Pipeline returns the Fig. 3 lookup pipeline under the current algorithm
+// selection, for latency and throughput reporting (Table VII).
+func (c *Classifier) Pipeline() *pipeline.Pipeline {
+	ipStage := pipeline.Stage{Name: "field lookup (MBT)", LatencyCycles: mbtLookupCycles(), InitiationInterval: 1}
+	if c.alg == memory.SelectBST {
+		// The BST iterates over one memory port and cannot accept a new
+		// packet until the previous search completes.
+		ipStage = pipeline.Stage{Name: "field lookup (BST)", LatencyCycles: bstLookupCycles(), InitiationInterval: bstLookupCycles()}
+	}
+	return pipeline.MustNew("lookup/"+c.alg.String(), c.cfg.ClockHz,
+		pipeline.Stage{Name: "split+dispatch", LatencyCycles: CyclesDispatch, InitiationInterval: 1},
+		ipStage,
+		pipeline.Stage{Name: "label fetch", LatencyCycles: CyclesLabelFetch, InitiationInterval: 1},
+		pipeline.Stage{Name: "combine+rule filter", LatencyCycles: CyclesResult, InitiationInterval: 1},
+	)
+}
+
+// ThroughputGbps returns the sustained line rate for the given packet size
+// under the current algorithm selection.
+func (c *Classifier) ThroughputGbps(packetBytes int) float64 {
+	return c.Pipeline().ThroughputGbps(packetBytes)
+}
+
+// LookupsPerSecond returns the sustained lookup rate under the current
+// algorithm selection.
+func (c *Classifier) LookupsPerSecond() float64 {
+	return c.Pipeline().LookupsPerSecond()
+}
+
+// memoryBlockCount returns the number of independently addressed block
+// memories in the design: three trie levels per IP segment, one Labels block
+// per label dimension, the protocol LUT and the Rule Filter.
+func (c *Classifier) memoryBlockCount() int {
+	return 3*len(ipSegmentDims) + label.NumDimensions + 1 + 1
+}
+
+// ArchSpec derives the synthesis-estimation input from the configured
+// geometry (see internal/hw/synth).
+func (c *Classifier) ArchSpec() synth.ArchSpec {
+	report := c.MemoryReport()
+	// The datapath carries the 104-bit header five-tuple, the 68-bit label
+	// combination key, one label-list pointer and length per dimension and
+	// the rule-filter result word.
+	datapath := 104 + label.KeyBits + label.NumDimensions*(13+5) + c.cfg.RuleEntryBits
+	return synth.ArchSpec{
+		BlockMemoryBits:  report.TotalProvisionedBits(),
+		MemoryBlocks:     c.memoryBlockCount(),
+		PipelineStages:   CyclesDispatch + mbtLookupCycles() + CyclesLabelFetch + CyclesResult,
+		DatapathBits:     datapath,
+		RegisterFileBits: report.PortRegisterBits,
+		Comparators:      2 * c.cfg.PortRegisters * 2, // low and high bound per register, two banks
+		HashUnits:        1,
+		HeaderBits:       104*2 + 128 + label.KeyBits, // lookup header, update word and key buses
+	}
+}
+
+// Synthesise runs the Stratix V resource estimate for this architecture
+// instance (Table V).
+func (c *Classifier) Synthesise() (synth.Report, error) {
+	return synth.Estimate(c.ArchSpec(), synth.StratixV())
+}

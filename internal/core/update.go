@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sdnpc/internal/fivetuple"
+	"sdnpc/internal/hw/hashunit"
+	"sdnpc/internal/label"
+)
+
+// ErrRuleNotInstalled is returned when deleting a rule that is not present.
+var ErrRuleNotInstalled = errors.New("core: rule not installed")
+
+// UpdateReport describes the cost of one rule insertion or deletion.
+type UpdateReport struct {
+	// NewLabels is the number of dimensions in which the rule introduced a
+	// previously unseen field value (Fig. 4: "new label creation"). A rule
+	// whose field values are all already labelled costs no engine updates at
+	// all — the benefit of the label counters.
+	NewLabels int
+	// ReleasedLabels is the number of labels whose counter reached zero on
+	// deletion.
+	ReleasedLabels int
+	// EngineWrites is the number of algorithm-block memory writes performed
+	// by the engines.
+	EngineWrites int
+	// RuleFilterProbes is the number of Rule Filter slots touched.
+	RuleFilterProbes int
+	// ClockCycles is the data-plane upload cost of the update following the
+	// paper's model (§V.A): two cycles for the memory upload of the rule
+	// (source and destination halves) plus one cycle for the hardware hash
+	// producing the rule address.
+	ClockCycles int
+}
+
+// hardwareUpdateCycles is the per-rule upload cost of §V.A.
+func hardwareUpdateCycles() int {
+	return CyclesUpdateMemoryUpload + CyclesUpdateHash
+}
+
+// InsertRule installs one rule following the incremental procedure of
+// Fig. 4: for every dimension the controller looks the field value up in the
+// label table; a hit only increments the reference counter, a miss creates a
+// new label and writes the value into the corresponding lookup engine.
+// Finally the rule's label combination is hashed into the Rule Filter.
+func (c *Classifier) InsertRule(r fivetuple.Rule) (UpdateReport, error) {
+	if len(c.installed) >= c.RuleCapacity() {
+		return UpdateReport{}, fmt.Errorf("%w: capacity %d under the %s configuration",
+			ErrRuleFilterFull, c.RuleCapacity(), c.alg)
+	}
+	report := UpdateReport{ClockCycles: hardwareUpdateCycles()}
+
+	// Track what has been acquired so a failure midway can be rolled back
+	// without leaking labels.
+	type acquisition struct {
+		dim     label.Dimension
+		key     string
+		created bool
+	}
+	var acquired []acquisition
+	rollback := func() {
+		for i := len(acquired) - 1; i >= 0; i-- {
+			a := acquired[i]
+			lbl, removed, err := c.labels.Table(a.dim).Release(a.key)
+			if err != nil {
+				continue
+			}
+			use := c.fieldUses[a.dim][a.key]
+			if use != nil {
+				use.remove(r.Priority)
+				if use.empty() {
+					delete(c.fieldUses[a.dim], a.key)
+				}
+			}
+			if removed {
+				// The value was created by this insertion; undo the engine write.
+				_, _ = c.removeFieldValue(a.dim, r, lbl)
+			}
+		}
+	}
+
+	ruleLabels := make(map[label.Dimension]label.Label, label.NumDimensions)
+	for _, d := range label.Dimensions() {
+		key := fieldValueKey(d, r)
+		lbl, created, err := c.labels.Table(d).Acquire(key)
+		if err != nil {
+			rollback()
+			return UpdateReport{}, fmt.Errorf("core: inserting rule %s: %w", r, err)
+		}
+		acquired = append(acquired, acquisition{dim: d, key: key, created: created})
+		ruleLabels[d] = lbl
+
+		use, ok := c.fieldUses[d][key]
+		if !ok {
+			use = newFieldUse()
+			c.fieldUses[d][key] = use
+		}
+		previousBest := use.best
+		use.add(r.Priority)
+
+		if created {
+			report.NewLabels++
+			writes, err := c.installFieldValue(d, r, lbl, r.Priority)
+			report.EngineWrites += writes
+			if err != nil {
+				rollback()
+				return UpdateReport{}, fmt.Errorf("core: inserting rule %s: %w", r, err)
+			}
+		} else if r.Priority < previousBest {
+			// The existing label gained a better priority: the engine lists
+			// must be reordered so the HPML invariant holds.
+			writes, err := c.installFieldValue(d, r, lbl, r.Priority)
+			report.EngineWrites += writes
+			if err != nil {
+				rollback()
+				return UpdateReport{}, fmt.Errorf("core: inserting rule %s: %w", r, err)
+			}
+		}
+	}
+
+	key := label.PackKey(ruleLabels)
+	_, probes, writes, err := c.filter.insert(key, r.Priority, r.Action, r.ActionArg)
+	report.RuleFilterProbes = probes
+	report.EngineWrites += writes
+	if err != nil {
+		rollback()
+		return UpdateReport{}, fmt.Errorf("core: inserting rule %s: %w", r, err)
+	}
+
+	c.installed = append(c.installed, installedRule{rule: r, key: key})
+	c.stats.Inserts++
+	c.stats.UpdateCycles += uint64(report.ClockCycles)
+	return report, nil
+}
+
+// DeleteRule removes one installed rule, identified by its five field
+// matches and priority. Deletion mirrors insertion: every dimension's label
+// counter is decremented and only a counter that reaches zero removes the
+// value from its engine (§IV.A: "only when the counter is zero, the label is
+// deleted from the hardware architecture").
+func (c *Classifier) DeleteRule(r fivetuple.Rule) (UpdateReport, error) {
+	idx := c.findInstalled(r)
+	if idx < 0 {
+		return UpdateReport{}, fmt.Errorf("%w: %s priority %d", ErrRuleNotInstalled, r, r.Priority)
+	}
+	installed := c.installed[idx]
+	report := UpdateReport{ClockCycles: hardwareUpdateCycles()}
+
+	found, probes := c.filter.remove(installed.key, installed.rule.Priority)
+	report.RuleFilterProbes = probes
+	if !found {
+		return UpdateReport{}, fmt.Errorf("core: rule filter entry for %s missing", r)
+	}
+
+	for _, d := range label.Dimensions() {
+		key := fieldValueKey(d, r)
+		lbl, removed, err := c.labels.Table(d).Release(key)
+		if err != nil {
+			return report, fmt.Errorf("core: deleting rule %s: %w", r, err)
+		}
+		use := c.fieldUses[d][key]
+		newBest, changed := use.remove(r.Priority)
+		if removed {
+			report.ReleasedLabels++
+			delete(c.fieldUses[d], key)
+			writes, err := c.removeFieldValue(d, r, lbl)
+			report.EngineWrites += writes
+			if err != nil {
+				return report, fmt.Errorf("core: deleting rule %s: %w", r, err)
+			}
+			continue
+		}
+		if changed {
+			if err := c.reprioritiseFieldValue(d, r, lbl, newBest); err != nil {
+				return report, fmt.Errorf("core: deleting rule %s: %w", r, err)
+			}
+		}
+	}
+
+	c.installed = append(c.installed[:idx], c.installed[idx+1:]...)
+	c.stats.Deletes++
+	c.stats.UpdateCycles += uint64(report.ClockCycles)
+	return report, nil
+}
+
+// findInstalled locates an installed rule with the same field matches and
+// priority.
+func (c *Classifier) findInstalled(r fivetuple.Rule) int {
+	for i, ir := range c.installed {
+		if ir.rule.Priority != r.Priority {
+			continue
+		}
+		if ir.rule.SrcPrefix.Canonical() == r.SrcPrefix.Canonical() &&
+			ir.rule.DstPrefix.Canonical() == r.DstPrefix.Canonical() &&
+			ir.rule.SrcPort == r.SrcPort &&
+			ir.rule.DstPort == r.DstPort &&
+			ir.rule.Protocol == r.Protocol {
+			return i
+		}
+	}
+	return -1
+}
+
+// InstallRuleSet inserts every rule of the set in priority order. It returns
+// the accumulated update report.
+func (c *Classifier) InstallRuleSet(rs *fivetuple.RuleSet) (UpdateReport, error) {
+	var total UpdateReport
+	for _, r := range rs.Rules() {
+		rep, err := c.InsertRule(r)
+		if err != nil {
+			return total, fmt.Errorf("core: installing %q rule %d: %w", rs.Name, r.Priority, err)
+		}
+		total.NewLabels += rep.NewLabels
+		total.EngineWrites += rep.EngineWrites
+		total.RuleFilterProbes += rep.RuleFilterProbes
+		total.ClockCycles += rep.ClockCycles
+	}
+	return total, nil
+}
+
+// UpdateCyclesPerRule returns the constant per-rule upload cost of the
+// architecture (§V.A): 2 cycles of memory upload plus 1 hash cycle.
+func UpdateCyclesPerRule() int { return hardwareUpdateCycles() }
+
+// compile-time check that the hash unit's latency matches the update model.
+var _ = [1]struct{}{}[hashunit.LatencyCycles-CyclesUpdateHash]

@@ -1,0 +1,174 @@
+package fivetuple
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ClassBench text format
+//
+// Each rule occupies one line beginning with '@':
+//
+//	@10.0.0.0/8  192.168.1.0/24  0 : 65535  80 : 80  0x06/0xFF
+//
+// in the order source prefix, destination prefix, source-port range,
+// destination-port range, protocol value/mask. Some generators append extra
+// flag columns; they are preserved on parse and re-emitted verbatim so filter
+// files round-trip.
+
+// ParseClassBench reads a filter set in ClassBench text format. Blank lines
+// and lines starting with '#' are ignored. The first rule in the file gets
+// priority 0 (highest).
+func ParseClassBench(r io.Reader) (*RuleSet, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var rules []Rule
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := ParseClassBenchRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("fivetuple: line %d: %w", lineNo, err)
+		}
+		rules = append(rules, rule)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("fivetuple: reading filter set: %w", err)
+	}
+	return NewRuleSet("classbench", rules), nil
+}
+
+// ParseClassBenchRule parses one '@'-prefixed rule line.
+func ParseClassBenchRule(line string) (Rule, error) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "@") {
+		return Rule{}, fmt.Errorf("rule line must start with '@': %q", line)
+	}
+	fields := strings.Fields(line[1:])
+	// Expected layout:
+	//   0: src prefix
+	//   1: dst prefix
+	//   2 3 4: src port "lo : hi"
+	//   5 6 7: dst port "lo : hi"
+	//   8: protocol value/mask
+	//   9+: optional flag columns (ignored)
+	if len(fields) < 9 {
+		return Rule{}, fmt.Errorf("rule line has %d fields, want at least 9: %q", len(fields), line)
+	}
+	var (
+		rule Rule
+		err  error
+	)
+	if rule.SrcPrefix, err = ParsePrefix(fields[0]); err != nil {
+		return Rule{}, fmt.Errorf("source prefix: %w", err)
+	}
+	if rule.DstPrefix, err = ParsePrefix(fields[1]); err != nil {
+		return Rule{}, fmt.Errorf("destination prefix: %w", err)
+	}
+	if fields[3] != ":" || fields[6] != ":" {
+		return Rule{}, fmt.Errorf("port ranges must use 'lo : hi' syntax: %q", line)
+	}
+	if rule.SrcPort, err = ParsePortRange(fields[2] + " : " + fields[4]); err != nil {
+		return Rule{}, fmt.Errorf("source port: %w", err)
+	}
+	if rule.DstPort, err = ParsePortRange(fields[5] + " : " + fields[7]); err != nil {
+		return Rule{}, fmt.Errorf("destination port: %w", err)
+	}
+	if rule.Protocol, err = ParseProtocolMatch(fields[8]); err != nil {
+		return Rule{}, fmt.Errorf("protocol: %w", err)
+	}
+	rule.Action = ActionForward
+	return rule, nil
+}
+
+// WriteClassBench writes the rule set in ClassBench text format, one rule per
+// line in priority order.
+func (rs *RuleSet) WriteClassBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rs.rules {
+		if _, err := fmt.Fprintf(bw, "@%s\t%s\t%s\t%s\t%s\n",
+			r.SrcPrefix, r.DstPrefix, r.SrcPort, r.DstPort, r.Protocol); err != nil {
+			return fmt.Errorf("fivetuple: writing filter set: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("fivetuple: writing filter set: %w", err)
+	}
+	return nil
+}
+
+// ParseTrace reads a packet-header trace in the ClassBench trace format: one
+// header per line with whitespace-separated decimal fields
+//
+//	srcIP dstIP srcPort dstPort protocol [matchedRule]
+//
+// where IPs are 32-bit decimal integers. A trailing matched-rule column, if
+// present, is ignored.
+func ParseTrace(r io.Reader) ([]Header, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var headers []Header
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("fivetuple: trace line %d has %d fields, want at least 5", lineNo, len(fields))
+		}
+		var vals [5]uint64
+		for i := 0; i < 5; i++ {
+			v, err := parseUint(fields[i])
+			if err != nil {
+				return nil, fmt.Errorf("fivetuple: trace line %d field %d: %w", lineNo, i, err)
+			}
+			vals[i] = v
+		}
+		headers = append(headers, Header{
+			SrcIP:    IPv4(vals[0]),
+			DstIP:    IPv4(vals[1]),
+			SrcPort:  uint16(vals[2]),
+			DstPort:  uint16(vals[3]),
+			Protocol: uint8(vals[4]),
+		})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("fivetuple: reading trace: %w", err)
+	}
+	return headers, nil
+}
+
+func parseUint(s string) (uint64, error) {
+	var v uint64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("invalid unsigned integer %q", s)
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, nil
+}
+
+// WriteTrace writes headers in the ClassBench trace format.
+func WriteTrace(w io.Writer, headers []Header) error {
+	bw := bufio.NewWriter(w)
+	for _, h := range headers {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%d\n",
+			uint32(h.SrcIP), uint32(h.DstIP), h.SrcPort, h.DstPort, h.Protocol); err != nil {
+			return fmt.Errorf("fivetuple: writing trace: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("fivetuple: writing trace: %w", err)
+	}
+	return nil
+}

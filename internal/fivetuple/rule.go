@@ -1,0 +1,154 @@
+package fivetuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Action is the forwarding action attached to a rule, mirroring the OpenFlow
+// actions mentioned by the paper: forwarding, modification and redirection to
+// a group table.
+type Action uint8
+
+// Supported rule actions.
+const (
+	// ActionForward forwards the packet on the port carried by ActionArg.
+	ActionForward Action = iota + 1
+	// ActionDrop silently discards the packet.
+	ActionDrop
+	// ActionModify rewrites a header field before forwarding.
+	ActionModify
+	// ActionGroup redirects the packet to a group table entry.
+	ActionGroup
+	// ActionController punts the packet to the SDN controller.
+	ActionController
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionForward:
+		return "forward"
+	case ActionDrop:
+		return "drop"
+	case ActionModify:
+		return "modify"
+	case ActionGroup:
+		return "group"
+	case ActionController:
+		return "controller"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// ParseAction parses an action name produced by Action.String.
+func ParseAction(s string) (Action, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "forward":
+		return ActionForward, nil
+	case "drop":
+		return ActionDrop, nil
+	case "modify":
+		return ActionModify, nil
+	case "group":
+		return ActionGroup, nil
+	case "controller":
+		return ActionController, nil
+	default:
+		return 0, fmt.Errorf("fivetuple: unknown action %q", s)
+	}
+}
+
+// Rule is a single 5-tuple classification rule.
+//
+// Priority follows filter-set convention: priority 0 is the highest priority
+// (the first rule in the file). The classifier must return the matching rule
+// with the smallest Priority value — the Highest Priority Matching Rule.
+type Rule struct {
+	SrcPrefix Prefix
+	DstPrefix Prefix
+	SrcPort   PortRange
+	DstPort   PortRange
+	Protocol  ProtocolMatch
+
+	// Priority is the rule's position in the filter set; smaller is higher
+	// priority.
+	Priority int
+	// Action is the forwarding action applied when this rule is the HPMR.
+	Action Action
+	// ActionArg carries the action parameter (egress port, group id, ...).
+	ActionArg uint32
+}
+
+// Matches reports whether the header satisfies all five field matches.
+func (r Rule) Matches(h Header) bool {
+	return r.SrcPrefix.Matches(h.SrcIP) &&
+		r.DstPrefix.Matches(h.DstIP) &&
+		r.SrcPort.Matches(h.SrcPort) &&
+		r.DstPort.Matches(h.DstPort) &&
+		r.Protocol.Matches(h.Protocol)
+}
+
+// Wildcard returns a rule matching every packet, with the given priority and
+// action. Filter sets conventionally end with such a default rule.
+func Wildcard(priority int, action Action) Rule {
+	return Rule{
+		SrcPort:  WildcardPortRange(),
+		DstPort:  WildcardPortRange(),
+		Priority: priority,
+		Action:   action,
+	}
+}
+
+// String renders the rule in ClassBench syntax (without the leading '@').
+func (r Rule) String() string {
+	return fmt.Sprintf("%s %s %s %s %s", r.SrcPrefix, r.DstPrefix, r.SrcPort, r.DstPort, r.Protocol)
+}
+
+// FieldKey returns a canonical string key identifying the rule's match value
+// in the given dimension. Two rules share a key exactly when their field
+// matches are equivalent, which is the property the label method relies on to
+// count and deduplicate unique rule fields.
+func (r Rule) FieldKey(f Field) string {
+	switch f {
+	case FieldSrcIP:
+		return r.SrcPrefix.Canonical().String()
+	case FieldDstIP:
+		return r.DstPrefix.Canonical().String()
+	case FieldSrcPort:
+		return r.SrcPort.String()
+	case FieldDstPort:
+		return r.DstPort.String()
+	case FieldProtocol:
+		if r.Protocol.IsWildcard() {
+			return "*"
+		}
+		return r.Protocol.String()
+	default:
+		return ""
+	}
+}
+
+// CoverageWeight returns a coarse measure of how much of the header space the
+// rule covers in the given dimension (0 = exact, larger = wider). HyperCuts
+// and EffiCuts style heuristics use this to pick cut dimensions.
+func (r Rule) CoverageWeight(f Field) float64 {
+	switch f {
+	case FieldSrcIP:
+		return float64(uint64(1) << (32 - uint(r.SrcPrefix.Len)))
+	case FieldDstIP:
+		return float64(uint64(1) << (32 - uint(r.DstPrefix.Len)))
+	case FieldSrcPort:
+		return float64(r.SrcPort.Width())
+	case FieldDstPort:
+		return float64(r.DstPort.Width())
+	case FieldProtocol:
+		if r.Protocol.IsWildcard() {
+			return 256
+		}
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,251 @@
+// Package memory models the on-chip memory blocks of the hardware
+// architecture.
+//
+// The paper's evaluation is expressed in terms of memory-block properties —
+// bits consumed, words stored, accesses per lookup and per update — rather
+// than gate-level behaviour, so this model captures exactly those
+// quantities: every Block has a fixed word width and depth, byte-accurate
+// bit accounting and read/write access counters. The shared-block mechanism
+// of §IV.C.2 (the MBT level-2 block doubling as the BST block, selected by
+// the IPalg_s signal) is modelled by SharedBlock.
+package memory
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Block is a single-port block RAM with a fixed geometry. Words are held as
+// uint64 values; WordBits may not exceed 64 — wider hardware words are
+// modelled as multiple parallel blocks, exactly as an FPGA would implement
+// them.
+//
+// Block is safe for concurrent readers and writers; the access counters are
+// protected by the same mutex as the data.
+type Block struct {
+	name     string
+	wordBits int
+	depth    int
+
+	mu     sync.Mutex
+	words  []uint64
+	valid  []bool
+	reads  uint64
+	writes uint64
+}
+
+// NewBlock creates a block with the given name, word width in bits (1..64)
+// and depth in words. It panics on an impossible geometry, which always
+// indicates a programming error in architecture construction.
+func NewBlock(name string, wordBits, depth int) *Block {
+	if wordBits < 1 || wordBits > 64 {
+		panic(fmt.Sprintf("memory: block %q word width %d out of range [1,64]", name, wordBits))
+	}
+	if depth < 1 {
+		panic(fmt.Sprintf("memory: block %q depth %d must be positive", name, depth))
+	}
+	return &Block{
+		name:     name,
+		wordBits: wordBits,
+		depth:    depth,
+		words:    make([]uint64, depth),
+		valid:    make([]bool, depth),
+	}
+}
+
+// Name returns the block's name.
+func (b *Block) Name() string { return b.name }
+
+// WordBits returns the word width in bits.
+func (b *Block) WordBits() int { return b.wordBits }
+
+// Depth returns the number of words.
+func (b *Block) Depth() int { return b.depth }
+
+// CapacityBits returns the total storage capacity of the block in bits.
+func (b *Block) CapacityBits() int { return b.wordBits * b.depth }
+
+// mask returns the bit mask of a word.
+func (b *Block) mask() uint64 {
+	if b.wordBits == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << b.wordBits) - 1
+}
+
+// Read returns the word at addr and whether it has ever been written, and
+// counts one read access. It panics on an out-of-range address.
+func (b *Block) Read(addr int) (word uint64, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.checkAddr(addr)
+	b.reads++
+	return b.words[addr], b.valid[addr]
+}
+
+// Write stores the word at addr and counts one write access. Bits beyond the
+// word width must be zero. It panics on an out-of-range address or word.
+func (b *Block) Write(addr int, word uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.checkAddr(addr)
+	if word&^b.mask() != 0 {
+		panic(fmt.Sprintf("memory: block %q word %#x exceeds %d bits", b.name, word, b.wordBits))
+	}
+	b.writes++
+	b.words[addr] = word
+	b.valid[addr] = true
+}
+
+// Invalidate clears the word at addr without counting an access (it models a
+// controller-side table clear rather than a data-path operation).
+func (b *Block) Invalidate(addr int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.checkAddr(addr)
+	b.words[addr] = 0
+	b.valid[addr] = false
+}
+
+// Clear invalidates every word and resets the access counters.
+func (b *Block) Clear() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.words {
+		b.words[i] = 0
+		b.valid[i] = false
+	}
+	b.reads = 0
+	b.writes = 0
+}
+
+func (b *Block) checkAddr(addr int) {
+	if addr < 0 || addr >= b.depth {
+		panic(fmt.Sprintf("memory: block %q address %d out of range [0,%d)", b.name, addr, b.depth))
+	}
+}
+
+// UsedWords returns the number of words that currently hold valid data.
+func (b *Block) UsedWords() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	used := 0
+	for _, v := range b.valid {
+		if v {
+			used++
+		}
+	}
+	return used
+}
+
+// UsedBits returns the number of bits occupied by valid words.
+func (b *Block) UsedBits() int { return b.UsedWords() * b.wordBits }
+
+// Stats is a snapshot of a block's access counters.
+type Stats struct {
+	Name   string
+	Reads  uint64
+	Writes uint64
+}
+
+// Accesses returns the total number of accesses in the snapshot.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Stats returns a snapshot of the access counters.
+func (b *Block) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{Name: b.name, Reads: b.reads, Writes: b.writes}
+}
+
+// ResetCounters zeroes the access counters without touching the data.
+func (b *Block) ResetCounters() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reads = 0
+	b.writes = 0
+}
+
+// Profile aggregates the memory blocks of one architecture instance so that
+// capacity and access figures can be reported per block and in total, as the
+// paper does in Tables V–VII.
+type Profile struct {
+	mu     sync.Mutex
+	blocks []*Block
+}
+
+// NewProfile creates an empty profile.
+func NewProfile() *Profile { return &Profile{} }
+
+// Register adds blocks to the profile and returns the profile for chaining.
+func (p *Profile) Register(blocks ...*Block) *Profile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.blocks = append(p.blocks, blocks...)
+	return p
+}
+
+// Blocks returns the registered blocks in registration order.
+func (p *Profile) Blocks() []*Block {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Block, len(p.blocks))
+	copy(out, p.blocks)
+	return out
+}
+
+// TotalCapacityBits returns the summed capacity of every registered block.
+func (p *Profile) TotalCapacityBits() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, b := range p.blocks {
+		total += b.CapacityBits()
+	}
+	return total
+}
+
+// TotalUsedBits returns the summed occupancy of every registered block.
+func (p *Profile) TotalUsedBits() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, b := range p.blocks {
+		total += b.UsedBits()
+	}
+	return total
+}
+
+// TotalAccesses returns the summed read+write counters.
+func (p *Profile) TotalAccesses() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total uint64
+	for _, b := range p.blocks {
+		s := b.Stats()
+		total += s.Accesses()
+	}
+	return total
+}
+
+// ResetCounters resets the access counters of every registered block.
+func (p *Profile) ResetCounters() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, b := range p.blocks {
+		b.ResetCounters()
+	}
+}
+
+// StatsByName returns per-block snapshots sorted by block name.
+func (p *Profile) StatsByName() []Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Stats, 0, len(p.blocks))
+	for _, b := range p.blocks {
+		out = append(out, b.Stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

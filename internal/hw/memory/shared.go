@@ -1,0 +1,78 @@
+package memory
+
+import "fmt"
+
+// AlgSelect mirrors the IPalg_s configuration signal of the paper (Fig. 2,
+// Fig. 5): it selects which IP lookup algorithm the architecture currently
+// runs and therefore which data is stored in the shared memory blocks.
+type AlgSelect uint8
+
+// IP-algorithm selection values.
+const (
+	// SelectMBT configures the fast Multi-Bit Trie lookup.
+	SelectMBT AlgSelect = iota + 1
+	// SelectBST configures the memory-efficient Binary Search Tree lookup.
+	SelectBST
+)
+
+// String names the selection.
+func (s AlgSelect) String() string {
+	switch s {
+	case SelectMBT:
+		return "MBT"
+	case SelectBST:
+		return "BST"
+	default:
+		return fmt.Sprintf("AlgSelect(%d)", uint8(s))
+	}
+}
+
+// SharedBlock models the memory-sharing scheme of §IV.C.2 and Fig. 5: one
+// physical block holds MBT level-2 node data ("Data 1") when the MBT is
+// selected and BST node data ("Data 2") when the BST is selected. The two
+// uses require identical geometry — the condition the paper states for
+// sharing to be possible — which is enforced at construction.
+//
+// A second consequence of sharing (also Fig. 5) is that when the BST is
+// selected the remaining MBT blocks become free and are re-purposed as
+// additional rule storage ("Data 3"); that reallocation is handled by the
+// architecture (internal/core), not by this type.
+type SharedBlock struct {
+	physical *Block
+	selected AlgSelect
+}
+
+// NewSharedBlock wraps a physical block for shared use, initially selecting
+// the given algorithm.
+func NewSharedBlock(physical *Block, initial AlgSelect) *SharedBlock {
+	return &SharedBlock{physical: physical, selected: initial}
+}
+
+// Physical returns the underlying block (for capacity accounting).
+func (s *SharedBlock) Physical() *Block { return s.physical }
+
+// Selected returns the algorithm whose data currently occupies the block.
+func (s *SharedBlock) Selected() AlgSelect { return s.selected }
+
+// Select switches the block to the other algorithm's data. Switching clears
+// the block contents: the controller must re-download the node data for the
+// newly selected algorithm, exactly as the software control plane would
+// re-programme the hardware after changing IPalg_s.
+func (s *SharedBlock) Select(alg AlgSelect) {
+	if alg == s.selected {
+		return
+	}
+	s.selected = alg
+	s.physical.Clear()
+}
+
+// View returns the physical block if the requested algorithm is currently
+// selected, and nil otherwise. Engines obtain their backing store through
+// View so that a misconfigured engine cannot silently corrupt the other
+// algorithm's data.
+func (s *SharedBlock) View(alg AlgSelect) *Block {
+	if alg != s.selected {
+		return nil
+	}
+	return s.physical
+}

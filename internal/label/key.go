@@ -1,0 +1,82 @@
+package label
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// CombinationKey is the 68-bit data segment formed by concatenating one label
+// per dimension (§IV.C.1: "the first labels are merged in one large data
+// segment (68 bits)"). It is the input to the hardware hash unit that yields
+// the Highest Priority Matching Rule address.
+//
+// The packing order follows Dimensions(): srcIP.hi, srcIP.lo, dstIP.hi,
+// dstIP.lo (13 bits each), srcPort, dstPort (7 bits each), protocol (2 bits),
+// most significant first. Because 68 bits exceed a uint64 the key is held as
+// a (high nibble, low 64 bits) pair.
+type CombinationKey struct {
+	hi uint8  // top 4 bits of the 68-bit value
+	lo uint64 // bottom 64 bits
+}
+
+// PackKey builds the combination key from one label per dimension. Labels
+// must fit their dimension width; out-of-range labels indicate a programming
+// error and cause a panic.
+func PackKey(labels map[Dimension]Label) CombinationKey {
+	var k CombinationKey
+	for _, d := range Dimensions() {
+		lbl := labels[d]
+		if int(lbl) >= d.Capacity() {
+			panic(fmt.Sprintf("label: label %d exceeds %d-bit dimension %s", lbl, d.Bits(), d))
+		}
+		k = k.shiftIn(uint64(lbl), uint(d.Bits()))
+	}
+	return k
+}
+
+// shiftIn appends width bits of value to the least-significant end of the
+// key.
+func (k CombinationKey) shiftIn(value uint64, width uint) CombinationKey {
+	hi := uint64(k.hi)<<width | k.lo>>(64-width)
+	lo := k.lo<<width | (value & ((1 << width) - 1))
+	return CombinationKey{hi: uint8(hi & 0xF), lo: lo}
+}
+
+// Bytes serialises the key into 9 bytes (68 bits left-padded to 72), the
+// format fed to the hash unit.
+func (k CombinationKey) Bytes() [9]byte {
+	var out [9]byte
+	out[0] = k.hi
+	binary.BigEndian.PutUint64(out[1:], k.lo)
+	return out
+}
+
+// Uint64 folds the key into 64 bits by XORing the high nibble onto the low
+// word. It is a convenience for hash-map keys in software models; the
+// hardware path uses Bytes.
+func (k CombinationKey) Uint64() uint64 {
+	return k.lo ^ uint64(k.hi)<<60
+}
+
+// String renders the key as a 17-digit hexadecimal value.
+func (k CombinationKey) String() string {
+	return fmt.Sprintf("%01x%016x", k.hi, k.lo)
+}
+
+// Unpack recovers the per-dimension labels from the key. It is the inverse of
+// PackKey and exists for debugging and tests.
+func (k CombinationKey) Unpack() map[Dimension]Label {
+	out := make(map[Dimension]Label, NumDimensions)
+	dims := Dimensions()
+	// Walk from the least significant end (last dimension) backwards.
+	hi, lo := uint64(k.hi), k.lo
+	for i := len(dims) - 1; i >= 0; i-- {
+		d := dims[i]
+		width := uint(d.Bits())
+		mask := uint64(1)<<width - 1
+		out[d] = Label(lo & mask)
+		lo = lo>>width | hi<<(64-width)
+		hi >>= width
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+// Package label implements the label method at the heart of the paper's
+// architecture (§III.C, §IV.A).
+//
+// Every unique rule-field value is tagged with a small integer label so that
+// rules sharing a field value share storage. The architecture splits each
+// 32-bit IP address into two 16-bit segments, giving seven label dimensions:
+//
+//	source IP high/low, destination IP high/low  — 13-bit labels
+//	source port, destination port                —  7-bit labels
+//	protocol                                     —  2-bit labels
+//
+// which concatenate into the 68-bit combination key (4×13 + 2×7 + 2 = 68)
+// hashed by the hardware to obtain the Highest Priority Matching Rule
+// address.
+//
+// Label tables carry a reference counter per label so that rule insertion
+// and deletion are incremental: inserting a rule whose field value is already
+// labelled only increments the counter, and a label is recycled only when its
+// counter returns to zero (Fig. 4 of the paper).
+package label
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Label is a small integer identifying one unique rule-field value within a
+// dimension. The zero value is a valid label.
+type Label uint16
+
+// Dimension identifies one of the seven label dimensions of the architecture.
+type Dimension uint8
+
+// The seven label dimensions, in the order they are packed into the
+// combination key (most significant first).
+const (
+	DimSrcIPHigh Dimension = iota + 1
+	DimSrcIPLow
+	DimDstIPHigh
+	DimDstIPLow
+	DimSrcPort
+	DimDstPort
+	DimProtocol
+)
+
+// NumDimensions is the number of label dimensions.
+const NumDimensions = 7
+
+// Dimensions lists every dimension in key-packing order.
+func Dimensions() []Dimension {
+	return []Dimension{
+		DimSrcIPHigh, DimSrcIPLow, DimDstIPHigh, DimDstIPLow,
+		DimSrcPort, DimDstPort, DimProtocol,
+	}
+}
+
+// Bits returns the label width of the dimension in bits, as specified in
+// §IV.C.1 of the paper: 13 bits per IP segment, 7 bits per port, 2 bits for
+// the protocol.
+func (d Dimension) Bits() int {
+	switch d {
+	case DimSrcIPHigh, DimSrcIPLow, DimDstIPHigh, DimDstIPLow:
+		return 13
+	case DimSrcPort, DimDstPort:
+		return 7
+	case DimProtocol:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Capacity returns the number of distinct labels the dimension can hold.
+func (d Dimension) Capacity() int { return 1 << d.Bits() }
+
+// String names the dimension.
+func (d Dimension) String() string {
+	switch d {
+	case DimSrcIPHigh:
+		return "srcIP.hi"
+	case DimSrcIPLow:
+		return "srcIP.lo"
+	case DimDstIPHigh:
+		return "dstIP.hi"
+	case DimDstIPLow:
+		return "dstIP.lo"
+	case DimSrcPort:
+		return "srcPort"
+	case DimDstPort:
+		return "dstPort"
+	case DimProtocol:
+		return "protocol"
+	default:
+		return fmt.Sprintf("Dimension(%d)", uint8(d))
+	}
+}
+
+// KeyBits is the width of the combination key obtained by concatenating the
+// highest-priority label of every dimension (68 bits in the paper).
+const KeyBits = 4*13 + 2*7 + 2
+
+// ErrTableFull is returned when a dimension has run out of label space.
+var ErrTableFull = errors.New("label: table full")
+
+// ErrUnknownValue is returned when releasing or looking up a field value that
+// has no label.
+var ErrUnknownValue = errors.New("label: unknown field value")
+
+// Table is the label table of one dimension: the mapping from unique field
+// values to labels, with a reference counter per label supporting the
+// incremental update procedure of Fig. 4.
+//
+// Table is not safe for concurrent use; the controller owns it exclusively.
+type Table struct {
+	dim Dimension
+
+	byValue map[string]Label
+	entries map[Label]*entry
+	// free holds labels recycled by Release, reused before fresh allocation
+	// so the label space stays dense.
+	free []Label
+	next Label
+}
+
+type entry struct {
+	value    string
+	refCount int
+}
+
+// NewTable creates an empty label table for the given dimension.
+func NewTable(dim Dimension) *Table {
+	return &Table{
+		dim:     dim,
+		byValue: make(map[string]Label),
+		entries: make(map[Label]*entry),
+	}
+}
+
+// Dimension returns the dimension this table labels.
+func (t *Table) Dimension() Dimension { return t.dim }
+
+// Len returns the number of live labels (unique field values) in the table.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Acquire returns the label for the field value, allocating a new label when
+// the value is unseen, and increments the value's reference counter. The
+// second result reports whether a new label was created — the signal telling
+// the controller it must also install the value into the field's lookup
+// structure (Fig. 4: "new label creation").
+func (t *Table) Acquire(value string) (lbl Label, created bool, err error) {
+	if existing, ok := t.byValue[value]; ok {
+		t.entries[existing].refCount++
+		return existing, false, nil
+	}
+	if len(t.entries) >= t.dim.Capacity() {
+		return 0, false, fmt.Errorf("%w: dimension %s holds %d labels (%d bits)",
+			ErrTableFull, t.dim, len(t.entries), t.dim.Bits())
+	}
+	if n := len(t.free); n > 0 {
+		lbl = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		lbl = t.next
+		t.next++
+	}
+	t.byValue[value] = lbl
+	t.entries[lbl] = &entry{value: value, refCount: 1}
+	return lbl, true, nil
+}
+
+// Release decrements the reference counter of the field value's label. When
+// the counter reaches zero the label is removed and recycled, and the second
+// result is true — the signal telling the controller to remove the value from
+// the field's lookup structure.
+func (t *Table) Release(value string) (lbl Label, removed bool, err error) {
+	existing, ok := t.byValue[value]
+	if !ok {
+		return 0, false, fmt.Errorf("%w: %q in dimension %s", ErrUnknownValue, value, t.dim)
+	}
+	e := t.entries[existing]
+	e.refCount--
+	if e.refCount > 0 {
+		return existing, false, nil
+	}
+	delete(t.byValue, value)
+	delete(t.entries, existing)
+	t.free = append(t.free, existing)
+	return existing, true, nil
+}
+
+// Lookup returns the label of a field value without touching the counter.
+func (t *Table) Lookup(value string) (Label, bool) {
+	lbl, ok := t.byValue[value]
+	return lbl, ok
+}
+
+// RefCount returns the reference counter of the field value's label, or 0
+// when the value is unlabelled.
+func (t *Table) RefCount(value string) int {
+	lbl, ok := t.byValue[value]
+	if !ok {
+		return 0
+	}
+	return t.entries[lbl].refCount
+}
+
+// Value returns the field value a label currently identifies.
+func (t *Table) Value(lbl Label) (string, bool) {
+	e, ok := t.entries[lbl]
+	if !ok {
+		return "", false
+	}
+	return e.value, true
+}
+
+// Values returns every labelled field value (unordered).
+func (t *Table) Values() []string {
+	out := make([]string, 0, len(t.byValue))
+	for v := range t.byValue {
+		out = append(out, v)
+	}
+	return out
+}
+
+// StorageBits estimates the memory footprint of the label table in bits: one
+// label plus one reference counter per live entry. Counter width follows the
+// architecture's 16-bit update counters.
+func (t *Table) StorageBits() int {
+	const counterBits = 16
+	return t.Len() * (t.dim.Bits() + counterBits)
+}
+
+// Bank groups the seven per-dimension label tables of one classifier
+// instance.
+type Bank struct {
+	tables map[Dimension]*Table
+}
+
+// NewBank creates a bank with an empty table per dimension.
+func NewBank() *Bank {
+	b := &Bank{tables: make(map[Dimension]*Table, NumDimensions)}
+	for _, d := range Dimensions() {
+		b.tables[d] = NewTable(d)
+	}
+	return b
+}
+
+// Table returns the table of the given dimension. It panics on an unknown
+// dimension, which always indicates a programming error.
+func (b *Bank) Table(d Dimension) *Table {
+	t, ok := b.tables[d]
+	if !ok {
+		panic(fmt.Sprintf("label: unknown dimension %v", d))
+	}
+	return t
+}
+
+// TotalLabels returns the number of live labels across all dimensions.
+func (b *Bank) TotalLabels() int {
+	total := 0
+	for _, t := range b.tables {
+		total += t.Len()
+	}
+	return total
+}
+
+// StorageBits returns the summed footprint of every table in the bank.
+func (b *Bank) StorageBits() int {
+	total := 0
+	for _, t := range b.tables {
+		total += t.StorageBits()
+	}
+	return total
+}

@@ -1,0 +1,358 @@
+// Package controller implements the SDN control plane of the paper's system
+// (§III.A, §IV.A): it owns the rule set, decides which IP lookup algorithm
+// the data plane should run ("the software controller chooses the optimal
+// algorithm combination"), pushes rules and configuration over the control
+// channel and receives punted packets.
+//
+// The controller listens for data-plane (switch) connections. On connect it
+// sends a hello, the current algorithm selection and the full rule set; after
+// that, AddRule, RemoveRule and SelectAlgorithm stream incremental updates to
+// every connected switch — the fast incremental update path of §IV.A.
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"sdnpc/internal/fivetuple"
+	"sdnpc/internal/hw/memory"
+	"sdnpc/internal/sdn/openflow"
+)
+
+// ApplicationProfile captures the application requirement that drives the
+// algorithm choice (§III.A: "speed is the critical parameter for a Multi-end
+// videoconferencing application").
+type ApplicationProfile uint8
+
+// Application profiles.
+const (
+	// ProfileThroughput prefers lookup speed: the controller selects the MBT.
+	ProfileThroughput ApplicationProfile = iota + 1
+	// ProfileCapacity prefers rule capacity and memory footprint: the
+	// controller selects the BST.
+	ProfileCapacity
+)
+
+// Algorithm returns the IP algorithm the profile maps to.
+func (p ApplicationProfile) Algorithm() memory.AlgSelect {
+	if p == ProfileCapacity {
+		return memory.SelectBST
+	}
+	return memory.SelectMBT
+}
+
+// String names the profile.
+func (p ApplicationProfile) String() string {
+	switch p {
+	case ProfileThroughput:
+		return "throughput"
+	case ProfileCapacity:
+		return "capacity"
+	default:
+		return fmt.Sprintf("ApplicationProfile(%d)", uint8(p))
+	}
+}
+
+// PacketInHandler is invoked for every packet punted by the data plane.
+type PacketInHandler func(sw string, p openflow.PacketIn)
+
+// Controller is the SDN controller.
+type Controller struct {
+	mu        sync.Mutex
+	rules     []fivetuple.Rule
+	algorithm memory.AlgSelect
+	handler   PacketInHandler
+
+	listener net.Listener
+	switches map[string]*switchConn
+	closed   bool
+	wg       sync.WaitGroup
+
+	packetIns uint64
+	xid       uint32
+}
+
+// switchConn is one connected data plane.
+type switchConn struct {
+	id   string
+	conn net.Conn
+	mu   sync.Mutex // serialises writes
+}
+
+// New creates a controller pre-loaded with the rules of the given set (may
+// be nil) and the algorithm chosen for the application profile.
+func New(rs *fivetuple.RuleSet, profile ApplicationProfile, handler PacketInHandler) *Controller {
+	c := &Controller{
+		algorithm: profile.Algorithm(),
+		handler:   handler,
+		switches:  make(map[string]*switchConn),
+	}
+	if rs != nil {
+		c.rules = rs.Rules()
+	}
+	return c
+}
+
+// ErrClosed is returned by operations on a stopped controller.
+var ErrClosed = errors.New("controller: closed")
+
+// Serve accepts data-plane connections on the listener until Stop is called.
+// It blocks; run it in a goroutine and use Stop for shutdown.
+func (c *Controller) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.listener = ln
+	c.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("controller: accept: %w", err)
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handleSwitch(conn)
+		}()
+	}
+}
+
+// Stop closes the listener and every switch connection and waits for the
+// per-connection goroutines to exit.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	ln := c.listener
+	conns := make([]*switchConn, 0, len(c.switches))
+	for _, sw := range c.switches {
+		conns = append(conns, sw)
+	}
+	c.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, sw := range conns {
+		_ = sw.conn.Close()
+	}
+	c.wg.Wait()
+}
+
+// Switches returns the identifiers of the connected data planes.
+func (c *Controller) Switches() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.switches))
+	for id := range c.switches {
+		out = append(out, id)
+	}
+	return out
+}
+
+// PacketIns returns the number of punted packets received.
+func (c *Controller) PacketIns() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.packetIns
+}
+
+// Rules returns a copy of the controller's rule set.
+func (c *Controller) Rules() []fivetuple.Rule {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]fivetuple.Rule, len(c.rules))
+	copy(out, c.rules)
+	return out
+}
+
+// Algorithm returns the currently selected IP algorithm.
+func (c *Controller) Algorithm() memory.AlgSelect {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.algorithm
+}
+
+func (c *Controller) nextXid() uint32 {
+	c.xid++
+	return c.xid
+}
+
+// handleSwitch performs the connection handshake, downloads the current
+// configuration and then processes messages from the data plane.
+func (c *Controller) handleSwitch(conn net.Conn) {
+	id := conn.RemoteAddr().String()
+	sw := &switchConn{id: id, conn: conn}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	c.switches[id] = sw
+	rules := make([]fivetuple.Rule, len(c.rules))
+	copy(rules, c.rules)
+	alg := c.algorithm
+	c.mu.Unlock()
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.switches, id)
+		c.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	// Handshake and full-state download.
+	if err := sw.send(openflow.Message{Type: openflow.TypeHello, Xid: c.nextXid()}); err != nil {
+		return
+	}
+	if err := sw.send(openflow.Message{
+		Type: openflow.TypeSetAlgorithm, Xid: c.nextXid(),
+		Body: openflow.MarshalSetAlgorithm(alg),
+	}); err != nil {
+		return
+	}
+	for _, r := range rules {
+		if err := sw.send(openflow.Message{
+			Type: openflow.TypeFlowAdd, Xid: c.nextXid(),
+			Body: openflow.MarshalFlowMod(openflow.FlowMod{Rule: r}),
+		}); err != nil {
+			return
+		}
+	}
+	if err := sw.send(openflow.Message{Type: openflow.TypeBarrierRequest, Xid: c.nextXid()}); err != nil {
+		return
+	}
+
+	for {
+		msg, err := openflow.Read(conn)
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case openflow.TypeHello, openflow.TypeBarrierReply:
+			// Nothing to do.
+		case openflow.TypePacketIn:
+			pin, err := openflow.UnmarshalPacketIn(msg.Body)
+			if err != nil {
+				continue
+			}
+			c.mu.Lock()
+			c.packetIns++
+			handler := c.handler
+			c.mu.Unlock()
+			if handler != nil {
+				handler(id, pin)
+			}
+		case openflow.TypeError:
+			// Data-plane errors are counted as packet-in failures for now;
+			// a production controller would reconcile state here.
+		default:
+			// Ignore unknown messages to stay forward compatible.
+		}
+	}
+}
+
+func (s *switchConn) send(m openflow.Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return openflow.Write(s.conn, m)
+}
+
+// broadcast sends a message to every connected switch.
+func (c *Controller) broadcast(build func(xid uint32) openflow.Message) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	conns := make([]*switchConn, 0, len(c.switches))
+	for _, sw := range c.switches {
+		conns = append(conns, sw)
+	}
+	msg := build(c.nextXid())
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, sw := range conns {
+		if err := sw.send(msg); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("controller: sending to %s: %w", sw.id, err)
+		}
+	}
+	return firstErr
+}
+
+// AddRule appends a rule to the controller's rule set and pushes it to every
+// connected data plane.
+func (c *Controller) AddRule(r fivetuple.Rule) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.rules = append(c.rules, r)
+	c.mu.Unlock()
+	return c.broadcast(func(xid uint32) openflow.Message {
+		return openflow.Message{
+			Type: openflow.TypeFlowAdd, Xid: xid,
+			Body: openflow.MarshalFlowMod(openflow.FlowMod{Rule: r}),
+		}
+	})
+}
+
+// RemoveRule removes the rule (matched by field values and priority) and
+// pushes the deletion to every connected data plane.
+func (c *Controller) RemoveRule(r fivetuple.Rule) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	for i := range c.rules {
+		if c.rules[i].Priority == r.Priority && c.rules[i].String() == r.String() {
+			c.rules = append(c.rules[:i], c.rules[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	return c.broadcast(func(xid uint32) openflow.Message {
+		return openflow.Message{
+			Type: openflow.TypeFlowDelete, Xid: xid,
+			Body: openflow.MarshalFlowMod(openflow.FlowMod{Rule: r}),
+		}
+	})
+}
+
+// SelectAlgorithm changes the IP algorithm selection and pushes the IPalg_s
+// update to every connected data plane.
+func (c *Controller) SelectAlgorithm(alg memory.AlgSelect) error {
+	if alg != memory.SelectMBT && alg != memory.SelectBST {
+		return fmt.Errorf("controller: unknown algorithm %v", alg)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.algorithm = alg
+	c.mu.Unlock()
+	return c.broadcast(func(xid uint32) openflow.Message {
+		return openflow.Message{
+			Type: openflow.TypeSetAlgorithm, Xid: xid,
+			Body: openflow.MarshalSetAlgorithm(alg),
+		}
+	})
+}

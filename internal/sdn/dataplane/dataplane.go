@@ -1,0 +1,269 @@
+// Package dataplane implements the SDN data plane: a software switch whose
+// flow classification is performed by the configurable architecture of
+// internal/core.
+//
+// The switch dials the controller's control channel, applies the flow and
+// configuration updates it receives (flow add/delete, IPalg_s selection) and
+// classifies packets locally. Packets whose matching rule's action is
+// "controller" — and packets matching no rule at all — are punted to the
+// controller as packet-in messages, mirroring the OpenFlow table-miss
+// behaviour the paper's Fig. 1/Fig. 2 structure implies.
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"sdnpc/internal/core"
+	"sdnpc/internal/fivetuple"
+	"sdnpc/internal/sdn/openflow"
+)
+
+// Verdict is the outcome of processing one packet.
+type Verdict struct {
+	// Matched reports whether a rule matched the packet.
+	Matched bool
+	// Action is the applied action (ActionDrop for a table miss).
+	Action fivetuple.Action
+	// EgressPort is the forwarding port for ActionForward/ActionModify.
+	EgressPort uint32
+	// RulePriority is the priority of the matched rule.
+	RulePriority int
+	// PuntedToController reports whether a packet-in was sent.
+	PuntedToController bool
+}
+
+// Counters accumulates per-action packet counts.
+type Counters struct {
+	Total      uint64
+	Forwarded  uint64
+	Dropped    uint64
+	Modified   uint64
+	Grouped    uint64
+	Punted     uint64
+	TableMiss  uint64
+	FlowAdds   uint64
+	FlowDels   uint64
+	AlgChanges uint64
+}
+
+// Switch is a software SDN switch built around the configurable classifier.
+type Switch struct {
+	mu         sync.Mutex
+	classifier *core.Classifier
+	conn       net.Conn
+	counters   Counters
+	closed     bool
+	done       chan struct{}
+
+	// writeMu serialises control-channel writes issued by the packet path and
+	// by the control loop.
+	writeMu sync.Mutex
+}
+
+// writeMessage sends one control message, serialising concurrent writers.
+func (s *Switch) writeMessage(conn net.Conn, m openflow.Message) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return openflow.Write(conn, m)
+}
+
+// New creates a switch with a freshly configured classifier.
+func New(cfg core.Config) (*Switch, error) {
+	classifier, err := core.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: %w", err)
+	}
+	return &Switch{classifier: classifier, done: make(chan struct{})}, nil
+}
+
+// Classifier exposes the embedded classifier for reporting.
+func (s *Switch) Classifier() *core.Classifier { return s.classifier }
+
+// Counters returns a snapshot of the packet counters.
+func (s *Switch) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// ErrNotConnected is returned when a packet must be punted but no control
+// channel is up.
+var ErrNotConnected = errors.New("dataplane: not connected to a controller")
+
+// Connect dials the controller and starts processing control messages in a
+// background goroutine. It returns once the connection is established.
+func (s *Switch) Connect(address string) error {
+	conn, err := net.Dial("tcp", address)
+	if err != nil {
+		return fmt.Errorf("dataplane: connecting to controller: %w", err)
+	}
+	return s.Run(conn)
+}
+
+// Run attaches the switch to an established control connection and starts
+// the message-processing goroutine.
+func (s *Switch) Run(conn net.Conn) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("dataplane: switch closed")
+	}
+	if s.conn != nil {
+		s.mu.Unlock()
+		return errors.New("dataplane: already connected")
+	}
+	s.conn = conn
+	s.mu.Unlock()
+
+	if err := s.writeMessage(conn, openflow.Message{Type: openflow.TypeHello}); err != nil {
+		return fmt.Errorf("dataplane: hello: %w", err)
+	}
+	go s.controlLoop(conn)
+	return nil
+}
+
+// Close shuts the control channel down and stops the control loop.
+func (s *Switch) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+		<-s.done
+	}
+}
+
+// controlLoop applies controller messages until the connection drops.
+func (s *Switch) controlLoop(conn net.Conn) {
+	defer close(s.done)
+	for {
+		msg, err := openflow.Read(conn)
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case openflow.TypeHello:
+			// Connection is up; nothing else to do.
+		case openflow.TypeFlowAdd:
+			s.applyFlowMod(conn, msg, true)
+		case openflow.TypeFlowDelete:
+			s.applyFlowMod(conn, msg, false)
+		case openflow.TypeSetAlgorithm:
+			alg, err := openflow.UnmarshalSetAlgorithm(msg.Body)
+			if err != nil {
+				s.sendError(conn, msg.Xid, err)
+				continue
+			}
+			s.mu.Lock()
+			err = s.classifier.SelectIPAlgorithm(alg)
+			if err == nil {
+				s.counters.AlgChanges++
+			}
+			s.mu.Unlock()
+			if err != nil {
+				s.sendError(conn, msg.Xid, err)
+			}
+		case openflow.TypeBarrierRequest:
+			_ = s.writeMessage(conn, openflow.Message{Type: openflow.TypeBarrierReply, Xid: msg.Xid})
+		default:
+			// Ignore unknown messages.
+		}
+	}
+}
+
+func (s *Switch) applyFlowMod(conn net.Conn, msg openflow.Message, add bool) {
+	mod, err := openflow.UnmarshalFlowMod(msg.Body)
+	if err != nil {
+		s.sendError(conn, msg.Xid, err)
+		return
+	}
+	s.mu.Lock()
+	if add {
+		_, err = s.classifier.InsertRule(mod.Rule)
+		if err == nil {
+			s.counters.FlowAdds++
+		}
+	} else {
+		_, err = s.classifier.DeleteRule(mod.Rule)
+		if err == nil {
+			s.counters.FlowDels++
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.sendError(conn, msg.Xid, err)
+	}
+}
+
+func (s *Switch) sendError(conn net.Conn, xid uint32, err error) {
+	_ = s.writeMessage(conn, openflow.Message{
+		Type: openflow.TypeError, Xid: xid,
+		Body: openflow.MarshalError(err.Error()),
+	})
+}
+
+// ProcessPacket classifies one packet header and applies the resulting
+// action. Table misses and rules with the controller action punt the header
+// to the controller when a control channel is connected.
+func (s *Switch) ProcessPacket(h fivetuple.Header) (Verdict, error) {
+	s.mu.Lock()
+	result := s.classifier.Lookup(h)
+	s.counters.Total++
+
+	verdict := Verdict{Matched: result.Matched}
+	var punt bool
+	if !result.Matched {
+		s.counters.TableMiss++
+		verdict.Action = fivetuple.ActionDrop
+		punt = true
+	} else {
+		verdict.Action = result.Action
+		verdict.RulePriority = result.Priority
+		verdict.EgressPort = result.ActionArg
+		switch result.Action {
+		case fivetuple.ActionForward:
+			s.counters.Forwarded++
+		case fivetuple.ActionDrop:
+			s.counters.Dropped++
+		case fivetuple.ActionModify:
+			s.counters.Modified++
+		case fivetuple.ActionGroup:
+			s.counters.Grouped++
+		case fivetuple.ActionController:
+			punt = true
+		}
+	}
+	conn := s.conn
+	if punt && conn != nil {
+		s.counters.Punted++
+	}
+	s.mu.Unlock()
+
+	if !punt {
+		return verdict, nil
+	}
+	if conn == nil {
+		return verdict, ErrNotConnected
+	}
+	priority := uint32(0)
+	if result.Matched {
+		priority = uint32(result.Priority)
+	}
+	err := s.writeMessage(conn, openflow.Message{
+		Type: openflow.TypePacketIn,
+		Body: openflow.MarshalPacketIn(openflow.PacketIn{Header: h, RulePriority: priority}),
+	})
+	if err != nil {
+		return verdict, fmt.Errorf("dataplane: packet-in: %w", err)
+	}
+	verdict.PuntedToController = true
+	return verdict, nil
+}

@@ -1,0 +1,245 @@
+// Package openflow implements the minimal control protocol between the SDN
+// controller (software control plane) and the classification data plane.
+//
+// The paper's architecture is programmed by "an open protocol such as
+// OpenFlow" (§III): the controller pushes flow rules, selects the IP lookup
+// algorithm via the IPalg_s signal and receives packets punted by rules whose
+// action is "send to controller". This package defines a compact
+// length-prefixed binary encoding of exactly those messages, suitable for a
+// TCP control channel; it is intentionally a small subset of OpenFlow rather
+// than a full implementation of any specific protocol version.
+//
+// Wire format: every message is
+//
+//	type    uint8
+//	xid     uint32 (big endian)
+//	length  uint32 (big endian, body bytes)
+//	body    length bytes
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sdnpc/internal/fivetuple"
+	"sdnpc/internal/hw/memory"
+)
+
+// MsgType identifies a control message.
+type MsgType uint8
+
+// Control message types.
+const (
+	// TypeHello opens the control channel in both directions.
+	TypeHello MsgType = iota + 1
+	// TypeFlowAdd installs one classification rule.
+	TypeFlowAdd
+	// TypeFlowDelete removes one classification rule.
+	TypeFlowDelete
+	// TypeSetAlgorithm drives the IPalg_s configuration signal.
+	TypeSetAlgorithm
+	// TypePacketIn punts a packet header from the data plane to the
+	// controller.
+	TypePacketIn
+	// TypeBarrierRequest asks the data plane to acknowledge that every
+	// preceding update has been applied.
+	TypeBarrierRequest
+	// TypeBarrierReply acknowledges a barrier.
+	TypeBarrierReply
+	// TypeError reports a failed update.
+	TypeError
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeFlowAdd:
+		return "flow-add"
+	case TypeFlowDelete:
+		return "flow-delete"
+	case TypeSetAlgorithm:
+		return "set-algorithm"
+	case TypePacketIn:
+		return "packet-in"
+	case TypeBarrierRequest:
+		return "barrier-request"
+	case TypeBarrierReply:
+		return "barrier-reply"
+	case TypeError:
+		return "error"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// MaxBodyBytes bounds the accepted body length, protecting the reader from
+// hostile or corrupted length fields.
+const MaxBodyBytes = 1 << 16
+
+// Message is one framed control message.
+type Message struct {
+	Type MsgType
+	Xid  uint32
+	Body []byte
+}
+
+// ErrBadMessage reports a framing or encoding problem.
+var ErrBadMessage = errors.New("openflow: malformed message")
+
+// Write frames and writes a message.
+func Write(w io.Writer, m Message) error {
+	if len(m.Body) > MaxBodyBytes {
+		return fmt.Errorf("%w: body of %d bytes exceeds limit", ErrBadMessage, len(m.Body))
+	}
+	header := make([]byte, 9)
+	header[0] = byte(m.Type)
+	binary.BigEndian.PutUint32(header[1:5], m.Xid)
+	binary.BigEndian.PutUint32(header[5:9], uint32(len(m.Body)))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("openflow: writing header: %w", err)
+	}
+	if len(m.Body) > 0 {
+		if _, err := w.Write(m.Body); err != nil {
+			return fmt.Errorf("openflow: writing body: %w", err)
+		}
+	}
+	return nil
+}
+
+// Read reads one framed message.
+func Read(r io.Reader) (Message, error) {
+	header := make([]byte, 9)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return Message{}, fmt.Errorf("openflow: reading header: %w", err)
+	}
+	m := Message{
+		Type: MsgType(header[0]),
+		Xid:  binary.BigEndian.Uint32(header[1:5]),
+	}
+	length := binary.BigEndian.Uint32(header[5:9])
+	if length > MaxBodyBytes {
+		return Message{}, fmt.Errorf("%w: body length %d exceeds limit", ErrBadMessage, length)
+	}
+	if length > 0 {
+		m.Body = make([]byte, length)
+		if _, err := io.ReadFull(r, m.Body); err != nil {
+			return Message{}, fmt.Errorf("openflow: reading body: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// flowModLen is the encoded size of a FlowMod body.
+const flowModLen = 4 + 1 + 4 + 5 + 5 + 8 + 2
+
+// FlowMod is the body of TypeFlowAdd and TypeFlowDelete.
+type FlowMod struct {
+	Rule fivetuple.Rule
+}
+
+// MarshalFlowMod encodes a flow modification body.
+func MarshalFlowMod(f FlowMod) []byte {
+	buf := make([]byte, 0, flowModLen)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.Rule.Priority))
+	buf = append(buf, byte(f.Rule.Action))
+	buf = binary.BigEndian.AppendUint32(buf, f.Rule.ActionArg)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.Rule.SrcPrefix.Addr))
+	buf = append(buf, f.Rule.SrcPrefix.Len)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.Rule.DstPrefix.Addr))
+	buf = append(buf, f.Rule.DstPrefix.Len)
+	buf = binary.BigEndian.AppendUint16(buf, f.Rule.SrcPort.Lo)
+	buf = binary.BigEndian.AppendUint16(buf, f.Rule.SrcPort.Hi)
+	buf = binary.BigEndian.AppendUint16(buf, f.Rule.DstPort.Lo)
+	buf = binary.BigEndian.AppendUint16(buf, f.Rule.DstPort.Hi)
+	buf = append(buf, f.Rule.Protocol.Value, f.Rule.Protocol.Mask)
+	return buf
+}
+
+// UnmarshalFlowMod decodes a flow modification body.
+func UnmarshalFlowMod(body []byte) (FlowMod, error) {
+	if len(body) != flowModLen {
+		return FlowMod{}, fmt.Errorf("%w: flow mod body of %d bytes, want %d", ErrBadMessage, len(body), flowModLen)
+	}
+	var f FlowMod
+	f.Rule.Priority = int(binary.BigEndian.Uint32(body[0:4]))
+	f.Rule.Action = fivetuple.Action(body[4])
+	f.Rule.ActionArg = binary.BigEndian.Uint32(body[5:9])
+	f.Rule.SrcPrefix = fivetuple.Prefix{Addr: fivetuple.IPv4(binary.BigEndian.Uint32(body[9:13])), Len: body[13]}
+	f.Rule.DstPrefix = fivetuple.Prefix{Addr: fivetuple.IPv4(binary.BigEndian.Uint32(body[14:18])), Len: body[18]}
+	f.Rule.SrcPort = fivetuple.PortRange{Lo: binary.BigEndian.Uint16(body[19:21]), Hi: binary.BigEndian.Uint16(body[21:23])}
+	f.Rule.DstPort = fivetuple.PortRange{Lo: binary.BigEndian.Uint16(body[23:25]), Hi: binary.BigEndian.Uint16(body[25:27])}
+	f.Rule.Protocol = fivetuple.ProtocolMatch{Value: body[27], Mask: body[28]}
+	if f.Rule.SrcPrefix.Len > 32 || f.Rule.DstPrefix.Len > 32 {
+		return FlowMod{}, fmt.Errorf("%w: prefix length out of range", ErrBadMessage)
+	}
+	if f.Rule.SrcPort.Lo > f.Rule.SrcPort.Hi || f.Rule.DstPort.Lo > f.Rule.DstPort.Hi {
+		return FlowMod{}, fmt.Errorf("%w: inverted port range", ErrBadMessage)
+	}
+	return f, nil
+}
+
+// MarshalSetAlgorithm encodes the IPalg_s selection body.
+func MarshalSetAlgorithm(alg memory.AlgSelect) []byte {
+	return []byte{byte(alg)}
+}
+
+// UnmarshalSetAlgorithm decodes the IPalg_s selection body.
+func UnmarshalSetAlgorithm(body []byte) (memory.AlgSelect, error) {
+	if len(body) != 1 {
+		return 0, fmt.Errorf("%w: set-algorithm body of %d bytes, want 1", ErrBadMessage, len(body))
+	}
+	alg := memory.AlgSelect(body[0])
+	if alg != memory.SelectMBT && alg != memory.SelectBST {
+		return 0, fmt.Errorf("%w: unknown algorithm %d", ErrBadMessage, body[0])
+	}
+	return alg, nil
+}
+
+// packetInLen is the encoded size of a PacketIn body.
+const packetInLen = 4 + 4 + 2 + 2 + 1 + 4
+
+// PacketIn is the body of TypePacketIn: the punted header and the priority of
+// the rule that punted it.
+type PacketIn struct {
+	Header       fivetuple.Header
+	RulePriority uint32
+}
+
+// MarshalPacketIn encodes a packet-in body.
+func MarshalPacketIn(p PacketIn) []byte {
+	buf := make([]byte, 0, packetInLen)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Header.SrcIP))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Header.DstIP))
+	buf = binary.BigEndian.AppendUint16(buf, p.Header.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, p.Header.DstPort)
+	buf = append(buf, p.Header.Protocol)
+	buf = binary.BigEndian.AppendUint32(buf, p.RulePriority)
+	return buf
+}
+
+// UnmarshalPacketIn decodes a packet-in body.
+func UnmarshalPacketIn(body []byte) (PacketIn, error) {
+	if len(body) != packetInLen {
+		return PacketIn{}, fmt.Errorf("%w: packet-in body of %d bytes, want %d", ErrBadMessage, len(body), packetInLen)
+	}
+	return PacketIn{
+		Header: fivetuple.Header{
+			SrcIP:    fivetuple.IPv4(binary.BigEndian.Uint32(body[0:4])),
+			DstIP:    fivetuple.IPv4(binary.BigEndian.Uint32(body[4:8])),
+			SrcPort:  binary.BigEndian.Uint16(body[8:10]),
+			DstPort:  binary.BigEndian.Uint16(body[10:12]),
+			Protocol: body[12],
+		},
+		RulePriority: binary.BigEndian.Uint32(body[13:17]),
+	}, nil
+}
+
+// MarshalError encodes an error body (a UTF-8 description).
+func MarshalError(description string) []byte { return []byte(description) }
+
+// UnmarshalError decodes an error body.
+func UnmarshalError(body []byte) string { return string(body) }

@@ -1,0 +1,185 @@
+package openflow
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sdnpc/internal/fivetuple"
+	"sdnpc/internal/hw/memory"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	messages := []Message{
+		{Type: TypeHello, Xid: 1},
+		{Type: TypeFlowAdd, Xid: 42, Body: []byte{1, 2, 3}},
+		{Type: TypeBarrierRequest, Xid: 7},
+		{Type: TypeError, Xid: 9, Body: MarshalError("rule filter full")},
+	}
+	var buf bytes.Buffer
+	for _, m := range messages {
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("Write(%v): %v", m.Type, err)
+		}
+	}
+	for _, want := range messages {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if got.Type != want.Type || got.Xid != want.Xid || !bytes.Equal(got.Body, want.Body) {
+			t.Errorf("round trip mismatch: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestWriteRejectsOversizedBody(t *testing.T) {
+	var buf bytes.Buffer
+	err := Write(&buf, Message{Type: TypeFlowAdd, Body: make([]byte, MaxBodyBytes+1)})
+	if !errors.Is(err, ErrBadMessage) {
+		t.Errorf("Write error = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestReadRejectsOversizedBody(t *testing.T) {
+	// Hand-craft a frame whose declared length exceeds the limit.
+	frame := []byte{byte(TypeFlowAdd), 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := Read(bytes.NewReader(frame)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("Read error = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestReadRejectsTruncatedInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Message{Type: TypeFlowAdd, Xid: 3, Body: []byte{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("Read of %d/%d bytes should fail", cut, len(full))
+		}
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	names := map[MsgType]string{
+		TypeHello: "hello", TypeFlowAdd: "flow-add", TypeFlowDelete: "flow-delete",
+		TypeSetAlgorithm: "set-algorithm", TypePacketIn: "packet-in",
+		TypeBarrierRequest: "barrier-request", TypeBarrierReply: "barrier-reply", TypeError: "error",
+	}
+	for mt, want := range names {
+		if mt.String() != want {
+			t.Errorf("%d.String() = %q, want %q", mt, mt.String(), want)
+		}
+	}
+	if MsgType(200).String() == "" {
+		t.Error("unknown type should still render")
+	}
+}
+
+func TestFlowModRoundTrip(t *testing.T) {
+	rule := fivetuple.Rule{
+		SrcPrefix: fivetuple.MustParsePrefix("10.1.0.0/16"),
+		DstPrefix: fivetuple.MustParsePrefix("192.168.1.0/24"),
+		SrcPort:   fivetuple.PortRange{Lo: 1024, Hi: 2048},
+		DstPort:   fivetuple.ExactPort(443),
+		Protocol:  fivetuple.ExactProtocol(fivetuple.ProtoTCP),
+		Priority:  17,
+		Action:    fivetuple.ActionModify,
+		ActionArg: 9,
+	}
+	body := MarshalFlowMod(FlowMod{Rule: rule})
+	got, err := UnmarshalFlowMod(body)
+	if err != nil {
+		t.Fatalf("UnmarshalFlowMod: %v", err)
+	}
+	if got.Rule != rule {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got.Rule, rule)
+	}
+}
+
+func TestFlowModRoundTripProperty(t *testing.T) {
+	f := func(srcAddr, dstAddr uint32, srcLen, dstLen uint8, spLo, spHi, dpLo, dpHi uint16, proto, mask uint8, prio uint16, action uint8, arg uint32) bool {
+		rule := fivetuple.Rule{
+			SrcPrefix: fivetuple.Prefix{Addr: fivetuple.IPv4(srcAddr), Len: srcLen % 33},
+			DstPrefix: fivetuple.Prefix{Addr: fivetuple.IPv4(dstAddr), Len: dstLen % 33},
+			SrcPort:   orderedRange(spLo, spHi),
+			DstPort:   orderedRange(dpLo, dpHi),
+			Protocol:  fivetuple.ProtocolMatch{Value: proto, Mask: mask},
+			Priority:  int(prio),
+			Action:    fivetuple.Action(action%5 + 1),
+			ActionArg: arg,
+		}
+		got, err := UnmarshalFlowMod(MarshalFlowMod(FlowMod{Rule: rule}))
+		return err == nil && got.Rule == rule
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func orderedRange(a, b uint16) fivetuple.PortRange {
+	if a > b {
+		a, b = b, a
+	}
+	return fivetuple.PortRange{Lo: a, Hi: b}
+}
+
+func TestUnmarshalFlowModRejectsBadInput(t *testing.T) {
+	if _, err := UnmarshalFlowMod([]byte{1, 2, 3}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("short body error = %v, want ErrBadMessage", err)
+	}
+	// Corrupt the prefix length of a valid body.
+	body := MarshalFlowMod(FlowMod{Rule: fivetuple.Wildcard(0, fivetuple.ActionDrop)})
+	body[13] = 99
+	if _, err := UnmarshalFlowMod(body); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("bad prefix length error = %v, want ErrBadMessage", err)
+	}
+	// Inverted port range.
+	body = MarshalFlowMod(FlowMod{Rule: fivetuple.Wildcard(0, fivetuple.ActionDrop)})
+	body[19], body[21] = 0xFF, 0x00
+	body[20], body[22] = 0xFF, 0x01
+	if _, err := UnmarshalFlowMod(body); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("inverted range error = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestSetAlgorithmRoundTrip(t *testing.T) {
+	for _, alg := range []memory.AlgSelect{memory.SelectMBT, memory.SelectBST} {
+		got, err := UnmarshalSetAlgorithm(MarshalSetAlgorithm(alg))
+		if err != nil || got != alg {
+			t.Errorf("round trip of %v = (%v, %v)", alg, got, err)
+		}
+	}
+	if _, err := UnmarshalSetAlgorithm([]byte{}); !errors.Is(err, ErrBadMessage) {
+		t.Error("empty body should fail")
+	}
+	if _, err := UnmarshalSetAlgorithm([]byte{99}); !errors.Is(err, ErrBadMessage) {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestPacketInRoundTrip(t *testing.T) {
+	p := PacketIn{
+		Header: fivetuple.Header{
+			SrcIP: fivetuple.MustParseIPv4("10.1.2.3"), DstIP: fivetuple.MustParseIPv4("192.0.2.9"),
+			SrcPort: 31000, DstPort: 80, Protocol: fivetuple.ProtoTCP,
+		},
+		RulePriority: 12345,
+	}
+	got, err := UnmarshalPacketIn(MarshalPacketIn(p))
+	if err != nil || got != p {
+		t.Errorf("round trip = (%+v, %v), want %+v", got, err, p)
+	}
+	if _, err := UnmarshalPacketIn([]byte{1}); !errors.Is(err, ErrBadMessage) {
+		t.Error("short packet-in body should fail")
+	}
+}
+
+func TestErrorBodyRoundTrip(t *testing.T) {
+	if got := UnmarshalError(MarshalError("boom")); got != "boom" {
+		t.Errorf("error body round trip = %q", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sdnpc/internal/bench"
 	"sdnpc/internal/classbench"
 	"sdnpc/internal/core"
+	"sdnpc/internal/engine"
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/hw/hashunit"
 	"sdnpc/internal/hw/memory"
@@ -135,6 +136,43 @@ func benchmarkTable6Lookup(b *testing.B, alg memory.AlgSelect) {
 
 func BenchmarkTable6_MBT(b *testing.B) { benchmarkTable6Lookup(b, memory.SelectMBT) }
 func BenchmarkTable6_BST(b *testing.B) { benchmarkTable6Lookup(b, memory.SelectBST) }
+
+// ---------------------------------------------------------------------------
+// Engine sweep — every registered IP-segment engine through the registry
+// ---------------------------------------------------------------------------
+
+// BenchmarkIPEngines sweeps every engine the registry knows, so a newly
+// registered algorithm automatically gains a benchmark row next to the
+// paper's MBT/BST pair.
+func BenchmarkIPEngines(b *testing.B) {
+	for _, name := range engine.IPEngineNames() {
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.IPEngine = name
+			c := core.MustNew(cfg)
+			if _, err := c.InstallRuleSet(benchSmallWorkload.RuleSet); err != nil {
+				b.Fatal(err)
+			}
+			trace := benchSmallWorkload.Trace
+			// Prime lazily built structures so the first timed lookup is
+			// representative.
+			c.Lookup(trace[0])
+			c.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Lookup(trace[i%len(trace)])
+			}
+			b.StopTimer()
+			stats := c.Stats()
+			report := c.MemoryReport()
+			b.ReportMetric(stats.AverageFieldAccesses(), "field_accesses/pkt")
+			b.ReportMetric(stats.AverageLatencyCycles(), "latency_cycles")
+			b.ReportMetric(float64(c.Pipeline().BottleneckInterval()), "cycles/pkt_provisioned")
+			b.ReportMetric(bench.Kbit(report.IPAlgorithmUsedBits()), "ip_memory_Kbit")
+			b.ReportMetric(float64(c.RuleCapacity()), "rule_capacity")
+		})
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Table VII — throughput comparison

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	experiments [-experiment all|table1|table2|table3|table4|table5|table6|table7|fig3|fig5|update|hpml|labelmethod]
-//	            [-class acl|fw|ipc] [-size 1k|5k|10k] [-packets N]
+//	experiments [-experiment all|table1|table2|table3|table4|table5|table6|table7|fig3|fig5|update|hpml|labelmethod|engines]
+//	            [-class acl|fw|ipc] [-size 1k|5k|10k] [-packets N] [-ip-engine name]
 //
 // The measured values are printed next to the values the paper reports, in
 // the same row/column structure, so the output can be pasted into
@@ -19,6 +19,7 @@ import (
 
 	"sdnpc/internal/bench"
 	"sdnpc/internal/classbench"
+	"sdnpc/internal/engine"
 )
 
 func main() {
@@ -30,10 +31,11 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment to run (all, table1..table7, fig3, fig5, update, hpml, labelmethod)")
+	experiment := fs.String("experiment", "all", "experiment to run (all, table1..table7, fig3, fig5, update, hpml, labelmethod, engines)")
 	className := fs.String("class", "acl", "filter-set class for workload-driven experiments (acl, fw, ipc)")
 	sizeName := fs.String("size", "5k", "filter-set size for workload-driven experiments (1k, 5k, 10k)")
 	packets := fs.Int("packets", 20000, "trace length for workload-driven experiments")
+	ipEngine := fs.String("ip-engine", "", fmt.Sprintf("restrict the engines sweep to one registered IP engine %v", engine.IPEngineNames()))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,6 +142,14 @@ func run(args []string) error {
 	if wants("labelmethod") {
 		ranAny = true
 		fmt.Println(bench.RenderLabelMethod(bench.LabelMethod(getWorkload().RuleSet)))
+	}
+	if wants("engines") {
+		ranAny = true
+		rows, err := bench.EngineSweep(getWorkload(), *ipEngine)
+		if err != nil {
+			return fmt.Errorf("engines: %w", err)
+		}
+		fmt.Println(bench.RenderEngineSweep(rows))
 	}
 	if !ranAny {
 		return fmt.Errorf("unknown experiment %q", *experiment)

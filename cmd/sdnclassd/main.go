@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sdnclassd -class acl -size 1k -packets 50000 -profile throughput
+//	sdnclassd -class acl -size 1k -packets 50000 -profile throughput [-ip-engine name]
 //
 // It prints the switch's per-action counters, the classifier's data-plane
 // statistics and the modelled throughput for the selected configuration.
@@ -21,6 +21,7 @@ import (
 
 	"sdnpc/internal/classbench"
 	"sdnpc/internal/core"
+	"sdnpc/internal/engine"
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/sdn/controller"
 	"sdnpc/internal/sdn/dataplane"
@@ -39,6 +40,7 @@ func run(args []string) error {
 	sizeName := fs.String("size", "1k", "filter-set size (1k, 5k, 10k)")
 	packets := fs.Int("packets", 50000, "number of packets to replay")
 	profileName := fs.String("profile", "throughput", "application profile driving the algorithm choice (throughput, capacity)")
+	ipEngine := fs.String("ip-engine", "", fmt.Sprintf("select the IP engine by name, overriding the profile %v", engine.IPEngineNames()))
 	listen := fs.String("listen", "127.0.0.1:0", "controller listen address")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,24 +50,41 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *ipEngine != "" {
+		if def, ok := engine.Get(*ipEngine); !ok || !def.IPCapable {
+			return fmt.Errorf("unknown IP engine %q (registered: %v)", *ipEngine, engine.IPEngineNames())
+		}
+	}
 	profile := controller.ProfileThroughput
 	if strings.ToLower(*profileName) == "capacity" {
 		profile = controller.ProfileCapacity
 	}
 
 	rs := classbench.Generate(classbench.StandardConfig(class, size))
-	fmt.Printf("generated %s with %d rules; application profile %s selects the %s IP algorithm\n",
-		rs.Name, rs.Len(), profile, profile.Algorithm())
+	if *ipEngine != "" {
+		fmt.Printf("generated %s with %d rules; -ip-engine overrides the profile with the %q engine\n",
+			rs.Name, rs.Len(), *ipEngine)
+	} else {
+		fmt.Printf("generated %s with %d rules; application profile %s selects the %s IP algorithm\n",
+			rs.Name, rs.Len(), profile, profile.Algorithm())
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return fmt.Errorf("listening: %w", err)
 	}
-	return runLoop(ln, rs, profile, *packets)
+	return runLoop(ln, rs, profile, *ipEngine, *packets)
 }
 
-func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.ApplicationProfile, packets int) error {
+func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.ApplicationProfile, ipEngine string, packets int) error {
 	ctrl := controller.New(rs, profile, nil)
+	if ipEngine != "" {
+		// Record the name-based selection before any switch connects so the
+		// handshake downloads it along with the rule set.
+		if err := ctrl.SelectEngine(ipEngine); err != nil {
+			return fmt.Errorf("selecting engine: %w", err)
+		}
+	}
 	go func() { _ = ctrl.Serve(ln) }()
 	defer ctrl.Stop()
 
@@ -87,8 +106,8 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	fmt.Printf("switch programmed with %d rules (capacity %d) via the control channel\n",
-		sw.Classifier().RuleCount(), sw.Classifier().RuleCapacity())
+	fmt.Printf("switch programmed with %d rules (capacity %d, IP engine %q) via the control channel\n",
+		sw.Classifier().RuleCount(), sw.Classifier().RuleCapacity(), sw.Classifier().IPEngineName())
 
 	trace := classbench.GenerateTrace(rs, classbench.TraceConfig{
 		Packets: packets, Seed: 17, MatchFraction: 0.95, Locality: 0.4,

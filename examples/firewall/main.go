@@ -1,7 +1,7 @@
-// Firewall example: load a full firewall-style filter set (fw1, Table III),
-// replay a synthetic trace against it and compare the architecture's verdicts
-// with a linear reference classifier, then print the data-plane statistics
-// the paper's evaluation is built on.
+// Firewall example: load a full firewall-style filter set (fw1, Table III)
+// through the public sdnpc package, replay a synthetic trace against it and
+// compare the architecture's verdicts with a linear reference classifier,
+// then print the data-plane statistics the paper's evaluation is built on.
 //
 // Run with:
 //
@@ -12,27 +12,26 @@ import (
 	"fmt"
 	"log"
 
-	"sdnpc/internal/classbench"
-	"sdnpc/internal/core"
+	"sdnpc"
 )
 
 func main() {
-	// fw1-1K: the firewall filter set of Table III (791 rules).
-	rules := classbench.Generate(classbench.StandardConfig(classbench.FW, classbench.Size1K))
+	// fw1-1K: the firewall filter set of Table III.
+	rules := sdnpc.MustGenerateRuleSet("fw", "1k")
 	fmt.Printf("loaded %s with %d rules\n", rules.Name, rules.Len())
 
-	classifier, err := core.New(core.DefaultConfig())
+	classifier, err := sdnpc.New()
 	if err != nil {
 		log.Fatalf("creating classifier: %v", err)
 	}
-	installReport, err := classifier.InstallRuleSet(rules)
+	installReport, err := classifier.InsertAll(rules)
 	if err != nil {
 		log.Fatalf("installing rules: %v", err)
 	}
-	fmt.Printf("installed in %d clock cycles of memory upload (%d per rule), %d unique labels created\n",
-		installReport.ClockCycles, core.UpdateCyclesPerRule(), installReport.NewLabels)
+	fmt.Printf("installed in %d clock cycles of memory upload, %d unique labels created\n",
+		installReport.ClockCycles, installReport.NewLabels)
 
-	trace := classbench.GenerateTrace(rules, classbench.TraceConfig{
+	trace := sdnpc.GenerateTrace(rules, sdnpc.TraceOptions{
 		Packets: 20000, Seed: 5, MatchFraction: 0.85, Locality: 0.5,
 	})
 	mismatches := 0
@@ -43,7 +42,7 @@ func main() {
 		if got.Matched != wantOK || (wantOK && got.Priority != wantIdx) {
 			mismatches++
 		}
-		if got.Matched && rules.Rule(got.Priority).Action.String() == "drop" {
+		if got.Matched && got.Action == sdnpc.Drop {
 			dropped++
 		}
 	}
@@ -53,12 +52,9 @@ func main() {
 	fmt.Printf("dropped by policy: %d packets (%.1f%%)\n", dropped, 100*float64(dropped)/float64(len(trace)))
 	fmt.Printf("average field memory accesses per packet: %.2f\n", stats.AverageFieldAccesses())
 	fmt.Printf("average label combinations probed per packet: %.2f\n", stats.AverageCombinations())
-	fmt.Printf("average lookup latency: %.1f cycles (%.1f ns at %.2f MHz)\n",
-		stats.AverageLatencyCycles(),
-		stats.AverageLatencyCycles()/classifier.Config().ClockHz*1e9,
-		classifier.Config().ClockHz/1e6)
+	fmt.Printf("average lookup latency: %.1f cycles\n", stats.AverageLatencyCycles())
 
-	memory := classifier.MemoryReport()
-	fmt.Printf("IP algorithm memory in use: %.1f Kbit; rule filter occupancy: %d/%d rules\n",
-		float64(memory.IPAlgorithmUsedBits())/1024, memory.RulesInstalled, memory.RuleCapacity)
+	report := classifier.MemoryReport()
+	fmt.Printf("IP engine %q memory in use: %.1f Kbit; rule filter occupancy: %d/%d rules\n",
+		report.IPEngine, float64(report.IPAlgorithmUsedBits())/1024, report.RulesInstalled, report.RuleCapacity)
 }

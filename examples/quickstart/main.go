@@ -1,5 +1,7 @@
-// Quickstart: build a classifier, install a handful of rules, classify a few
-// packets, and print the architecture's throughput and memory figures.
+// Quickstart: build a classifier through the public sdnpc package, install a
+// handful of rules with the fluent builder, classify a few packets, switch
+// lookup engines at run time and print the architecture's throughput and
+// memory figures.
 //
 // Run with:
 //
@@ -10,45 +12,26 @@ import (
 	"fmt"
 	"log"
 
-	"sdnpc/internal/core"
-	"sdnpc/internal/fivetuple"
-	"sdnpc/internal/hw/memory"
+	"sdnpc"
 )
 
 func main() {
 	// The default configuration is the paper's evaluated geometry: MBT IP
 	// lookup, 8K-rule filter, 133.51 MHz clock, exact label combination.
-	classifier, err := core.New(core.DefaultConfig())
+	classifier, err := sdnpc.New()
 	if err != nil {
 		log.Fatalf("creating classifier: %v", err)
 	}
 
-	// A tiny access-control policy: allow web traffic to the DMZ, rate-limit
-	// DNS to the controller, drop everything else.
-	rules := []fivetuple.Rule{
-		{
-			SrcPrefix: fivetuple.MustParsePrefix("0.0.0.0/0"),
-			DstPrefix: fivetuple.MustParsePrefix("203.0.113.0/24"),
-			SrcPort:   fivetuple.WildcardPortRange(),
-			DstPort:   fivetuple.ExactPort(443),
-			Protocol:  fivetuple.ExactProtocol(fivetuple.ProtoTCP),
-			Priority:  0,
-			Action:    fivetuple.ActionForward,
-			ActionArg: 1,
-		},
-		{
-			SrcPrefix: fivetuple.MustParsePrefix("10.0.0.0/8"),
-			DstPrefix: fivetuple.MustParsePrefix("0.0.0.0/0"),
-			SrcPort:   fivetuple.WildcardPortRange(),
-			DstPort:   fivetuple.ExactPort(53),
-			Protocol:  fivetuple.ExactProtocol(fivetuple.ProtoUDP),
-			Priority:  1,
-			Action:    fivetuple.ActionController,
-		},
-		fivetuple.Wildcard(2, fivetuple.ActionDrop),
+	// A tiny access-control policy: allow web traffic to the DMZ, punt DNS
+	// to the controller, drop everything else.
+	rules := []sdnpc.Rule{
+		sdnpc.NewRule(0).To("203.0.113.0/24").DstPort(443).Proto(sdnpc.TCP).Forward(1).MustBuild(),
+		sdnpc.NewRule(1).From("10.0.0.0/8").DstPort(53).Proto(sdnpc.UDP).Punt().MustBuild(),
+		sdnpc.WildcardRule(2, sdnpc.Drop),
 	}
 	for _, r := range rules {
-		report, err := classifier.InsertRule(r)
+		report, err := classifier.Insert(r)
 		if err != nil {
 			log.Fatalf("inserting rule %s: %v", r, err)
 		}
@@ -56,10 +39,10 @@ func main() {
 			r.Priority, report.NewLabels, report.EngineWrites, report.ClockCycles)
 	}
 
-	packets := []fivetuple.Header{
-		{SrcIP: fivetuple.MustParseIPv4("198.51.100.7"), DstIP: fivetuple.MustParseIPv4("203.0.113.10"), SrcPort: 50000, DstPort: 443, Protocol: fivetuple.ProtoTCP},
-		{SrcIP: fivetuple.MustParseIPv4("10.1.2.3"), DstIP: fivetuple.MustParseIPv4("8.8.8.8"), SrcPort: 5353, DstPort: 53, Protocol: fivetuple.ProtoUDP},
-		{SrcIP: fivetuple.MustParseIPv4("192.0.2.1"), DstIP: fivetuple.MustParseIPv4("192.0.2.2"), SrcPort: 1, DstPort: 2, Protocol: fivetuple.ProtoGRE},
+	packets := []sdnpc.Header{
+		sdnpc.MustParseHeader("198.51.100.7", 50000, "203.0.113.10", 443, sdnpc.TCP),
+		sdnpc.MustParseHeader("10.1.2.3", 5353, "8.8.8.8", 53, sdnpc.UDP),
+		sdnpc.MustParseHeader("192.0.2.1", 1, "192.0.2.2", 2, sdnpc.GRE),
 	}
 	for _, h := range packets {
 		result := classifier.Lookup(h)
@@ -67,18 +50,16 @@ func main() {
 			h, result.Matched, result.Action, result.Priority, result.LatencyCycles)
 	}
 
-	fmt.Printf("\nMBT configuration: %.2f Gbps at 40-byte packets, %d-rule capacity\n",
-		classifier.ThroughputGbps(40), classifier.RuleCapacity())
-
-	// Flip the IPalg_s signal to the memory-efficient BST configuration, as
-	// the SDN controller would for a capacity-bound application.
-	if err := classifier.SelectIPAlgorithm(memory.SelectBST); err != nil {
-		log.Fatalf("selecting BST: %v", err)
+	// Every registered IP-segment engine is selectable at run time — the
+	// generalised IPalg_s signal of the paper. Sweep them all.
+	fmt.Printf("\nregistered engines: %v\n", sdnpc.Engines())
+	for _, name := range sdnpc.Engines() {
+		if err := classifier.SelectEngine(name); err != nil {
+			log.Fatalf("selecting %s: %v", name, err)
+		}
+		report := classifier.MemoryReport()
+		fmt.Printf("%-8s %8.2f Gbps at 40-byte packets, %5d-rule capacity, %7.1f Kbit IP node storage\n",
+			name, classifier.ThroughputGbps(40), classifier.RuleCapacity(),
+			float64(report.IPAlgorithmUsedBits())/1024)
 	}
-	fmt.Printf("BST configuration: %.2f Gbps at 40-byte packets, %d-rule capacity\n",
-		classifier.ThroughputGbps(40), classifier.RuleCapacity())
-
-	report := classifier.MemoryReport()
-	fmt.Printf("block memory provisioned: %d bits (%.2f Mbit), in use: %d bits\n",
-		report.TotalProvisionedBits(), float64(report.TotalProvisionedBits())/(1<<20), report.TotalUsedBits())
 }

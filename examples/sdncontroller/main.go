@@ -5,6 +5,10 @@
 // which reacts by installing a more specific rule at run time (the
 // incremental-update path of §IV.A).
 //
+// Rules, headers and workloads come from the public sdnpc package; the
+// controller / data-plane pair itself is the internal reference
+// implementation of the control loop.
+//
 // Run with:
 //
 //	go run ./examples/sdncontroller
@@ -17,29 +21,20 @@ import (
 	"sync/atomic"
 	"time"
 
-	"sdnpc/internal/classbench"
+	"sdnpc"
 	"sdnpc/internal/core"
-	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/sdn/controller"
 	"sdnpc/internal/sdn/dataplane"
 	"sdnpc/internal/sdn/openflow"
 )
 
 func main() {
-	policy := classbench.Generate(classbench.StandardConfig(classbench.ACL, classbench.Size1K))
+	policy := sdnpc.MustGenerateRuleSet("acl", "1k")
 
 	// Punt DNS to the controller so it can decide per-resolver policies.
-	dnsRule := fivetuple.Rule{
-		SrcPrefix: fivetuple.MustParsePrefix("10.0.0.0/8"),
-		DstPrefix: fivetuple.MustParsePrefix("0.0.0.0/0"),
-		SrcPort:   fivetuple.WildcardPortRange(),
-		DstPort:   fivetuple.ExactPort(53),
-		Protocol:  fivetuple.ExactProtocol(fivetuple.ProtoUDP),
-		Priority:  0,
-		Action:    fivetuple.ActionController,
-	}
-	rules := append([]fivetuple.Rule{dnsRule}, policy.Rules()...)
-	ruleSet := fivetuple.NewRuleSet("sdn-policy", rules)
+	dnsRule := sdnpc.NewRule(0).From("10.0.0.0/8").DstPort(53).Proto(sdnpc.UDP).Punt().MustBuild()
+	rules := append([]sdnpc.Rule{dnsRule}, policy.Rules()...)
+	ruleSet := sdnpc.NewRuleSet("sdn-policy", rules)
 
 	var punts atomic.Uint64
 	ctrl := controller.New(ruleSet, controller.ProfileThroughput, func(sw string, p openflow.PacketIn) {
@@ -61,13 +56,11 @@ func main() {
 		log.Fatalf("connect: %v", err)
 	}
 	waitForRules(sw, ruleSet.Len())
-	fmt.Printf("switch programmed with %d rules over %s\n", sw.Classifier().RuleCount(), ln.Addr())
+	fmt.Printf("switch programmed with %d rules over %s (IP engine %q)\n",
+		sw.Classifier().RuleCount(), ln.Addr(), sw.Classifier().IPEngineName())
 
 	// A client resolves names: the first packets are punted to the controller.
-	dnsQuery := fivetuple.Header{
-		SrcIP: fivetuple.MustParseIPv4("10.20.30.40"), DstIP: fivetuple.MustParseIPv4("192.0.2.53"),
-		SrcPort: 40000, DstPort: 53, Protocol: fivetuple.ProtoUDP,
-	}
+	dnsQuery := sdnpc.MustParseHeader("10.20.30.40", 40000, "192.0.2.53", 53, sdnpc.UDP)
 	for i := 0; i < 3; i++ {
 		if _, err := sw.ProcessPacket(dnsQuery); err != nil {
 			log.Fatalf("processing packet: %v", err)
@@ -77,16 +70,21 @@ func main() {
 	fmt.Printf("controller received %d packet-in messages for DNS traffic\n", punts.Load())
 
 	// The controller reacts by installing a specific allow rule for this
-	// resolver at the highest priority — a single incremental flow-add.
-	allowResolver := dnsRule
-	allowResolver.DstPrefix = fivetuple.MustParsePrefix("192.0.2.53/32")
-	allowResolver.Action = fivetuple.ActionForward
-	allowResolver.ActionArg = 2
+	// resolver at the highest priority and retiring the punt-everything
+	// rule — two incremental flow-mods on the §IV.A update path.
+	allowResolver := sdnpc.NewRule(0).
+		From("10.0.0.0/8").To("192.0.2.53/32").
+		DstPort(53).Proto(sdnpc.UDP).
+		Forward(2).MustBuild()
 	if err := ctrl.AddRule(allowResolver); err != nil {
 		log.Fatalf("pushing incremental rule: %v", err)
 	}
 	waitForRules(sw, ruleSet.Len()+1)
-	fmt.Println("controller pushed an incremental allow rule for the resolver (3 clock cycles of upload on the data plane)")
+	if err := ctrl.RemoveRule(dnsRule); err != nil {
+		log.Fatalf("removing punt rule: %v", err)
+	}
+	waitFor(func() bool { return sw.Classifier().RuleCount() == ruleSet.Len() })
+	fmt.Println("controller swapped the punt rule for a specific allow rule (3 clock cycles of upload per flow-mod)")
 
 	verdict, err := sw.ProcessPacket(dnsQuery)
 	if err != nil {
@@ -95,8 +93,17 @@ func main() {
 	fmt.Printf("subsequent DNS packets are now handled in hardware: action=%v egress port=%d (punted=%v)\n",
 		verdict.Action, verdict.EgressPort, verdict.PuntedToController)
 
+	// The controller can also re-programme the lookup engine by name over
+	// the control channel — the generalised IPalg_s signal.
+	if err := ctrl.SelectEngine("bst"); err != nil {
+		log.Fatalf("selecting engine: %v", err)
+	}
+	waitFor(func() bool { return sw.Classifier().IPEngineName() == "bst" })
+	fmt.Printf("controller re-programmed the data plane to the %q engine (capacity %d rules)\n",
+		sw.Classifier().IPEngineName(), sw.Classifier().RuleCapacity())
+
 	// Background traffic keeps flowing through the policy.
-	trace := classbench.GenerateTrace(policy, classbench.TraceConfig{Packets: 5000, Seed: 3, MatchFraction: 0.9})
+	trace := sdnpc.GenerateTrace(policy, sdnpc.TraceOptions{Packets: 5000, Seed: 3, MatchFraction: 0.9})
 	for _, h := range trace {
 		if _, err := sw.ProcessPacket(h); err != nil {
 			log.Fatalf("processing packet: %v", err)

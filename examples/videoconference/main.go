@@ -1,9 +1,10 @@
 // Videoconference example: the scenario §III.A of the paper uses to motivate
 // configurability. A multi-end videoconferencing service needs lookup speed
-// above all, so the controller selects the MBT configuration; a logging /
-// archival application with a very large rule filter instead needs capacity,
-// so it selects the BST configuration. This example quantifies the trade-off
-// on the same rule set by switching the IPalg_s signal at run time.
+// above all, so the controller selects the MBT engine; a logging / archival
+// application with a very large rule filter instead needs capacity, so it
+// selects the BST engine. This example quantifies the trade-off on the same
+// rule set by switching the engine-selection signal at run time through the
+// public sdnpc package.
 //
 // Run with:
 //
@@ -14,64 +15,44 @@ import (
 	"fmt"
 	"log"
 
-	"sdnpc/internal/classbench"
-	"sdnpc/internal/core"
-	"sdnpc/internal/fivetuple"
-	"sdnpc/internal/hw/memory"
+	"sdnpc"
 )
 
 func main() {
 	// The conferencing service's flows: RTP/RTCP port ranges towards the
 	// media bridge plus signalling, layered on top of an ACL-style policy.
-	policy := classbench.Generate(classbench.StandardConfig(classbench.ACL, classbench.Size1K))
-	media := []fivetuple.Rule{
-		{
-			SrcPrefix: fivetuple.MustParsePrefix("0.0.0.0/0"),
-			DstPrefix: fivetuple.MustParsePrefix("198.51.100.0/24"),
-			SrcPort:   fivetuple.WildcardPortRange(),
-			DstPort:   fivetuple.PortRange{Lo: 16384, Hi: 32767}, // RTP media
-			Protocol:  fivetuple.ExactProtocol(fivetuple.ProtoUDP),
-			Action:    fivetuple.ActionForward,
-			ActionArg: 7,
-		},
-		{
-			SrcPrefix: fivetuple.MustParsePrefix("0.0.0.0/0"),
-			DstPrefix: fivetuple.MustParsePrefix("198.51.100.0/24"),
-			SrcPort:   fivetuple.WildcardPortRange(),
-			DstPort:   fivetuple.ExactPort(5061), // SIP over TLS signalling
-			Protocol:  fivetuple.ExactProtocol(fivetuple.ProtoTCP),
-			Action:    fivetuple.ActionForward,
-			ActionArg: 7,
-		},
+	policy := sdnpc.MustGenerateRuleSet("acl", "1k")
+	media := []sdnpc.Rule{
+		sdnpc.NewRule(0).To("198.51.100.0/24").DstPorts(16384, 32767).Proto(sdnpc.UDP).Forward(7).MustBuild(), // RTP media
+		sdnpc.NewRule(0).To("198.51.100.0/24").DstPort(5061).Proto(sdnpc.TCP).Forward(7).MustBuild(),          // SIP over TLS signalling
 	}
-	rules := policy.Rules()
 	// Media rules take the highest priorities so conferencing traffic never
 	// falls through to the slower policy rules.
-	rules = append(media, rules...)
-	ruleSet := fivetuple.NewRuleSet("videoconference", rules)
+	rules := append(media, policy.Rules()...)
+	ruleSet := sdnpc.NewRuleSet("videoconference", rules)
 
-	classifier, err := core.New(core.DefaultConfig())
+	classifier, err := sdnpc.New()
 	if err != nil {
 		log.Fatalf("creating classifier: %v", err)
 	}
-	if _, err := classifier.InstallRuleSet(ruleSet); err != nil {
+	if _, err := classifier.InsertAll(ruleSet); err != nil {
 		log.Fatalf("installing rules: %v", err)
 	}
 
-	trace := classbench.GenerateTrace(ruleSet, classbench.TraceConfig{
+	trace := sdnpc.GenerateTrace(ruleSet, sdnpc.TraceOptions{
 		Packets: 30000, Seed: 23, MatchFraction: 0.95, Locality: 0.7,
 	})
 
 	fmt.Println("Application requirement A: real-time multi-end videoconferencing (speed critical)")
-	runPhase(classifier, ruleSet, trace, memory.SelectMBT)
+	runPhase(classifier, ruleSet, trace, "mbt")
 
 	fmt.Println("\nApplication requirement B: flow archival with very large rule filters (capacity critical)")
-	runPhase(classifier, ruleSet, trace, memory.SelectBST)
+	runPhase(classifier, ruleSet, trace, "bst")
 }
 
-func runPhase(classifier *core.Classifier, ruleSet *fivetuple.RuleSet, trace []fivetuple.Header, alg memory.AlgSelect) {
-	if err := classifier.SelectIPAlgorithm(alg); err != nil {
-		log.Fatalf("selecting %v: %v", alg, err)
+func runPhase(classifier *sdnpc.Classifier, ruleSet *sdnpc.RuleSet, trace []sdnpc.Header, engineName string) {
+	if err := classifier.SelectEngine(engineName); err != nil {
+		log.Fatalf("selecting %s: %v", engineName, err)
 	}
 	classifier.ResetStats()
 	mismatches := 0
@@ -84,13 +65,11 @@ func runPhase(classifier *core.Classifier, ruleSet *fivetuple.RuleSet, trace []f
 	}
 	stats := classifier.Stats()
 	report := classifier.MemoryReport()
-	pipeline := classifier.Pipeline()
-	fmt.Printf("  controller sets IPalg_s to %v\n", alg)
+	fmt.Printf("  controller selects the %q engine\n", engineName)
 	fmt.Printf("  sustained rate: %.1f Mlookups/s -> %.2f Gbps at 40-byte packets, %.2f Gbps at 100-byte packets\n",
 		classifier.LookupsPerSecond()/1e6, classifier.ThroughputGbps(40), classifier.ThroughputGbps(100))
-	fmt.Printf("  per-packet latency: %d cycles (%.0f ns)\n",
-		pipeline.LatencyCycles(), pipeline.LatencySeconds()*1e9)
-	fmt.Printf("  rule capacity: %d rules; IP-algorithm memory in use: %.1f Kbit\n",
+	fmt.Printf("  average lookup latency: %.1f cycles\n", stats.AverageLatencyCycles())
+	fmt.Printf("  rule capacity: %d rules; IP-engine memory in use: %.1f Kbit\n",
 		classifier.RuleCapacity(), float64(report.IPAlgorithmUsedBits())/1024)
 	fmt.Printf("  verdict mismatches against the reference: %d of %d packets (avg %.2f field accesses)\n",
 		mismatches, len(trace), stats.AverageFieldAccesses())

@@ -1,0 +1,109 @@
+package sdnpc
+
+import "testing"
+
+func TestFacadeRoundTrip(t *testing.T) {
+	c, err := New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if c.Engine() != "mbt" {
+		t.Errorf("default engine = %q, want mbt", c.Engine())
+	}
+
+	web := NewRule(0).To("203.0.113.0/24").DstPort(443).Proto(TCP).Forward(1).MustBuild()
+	dns := NewRule(1).From("10.0.0.0/8").DstPort(53).Proto(UDP).Punt().MustBuild()
+	def := WildcardRule(2, Drop)
+	for _, r := range []Rule{web, dns, def} {
+		if _, err := c.Insert(r); err != nil {
+			t.Fatalf("Insert(%s): %v", r, err)
+		}
+	}
+	if c.RuleCount() != 3 {
+		t.Fatalf("RuleCount = %d, want 3", c.RuleCount())
+	}
+
+	checkVerdicts := func(engineName string) {
+		t.Helper()
+		hit := c.Lookup(MustParseHeader("198.51.100.7", 50000, "203.0.113.10", 443, TCP))
+		if !hit.Matched || hit.Action != Forward || hit.Priority != 0 {
+			t.Fatalf("%s: web lookup = %+v", engineName, hit)
+		}
+		punt := c.Lookup(MustParseHeader("10.1.2.3", 5353, "8.8.8.8", 53, UDP))
+		if !punt.Matched || punt.Action != Controller || punt.Priority != 1 {
+			t.Fatalf("%s: dns lookup = %+v", engineName, punt)
+		}
+		miss := c.Lookup(MustParseHeader("192.0.2.1", 1, "192.0.2.2", 2, GRE))
+		if !miss.Matched || miss.Action != Drop || miss.Priority != 2 {
+			t.Fatalf("%s: default lookup = %+v", engineName, miss)
+		}
+	}
+	for _, name := range Engines() {
+		if err := c.SelectEngine(name); err != nil {
+			t.Fatalf("SelectEngine(%s): %v", name, err)
+		}
+		if c.Engine() != name {
+			t.Fatalf("Engine() = %q after selecting %q", c.Engine(), name)
+		}
+		checkVerdicts(name)
+		if c.ThroughputGbps(40) <= 0 || c.LookupsPerSecond() <= 0 {
+			t.Errorf("%s: non-positive modelled throughput", name)
+		}
+	}
+
+	if _, err := c.Delete(dns); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if c.RuleCount() != 2 {
+		t.Errorf("RuleCount after delete = %d, want 2", c.RuleCount())
+	}
+	res := c.Lookup(MustParseHeader("10.1.2.3", 5353, "8.8.8.8", 53, UDP))
+	if !res.Matched || res.Action != Drop {
+		t.Errorf("after delete, dns falls to the default rule: %+v", res)
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	if _, err := New(WithEngine("no-such-engine")); err == nil {
+		t.Error("unknown engine should fail")
+	}
+	c, err := New(WithEngine("bst"), WithSingleProbe(), WithClock(200e6))
+	if err != nil {
+		t.Fatalf("New with options: %v", err)
+	}
+	if c.Engine() != "bst" {
+		t.Errorf("engine = %q, want bst", c.Engine())
+	}
+}
+
+func TestRuleBuilderErrors(t *testing.T) {
+	if _, err := NewRule(0).From("not-a-prefix").Build(); err == nil {
+		t.Error("bad source prefix should surface at Build")
+	}
+	if _, err := NewRule(0).SrcPorts(9, 3).Build(); err == nil {
+		t.Error("inverted port range should surface at Build")
+	}
+	if _, err := ParseHeader("bad", 1, "203.0.113.1", 2, TCP); err == nil {
+		t.Error("bad source address should fail")
+	}
+}
+
+func TestWorkloadGeneration(t *testing.T) {
+	rs, err := GenerateRuleSet("acl", "1k")
+	if err != nil {
+		t.Fatalf("GenerateRuleSet: %v", err)
+	}
+	if rs.Len() == 0 {
+		t.Fatal("empty generated rule set")
+	}
+	if _, err := GenerateRuleSet("nope", "1k"); err == nil {
+		t.Error("unknown class should fail")
+	}
+	if _, err := GenerateRuleSet("acl", "3k"); err == nil {
+		t.Error("unknown size should fail")
+	}
+	trace := GenerateTrace(rs, TraceOptions{Packets: 100, Seed: 1})
+	if len(trace) != 100 {
+		t.Fatalf("trace length = %d, want 100", len(trace))
+	}
+}

@@ -1,0 +1,3 @@
+module sdnpc
+
+go 1.24

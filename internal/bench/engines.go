@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"sdnpc/internal/core"
+	"sdnpc/internal/engine"
+)
+
+// EngineRow is one row of the engine sweep: the architecture evaluated with
+// one registered IP-segment engine on a shared workload.
+type EngineRow struct {
+	Engine             string
+	AvgFieldAccesses   float64
+	AvgLatencyCycles   float64
+	LookupsPerSecMega  float64
+	ThroughputGbps40   float64
+	IPMemoryKbit       float64
+	IPProvisionedKbit  float64
+	RuleCapacity       int
+	VerdictMismatches  int
+	PacketsReplayed    int
+	InitiationInterval int
+}
+
+// EngineSweep evaluates every registered IP-segment engine on the workload:
+// each engine serves the four IP-segment dimensions of a fresh classifier,
+// the full rule set is installed, the trace is replayed and every verdict is
+// checked against the linear reference classifier. A non-empty only argument
+// restricts the sweep to that engine.
+func EngineSweep(w Workload, only string) ([]EngineRow, error) {
+	names := engine.IPEngineNames()
+	if only != "" {
+		found := false
+		for _, name := range names {
+			if name == only {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("bench: unknown IP engine %q (registered: %v)", only, names)
+		}
+		names = []string{only}
+	}
+
+	rows := make([]EngineRow, 0, len(names))
+	for _, name := range names {
+		cfg := core.DefaultConfig()
+		cfg.IPEngine = name
+		c, err := core.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: engine %s: %w", name, err)
+		}
+		if _, err := c.InstallRuleSet(w.RuleSet); err != nil {
+			return nil, fmt.Errorf("bench: engine %s: %w", name, err)
+		}
+		c.ResetStats()
+		mismatches := 0
+		for _, h := range w.Trace {
+			wantIdx, wantOK := w.RuleSet.Classify(h)
+			got := c.Lookup(h)
+			if got.Matched != wantOK || (wantOK && got.Priority != wantIdx) {
+				mismatches++
+			}
+		}
+		stats := c.Stats()
+		report := c.MemoryReport()
+		rows = append(rows, EngineRow{
+			Engine:             name,
+			AvgFieldAccesses:   stats.AverageFieldAccesses(),
+			AvgLatencyCycles:   stats.AverageLatencyCycles(),
+			LookupsPerSecMega:  c.LookupsPerSecond() / 1e6,
+			ThroughputGbps40:   c.ThroughputGbps(40),
+			IPMemoryKbit:       Kbit(report.IPAlgorithmUsedBits()),
+			IPProvisionedKbit:  Kbit(report.IPEngineProvisionedBits),
+			RuleCapacity:       c.RuleCapacity(),
+			VerdictMismatches:  mismatches,
+			PacketsReplayed:    len(w.Trace),
+			InitiationInterval: c.Pipeline().BottleneckInterval(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderEngineSweep renders the sweep in the row/column style of the paper's
+// tables.
+func RenderEngineSweep(rows []EngineRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Engine sweep — every registered IP-segment engine on the same workload\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %10s %12s %14s %10s %12s\n",
+		"engine", "accesses/pkt", "latency cyc", "Mlookups/s", "Gbps@40B", "IP Kbit", "IP prov Kbit", "capacity", "mismatches")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12.2f %12.1f %12.1f %10.2f %12.1f %14.1f %10d %6d/%d\n",
+			r.Engine, r.AvgFieldAccesses, r.AvgLatencyCycles, r.LookupsPerSecMega,
+			r.ThroughputGbps40, r.IPMemoryKbit, r.IPProvisionedKbit, r.RuleCapacity,
+			r.VerdictMismatches, r.PacketsReplayed)
+	}
+	return b.String()
+}

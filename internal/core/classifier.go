@@ -3,10 +3,7 @@ package core
 import (
 	"fmt"
 
-	"sdnpc/internal/algo/bst"
-	"sdnpc/internal/algo/lut"
-	"sdnpc/internal/algo/mbt"
-	"sdnpc/internal/algo/portreg"
+	"sdnpc/internal/engine"
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/hw/memory"
 	"sdnpc/internal/label"
@@ -80,22 +77,32 @@ type installedRule struct {
 // Classifier is one instance of the configurable packet classification
 // architecture.
 //
+// Every header dimension is served by one pluggable engine.FieldEngine,
+// built through the engine registry: the four IP-segment dimensions run the
+// engine named by the IPEngine configuration (switchable at run time via
+// SelectIPEngine — the generalised IPalg_s signal), the port dimensions run
+// the register bank and the protocol dimension runs the LUT. The classifier
+// itself never dispatches on an algorithm name; every per-dimension call
+// goes through the FieldEngine interface.
+//
 // Classifier is not safe for concurrent use: in the modelled hardware the
 // lookup data path and the update interface are time-multiplexed by the
 // controller, and the software model mirrors that by requiring external
 // serialisation.
 type Classifier struct {
 	cfg Config
-	alg memory.AlgSelect
+
+	// engineName is the registry name of the engine serving the IP-segment
+	// dimensions; alg mirrors it on the legacy IPalg_s signal (0 when the
+	// engine has no legacy selection value).
+	engineName string
+	alg        memory.AlgSelect
 
 	labels    *label.Bank
 	fieldUses map[label.Dimension]map[string]*fieldUse
 
-	mbtEngines map[label.Dimension]*mbt.Engine
-	bstEngines map[label.Dimension]*bst.Engine
-	srcPorts   *portreg.Bank
-	dstPorts   *portreg.Bank
-	protoLUT   *lut.Table
+	// engines holds the per-dimension field lookup engines.
+	engines map[label.Dimension]engine.FieldEngine
 
 	// sharedL2 models the IPalg_s-selected shared blocks of Fig. 5, one per
 	// IP segment.
@@ -112,8 +119,15 @@ func New(cfg Config) (*Classifier, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Classifier{cfg: cfg, alg: cfg.IPAlgorithm}
-	c.resetDataPath()
+	name := cfg.IPEngineName()
+	def, ok := engine.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown field engine %q", name)
+	}
+	c := &Classifier{cfg: cfg, engineName: name, alg: def.Legacy}
+	if err := c.resetDataPath(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -127,48 +141,75 @@ func MustNew(cfg Config) *Classifier {
 }
 
 // resetDataPath (re)builds every engine, label table and the rule filter for
-// the current algorithm selection, leaving the installed-rule shadow intact.
-func (c *Classifier) resetDataPath() {
+// the current engine selection, leaving the installed-rule shadow intact.
+func (c *Classifier) resetDataPath() error {
 	c.labels = label.NewBank()
 	c.fieldUses = make(map[label.Dimension]map[string]*fieldUse, label.NumDimensions)
 	for _, d := range label.Dimensions() {
 		c.fieldUses[d] = make(map[string]*fieldUse)
 	}
 
-	c.mbtEngines = make(map[label.Dimension]*mbt.Engine, len(ipSegmentDims))
-	c.bstEngines = make(map[label.Dimension]*bst.Engine, len(ipSegmentDims))
+	c.engines = make(map[label.Dimension]engine.FieldEngine, label.NumDimensions)
 	if c.sharedL2 == nil {
 		c.sharedL2 = make(map[label.Dimension]*memory.SharedBlock, len(ipSegmentDims))
 	}
 	for _, d := range ipSegmentDims {
-		mbtCfg := mbt.SegmentConfig()
-		c.mbtEngines[d] = mbt.MustNew(mbtCfg)
-		c.bstEngines[d] = bst.MustNew(bst.SegmentConfig())
 		if c.sharedL2[d] == nil {
 			block := memory.NewBlock(fmt.Sprintf("shared-l2/%s", d), DefaultMBTEntryBits, c.cfg.MBTLevel2Entries)
-			c.sharedL2[d] = memory.NewSharedBlock(block, c.alg)
+			c.sharedL2[d] = memory.NewSharedBlockOwner(block, c.engineName)
 		} else {
-			c.sharedL2[d].Select(c.alg)
+			c.sharedL2[d].SelectOwner(c.engineName)
 		}
+		eng, err := engine.New(c.engineName, engine.Spec{
+			KeyBits:   16,
+			LabelBits: d.Bits(),
+			SharedL2:  c.sharedL2[d],
+		})
+		if err != nil {
+			return fmt.Errorf("core: building %s engine for %s: %w", c.engineName, d, err)
+		}
+		c.engines[d] = eng
 	}
-	c.srcPorts = portreg.MustNew(c.cfg.PortRegisters, label.DimSrcPort.Bits())
-	c.dstPorts = portreg.MustNew(c.cfg.PortRegisters, label.DimDstPort.Bits())
-	c.protoLUT = lut.MustNew(DefaultProtocolLabelBits)
-	c.filter = newRuleFilter(c.cfg.RuleFilterAddressBits, c.cfg.RuleCapacity(c.alg), c.cfg.RuleEntryBits)
+	for _, d := range []label.Dimension{label.DimSrcPort, label.DimDstPort} {
+		eng, err := engine.New("portreg", engine.Spec{
+			KeyBits:   16,
+			LabelBits: d.Bits(),
+			Registers: c.cfg.PortRegisters,
+		})
+		if err != nil {
+			return fmt.Errorf("core: building port engine for %s: %w", d, err)
+		}
+		c.engines[d] = eng
+	}
+	protoEng, err := engine.New("lut", engine.Spec{KeyBits: 8, LabelBits: DefaultProtocolLabelBits})
+	if err != nil {
+		return fmt.Errorf("core: building protocol engine: %w", err)
+	}
+	c.engines[label.DimProtocol] = protoEng
+
+	c.filter = newRuleFilter(c.cfg.RuleFilterAddressBits, c.cfg.RuleCapacityFor(c.engineName), c.cfg.RuleEntryBits)
+	return nil
 }
 
 // Config returns the classifier configuration.
 func (c *Classifier) Config() Config { return c.cfg }
 
-// IPAlgorithm returns the current setting of the IPalg_s signal.
+// IPEngineName returns the registry name of the engine currently serving the
+// IP-segment dimensions.
+func (c *Classifier) IPEngineName() string { return c.engineName }
+
+// IPAlgorithm returns the current setting of the legacy IPalg_s signal: the
+// selection value of the active IP engine, or 0 when the engine has no
+// legacy value.
+//
+// Deprecated: use IPEngineName.
 func (c *Classifier) IPAlgorithm() memory.AlgSelect { return c.alg }
 
 // RuleCount returns the number of installed rules.
 func (c *Classifier) RuleCount() int { return len(c.installed) }
 
-// RuleCapacity returns the rule capacity under the current algorithm
-// selection.
-func (c *Classifier) RuleCapacity() int { return c.cfg.RuleCapacity(c.alg) }
+// RuleCapacity returns the rule capacity under the current engine selection.
+func (c *Classifier) RuleCapacity() int { return c.cfg.RuleCapacityFor(c.engineName) }
 
 // InstalledRules returns a copy of the installed rules in installation
 // order.
@@ -180,32 +221,51 @@ func (c *Classifier) InstalledRules() []fivetuple.Rule {
 	return out
 }
 
-// SelectIPAlgorithm drives the IPalg_s signal (§III.A): it reconfigures the
-// IP lookup algorithm, re-purposes the shared memory blocks (Fig. 5) and
-// re-programmes the data path with the installed rules, exactly as the
-// software controller would re-download the memory images after a
-// configuration change. Selecting the already-active algorithm is a no-op.
-func (c *Classifier) SelectIPAlgorithm(alg memory.AlgSelect) error {
-	if alg != memory.SelectMBT && alg != memory.SelectBST {
-		return fmt.Errorf("core: unknown IP algorithm selection %v", alg)
+// SelectIPEngine drives the generalised IPalg_s signal (§III.A): it swaps
+// the IP-segment lookup engines for the named registered engine, re-purposes
+// the shared memory blocks (Fig. 5) and re-programmes the data path with the
+// installed rules, exactly as the software controller would re-download the
+// memory images after a configuration change. Selecting the already-active
+// engine is a no-op.
+func (c *Classifier) SelectIPEngine(name string) error {
+	def, ok := engine.Get(name)
+	if !ok {
+		return fmt.Errorf("core: unknown field engine %q (registered: %v)", name, engine.IPEngineNames())
 	}
-	if alg == c.alg {
+	if !def.IPCapable {
+		return fmt.Errorf("core: engine %q cannot serve the IP-segment dimensions", name)
+	}
+	if name == c.engineName {
 		return nil
 	}
-	if len(c.installed) > c.cfg.RuleCapacity(alg) {
+	if len(c.installed) > c.cfg.RuleCapacityFor(name) {
 		return fmt.Errorf("core: %d installed rules exceed the %d-rule capacity of the %s configuration",
-			len(c.installed), c.cfg.RuleCapacity(alg), alg)
+			len(c.installed), c.cfg.RuleCapacityFor(name), name)
 	}
 	rules := c.InstalledRules()
-	c.alg = alg
+	c.engineName = name
+	c.alg = def.Legacy
 	c.installed = nil
-	c.resetDataPath()
+	if err := c.resetDataPath(); err != nil {
+		return err
+	}
 	for _, r := range rules {
 		if _, err := c.InsertRule(r); err != nil {
-			return fmt.Errorf("core: re-programming after algorithm switch: %w", err)
+			return fmt.Errorf("core: re-programming after engine switch: %w", err)
 		}
 	}
 	return nil
+}
+
+// SelectIPAlgorithm drives the legacy two-valued IPalg_s signal.
+//
+// Deprecated: use SelectIPEngine with a registered engine name.
+func (c *Classifier) SelectIPAlgorithm(alg memory.AlgSelect) error {
+	name, ok := engine.LegacyName(alg)
+	if !ok {
+		return fmt.Errorf("core: unknown IP algorithm selection %v", alg)
+	}
+	return c.SelectIPEngine(name)
 }
 
 // segmentValues returns the four IP-segment slices of a rule.
@@ -242,83 +302,48 @@ func fieldValueKey(d label.Dimension, r fivetuple.Rule) string {
 	}
 }
 
-// installFieldValue writes a newly labelled field value into the appropriate
+// fieldValue extracts the match condition of a rule in one dimension — the
+// data handed to that dimension's engine. This is pure header-format
+// extraction; which algorithm stores the value is decided by the engine
+// registry, not here.
+func fieldValue(d label.Dimension, r fivetuple.Rule) engine.Value {
+	switch d {
+	case label.DimSrcIPHigh, label.DimSrcIPLow, label.DimDstIPHigh, label.DimDstIPLow:
+		seg := segmentValues(r)[d]
+		return engine.Prefix(uint32(seg.value), seg.bits)
+	case label.DimSrcPort:
+		return engine.Range(uint32(r.SrcPort.Lo), uint32(r.SrcPort.Hi))
+	case label.DimDstPort:
+		return engine.Range(uint32(r.DstPort.Lo), uint32(r.DstPort.Hi))
+	case label.DimProtocol:
+		if r.Protocol.IsWildcard() {
+			return engine.Wildcard()
+		}
+		return engine.Exact(uint32(r.Protocol.Value))
+	default:
+		return engine.Value{}
+	}
+}
+
+// installFieldValue writes a newly labelled field value into the dimension's
 // lookup engine. It returns the number of engine memory writes.
 func (c *Classifier) installFieldValue(d label.Dimension, r fivetuple.Rule, lbl label.Label, priority int) (int, error) {
-	switch d {
-	case label.DimSrcIPHigh, label.DimSrcIPLow, label.DimDstIPHigh, label.DimDstIPLow:
-		seg := segmentValues(r)[d]
-		if c.alg == memory.SelectBST {
-			// BST interval nodes live in the shared level-2 block
-			// (Fig. 5). Workloads whose unique segment values exceed the
-			// published geometry overflow that block; the model accepts
-			// them (so arbitrary filter sets can be evaluated) and the
-			// overflow is visible in MemoryReport, where BSTUsedBits may
-			// exceed BSTProvisionedBits.
-			return c.bstEngines[d].Insert(uint32(seg.value), seg.bits, lbl, priority)
-		}
-		return c.mbtEngines[d].Insert(uint32(seg.value), seg.bits, lbl, priority)
-	case label.DimSrcPort:
-		return c.srcPorts.Insert(r.SrcPort, lbl, priority)
-	case label.DimDstPort:
-		return c.dstPorts.Insert(r.DstPort, lbl, priority)
-	case label.DimProtocol:
-		if r.Protocol.IsWildcard() {
-			return c.protoLUT.InsertWildcard(lbl, priority), nil
-		}
-		return c.protoLUT.InsertExact(r.Protocol.Value, lbl, priority), nil
-	default:
-		return 0, fmt.Errorf("core: unknown dimension %v", d)
-	}
+	return c.engines[d].Insert(fieldValue(d, r), lbl, priority)
 }
 
-// removeFieldValue deletes a field value from the appropriate engine when
+// removeFieldValue deletes a field value from the dimension's engine when
 // its last rule is gone.
 func (c *Classifier) removeFieldValue(d label.Dimension, r fivetuple.Rule, lbl label.Label) (int, error) {
-	switch d {
-	case label.DimSrcIPHigh, label.DimSrcIPLow, label.DimDstIPHigh, label.DimDstIPLow:
-		seg := segmentValues(r)[d]
-		if c.alg == memory.SelectBST {
-			return c.bstEngines[d].Remove(uint32(seg.value), seg.bits, lbl)
-		}
-		return c.mbtEngines[d].Remove(uint32(seg.value), seg.bits, lbl)
-	case label.DimSrcPort:
-		return c.srcPorts.Remove(r.SrcPort)
-	case label.DimDstPort:
-		return c.dstPorts.Remove(r.DstPort)
-	case label.DimProtocol:
-		if r.Protocol.IsWildcard() {
-			return c.protoLUT.RemoveWildcard()
-		}
-		return c.protoLUT.RemoveExact(r.Protocol.Value)
-	default:
-		return 0, fmt.Errorf("core: unknown dimension %v", d)
-	}
+	return c.engines[d].Remove(fieldValue(d, r), lbl)
 }
 
-// reprioritiseFieldValue re-installs an IP-segment field value at a new best
-// priority after the rule that defined the old best priority was deleted.
-// Port and protocol engines order their lists positionally (specificity), so
-// only the IP engines need this.
+// reprioritiseFieldValue re-installs a field value at a new best priority
+// after the rule that defined the old best priority was deleted. Engines
+// whose lists are ordered positionally (ports, protocol) treat this as a
+// no-op.
 func (c *Classifier) reprioritiseFieldValue(d label.Dimension, r fivetuple.Rule, lbl label.Label, newBest int) error {
-	switch d {
-	case label.DimSrcIPHigh, label.DimSrcIPLow, label.DimDstIPHigh, label.DimDstIPLow:
-		seg := segmentValues(r)[d]
-		if c.alg == memory.SelectBST {
-			if _, err := c.bstEngines[d].Remove(uint32(seg.value), seg.bits, lbl); err != nil {
-				return err
-			}
-			_, err := c.bstEngines[d].Insert(uint32(seg.value), seg.bits, lbl, newBest)
-			return err
-		}
-		if _, err := c.mbtEngines[d].Remove(uint32(seg.value), seg.bits, lbl); err != nil {
-			return err
-		}
-		_, err := c.mbtEngines[d].Insert(uint32(seg.value), seg.bits, lbl, newBest)
-		return err
-	default:
-		return nil
-	}
+	_, err := c.engines[d].Reprioritise(fieldValue(d, r), lbl, newBest)
+	return err
 }
 
 // ruleLabels returns the per-dimension labels of a rule's own field values,

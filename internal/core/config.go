@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 
+	"sdnpc/internal/engine"
 	"sdnpc/internal/hw/memory"
 )
 
@@ -114,7 +115,12 @@ func (m CombineMode) String() string {
 // Config parameterises a Classifier. Use DefaultConfig and override fields as
 // needed.
 type Config struct {
-	// IPAlgorithm is the initial setting of the IPalg_s signal.
+	// IPEngine names the registered field engine serving the four IP-segment
+	// dimensions (see internal/engine: "mbt", "bst", "segtrie", "rfc", ...).
+	// When empty, the legacy IPAlgorithm signal decides.
+	IPEngine string
+	// IPAlgorithm is the initial setting of the legacy two-valued IPalg_s
+	// signal, consulted only when IPEngine is empty.
 	IPAlgorithm memory.AlgSelect
 	// CombineMode selects the phase-3 combination strategy.
 	CombineMode CombineMode
@@ -165,9 +171,30 @@ func DefaultConfig() Config {
 	}
 }
 
+// IPEngineName resolves the configured IP-segment engine name: the explicit
+// IPEngine field when set, otherwise the engine named by the legacy
+// IPAlgorithm signal.
+func (c Config) IPEngineName() string {
+	if c.IPEngine != "" {
+		return c.IPEngine
+	}
+	if name, ok := engine.LegacyName(c.IPAlgorithm); ok {
+		return name
+	}
+	return "mbt"
+}
+
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
-	if c.IPAlgorithm != memory.SelectMBT && c.IPAlgorithm != memory.SelectBST {
+	if c.IPEngine != "" {
+		def, ok := engine.Get(c.IPEngine)
+		if !ok {
+			return fmt.Errorf("core: unknown field engine %q (registered: %v)", c.IPEngine, engine.IPEngineNames())
+		}
+		if !def.IPCapable {
+			return fmt.Errorf("core: engine %q cannot serve the IP-segment dimensions", c.IPEngine)
+		}
+	} else if c.IPAlgorithm != memory.SelectMBT && c.IPAlgorithm != memory.SelectBST {
 		return fmt.Errorf("core: unknown IP algorithm selection %v", c.IPAlgorithm)
 	}
 	if c.CombineMode != CombineHPML && c.CombineMode != CombineCrossProduct {
@@ -228,12 +255,24 @@ func (c Config) ExtraRuleCapacityBST() int {
 	return 4 * c.freedMBTBitsPerSegment() / c.RuleEntryBits
 }
 
-// RuleCapacity returns the number of rules the architecture can hold under
-// the given IP algorithm selection (Table VI: 8K with the MBT, ~12K with the
-// BST).
-func (c Config) RuleCapacity(alg memory.AlgSelect) int {
-	if alg == memory.SelectBST {
+// RuleCapacityFor returns the number of rules the architecture can hold
+// under the named engine selection (Table VI: 8K with the MBT, ~12K with the
+// BST). Engines whose node data resides entirely in the shared level-2
+// blocks free the remaining MBT blocks for rule storage.
+func (c Config) RuleCapacityFor(name string) int {
+	if def, ok := engine.Get(name); ok && def.SharesLevel2 {
 		return c.RuleFilterSlots() + c.ExtraRuleCapacityBST()
+	}
+	return c.RuleFilterSlots()
+}
+
+// RuleCapacity returns the rule capacity under the given legacy IP algorithm
+// selection.
+//
+// Deprecated: use RuleCapacityFor with a registered engine name.
+func (c Config) RuleCapacity(alg memory.AlgSelect) int {
+	if name, ok := engine.LegacyName(alg); ok {
+		return c.RuleCapacityFor(name)
 	}
 	return c.RuleFilterSlots()
 }

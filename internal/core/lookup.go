@@ -2,7 +2,6 @@ package core
 
 import (
 	"sdnpc/internal/fivetuple"
-	"sdnpc/internal/hw/memory"
 	"sdnpc/internal/label"
 )
 
@@ -83,46 +82,40 @@ func (c *Classifier) Lookup(h fivetuple.Header) Result {
 	return result
 }
 
-// lookupFields performs the parallel phase-2 lookups.
+// headerKeys splits the header into the per-dimension lookup keys of
+// phase 1 — pure header-format extraction, independent of which engine
+// serves each dimension. Indexed by Dimension (a dense 1-based enum) to
+// keep the per-packet hot path allocation-free.
+func headerKeys(h fivetuple.Header) [label.NumDimensions + 1]uint32 {
+	var keys [label.NumDimensions + 1]uint32
+	keys[label.DimSrcIPHigh] = uint32(h.SrcIP.High16())
+	keys[label.DimSrcIPLow] = uint32(h.SrcIP.Low16())
+	keys[label.DimDstIPHigh] = uint32(h.DstIP.High16())
+	keys[label.DimDstIPLow] = uint32(h.DstIP.Low16())
+	keys[label.DimSrcPort] = uint32(h.SrcPort)
+	keys[label.DimDstPort] = uint32(h.DstPort)
+	keys[label.DimProtocol] = uint32(h.Protocol)
+	return keys
+}
+
+// lookupFields performs the parallel phase-2 lookups: every dimension's key
+// is handed to that dimension's engine through the FieldEngine interface.
 func (c *Classifier) lookupFields(h fivetuple.Header) []fieldLookup {
-	segments := map[label.Dimension]uint16{
-		label.DimSrcIPHigh: h.SrcIP.High16(),
-		label.DimSrcIPLow:  h.SrcIP.Low16(),
-		label.DimDstIPHigh: h.DstIP.High16(),
-		label.DimDstIPLow:  h.DstIP.Low16(),
-	}
+	keys := headerKeys(h)
 	out := make([]fieldLookup, 0, label.NumDimensions)
-	for _, d := range ipSegmentDims {
-		var (
-			list     *label.List
-			accesses int
-			cycles   int
-		)
-		if c.alg == memory.SelectBST {
-			list, accesses = c.bstEngines[d].Lookup(uint32(segments[d]))
-			cycles = bstLookupCycles()
-		} else {
-			list, accesses = c.mbtEngines[d].Lookup(uint32(segments[d]))
-			cycles = mbtLookupCycles()
-		}
-		out = append(out, fieldLookup{dim: d, list: list, accesses: accesses, cycles: cycles})
+	for _, d := range label.Dimensions() {
+		eng := c.engines[d]
+		list, accesses := eng.Lookup(keys[d])
+		out = append(out, fieldLookup{dim: d, list: list, accesses: accesses, cycles: eng.Cost().LookupCycles})
 	}
-	srcList, srcAcc := c.srcPorts.Lookup(h.SrcPort)
-	out = append(out, fieldLookup{dim: label.DimSrcPort, list: srcList, accesses: srcAcc, cycles: CyclesPortLookup})
-	dstList, dstAcc := c.dstPorts.Lookup(h.DstPort)
-	out = append(out, fieldLookup{dim: label.DimDstPort, list: dstList, accesses: dstAcc, cycles: CyclesPortLookup})
-	protoList, protoAcc := c.protoLUT.Lookup(h.Protocol)
-	out = append(out, fieldLookup{dim: label.DimProtocol, list: protoList, accesses: protoAcc, cycles: CyclesProtoLookup})
 	return out
 }
 
 // mbtLookupCycles returns the phase-2 latency of the MBT engines (§V.B: the
-// three-level trie completes in 6 cycles).
+// three-level trie completes in 6 cycles). It anchors the synthesis
+// estimate, which models the paper's MBT-provisioned pipeline; the live
+// latency model asks each engine for its own cost.
 func mbtLookupCycles() int { return 3 * CyclesPerMBTLevel }
-
-// bstLookupCycles returns the phase-2 latency the BST engines are
-// provisioned for (§V.B / Table VI: 16 accesses per packet).
-func bstLookupCycles() int { return 16 * CyclesBSTIteration }
 
 // combineHPML implements the paper's phase-3 combination: the first (highest
 // priority) label of each list is concatenated into the 68-bit key and the
@@ -264,11 +257,7 @@ func (c *Classifier) Stats() Stats { return c.stats }
 func (c *Classifier) ResetStats() {
 	c.stats = Stats{}
 	c.filter.resetCounters()
-	for _, d := range ipSegmentDims {
-		c.mbtEngines[d].ResetStats()
-		c.bstEngines[d].ResetStats()
+	for _, eng := range c.engines {
+		eng.ResetStats()
 	}
-	c.srcPorts.ResetStats()
-	c.dstPorts.ResetStats()
-	c.protoLUT.ResetStats()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sdnpc/internal/engine"
 	"sdnpc/internal/hw/memory"
 	"sdnpc/internal/hw/pipeline"
 	"sdnpc/internal/hw/synth"
@@ -12,13 +13,24 @@ import (
 // the synthesised design reserves, Table V) from used bits (what the current
 // rule set occupies, Table VI).
 type MemoryReport struct {
+	// IPEngine is the registry name of the engine serving the IP-segment
+	// dimensions; Algorithm mirrors it on the legacy IPalg_s signal (0 when
+	// the engine has no legacy value).
+	IPEngine  string
 	Algorithm memory.AlgSelect
 
-	// IP algorithm blocks.
-	MBTProvisionedBits int
-	MBTUsedBits        int
-	BSTProvisionedBits int
-	BSTUsedBits        int
+	// IP algorithm blocks. IPEngineUsedBits is the node storage of the
+	// active engine whatever its name; IPEngineProvisionedBits is the block
+	// capacity that engine maps onto (the shared level-2 blocks for
+	// shared-resident engines, the full MBT block family otherwise).
+	// MBTUsedBits / BSTUsedBits remain populated when the corresponding
+	// legacy engine is active.
+	IPEngineUsedBits        int
+	IPEngineProvisionedBits int
+	MBTProvisionedBits      int
+	MBTUsedBits             int
+	BSTProvisionedBits      int
+	BSTUsedBits             int
 
 	// Other algorithm blocks.
 	ProtocolLUTBits  int
@@ -38,13 +50,8 @@ type MemoryReport struct {
 }
 
 // IPAlgorithmUsedBits returns the used node storage of the currently
-// selected IP algorithm — the "Memory Space Required" column of Table VI.
-func (m MemoryReport) IPAlgorithmUsedBits() int {
-	if m.Algorithm == memory.SelectBST {
-		return m.BSTUsedBits
-	}
-	return m.MBTUsedBits
-}
+// selected IP engine — the "Memory Space Required" column of Table VI.
+func (m MemoryReport) IPAlgorithmUsedBits() int { return m.IPEngineUsedBits }
 
 // TotalProvisionedBits returns the block-memory capacity of the synthesised
 // design (the Table V / Table VII memory figure). Port registers live in
@@ -63,48 +70,59 @@ func (m MemoryReport) TotalUsedBits() int {
 // MemoryReport computes the current memory breakdown.
 func (c *Classifier) MemoryReport() MemoryReport {
 	report := MemoryReport{
+		IPEngine:           c.engineName,
 		Algorithm:          c.alg,
 		MBTProvisionedBits: 4 * c.cfg.mbtProvisionedBitsPerSegment(),
 		BSTProvisionedBits: 4 * c.cfg.sharedLevel2BitsPerSegment(),
-		ProtocolLUTBits:    c.protoLUT.MemoryBits(),
-		PortRegisterBits:   c.srcPorts.MemoryBits() + c.dstPorts.MemoryBits(),
+		ProtocolLUTBits:    c.engines[label.DimProtocol].Footprint().NodeBits,
+		PortRegisterBits: c.engines[label.DimSrcPort].Footprint().NodeBits +
+			c.engines[label.DimDstPort].Footprint().NodeBits,
 
 		LabelMemoryProvisionedBits: c.cfg.LabelMemoryEntries * c.cfg.LabelMemoryEntryBits,
 		LabelTableBits:             c.labels.StorageBits(),
 
 		// The provisioned Rule Filter is the base hash-addressed block; the
-		// extra capacity available under the BST selection reuses the freed
-		// MBT blocks, which are already counted in MBTProvisionedBits.
+		// extra capacity available under a shared-resident engine selection
+		// reuses the freed MBT blocks, which are already counted in
+		// MBTProvisionedBits.
 		RuleFilterProvisionedBits: c.cfg.RuleFilterSlots() * c.cfg.RuleEntryBits,
 		RuleFilterUsedBits:        c.filter.usedBits(),
 
 		RulesInstalled: len(c.installed),
 		RuleCapacity:   c.RuleCapacity(),
 	}
-	// Only the selected algorithm's node data is resident in the (shared)
-	// memory blocks, so usage is reported for that algorithm alone.
+	// Only the selected engine's node data is resident in the (shared)
+	// memory blocks, so usage is reported for that engine alone.
 	for _, d := range ipSegmentDims {
-		if c.alg == memory.SelectBST {
-			report.BSTUsedBits += c.bstEngines[d].MemoryBits()
-			report.LabelMemoryUsedBits += c.bstEngines[d].LabelListBits()
-		} else {
-			report.MBTUsedBits += c.mbtEngines[d].MemoryBits()
-			report.LabelMemoryUsedBits += c.mbtEngines[d].LabelListBits()
-		}
+		fp := c.engines[d].Footprint()
+		report.IPEngineUsedBits += fp.NodeBits
+		report.LabelMemoryUsedBits += fp.LabelListBits
+	}
+	report.IPEngineProvisionedBits = report.MBTProvisionedBits
+	if def, ok := engine.Get(c.engineName); ok && def.SharesLevel2 {
+		report.IPEngineProvisionedBits = report.BSTProvisionedBits
+	}
+	switch c.alg {
+	case memory.SelectMBT:
+		report.MBTUsedBits = report.IPEngineUsedBits
+	case memory.SelectBST:
+		report.BSTUsedBits = report.IPEngineUsedBits
 	}
 	return report
 }
 
-// Pipeline returns the Fig. 3 lookup pipeline under the current algorithm
-// selection, for latency and throughput reporting (Table VII).
+// Pipeline returns the Fig. 3 lookup pipeline under the current engine
+// selection, for latency and throughput reporting (Table VII). The IP stage
+// takes its latency and initiation interval from the active engine's cost
+// model.
 func (c *Classifier) Pipeline() *pipeline.Pipeline {
-	ipStage := pipeline.Stage{Name: "field lookup (MBT)", LatencyCycles: mbtLookupCycles(), InitiationInterval: 1}
-	if c.alg == memory.SelectBST {
-		// The BST iterates over one memory port and cannot accept a new
-		// packet until the previous search completes.
-		ipStage = pipeline.Stage{Name: "field lookup (BST)", LatencyCycles: bstLookupCycles(), InitiationInterval: bstLookupCycles()}
+	cost := c.engines[label.DimSrcIPHigh].Cost()
+	ipStage := pipeline.Stage{
+		Name:               "field lookup (" + c.engineName + ")",
+		LatencyCycles:      cost.LookupCycles,
+		InitiationInterval: cost.InitiationInterval,
 	}
-	return pipeline.MustNew("lookup/"+c.alg.String(), c.cfg.ClockHz,
+	return pipeline.MustNew("lookup/"+c.engineName, c.cfg.ClockHz,
 		pipeline.Stage{Name: "split+dispatch", LatencyCycles: CyclesDispatch, InitiationInterval: 1},
 		ipStage,
 		pipeline.Stage{Name: "label fetch", LatencyCycles: CyclesLabelFetch, InitiationInterval: 1},

@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"sdnpc/internal/algo/mbt"
+	"sdnpc/internal/hw/memory"
+	"sdnpc/internal/label"
+)
+
+func init() {
+	MustRegister(Definition{
+		Name:        "mbt",
+		Description: "multi-bit trie: fastest lookup, expanded node storage (paper default)",
+		Factory:     newMBTEngine,
+		IPCapable:   true,
+		Legacy:      memory.SelectMBT,
+	})
+}
+
+// mbtEngine adapts the Multi-Bit Trie to the FieldEngine interface.
+type mbtEngine struct {
+	e *mbt.Engine
+}
+
+func newMBTEngine(spec Spec) (FieldEngine, error) {
+	// The trie's level-2 nodes are "Data 1" of the shared block (Fig. 5);
+	// building against a block another engine owns is a configuration error.
+	if _, err := viewSharedL2(spec, "mbt"); err != nil {
+		return nil, err
+	}
+	cfg := mbt.SegmentConfig()
+	if spec.KeyBits > 0 {
+		cfg.KeyBits = spec.KeyBits
+	}
+	if cfg.KeyBits != 16 {
+		cfg = mbt.UniformConfig(cfg.KeyBits, (cfg.KeyBits+5)/6)
+	}
+	if spec.LabelBits > 0 {
+		cfg.LabelEntryBits = spec.LabelBits
+	}
+	e, err := mbt.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &mbtEngine{e: e}, nil
+}
+
+func (a *mbtEngine) Insert(v Value, lbl label.Label, priority int) (int, error) {
+	if v.Kind != KindPrefix {
+		return 0, unsupportedKind("mbt", v.Kind)
+	}
+	return a.e.Insert(v.Value, v.Bits, lbl, priority)
+}
+
+func (a *mbtEngine) Remove(v Value, lbl label.Label) (int, error) {
+	if v.Kind != KindPrefix {
+		return 0, unsupportedKind("mbt", v.Kind)
+	}
+	return a.e.Remove(v.Value, v.Bits, lbl)
+}
+
+func (a *mbtEngine) Reprioritise(v Value, lbl label.Label, priority int) (int, error) {
+	return reprioritise(a, v, lbl, priority)
+}
+
+func (a *mbtEngine) Lookup(key uint32) (*label.List, int) { return a.e.Lookup(key) }
+
+func (a *mbtEngine) Cost() CostModel {
+	levels := a.e.Config().Levels()
+	return CostModel{
+		LookupCycles:       levels * CyclesPerTrieLevel,
+		InitiationInterval: 1,
+		WorstCaseAccesses:  a.e.WorstCaseAccesses(),
+	}
+}
+
+func (a *mbtEngine) Footprint() Footprint {
+	return Footprint{NodeBits: a.e.MemoryBits(), LabelListBits: a.e.LabelListBits()}
+}
+
+func (a *mbtEngine) ResetStats() { a.e.ResetStats() }

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sdnpc/internal/hw/memory"
+)
+
+// Spec carries the architecture geometry a factory needs to build one engine
+// instance for one dimension. Factories ignore the fields that do not apply
+// to them.
+type Spec struct {
+	// KeyBits is the width of the dimension's lookup keys (16 for IP
+	// segments and ports, 8 for the protocol).
+	KeyBits int
+	// LabelBits is the width of one stored label in the Labels memory block
+	// (13 for IP segments, 7 for ports, 2 for the protocol).
+	LabelBits int
+	// Registers is the register budget of register-bank engines.
+	Registers int
+	// SharedL2 is the dimension's shared level-2 memory block of Fig. 5,
+	// when the dimension has one. Ownership switching is driven by the
+	// classifier; factories of level-2-resident engines obtain the backing
+	// store through SharedL2.ViewOwner and fail if another engine's data
+	// occupies the block.
+	SharedL2 *memory.SharedBlock
+}
+
+// viewSharedL2 resolves an engine's backing store from the shared level-2
+// block: nil when no block was provided (footprint-only modelling), an error
+// when the block is currently owned by a different engine — the
+// anti-corruption guarantee of memory.SharedBlock.
+func viewSharedL2(spec Spec, name string) (*memory.Block, error) {
+	if spec.SharedL2 == nil {
+		return nil, nil
+	}
+	block := spec.SharedL2.ViewOwner(name)
+	if block == nil {
+		return nil, fmt.Errorf("shared level-2 block %q is owned by %q, not %q",
+			spec.SharedL2.Physical().Name(), spec.SharedL2.Owner(), name)
+	}
+	return block, nil
+}
+
+// Factory builds one engine instance for one dimension.
+type Factory func(spec Spec) (FieldEngine, error)
+
+// Definition describes one registered engine.
+type Definition struct {
+	// Name is the registry key ("mbt", "bst", ...). Selection by
+	// configuration and by the -ip-engine flags uses this name.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Factory builds instances.
+	Factory Factory
+	// IPCapable marks engines that can serve the 16-bit IP-segment
+	// dimensions (they accept KindPrefix values).
+	IPCapable bool
+	// SharesLevel2 marks engines whose node data resides entirely in the
+	// shared level-2 block of Fig. 5, freeing the remaining MBT blocks for
+	// additional rule storage (the BST-style capacity bonus of Table VI).
+	SharesLevel2 bool
+	// Legacy is the IPalg_s signal value that historically named this
+	// engine, or 0 when the engine has no legacy selection value.
+	Legacy memory.AlgSelect
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Definition)
+)
+
+// Register adds an engine definition to the registry. Registering an empty
+// name, a nil factory or a duplicate name is an error.
+func Register(def Definition) error {
+	if def.Name == "" {
+		return fmt.Errorf("engine: cannot register an empty engine name")
+	}
+	if def.Factory == nil {
+		return fmt.Errorf("engine: engine %q has no factory", def.Name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, exists := registry[def.Name]; exists {
+		return fmt.Errorf("engine: engine %q already registered", def.Name)
+	}
+	registry[def.Name] = def
+	return nil
+}
+
+// MustRegister is like Register but panics on error; intended for built-in
+// registrations at init time.
+func MustRegister(def Definition) {
+	if err := Register(def); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the definition registered under the name.
+func Get(name string) (Definition, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	def, ok := registry[name]
+	return def, ok
+}
+
+// New builds an engine instance by registered name.
+func New(name string, spec Spec) (FieldEngine, error) {
+	def, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown engine %q (registered: %v)", name, Names())
+	}
+	eng, err := def.Factory(spec)
+	if err != nil {
+		return nil, fmt.Errorf("engine: building %q: %w", name, err)
+	}
+	return eng, nil
+}
+
+// Names returns every registered engine name, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IPEngineNames returns the sorted names of the engines that can serve the
+// IP-segment dimensions — the values the IPEngine configuration field and
+// the -ip-engine flags accept.
+func IPEngineNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name, def := range registry {
+		if def.IPCapable {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LegacyName maps an IPalg_s signal value to the name of the engine it
+// historically selected.
+func LegacyName(alg memory.AlgSelect) (string, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	for name, def := range registry {
+		if def.Legacy != 0 && def.Legacy == alg {
+			return name, true
+		}
+	}
+	return "", false
+}

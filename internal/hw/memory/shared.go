@@ -27,52 +27,96 @@ func (s AlgSelect) String() string {
 	}
 }
 
+// ownerName maps a legacy IPalg_s value to the canonical (engine-registry)
+// owner name used by SharedBlock.
+func ownerName(alg AlgSelect) string {
+	switch alg {
+	case SelectMBT:
+		return "mbt"
+	case SelectBST:
+		return "bst"
+	default:
+		return alg.String()
+	}
+}
+
 // SharedBlock models the memory-sharing scheme of §IV.C.2 and Fig. 5: one
 // physical block holds MBT level-2 node data ("Data 1") when the MBT is
-// selected and BST node data ("Data 2") when the BST is selected. The two
-// uses require identical geometry — the condition the paper states for
+// selected and the node data of the alternative engine ("Data 2" — BST
+// interval nodes in the paper, any registered field engine here) otherwise.
+// The uses require identical geometry — the condition the paper states for
 // sharing to be possible — which is enforced at construction.
 //
-// A second consequence of sharing (also Fig. 5) is that when the BST is
-// selected the remaining MBT blocks become free and are re-purposed as
-// additional rule storage ("Data 3"); that reallocation is handled by the
-// architecture (internal/core), not by this type.
+// Ownership is tracked by engine name so that any registered field engine
+// can map onto the block; the legacy AlgSelect-based methods remain as thin
+// wrappers over the name-based ones.
+//
+// A second consequence of sharing (also Fig. 5) is that when a shared-
+// resident engine is selected the remaining MBT blocks become free and are
+// re-purposed as additional rule storage ("Data 3"); that reallocation is
+// handled by the architecture (internal/core), not by this type.
 type SharedBlock struct {
 	physical *Block
-	selected AlgSelect
+	owner    string
 }
 
 // NewSharedBlock wraps a physical block for shared use, initially selecting
 // the given algorithm.
 func NewSharedBlock(physical *Block, initial AlgSelect) *SharedBlock {
-	return &SharedBlock{physical: physical, selected: initial}
+	return NewSharedBlockOwner(physical, ownerName(initial))
+}
+
+// NewSharedBlockOwner wraps a physical block for shared use, initially owned
+// by the named engine.
+func NewSharedBlockOwner(physical *Block, owner string) *SharedBlock {
+	return &SharedBlock{physical: physical, owner: owner}
 }
 
 // Physical returns the underlying block (for capacity accounting).
 func (s *SharedBlock) Physical() *Block { return s.physical }
 
-// Selected returns the algorithm whose data currently occupies the block.
-func (s *SharedBlock) Selected() AlgSelect { return s.selected }
+// Owner returns the name of the engine whose data currently occupies the
+// block.
+func (s *SharedBlock) Owner() string { return s.owner }
 
-// Select switches the block to the other algorithm's data. Switching clears
-// the block contents: the controller must re-download the node data for the
-// newly selected algorithm, exactly as the software control plane would
+// Selected returns the legacy algorithm selection whose data currently
+// occupies the block, or 0 when the owner has no legacy selection value.
+func (s *SharedBlock) Selected() AlgSelect {
+	switch s.owner {
+	case "mbt":
+		return SelectMBT
+	case "bst":
+		return SelectBST
+	default:
+		return 0
+	}
+}
+
+// SelectOwner hands the block to another engine's data. Switching clears the
+// block contents: the controller must re-download the node data for the
+// newly selected engine, exactly as the software control plane would
 // re-programme the hardware after changing IPalg_s.
-func (s *SharedBlock) Select(alg AlgSelect) {
-	if alg == s.selected {
+func (s *SharedBlock) SelectOwner(owner string) {
+	if owner == s.owner {
 		return
 	}
-	s.selected = alg
+	s.owner = owner
 	s.physical.Clear()
 }
 
-// View returns the physical block if the requested algorithm is currently
-// selected, and nil otherwise. Engines obtain their backing store through
-// View so that a misconfigured engine cannot silently corrupt the other
-// algorithm's data.
-func (s *SharedBlock) View(alg AlgSelect) *Block {
-	if alg != s.selected {
+// Select is the legacy AlgSelect form of SelectOwner.
+func (s *SharedBlock) Select(alg AlgSelect) { s.SelectOwner(ownerName(alg)) }
+
+// ViewOwner returns the physical block if the named engine currently owns
+// it, and nil otherwise. Engines obtain their backing store through ViewOwner
+// so that a misconfigured engine cannot silently corrupt another engine's
+// data.
+func (s *SharedBlock) ViewOwner(owner string) *Block {
+	if owner != s.owner {
 		return nil
 	}
 	return s.physical
 }
+
+// View is the legacy AlgSelect form of ViewOwner.
+func (s *SharedBlock) View(alg AlgSelect) *Block { return s.ViewOwner(ownerName(alg)) }

@@ -16,6 +16,7 @@ import (
 	"net"
 	"sync"
 
+	"sdnpc/internal/engine"
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/hw/memory"
 	"sdnpc/internal/sdn/openflow"
@@ -63,7 +64,10 @@ type Controller struct {
 	mu        sync.Mutex
 	rules     []fivetuple.Rule
 	algorithm memory.AlgSelect
-	handler   PacketInHandler
+	// engine, when non-empty, selects the IP engine by registry name and
+	// overrides the legacy two-valued algorithm signal.
+	engine  string
+	handler PacketInHandler
 
 	listener net.Listener
 	switches map[string]*switchConn
@@ -185,6 +189,14 @@ func (c *Controller) Algorithm() memory.AlgSelect {
 	return c.algorithm
 }
 
+// EngineName returns the name-based engine selection, or "" when the legacy
+// algorithm signal is in charge.
+func (c *Controller) EngineName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.engine
+}
+
 func (c *Controller) nextXid() uint32 {
 	c.xid++
 	return c.xid
@@ -206,6 +218,7 @@ func (c *Controller) handleSwitch(conn net.Conn) {
 	rules := make([]fivetuple.Rule, len(c.rules))
 	copy(rules, c.rules)
 	alg := c.algorithm
+	engineName := c.engine
 	c.mu.Unlock()
 
 	defer func() {
@@ -224,6 +237,14 @@ func (c *Controller) handleSwitch(conn net.Conn) {
 		Body: openflow.MarshalSetAlgorithm(alg),
 	}); err != nil {
 		return
+	}
+	if engineName != "" {
+		if err := sw.send(openflow.Message{
+			Type: openflow.TypeSetEngine, Xid: c.nextXid(),
+			Body: openflow.MarshalSetEngine(engineName),
+		}); err != nil {
+			return
+		}
 	}
 	for _, r := range rules {
 		if err := sw.send(openflow.Message{
@@ -337,7 +358,8 @@ func (c *Controller) RemoveRule(r fivetuple.Rule) error {
 }
 
 // SelectAlgorithm changes the IP algorithm selection and pushes the IPalg_s
-// update to every connected data plane.
+// update to every connected data plane. It clears any name-based engine
+// override.
 func (c *Controller) SelectAlgorithm(alg memory.AlgSelect) error {
 	if alg != memory.SelectMBT && alg != memory.SelectBST {
 		return fmt.Errorf("controller: unknown algorithm %v", alg)
@@ -348,11 +370,35 @@ func (c *Controller) SelectAlgorithm(alg memory.AlgSelect) error {
 		return ErrClosed
 	}
 	c.algorithm = alg
+	c.engine = ""
 	c.mu.Unlock()
 	return c.broadcast(func(xid uint32) openflow.Message {
 		return openflow.Message{
 			Type: openflow.TypeSetAlgorithm, Xid: xid,
 			Body: openflow.MarshalSetAlgorithm(alg),
+		}
+	})
+}
+
+// SelectEngine changes the IP engine selection by registry name and pushes
+// the update to every connected data plane. The name is validated against
+// the local engine registry so a typo fails here instead of poisoning the
+// controller state and being silently rejected by every switch.
+func (c *Controller) SelectEngine(name string) error {
+	if def, ok := engine.Get(name); !ok || !def.IPCapable {
+		return fmt.Errorf("controller: unknown IP engine %q (registered: %v)", name, engine.IPEngineNames())
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.engine = name
+	c.mu.Unlock()
+	return c.broadcast(func(xid uint32) openflow.Message {
+		return openflow.Message{
+			Type: openflow.TypeSetEngine, Xid: xid,
+			Body: openflow.MarshalSetEngine(name),
 		}
 	})
 }

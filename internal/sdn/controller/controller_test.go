@@ -281,3 +281,31 @@ func TestSwitchWithoutControllerReportsPuntFailure(t *testing.T) {
 		t.Error("ProcessPacket without a controller should report the punt failure")
 	}
 }
+
+func TestSelectEnginePropagatesToSwitch(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Class: classbench.ACL, Rules: 20, Seed: 4})
+	ctrl, addr := startController(t, rs, controller.ProfileThroughput, nil)
+	sw := startSwitch(t, addr)
+	waitFor(t, "download", func() bool { return sw.Classifier().RuleCount() == rs.Len() })
+
+	if err := ctrl.SelectEngine("segtree"); err == nil {
+		t.Error("a typo'd engine name should fail locally")
+	}
+	if got := ctrl.EngineName(); got != "" {
+		t.Errorf("failed selection should not change state, got %q", got)
+	}
+	if err := ctrl.SelectEngine("segtrie"); err != nil {
+		t.Fatalf("SelectEngine(segtrie): %v", err)
+	}
+	waitFor(t, "engine switch", func() bool { return sw.Classifier().IPEngineName() == "segtrie" })
+	if sw.Classifier().RuleCount() != rs.Len() {
+		t.Errorf("rules after engine switch = %d, want %d", sw.Classifier().RuleCount(), rs.Len())
+	}
+
+	// A late-joining switch receives the name-based selection during the
+	// handshake download.
+	sw2 := startSwitch(t, addr)
+	waitFor(t, "late download", func() bool {
+		return sw2.Classifier().RuleCount() == rs.Len() && sw2.Classifier().IPEngineName() == "segtrie"
+	})
+}

@@ -171,6 +171,21 @@ func (s *Switch) controlLoop(conn net.Conn) {
 			if err != nil {
 				s.sendError(conn, msg.Xid, err)
 			}
+		case openflow.TypeSetEngine:
+			name, err := openflow.UnmarshalSetEngine(msg.Body)
+			if err != nil {
+				s.sendError(conn, msg.Xid, err)
+				continue
+			}
+			s.mu.Lock()
+			err = s.classifier.SelectIPEngine(name)
+			if err == nil {
+				s.counters.AlgChanges++
+			}
+			s.mu.Unlock()
+			if err != nil {
+				s.sendError(conn, msg.Xid, err)
+			}
 		case openflow.TypeBarrierRequest:
 			_ = s.writeMessage(conn, openflow.Message{Type: openflow.TypeBarrierReply, Xid: msg.Xid})
 		default:

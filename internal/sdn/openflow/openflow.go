@@ -50,6 +50,9 @@ const (
 	TypeBarrierReply
 	// TypeError reports a failed update.
 	TypeError
+	// TypeSetEngine selects the IP-segment field engine by registered name —
+	// the generalised, name-based form of TypeSetAlgorithm.
+	TypeSetEngine
 )
 
 // String names the message type.
@@ -71,6 +74,8 @@ func (t MsgType) String() string {
 		return "barrier-reply"
 	case TypeError:
 		return "error"
+	case TypeSetEngine:
+		return "set-engine"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -197,6 +202,25 @@ func UnmarshalSetAlgorithm(body []byte) (memory.AlgSelect, error) {
 		return 0, fmt.Errorf("%w: unknown algorithm %d", ErrBadMessage, body[0])
 	}
 	return alg, nil
+}
+
+// maxEngineNameBytes bounds the accepted engine-name length.
+const maxEngineNameBytes = 64
+
+// MarshalSetEngine encodes an engine-selection body: the registered engine
+// name as UTF-8.
+func MarshalSetEngine(name string) []byte { return []byte(name) }
+
+// UnmarshalSetEngine decodes an engine-selection body. Whether the name is
+// actually registered is decided by the data plane's engine registry.
+func UnmarshalSetEngine(body []byte) (string, error) {
+	if len(body) == 0 {
+		return "", fmt.Errorf("%w: empty set-engine body", ErrBadMessage)
+	}
+	if len(body) > maxEngineNameBytes {
+		return "", fmt.Errorf("%w: set-engine body of %d bytes exceeds %d", ErrBadMessage, len(body), maxEngineNameBytes)
+	}
+	return string(body), nil
 }
 
 // packetInLen is the encoded size of a PacketIn body.

@@ -1,0 +1,147 @@
+package sdnpc
+
+import (
+	"fmt"
+
+	"sdnpc/internal/fivetuple"
+)
+
+// RuleBuilder assembles one classification rule fluently:
+//
+//	rule, err := sdnpc.NewRule(0).
+//		From("10.0.0.0/8").To("203.0.113.0/24").
+//		DstPort(443).Proto(sdnpc.TCP).
+//		Forward(1).Build()
+//
+// Unset fields stay wildcards. Errors accumulate and surface at Build.
+type RuleBuilder struct {
+	r   fivetuple.Rule
+	err error
+}
+
+// NewRule starts a rule with the given priority (smaller is higher priority)
+// and every field a wildcard. The default action is Drop.
+func NewRule(priority int) *RuleBuilder {
+	return &RuleBuilder{r: fivetuple.Wildcard(priority, fivetuple.ActionDrop)}
+}
+
+func (b *RuleBuilder) fail(err error) *RuleBuilder {
+	if b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+// From sets the source prefix from CIDR notation.
+func (b *RuleBuilder) From(cidr string) *RuleBuilder {
+	p, err := fivetuple.ParsePrefix(cidr)
+	if err != nil {
+		return b.fail(fmt.Errorf("sdnpc: source prefix: %w", err))
+	}
+	b.r.SrcPrefix = p
+	return b
+}
+
+// To sets the destination prefix from CIDR notation.
+func (b *RuleBuilder) To(cidr string) *RuleBuilder {
+	p, err := fivetuple.ParsePrefix(cidr)
+	if err != nil {
+		return b.fail(fmt.Errorf("sdnpc: destination prefix: %w", err))
+	}
+	b.r.DstPrefix = p
+	return b
+}
+
+// SrcPort matches one exact source port.
+func (b *RuleBuilder) SrcPort(port uint16) *RuleBuilder {
+	b.r.SrcPort = fivetuple.ExactPort(port)
+	return b
+}
+
+// SrcPorts matches an inclusive source-port range.
+func (b *RuleBuilder) SrcPorts(lo, hi uint16) *RuleBuilder {
+	if lo > hi {
+		return b.fail(fmt.Errorf("sdnpc: inverted source port range [%d,%d]", lo, hi))
+	}
+	b.r.SrcPort = fivetuple.PortRange{Lo: lo, Hi: hi}
+	return b
+}
+
+// DstPort matches one exact destination port.
+func (b *RuleBuilder) DstPort(port uint16) *RuleBuilder {
+	b.r.DstPort = fivetuple.ExactPort(port)
+	return b
+}
+
+// DstPorts matches an inclusive destination-port range.
+func (b *RuleBuilder) DstPorts(lo, hi uint16) *RuleBuilder {
+	if lo > hi {
+		return b.fail(fmt.Errorf("sdnpc: inverted destination port range [%d,%d]", lo, hi))
+	}
+	b.r.DstPort = fivetuple.PortRange{Lo: lo, Hi: hi}
+	return b
+}
+
+// Proto matches one exact IP protocol number (TCP, UDP, ...).
+func (b *RuleBuilder) Proto(protocol uint8) *RuleBuilder {
+	b.r.Protocol = fivetuple.ExactProtocol(protocol)
+	return b
+}
+
+// Forward sets the action to forward on the given egress port.
+func (b *RuleBuilder) Forward(egressPort uint32) *RuleBuilder {
+	b.r.Action = fivetuple.ActionForward
+	b.r.ActionArg = egressPort
+	return b
+}
+
+// Drop sets the action to drop.
+func (b *RuleBuilder) Drop() *RuleBuilder {
+	b.r.Action = fivetuple.ActionDrop
+	b.r.ActionArg = 0
+	return b
+}
+
+// Punt sets the action to punt the packet to the SDN controller.
+func (b *RuleBuilder) Punt() *RuleBuilder {
+	b.r.Action = fivetuple.ActionController
+	b.r.ActionArg = 0
+	return b
+}
+
+// ModifyWith sets the action to modify with the given argument.
+func (b *RuleBuilder) ModifyWith(arg uint32) *RuleBuilder {
+	b.r.Action = fivetuple.ActionModify
+	b.r.ActionArg = arg
+	return b
+}
+
+// GroupTo sets the action to redirect to the given group table entry.
+func (b *RuleBuilder) GroupTo(group uint32) *RuleBuilder {
+	b.r.Action = fivetuple.ActionGroup
+	b.r.ActionArg = group
+	return b
+}
+
+// Build returns the assembled rule or the first accumulated error.
+func (b *RuleBuilder) Build() (Rule, error) {
+	if b.err != nil {
+		return Rule{}, b.err
+	}
+	return b.r, nil
+}
+
+// MustBuild is like Build but panics on error.
+func (b *RuleBuilder) MustBuild() Rule {
+	r, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// WildcardRule returns a rule matching every packet, with the given priority
+// and action — the conventional default rule at the end of a filter set.
+func WildcardRule(priority int, action Action) Rule {
+	return fivetuple.Wildcard(priority, action)
+}

@@ -1,0 +1,194 @@
+// Package sdnpc is the public facade of the configurable SDN packet
+// classifier (conf_socc_PerezYSS14): a label-based five-tuple classification
+// architecture whose per-field lookup algorithm is selected by name at run
+// time.
+//
+// The package wraps the internal architecture model behind a small surface:
+// a Classifier with insert/delete/lookup, a fluent Rule builder, and
+// engine selection by registry name ("mbt", "bst", "segtrie", "rfc"). Import
+// it as
+//
+//	import "sdnpc"
+//
+// and see examples/quickstart for a complete walk-through.
+package sdnpc
+
+import (
+	"fmt"
+
+	"sdnpc/internal/core"
+	"sdnpc/internal/engine"
+	"sdnpc/internal/fivetuple"
+)
+
+// Re-exported core types. The facade deliberately aliases rather than wraps
+// these: they are plain data and the internal packages already keep them
+// stable.
+type (
+	// Rule is one five-tuple classification rule. Build one with NewRule.
+	Rule = fivetuple.Rule
+	// RuleSet is an ordered collection of rules (priority = position).
+	RuleSet = fivetuple.RuleSet
+	// Header is the five-tuple of one packet.
+	Header = fivetuple.Header
+	// Result is the outcome of one lookup, including the data-plane cost
+	// counters of the architecture model.
+	Result = core.Result
+	// Stats accumulates data-plane counters across lookups and updates.
+	Stats = core.Stats
+	// UpdateReport describes the cost of one rule insertion or deletion.
+	UpdateReport = core.UpdateReport
+	// MemoryReport breaks down the architecture's memory consumption.
+	MemoryReport = core.MemoryReport
+	// Action is a rule's forwarding action.
+	Action = fivetuple.Action
+)
+
+// Rule actions.
+const (
+	Forward    = fivetuple.ActionForward
+	Drop       = fivetuple.ActionDrop
+	Modify     = fivetuple.ActionModify
+	Group      = fivetuple.ActionGroup
+	Controller = fivetuple.ActionController
+)
+
+// Well-known IP protocol numbers.
+const (
+	ICMP = fivetuple.ProtoICMP
+	TCP  = fivetuple.ProtoTCP
+	UDP  = fivetuple.ProtoUDP
+	GRE  = fivetuple.ProtoGRE
+	ESP  = fivetuple.ProtoESP
+)
+
+// Engines returns the names of the registered IP-segment engines, the values
+// accepted by WithEngine and Classifier.SelectEngine.
+func Engines() []string { return engine.IPEngineNames() }
+
+// NewRuleSet builds a rule set from the given rules; rule priorities are
+// rewritten to their position so the set is internally consistent.
+func NewRuleSet(name string, rules []Rule) *RuleSet { return fivetuple.NewRuleSet(name, rules) }
+
+// Option adjusts the classifier configuration.
+type Option func(*core.Config)
+
+// WithEngine selects the IP-segment lookup engine by registered name.
+func WithEngine(name string) Option {
+	return func(cfg *core.Config) { cfg.IPEngine = name }
+}
+
+// WithSingleProbe selects the paper's single-probe HPML combination mode:
+// fastest, but it can miss the highest-priority rule when label lists
+// disagree. The default is the exact cross-product mode.
+func WithSingleProbe() Option {
+	return func(cfg *core.Config) { cfg.CombineMode = core.CombineHPML }
+}
+
+// WithClock sets the modelled clock frequency in Hz.
+func WithClock(hz float64) Option {
+	return func(cfg *core.Config) { cfg.ClockHz = hz }
+}
+
+// Classifier is a configurable five-tuple packet classifier.
+//
+// It is not safe for concurrent use: the modelled hardware time-multiplexes
+// the lookup data path and the update interface, and the model mirrors that.
+type Classifier struct {
+	inner *core.Classifier
+}
+
+// New creates a classifier with the paper's default geometry, adjusted by
+// the given options.
+func New(opts ...Option) (*Classifier, error) {
+	cfg := core.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	inner, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{inner: inner}, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(opts ...Option) *Classifier {
+	c, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Insert installs one rule.
+func (c *Classifier) Insert(r Rule) (UpdateReport, error) { return c.inner.InsertRule(r) }
+
+// InsertAll installs every rule of the set in priority order.
+func (c *Classifier) InsertAll(rs *RuleSet) (UpdateReport, error) { return c.inner.InstallRuleSet(rs) }
+
+// Delete removes one installed rule, identified by its field matches and
+// priority.
+func (c *Classifier) Delete(r Rule) (UpdateReport, error) { return c.inner.DeleteRule(r) }
+
+// Lookup classifies one packet header and returns the highest-priority
+// matching rule's action together with the model's cost counters.
+func (c *Classifier) Lookup(h Header) Result { return c.inner.Lookup(h) }
+
+// SelectEngine switches the IP-segment lookup engine at run time — the
+// generalised IPalg_s signal of the paper. The installed rules are
+// re-programmed onto the new engine.
+func (c *Classifier) SelectEngine(name string) error { return c.inner.SelectIPEngine(name) }
+
+// Engine returns the name of the active IP-segment engine.
+func (c *Classifier) Engine() string { return c.inner.IPEngineName() }
+
+// Rules returns a copy of the installed rules in installation order.
+func (c *Classifier) Rules() []Rule { return c.inner.InstalledRules() }
+
+// RuleCount returns the number of installed rules.
+func (c *Classifier) RuleCount() int { return c.inner.RuleCount() }
+
+// RuleCapacity returns the rule capacity under the active engine.
+func (c *Classifier) RuleCapacity() int { return c.inner.RuleCapacity() }
+
+// Stats returns a snapshot of the accumulated data-plane counters.
+func (c *Classifier) Stats() Stats { return c.inner.Stats() }
+
+// ResetStats zeroes the counters without touching installed rules.
+func (c *Classifier) ResetStats() { c.inner.ResetStats() }
+
+// MemoryReport computes the current memory breakdown of the architecture.
+func (c *Classifier) MemoryReport() MemoryReport { return c.inner.MemoryReport() }
+
+// ThroughputGbps returns the modelled sustained line rate for the given
+// packet size under the active engine.
+func (c *Classifier) ThroughputGbps(packetBytes int) float64 {
+	return c.inner.ThroughputGbps(packetBytes)
+}
+
+// LookupsPerSecond returns the modelled sustained lookup rate under the
+// active engine.
+func (c *Classifier) LookupsPerSecond() float64 { return c.inner.LookupsPerSecond() }
+
+// ParseHeader builds a packet header from dotted-quad addresses.
+func ParseHeader(srcIP string, srcPort uint16, dstIP string, dstPort uint16, protocol uint8) (Header, error) {
+	src, err := fivetuple.ParseIPv4(srcIP)
+	if err != nil {
+		return Header{}, fmt.Errorf("sdnpc: source address: %w", err)
+	}
+	dst, err := fivetuple.ParseIPv4(dstIP)
+	if err != nil {
+		return Header{}, fmt.Errorf("sdnpc: destination address: %w", err)
+	}
+	return Header{SrcIP: src, DstIP: dst, SrcPort: srcPort, DstPort: dstPort, Protocol: protocol}, nil
+}
+
+// MustParseHeader is like ParseHeader but panics on error.
+func MustParseHeader(srcIP string, srcPort uint16, dstIP string, dstPort uint16, protocol uint8) Header {
+	h, err := ParseHeader(srcIP, srcPort, dstIP, dstPort, protocol)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

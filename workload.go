@@ -1,0 +1,85 @@
+package sdnpc
+
+import (
+	"fmt"
+	"strings"
+
+	"sdnpc/internal/classbench"
+)
+
+// GenerateRuleSet produces a ClassBench-style synthetic filter set. class is
+// "acl", "fw" or "ipc" (Table III); size is "1k", "5k" or "10k".
+func GenerateRuleSet(class, size string) (*RuleSet, error) {
+	cls, err := parseClass(class)
+	if err != nil {
+		return nil, err
+	}
+	sz, err := parseSize(size)
+	if err != nil {
+		return nil, err
+	}
+	return classbench.Generate(classbench.StandardConfig(cls, sz)), nil
+}
+
+// MustGenerateRuleSet is like GenerateRuleSet but panics on error.
+func MustGenerateRuleSet(class, size string) *RuleSet {
+	rs, err := GenerateRuleSet(class, size)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// TraceOptions parameterise synthetic trace generation.
+type TraceOptions struct {
+	// Packets is the trace length.
+	Packets int
+	// Seed makes the trace reproducible.
+	Seed int64
+	// MatchFraction is the fraction of packets drawn to hit some rule.
+	MatchFraction float64
+	// Locality biases consecutive packets towards the same flows.
+	Locality float64
+}
+
+// GenerateTrace produces a synthetic header trace exercising the rule set.
+func GenerateTrace(rs *RuleSet, opts TraceOptions) []Header {
+	if opts.Packets <= 0 {
+		opts.Packets = 10000
+	}
+	if opts.MatchFraction == 0 {
+		opts.MatchFraction = 0.9
+	}
+	return classbench.GenerateTrace(rs, classbench.TraceConfig{
+		Packets:       opts.Packets,
+		Seed:          opts.Seed,
+		MatchFraction: opts.MatchFraction,
+		Locality:      opts.Locality,
+	})
+}
+
+func parseClass(name string) (classbench.Class, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "acl", "acl1":
+		return classbench.ACL, nil
+	case "fw", "fw1":
+		return classbench.FW, nil
+	case "ipc", "ipc1":
+		return classbench.IPC, nil
+	default:
+		return 0, fmt.Errorf("sdnpc: unknown filter-set class %q (acl, fw, ipc)", name)
+	}
+}
+
+func parseSize(name string) (classbench.Size, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "1k":
+		return classbench.Size1K, nil
+	case "5k":
+		return classbench.Size5K, nil
+	case "10k":
+		return classbench.Size10K, nil
+	default:
+		return 0, fmt.Errorf("sdnpc: unknown filter-set size %q (1k, 5k, 10k)", name)
+	}
+}

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	experiments [-experiment all|table1|table2|table3|table4|table5|table6|table7|fig3|fig5|update|hpml|labelmethod|engines]
+//	experiments [-experiment all|table1|table2|table3|table4|table5|table6|table7|fig3|fig5|update|hpml|labelmethod|engines|throughput]
 //	            [-class acl|fw|ipc] [-size 1k|5k|10k] [-packets N] [-ip-engine name]
+//	            [-workers list] [-batch N]
 //
 // The measured values are printed next to the values the paper reports, in
 // the same row/column structure, so the output can be pasted into
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"sdnpc/internal/bench"
@@ -34,9 +36,15 @@ func run(args []string) error {
 	experiment := fs.String("experiment", "all", "experiment to run (all, table1..table7, fig3, fig5, update, hpml, labelmethod, engines)")
 	className := fs.String("class", "acl", "filter-set class for workload-driven experiments (acl, fw, ipc)")
 	sizeName := fs.String("size", "5k", "filter-set size for workload-driven experiments (1k, 5k, 10k)")
-	packets := fs.Int("packets", 20000, "trace length for workload-driven experiments")
+	packets := fs.Int("packets", 20000, "trace length for workload-driven experiments (per worker for -experiment throughput)")
 	ipEngine := fs.String("ip-engine", "", fmt.Sprintf("restrict the engines sweep to one registered IP engine %v", engine.IPEngineNames()))
+	workersFlag := fs.String("workers", "", "comma-separated worker counts for the throughput experiment (default: 1,2,4,... up to NumCPU)")
+	batchSize := fs.Int("batch", 64, "LookupBatch size for the throughput experiment")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	workers, err := parseWorkers(*workersFlag)
+	if err != nil {
 		return err
 	}
 
@@ -151,10 +159,39 @@ func run(args []string) error {
 		}
 		fmt.Println(bench.RenderEngineSweep(rows))
 	}
+	if wants("throughput") {
+		ranAny = true
+		opts := bench.ThroughputOptions{Workers: workers, BatchSize: *batchSize, PacketsPerWorker: *packets}
+		if *ipEngine != "" {
+			opts.Engines = []string{*ipEngine}
+		}
+		rows, err := bench.ThroughputSweep(getWorkload(), opts)
+		if err != nil {
+			return fmt.Errorf("throughput: %w", err)
+		}
+		fmt.Println(bench.RenderThroughput(rows))
+	}
 	if !ranAny {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	return nil
+}
+
+// parseWorkers parses a comma-separated worker-count list; empty means the
+// driver's default doubling sweep.
+func parseWorkers(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func parseClass(name string) (classbench.Class, error) {

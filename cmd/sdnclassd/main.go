@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	sdnclassd -class acl -size 1k -packets 50000 -profile throughput [-ip-engine name]
+//	sdnclassd -class acl -size 1k -packets 50000 -profile throughput
+//	          [-ip-engine name] [-workers N] [-batch N]
 //
 // It prints the switch's per-action counters, the classifier's data-plane
 // statistics and the modelled throughput for the selected configuration.
@@ -16,7 +17,9 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"sdnpc/internal/classbench"
@@ -42,8 +45,13 @@ func run(args []string) error {
 	profileName := fs.String("profile", "throughput", "application profile driving the algorithm choice (throughput, capacity)")
 	ipEngine := fs.String("ip-engine", "", fmt.Sprintf("select the IP engine by name, overriding the profile %v", engine.IPEngineNames()))
 	listen := fs.String("listen", "127.0.0.1:0", "controller listen address")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent replay workers sharing the switch")
+	batch := fs.Int("batch", 64, "packets per ProcessBatch call")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 1 || *batch < 1 {
+		return fmt.Errorf("-workers and -batch must be positive")
 	}
 
 	class, size, err := parseWorkload(*className, *sizeName)
@@ -73,10 +81,10 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("listening: %w", err)
 	}
-	return runLoop(ln, rs, profile, *ipEngine, *packets)
+	return runLoop(ln, rs, profile, *ipEngine, *packets, *workers, *batch)
 }
 
-func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.ApplicationProfile, ipEngine string, packets int) error {
+func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.ApplicationProfile, ipEngine string, packets, workers, batch int) error {
 	ctrl := controller.New(rs, profile, nil)
 	if ipEngine != "" {
 		// Record the name-based selection before any switch connects so the
@@ -97,12 +105,29 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 		return err
 	}
 
-	// Wait for the controller to download the full rule set.
+	// Wait for the controller to download the full rule set — or as much of
+	// it as fits: rules beyond the configuration's capacity are rejected by
+	// the data plane (ErrRuleFilterFull), so waiting for them would hang.
+	// The capacity is computed for the engine the controller will select,
+	// not the classifier's boot-time engine: the set-engine message races
+	// this code, so asking the switch now could report the wrong capacity.
+	targetEngine := ipEngine
+	if targetEngine == "" {
+		if name, ok := engine.LegacyName(profile.Algorithm()); ok {
+			targetEngine = name
+		}
+	}
+	want := rs.Len()
+	if capacity := sw.Classifier().Config().RuleCapacityFor(targetEngine); want > capacity {
+		fmt.Printf("rule set (%d rules) exceeds the %d-rule capacity of the %q configuration; the overflow is rejected\n",
+			want, capacity, targetEngine)
+		want = capacity
+	}
 	deadline := time.Now().Add(30 * time.Second)
-	for sw.Classifier().RuleCount() < rs.Len() {
+	for sw.Classifier().RuleCount() < want {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("timed out waiting for the rule download (%d/%d rules)",
-				sw.Classifier().RuleCount(), rs.Len())
+				sw.Classifier().RuleCount(), want)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -112,18 +137,44 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 	trace := classbench.GenerateTrace(rs, classbench.TraceConfig{
 		Packets: packets, Seed: 17, MatchFraction: 0.95, Locality: 0.4,
 	})
+	// Shard the trace across workers; each worker replays its shard in
+	// batches through the shared switch. The classifier serves every worker
+	// lock-free from its published snapshot, so this is a real concurrent
+	// serving path, not a time-sliced one.
 	start := time.Now()
-	for _, h := range trace {
-		if _, err := sw.ProcessPacket(h); err != nil {
-			return fmt.Errorf("processing packet %s: %w", h, err)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * len(trace) / workers
+		hi := (wi + 1) * len(trace) / workers
+		wg.Add(1)
+		go func(wi int, shard []fivetuple.Header) {
+			defer wg.Done()
+			for len(shard) > 0 {
+				n := batch
+				if n > len(shard) {
+					n = len(shard)
+				}
+				if _, err := sw.ProcessBatch(shard[:n]); err != nil {
+					errs[wi] = err
+					return
+				}
+				shard = shard[n:]
+			}
+		}(wi, trace[lo:hi])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("processing packets: %w", err)
 		}
 	}
-	elapsed := time.Since(start)
 
 	counters := sw.Counters()
 	stats := sw.Classifier().Stats()
-	fmt.Printf("\nreplayed %d packets in %v (%.0f software lookups/s)\n",
-		counters.Total, elapsed.Round(time.Millisecond), float64(counters.Total)/elapsed.Seconds())
+	fmt.Printf("\nreplayed %d packets in %v across %d workers (%.0f software lookups/s)\n",
+		counters.Total, elapsed.Round(time.Millisecond), workers, float64(counters.Total)/elapsed.Seconds())
 	fmt.Printf("forwarded %d, dropped %d, modified %d, punted %d, table misses %d\n",
 		counters.Forwarded, counters.Dropped, counters.Modified, counters.Punted, counters.TableMiss)
 	fmt.Printf("average field memory accesses per packet: %.2f\n", stats.AverageFieldAccesses())

@@ -1,0 +1,112 @@
+package sdnpc
+
+import (
+	"sync"
+	"testing"
+)
+
+// The concurrent-serving hammer: N goroutines call Lookup and LookupBatch
+// while one writer inserts and deletes a rule and switches the IP engine.
+// Every observed result must be consistent with either the pre-update or the
+// post-update rule set — the snapshot-swap guarantee. Run it with -race; the
+// race detector is what turns "no torn state was observed" into "no torn
+// state was readable".
+func TestConcurrentServingDuringUpdates(t *testing.T) {
+	c := MustNew()
+
+	stable := NewRule(5).From("10.1.0.0/16").To("192.168.0.0/16").DstPort(443).Proto(TCP).Forward(42).MustBuild()
+	if _, err := c.Insert(stable); err != nil {
+		t.Fatalf("installing stable rule: %v", err)
+	}
+	flip := NewRule(9).From("10.2.0.0/16").To("192.168.0.0/16").DstPort(80).Proto(TCP).Drop().MustBuild()
+
+	headerStable := MustParseHeader("10.1.2.3", 1234, "192.168.1.1", 443, TCP)
+	headerFlip := MustParseHeader("10.2.9.9", 5555, "192.168.3.4", 80, TCP)
+	headerMiss := MustParseHeader("172.16.0.1", 9, "172.16.0.2", 9, UDP)
+
+	checkStable := func(r Result) {
+		if !r.Matched || r.Priority != 5 || r.Action != Forward || r.ActionArg != 42 {
+			t.Errorf("stable rule lookup = %+v, want priority-5 forward to 42 in every snapshot", r)
+		}
+	}
+	checkFlip := func(r Result) {
+		if r.Matched && (r.Priority != 9 || r.Action != Drop) {
+			t.Errorf("flip rule lookup = %+v, want either a miss or the priority-9 drop", r)
+		}
+	}
+	checkMiss := func(r Result) {
+		if r.Matched {
+			t.Errorf("miss header matched %+v; no installed rule covers it", r)
+		}
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	const readers = 4
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				checkStable(c.Lookup(headerStable))
+				checkFlip(c.Lookup(headerFlip))
+				checkMiss(c.Lookup(headerMiss))
+
+				batch := c.LookupBatch([]Header{headerStable, headerFlip, headerMiss, headerFlip})
+				checkStable(batch[0])
+				checkFlip(batch[1])
+				checkMiss(batch[2])
+				checkFlip(batch[3])
+				// A batch is served by one snapshot, so the two flip
+				// lookups inside it must agree even though the writer is
+				// inserting and deleting that rule the whole time.
+				if batch[1].Matched != batch[3].Matched {
+					t.Errorf("one batch saw the flip rule both installed and absent: %+v vs %+v", batch[1], batch[3])
+				}
+				rep := SummarizeBatch(batch)
+				if rep.Packets != 4 || rep.Matched < 1 || rep.MaxLatencyCycles < rep.LatencyCycles/rep.Packets {
+					t.Errorf("batch summary inconsistent: %+v", rep)
+				}
+			}
+		}()
+	}
+
+	engines := Engines()
+	const writerIterations = 120
+	for i := 0; i < writerIterations; i++ {
+		if _, err := c.Insert(flip); err != nil {
+			t.Errorf("insert flip: %v", err)
+			break
+		}
+		if i%20 == 10 {
+			if err := c.SelectEngine(engines[(i/20)%len(engines)]); err != nil {
+				t.Errorf("engine switch: %v", err)
+				break
+			}
+		}
+		if _, err := c.Delete(flip); err != nil {
+			t.Errorf("delete flip: %v", err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	if got := c.RuleCount(); got != 1 {
+		t.Errorf("RuleCount after the hammer = %d, want 1 (the stable rule)", got)
+	}
+	checkStable(c.Lookup(headerStable))
+	if r := c.Lookup(headerFlip); r.Matched {
+		t.Errorf("flip rule still installed after final delete: %+v", r)
+	}
+	stats := c.Stats()
+	if stats.Inserts != writerIterations+1 || stats.Deletes != writerIterations {
+		t.Errorf("stats = %d inserts / %d deletes, want %d / %d",
+			stats.Inserts, stats.Deletes, writerIterations+1, writerIterations)
+	}
+}

@@ -28,6 +28,7 @@ package bst
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"sdnpc/internal/label"
 )
@@ -93,10 +94,12 @@ type Engine struct {
 	// software side after each update.
 	intervals []interval
 
-	lookups        uint64
-	lookupAccesses uint64
-	updateWrites   uint64
-	rebuilds       uint64
+	// The counters are atomic so that Lookup — read-only over the interval
+	// array — is safe to call from many goroutines at once.
+	lookups        atomic.Uint64
+	lookupAccesses atomic.Uint64
+	updateWrites   atomic.Uint64
+	rebuilds       atomic.Uint64
 }
 
 // New creates an engine with the given configuration.
@@ -186,7 +189,7 @@ func (e *Engine) prefixRange(p storedPrefix) (uint32, uint32) {
 // prefixes. It returns the number of node words written (the array length),
 // which is the block-download cost of the update.
 func (e *Engine) rebuild() int {
-	e.rebuilds++
+	e.rebuilds.Add(1)
 	if len(e.prefixes) == 0 {
 		e.intervals = nil
 		return 0
@@ -226,7 +229,7 @@ func (e *Engine) rebuild() int {
 		}
 	}
 	e.intervals = intervals
-	e.updateWrites += uint64(len(intervals))
+	e.updateWrites.Add(uint64(len(intervals)))
 	return len(intervals)
 }
 
@@ -234,9 +237,9 @@ func (e *Engine) rebuild() int {
 // matching the key and the number of node-memory accesses performed by the
 // binary search. The returned list is freshly allocated.
 func (e *Engine) Lookup(key uint32) (*label.List, int) {
-	e.lookups++
+	e.lookups.Add(1)
 	if len(e.intervals) == 0 {
-		e.lookupAccesses++
+		e.lookupAccesses.Add(1)
 		return &label.List{}, 1
 	}
 	accesses := 0
@@ -252,7 +255,7 @@ func (e *Engine) Lookup(key uint32) (*label.List, int) {
 			hi = mid - 1
 		}
 	}
-	e.lookupAccesses += uint64(accesses)
+	e.lookupAccesses.Add(uint64(accesses))
 	result := &label.List{}
 	result.Merge(e.intervals[match].labels)
 	return result, accesses
@@ -305,17 +308,36 @@ func (s Stats) AverageAccesses() float64 {
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Lookups:        e.lookups,
-		LookupAccesses: e.lookupAccesses,
-		UpdateWrites:   e.updateWrites,
-		Rebuilds:       e.rebuilds,
+		Lookups:        e.lookups.Load(),
+		LookupAccesses: e.lookupAccesses.Load(),
+		UpdateWrites:   e.updateWrites.Load(),
+		Rebuilds:       e.rebuilds.Load(),
 	}
 }
 
 // ResetStats zeroes the counters without touching the structure.
 func (e *Engine) ResetStats() {
-	e.lookups = 0
-	e.lookupAccesses = 0
-	e.updateWrites = 0
-	e.rebuilds = 0
+	e.lookups.Store(0)
+	e.lookupAccesses.Store(0)
+	e.updateWrites.Store(0)
+	e.rebuilds.Store(0)
+}
+
+// Clone returns an independent copy of the engine. The stored prefixes are
+// deep-copied because Insert refreshes priorities in place; the interval
+// array can be shared because rebuild always replaces it wholesale with a
+// freshly allocated one, never mutating an existing array or its label
+// lists. Access counters carry over so cumulative statistics survive a
+// copy-on-write snapshot swap in internal/core.
+func (e *Engine) Clone() *Engine {
+	c := &Engine{
+		cfg:       e.cfg,
+		prefixes:  append([]storedPrefix(nil), e.prefixes...),
+		intervals: e.intervals,
+	}
+	c.lookups.Store(e.lookups.Load())
+	c.lookupAccesses.Store(e.lookupAccesses.Load())
+	c.updateWrites.Store(e.updateWrites.Load())
+	c.rebuilds.Store(e.rebuilds.Load())
+	return c
 }

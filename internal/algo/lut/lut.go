@@ -11,6 +11,7 @@ package lut
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sdnpc/internal/label"
 )
@@ -30,9 +31,11 @@ type Table struct {
 	exact    [Entries]entrySlot
 	wildcard entrySlot
 
-	lookups        uint64
-	lookupAccesses uint64
-	updateWrites   uint64
+	// The counters are atomic so that Lookup — two slot reads — is safe to
+	// call from many goroutines at once.
+	lookups        atomic.Uint64
+	lookupAccesses atomic.Uint64
+	updateWrites   atomic.Uint64
 }
 
 type entrySlot struct {
@@ -81,7 +84,7 @@ func (t *Table) install(slot *entrySlot, lbl label.Label, priority int) int {
 	} else {
 		*slot = entrySlot{valid: true, lbl: lbl, priority: priority}
 	}
-	t.updateWrites++
+	t.updateWrites.Add(1)
 	return 1
 }
 
@@ -91,7 +94,7 @@ func (t *Table) RemoveExact(value uint8) (writes int, err error) {
 		return 0, fmt.Errorf("lut: protocol %d not present", value)
 	}
 	t.exact[value] = entrySlot{}
-	t.updateWrites++
+	t.updateWrites.Add(1)
 	return 1, nil
 }
 
@@ -101,7 +104,7 @@ func (t *Table) RemoveWildcard() (writes int, err error) {
 		return 0, fmt.Errorf("lut: wildcard protocol not present")
 	}
 	t.wildcard = entrySlot{}
-	t.updateWrites++
+	t.updateWrites.Add(1)
 	return 1, nil
 }
 
@@ -110,8 +113,8 @@ func (t *Table) RemoveWildcard() (writes int, err error) {
 // (always one: the table is read once; the wildcard register is combinational
 // logic).
 func (t *Table) Lookup(value uint8) (*label.List, int) {
-	t.lookups++
-	t.lookupAccesses++
+	t.lookups.Add(1)
+	t.lookupAccesses.Add(1)
 	result := &label.List{}
 	if t.exact[value].valid {
 		// The exact match takes the first position regardless of rule
@@ -155,12 +158,27 @@ type Stats struct {
 
 // Stats returns a snapshot of the counters.
 func (t *Table) Stats() Stats {
-	return Stats{Lookups: t.lookups, LookupAccesses: t.lookupAccesses, UpdateWrites: t.updateWrites}
+	return Stats{Lookups: t.lookups.Load(), LookupAccesses: t.lookupAccesses.Load(), UpdateWrites: t.updateWrites.Load()}
 }
 
 // ResetStats zeroes the counters.
 func (t *Table) ResetStats() {
-	t.lookups = 0
-	t.lookupAccesses = 0
-	t.updateWrites = 0
+	t.lookups.Store(0)
+	t.lookupAccesses.Store(0)
+	t.updateWrites.Store(0)
+}
+
+// Clone returns an independent copy of the table: the slot arrays are plain
+// values, so a field-by-field copy suffices. Access counters carry over so
+// cumulative statistics survive a copy-on-write snapshot swap.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		labelBits: t.labelBits,
+		exact:     t.exact,
+		wildcard:  t.wildcard,
+	}
+	c.lookups.Store(t.lookups.Load())
+	c.lookupAccesses.Store(t.lookupAccesses.Load())
+	c.updateWrites.Store(t.updateWrites.Load())
+	return c
 }

@@ -20,6 +20,7 @@ package mbt
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sdnpc/internal/label"
 )
@@ -116,10 +117,12 @@ type Engine struct {
 	// nodes counts allocated nodes per level for memory accounting.
 	nodesPerLevel []int
 	labelEntries  int
-	// counters for the access model.
-	lookupAccesses uint64
-	lookups        uint64
-	updateWrites   uint64
+	// Counters for the access model. They are atomic so that Lookup — which
+	// is otherwise read-only — stays safe to call from many goroutines at
+	// once (the read-only-after-build contract of internal/engine).
+	lookupAccesses atomic.Uint64
+	lookups        atomic.Uint64
+	updateWrites   atomic.Uint64
 }
 
 // New creates an engine with the given configuration.
@@ -175,7 +178,7 @@ func (e *Engine) Insert(value uint32, bits uint8, lbl label.Label, priority int)
 		return 0, err
 	}
 	writes = e.insert(e.root, value, int(bits), 0, lbl, priority)
-	e.updateWrites += uint64(writes)
+	e.updateWrites.Add(uint64(writes))
 	return writes, nil
 }
 
@@ -225,7 +228,7 @@ func (e *Engine) Remove(value uint32, bits uint8, lbl label.Label) (writes int, 
 	if !found {
 		return writes, fmt.Errorf("mbt: prefix %#x/%d with label %d not present", value, bits, lbl)
 	}
-	e.updateWrites += uint64(writes)
+	e.updateWrites.Add(uint64(writes))
 	return writes, nil
 }
 
@@ -310,8 +313,8 @@ func (e *Engine) Lookup(key uint32) (*label.List, int) {
 		}
 		n = en.child
 	}
-	e.lookups++
-	e.lookupAccesses += uint64(accesses)
+	e.lookups.Add(1)
+	e.lookupAccesses.Add(uint64(accesses))
 	return result, accesses
 }
 
@@ -368,12 +371,44 @@ func (s Stats) AverageAccesses() float64 {
 
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
-	return Stats{Lookups: e.lookups, LookupAccesses: e.lookupAccesses, UpdateWrites: e.updateWrites}
+	return Stats{Lookups: e.lookups.Load(), LookupAccesses: e.lookupAccesses.Load(), UpdateWrites: e.updateWrites.Load()}
 }
 
 // ResetStats zeroes the counters without touching the trie.
 func (e *Engine) ResetStats() {
-	e.lookups = 0
-	e.lookupAccesses = 0
-	e.updateWrites = 0
+	e.lookups.Store(0)
+	e.lookupAccesses.Store(0)
+	e.updateWrites.Store(0)
+}
+
+// Clone returns an independent deep copy of the engine: every node and label
+// list is duplicated, so mutating the copy never touches the original. The
+// copy-on-write update path of internal/core relies on this to build a new
+// classifier snapshot while readers keep traversing the old trie. Access
+// counters carry over so cumulative statistics survive the swap.
+func (e *Engine) Clone() *Engine {
+	c := &Engine{
+		cfg:           e.cfg,
+		root:          cloneNode(e.root),
+		nodesPerLevel: append([]int(nil), e.nodesPerLevel...),
+		labelEntries:  e.labelEntries,
+	}
+	c.lookups.Store(e.lookups.Load())
+	c.lookupAccesses.Store(e.lookupAccesses.Load())
+	c.updateWrites.Store(e.updateWrites.Load())
+	return c
+}
+
+func cloneNode(n *node) *node {
+	if n == nil {
+		return nil
+	}
+	c := &node{level: n.level, entries: make([]entry, len(n.entries))}
+	for i, en := range n.entries {
+		c.entries[i].child = cloneNode(en.child)
+		if en.labels != nil {
+			c.entries[i].labels = en.labels.Clone()
+		}
+	}
+	return c
 }

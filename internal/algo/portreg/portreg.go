@@ -16,6 +16,7 @@ package portreg
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/label"
@@ -33,9 +34,11 @@ type Bank struct {
 
 	entries []regEntry
 
-	lookups        uint64
-	lookupAccesses uint64
-	updateWrites   uint64
+	// The counters are atomic so that Lookup — a pure scan of the register
+	// file — is safe to call from many goroutines at once.
+	lookups        atomic.Uint64
+	lookupAccesses atomic.Uint64
+	updateWrites   atomic.Uint64
 }
 
 type regEntry struct {
@@ -88,7 +91,7 @@ func (b *Bank) Insert(rng fivetuple.PortRange, lbl label.Label, priority int) (w
 				if priority < e.priority {
 					b.entries[i].priority = priority
 				}
-				b.updateWrites++
+				b.updateWrites.Add(1)
 				return 1, nil
 			}
 			return 0, nil
@@ -98,7 +101,7 @@ func (b *Bank) Insert(rng fivetuple.PortRange, lbl label.Label, priority int) (w
 		return 0, fmt.Errorf("%w: %d registers", ErrBankFull, b.capacity)
 	}
 	b.entries = append(b.entries, regEntry{rng: rng, lbl: lbl, priority: priority})
-	b.updateWrites++
+	b.updateWrites.Add(1)
 	return 1, nil
 }
 
@@ -107,7 +110,7 @@ func (b *Bank) Remove(rng fivetuple.PortRange) (writes int, err error) {
 	for i, e := range b.entries {
 		if e.rng == rng {
 			b.entries = append(b.entries[:i], b.entries[i+1:]...)
-			b.updateWrites++
+			b.updateWrites.Add(1)
 			return 1, nil
 		}
 	}
@@ -119,8 +122,8 @@ func (b *Bank) Remove(rng fivetuple.PortRange) (writes int, err error) {
 // Table IV priority rule), together with the number of register-bank
 // accesses (one: all registers are read in the same cycle).
 func (b *Bank) Lookup(port uint16) (*label.List, int) {
-	b.lookups++
-	b.lookupAccesses++
+	b.lookups.Add(1)
+	b.lookupAccesses.Add(1)
 	result := &label.List{}
 	for _, e := range b.entries {
 		if !e.rng.Matches(port) {
@@ -168,12 +171,27 @@ type Stats struct {
 
 // Stats returns a snapshot of the counters.
 func (b *Bank) Stats() Stats {
-	return Stats{Lookups: b.lookups, LookupAccesses: b.lookupAccesses, UpdateWrites: b.updateWrites}
+	return Stats{Lookups: b.lookups.Load(), LookupAccesses: b.lookupAccesses.Load(), UpdateWrites: b.updateWrites.Load()}
 }
 
 // ResetStats zeroes the counters.
 func (b *Bank) ResetStats() {
-	b.lookups = 0
-	b.lookupAccesses = 0
-	b.updateWrites = 0
+	b.lookups.Store(0)
+	b.lookupAccesses.Store(0)
+	b.updateWrites.Store(0)
+}
+
+// Clone returns an independent copy of the bank: the register file is
+// copied because Insert refreshes priorities in place. Access counters
+// carry over so cumulative statistics survive a copy-on-write snapshot swap.
+func (b *Bank) Clone() *Bank {
+	c := &Bank{
+		capacity:  b.capacity,
+		labelBits: b.labelBits,
+		entries:   append([]regEntry(nil), b.entries...),
+	}
+	c.lookups.Store(b.lookups.Load())
+	c.lookupAccesses.Store(b.lookupAccesses.Load())
+	c.updateWrites.Store(b.updateWrites.Load())
+	return c
 }

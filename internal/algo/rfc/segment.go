@@ -3,6 +3,7 @@ package rfc
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"sdnpc/internal/label"
 )
@@ -34,10 +35,12 @@ type SegmentTable struct {
 	classes      []*label.List
 	classEntries int
 
-	lookups        uint64
-	lookupAccesses uint64
-	updateWrites   uint64
-	rebuilds       uint64
+	// The counters are atomic so that Lookup on a prepared (non-dirty) table
+	// is safe to call from many goroutines at once.
+	lookups        atomic.Uint64
+	lookupAccesses atomic.Uint64
+	updateWrites   atomic.Uint64
+	rebuilds       atomic.Uint64
 }
 
 // segPrefix is one stored (prefix, label) pair.
@@ -115,7 +118,7 @@ func (t *SegmentTable) Remove(value uint32, bits uint8, lbl label.Label) (writes
 func (t *SegmentTable) invalidate() int {
 	t.dirty = true
 	writes := t.domain()
-	t.updateWrites += uint64(writes)
+	t.updateWrites.Add(uint64(writes))
 	return writes
 }
 
@@ -130,7 +133,7 @@ func (t *SegmentTable) prefixRange(p segPrefix) (uint32, uint32) {
 // with a boundary sweep, mirroring buildPhase0.
 func (t *SegmentTable) rebuild() {
 	t.dirty = false
-	t.rebuilds++
+	t.rebuilds.Add(1)
 	t.classEntries = 0
 	if len(t.prefixes) == 0 {
 		t.table = nil
@@ -203,8 +206,8 @@ func (t *SegmentTable) Lookup(key uint32) (*label.List, int) {
 	if t.dirty {
 		t.rebuild()
 	}
-	t.lookups++
-	t.lookupAccesses++
+	t.lookups.Add(1)
+	t.lookupAccesses.Add(1)
 	result := &label.List{}
 	if len(t.table) == 0 || key >= uint32(t.domain()) {
 		return result, 1
@@ -256,17 +259,52 @@ type SegmentStats struct {
 // Stats returns a snapshot of the counters.
 func (t *SegmentTable) SegmentStats() SegmentStats {
 	return SegmentStats{
-		Lookups:        t.lookups,
-		LookupAccesses: t.lookupAccesses,
-		UpdateWrites:   t.updateWrites,
-		Rebuilds:       t.rebuilds,
+		Lookups:        t.lookups.Load(),
+		LookupAccesses: t.lookupAccesses.Load(),
+		UpdateWrites:   t.updateWrites.Load(),
+		Rebuilds:       t.rebuilds.Load(),
 	}
 }
 
 // ResetStats zeroes the counters without touching the stored prefixes.
 func (t *SegmentTable) ResetStats() {
-	t.lookups = 0
-	t.lookupAccesses = 0
-	t.updateWrites = 0
-	t.rebuilds = 0
+	t.lookups.Store(0)
+	t.lookupAccesses.Store(0)
+	t.updateWrites.Store(0)
+	t.rebuilds.Store(0)
+}
+
+// Prepare forces the deferred rebuild so that subsequent Lookups are pure
+// reads. The classifier calls it before publishing a snapshot to concurrent
+// readers; a dirty table reaching a reader would make Lookup's lazy rebuild
+// a data race.
+func (t *SegmentTable) Prepare() {
+	if t.dirty {
+		t.rebuild()
+	}
+}
+
+// Clone returns an independent copy of the table. The direct-indexed class
+// table must be deep-copied because rebuild reuses the existing array in
+// place; the per-class label lists are cloned for the same reason the
+// prefixes are — the copy may be mutated while readers still traverse the
+// original. The table is prepared first so the copy starts clean.
+func (t *SegmentTable) Clone() *SegmentTable {
+	t.Prepare()
+	c := &SegmentTable{
+		keyBits:        t.keyBits,
+		labelEntryBits: t.labelEntryBits,
+		prefixes:       append([]segPrefix(nil), t.prefixes...),
+		table:          append([]uint32(nil), t.table...),
+		classes:        make([]*label.List, len(t.classes)),
+		classEntries:   t.classEntries,
+	}
+	for i, l := range t.classes {
+		c.classes[i] = l.Clone()
+	}
+	c.lookups.Store(t.lookups.Load())
+	c.lookupAccesses.Store(t.lookupAccesses.Load())
+	c.updateWrites.Store(t.updateWrites.Load())
+	c.rebuilds.Store(t.rebuilds.Load())
+	return c
 }

@@ -167,3 +167,14 @@ func (e *Engine) Stats() mbt.Stats { return e.trie.Stats() }
 
 // ResetStats zeroes the counters.
 func (e *Engine) ResetStats() { e.trie.ResetStats() }
+
+// Clone returns an independent copy of the engine: the underlying trie is
+// deep-cloned and the range-expansion memo copied (its segment slices are
+// append-only once stored, so sharing them is safe).
+func (e *Engine) Clone() *Engine {
+	memo := make(map[fivetuple.PortRange][]Segment, len(e.segmentsPerRange))
+	for rng, segs := range e.segmentsPerRange {
+		memo[rng] = segs
+	}
+	return &Engine{levels: e.levels, trie: e.trie.Clone(), segmentsPerRange: memo}
+}

@@ -583,10 +583,21 @@ func UpdateExperiment(w Workload) (UpdateResult, error) {
 	}
 	total := UpdateResult{Rules: w.RuleSet.Len(), CyclesPerRule: core.UpdateCyclesPerRule()}
 	newLabels := 0
-	for _, r := range w.RuleSet.Rules() {
-		rep, err := c.InsertRule(r)
-		if err != nil {
-			return UpdateResult{}, err
+	// One ApplyUpdates batch keeps the per-rule reports while paying a
+	// single snapshot clone; per-rule InsertRule would clone the whole data
+	// path once per rule under the copy-on-write update model.
+	rules := w.RuleSet.Rules()
+	ops := make([]core.UpdateOp, len(rules))
+	for i, r := range rules {
+		ops[i] = core.UpdateOp{Rule: r}
+	}
+	reports, errs, err := c.ApplyUpdates(ops)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	for i, rep := range reports {
+		if errs[i] != nil {
+			return UpdateResult{}, errs[i]
 		}
 		total.TotalEngineWrites += rep.EngineWrites
 		newLabels += rep.NewLabels

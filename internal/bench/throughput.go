@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sdnpc/internal/core"
+	"sdnpc/internal/engine"
+	"sdnpc/internal/fivetuple"
+)
+
+// ThroughputOptions parameterises the concurrent serving-path driver.
+type ThroughputOptions struct {
+	// Engines restricts the sweep to the named IP engines; empty means every
+	// registered IP-capable engine.
+	Engines []string
+	// Workers lists the worker counts to sweep; empty means 1, 2, 4, ...
+	// up to runtime.NumCPU().
+	Workers []int
+	// BatchSize is the LookupBatch size per call; <= 0 selects 64.
+	BatchSize int
+	// PacketsPerWorker is how many packets each worker replays; <= 0 selects
+	// 50000.
+	PacketsPerWorker int
+}
+
+// ThroughputRow is the measured serving throughput of one (engine, workers)
+// cell: real packets/second through the software model, and the measured
+// wall-clock latency distribution of individual LookupBatch calls divided by
+// the batch size.
+type ThroughputRow struct {
+	Engine          string
+	Workers         int
+	BatchSize       int
+	Packets         int
+	Elapsed         time.Duration
+	PacketsPerSec   float64
+	P50PerPacket    time.Duration
+	P99PerPacket    time.Duration
+	MatchedFraction float64
+	// SpeedupVs1 is PacketsPerSec relative to the 1-worker row of the same
+	// engine (1.0 for the 1-worker row itself, 0 when no such row ran).
+	SpeedupVs1 float64
+}
+
+// defaultWorkerCounts doubles from 1 up to the CPU count, always including
+// the CPU count itself.
+func defaultWorkerCounts() []int {
+	limit := runtime.NumCPU()
+	if limit < 1 {
+		limit = 1
+	}
+	out := []int{}
+	for w := 1; w < limit; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, limit)
+}
+
+// ThroughputSweep measures the concurrent serving path: for every selected
+// engine it installs the workload's rule set once, then replays the trace
+// from N goroutines calling LookupBatch on the shared classifier, for every
+// N in the worker list. Unlike the cycle-accurate tables (which report what
+// the modelled hardware would sustain), this reports what the software
+// model actually serves — the number CI tracks for regressions.
+func ThroughputSweep(w Workload, opts ThroughputOptions) ([]ThroughputRow, error) {
+	engines := opts.Engines
+	if len(engines) == 0 {
+		engines = engine.IPEngineNames()
+	}
+	workers := opts.Workers
+	if len(workers) == 0 {
+		workers = defaultWorkerCounts()
+	}
+	batch := opts.BatchSize
+	if batch <= 0 {
+		batch = 64
+	}
+	perWorker := opts.PacketsPerWorker
+	if perWorker <= 0 {
+		perWorker = 50000
+	}
+
+	rows := make([]ThroughputRow, 0, len(engines)*len(workers))
+	for _, name := range engines {
+		cfg := core.DefaultConfig()
+		cfg.IPEngine = name
+		c, err := core.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: throughput %s: %w", name, err)
+		}
+		if _, err := c.InstallRuleSet(w.RuleSet); err != nil {
+			return nil, fmt.Errorf("bench: throughput %s: %w", name, err)
+		}
+		engineRows := make([]ThroughputRow, 0, len(workers))
+		for _, n := range workers {
+			engineRows = append(engineRows, runThroughput(c, w.Trace, name, n, batch, perWorker))
+		}
+		// Normalise speedups after the sweep so the 1-worker baseline is
+		// found regardless of where it appears in the worker list.
+		var base float64
+		for _, row := range engineRows {
+			if row.Workers == 1 {
+				base = row.PacketsPerSec
+				break
+			}
+		}
+		for i := range engineRows {
+			if base > 0 {
+				engineRows[i].SpeedupVs1 = engineRows[i].PacketsPerSec / base
+			}
+		}
+		rows = append(rows, engineRows...)
+	}
+	return rows, nil
+}
+
+// runThroughput drives one (engine, workers) cell. Each worker replays its
+// own offset of the shared trace in batches, recording the wall-clock time
+// of every LookupBatch call; the per-packet latency quantiles are taken
+// over all batch timings of all workers.
+func runThroughput(c *core.Classifier, trace []fivetuple.Header, name string, workers, batch, perWorker int) ThroughputRow {
+	type batchTiming struct {
+		elapsed time.Duration
+		packets int
+	}
+	type workerResult struct {
+		batchTimes []batchTiming
+		matched    int
+	}
+	results := make([]workerResult, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			res := workerResult{batchTimes: make([]batchTiming, 0, perWorker/batch+1)}
+			hs := make([]fivetuple.Header, 0, batch)
+			// Offset each worker into the trace so workers exercise
+			// different flows concurrently.
+			pos := (wi * len(trace)) / workers
+			for done := 0; done < perWorker; {
+				hs = hs[:0]
+				for len(hs) < batch && done+len(hs) < perWorker {
+					hs = append(hs, trace[pos%len(trace)])
+					pos++
+				}
+				t0 := time.Now()
+				batchResults := c.LookupBatch(hs)
+				res.batchTimes = append(res.batchTimes, batchTiming{elapsed: time.Since(t0), packets: len(hs)})
+				for _, r := range batchResults {
+					if r.Matched {
+						res.matched++
+					}
+				}
+				done += len(hs)
+			}
+			results[wi] = res
+		}(wi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Convert every batch timing to a per-packet figure using that batch's
+	// actual size — the final batch of a worker may be smaller than the
+	// configured batch size.
+	var all []time.Duration
+	matched := 0
+	for _, res := range results {
+		for _, bt := range res.batchTimes {
+			if bt.packets > 0 {
+				all = append(all, bt.elapsed/time.Duration(bt.packets))
+			}
+		}
+		matched += res.matched
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		return all[int(q*float64(len(all)-1))]
+	}
+	total := workers * perWorker
+	row := ThroughputRow{
+		Engine:          name,
+		Workers:         workers,
+		BatchSize:       batch,
+		Packets:         total,
+		Elapsed:         elapsed,
+		MatchedFraction: float64(matched) / float64(total),
+		P50PerPacket:    quantile(0.50),
+		P99PerPacket:    quantile(0.99),
+	}
+	if elapsed > 0 {
+		row.PacketsPerSec = float64(total) / elapsed.Seconds()
+	}
+	return row
+}
+
+// RenderThroughput renders the sweep as a table.
+func RenderThroughput(rows []ThroughputRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Concurrent serving throughput — snapshot-swap classifier, batched lookups\n")
+	fmt.Fprintf(&b, "%-10s %8s %7s %14s %10s %12s %12s %8s\n",
+		"engine", "workers", "batch", "packets/sec", "speedup", "p50/pkt", "p99/pkt", "match%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8d %7d %14.0f %9.2fx %12s %12s %7.1f%%\n",
+			r.Engine, r.Workers, r.BatchSize, r.PacketsPerSec, r.SpeedupVs1,
+			r.P50PerPacket, r.P99PerPacket, 100*r.MatchedFraction)
+	}
+	return b.String()
+}

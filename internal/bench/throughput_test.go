@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"sdnpc/internal/classbench"
+)
+
+func throughputWorkload() Workload {
+	return NewWorkload(classbench.ACL, classbench.Size1K, 2000)
+}
+
+func TestThroughputSweepMechanics(t *testing.T) {
+	w := throughputWorkload()
+	rows, err := ThroughputSweep(w, ThroughputOptions{
+		Engines:          []string{"mbt"},
+		Workers:          []int{1, 2},
+		BatchSize:        32,
+		PacketsPerWorker: 2000,
+	})
+	if err != nil {
+		t.Fatalf("ThroughputSweep: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for i, r := range rows {
+		if r.Engine != "mbt" || r.BatchSize != 32 {
+			t.Errorf("row %d = %+v, want engine mbt batch 32", i, r)
+		}
+		if r.Packets != r.Workers*2000 {
+			t.Errorf("row %d replayed %d packets, want %d", i, r.Packets, r.Workers*2000)
+		}
+		if r.PacketsPerSec <= 0 {
+			t.Errorf("row %d packets/sec = %v, want > 0", i, r.PacketsPerSec)
+		}
+		if r.P50PerPacket <= 0 || r.P99PerPacket < r.P50PerPacket {
+			t.Errorf("row %d latency quantiles p50=%v p99=%v are not ordered", i, r.P50PerPacket, r.P99PerPacket)
+		}
+		if r.MatchedFraction <= 0 {
+			t.Errorf("row %d matched nothing; the trace targets the rule set", i)
+		}
+	}
+	if rows[0].Workers != 1 || rows[0].SpeedupVs1 != 1.0 {
+		t.Errorf("first row = %+v, want the 1-worker baseline with speedup 1.0", rows[0])
+	}
+	if rows[1].SpeedupVs1 <= 0 {
+		t.Errorf("second row speedup = %v, want > 0 (relative to the 1-worker row)", rows[1].SpeedupVs1)
+	}
+	if out := RenderThroughput(rows); !strings.Contains(out, "mbt") || !strings.Contains(out, "packets/sec") {
+		t.Errorf("RenderThroughput output missing expected columns:\n%s", out)
+	}
+}
+
+func TestThroughputSweepRejectsUnknownEngine(t *testing.T) {
+	if _, err := ThroughputSweep(throughputWorkload(), ThroughputOptions{
+		Engines: []string{"no-such-engine"}, Workers: []int{1}, PacketsPerWorker: 10,
+	}); err == nil {
+		t.Fatal("sweep accepted an unregistered engine")
+	}
+}
+
+// TestThroughputScalesWithWorkers asserts the acceptance criterion of the
+// concurrent serving path: more workers move more packets per second
+// through one shared classifier. It needs real parallelism, so it skips on
+// small machines and in -short mode rather than flake.
+func TestThroughputScalesWithWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping scaling measurement in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs to demonstrate scaling, have %d", runtime.NumCPU())
+	}
+	rows, err := ThroughputSweep(throughputWorkload(), ThroughputOptions{
+		Engines:          []string{"mbt"},
+		Workers:          []int{1, 4},
+		PacketsPerWorker: 20000,
+	})
+	if err != nil {
+		t.Fatalf("ThroughputSweep: %v", err)
+	}
+	speedup := rows[1].PacketsPerSec / rows[0].PacketsPerSec
+	if speedup <= 1.0 {
+		t.Errorf("4-worker throughput is %.2fx the 1-worker rate, want > 1x (lock-free serving should scale)", speedup)
+	}
+}

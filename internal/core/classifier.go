@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"sdnpc/internal/engine"
 	"sdnpc/internal/fivetuple"
@@ -66,6 +68,14 @@ func (u *fieldUse) remove(priority int) (newBest int, changed bool) {
 
 func (u *fieldUse) empty() bool { return len(u.counts) == 0 }
 
+func (u *fieldUse) clone() *fieldUse {
+	c := &fieldUse{counts: make(map[int]int, len(u.counts)), best: u.best}
+	for p, n := range u.counts {
+		c.counts[p] = n
+	}
+	return c
+}
+
 // installedRule is the software shadow of one hardware rule: what the
 // controller needs to re-programme the data plane after an algorithm switch
 // and to undo an installation.
@@ -85,33 +95,26 @@ type installedRule struct {
 // itself never dispatches on an algorithm name; every per-dimension call
 // goes through the FieldEngine interface.
 //
-// Classifier is not safe for concurrent use: in the modelled hardware the
-// lookup data path and the update interface are time-multiplexed by the
-// controller, and the software model mirrors that by requiring external
-// serialisation.
+// Classifier is safe for concurrent use. The serving path is RCU-style: the
+// complete data path lives in an immutable snapshot behind an atomic
+// pointer, so any number of goroutines can call Lookup and LookupBatch
+// lock-free. Updates (InsertRule, DeleteRule, InstallRuleSet,
+// SelectIPEngine) serialise on an internal mutex, build the next snapshot
+// off to the side — cloning the current one and mutating the private copy —
+// and publish it with a single atomic swap. A lookup that raced an update
+// returns a result consistent with either the old or the new rule set,
+// never a half-applied mixture; this mirrors the modelled hardware, where
+// the controller re-downloads memory images and flips them in atomically.
 type Classifier struct {
 	cfg Config
 
-	// engineName is the registry name of the engine serving the IP-segment
-	// dimensions; alg mirrors it on the legacy IPalg_s signal (0 when the
-	// engine has no legacy selection value).
-	engineName string
-	alg        memory.AlgSelect
+	// mu serialises writers; readers never take it.
+	mu sync.Mutex
 
-	labels    *label.Bank
-	fieldUses map[label.Dimension]map[string]*fieldUse
+	// snap is the published snapshot read by the lock-free lookup path.
+	snap atomic.Pointer[snapshot]
 
-	// engines holds the per-dimension field lookup engines.
-	engines map[label.Dimension]engine.FieldEngine
-
-	// sharedL2 models the IPalg_s-selected shared blocks of Fig. 5, one per
-	// IP segment.
-	sharedL2 map[label.Dimension]*memory.SharedBlock
-
-	filter    *ruleFilter
-	installed []installedRule
-
-	stats Stats
+	stats statsCollector
 }
 
 // New creates a classifier with the given configuration.
@@ -124,10 +127,12 @@ func New(cfg Config) (*Classifier, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown field engine %q", name)
 	}
-	c := &Classifier{cfg: cfg, engineName: name, alg: def.Legacy}
-	if err := c.resetDataPath(); err != nil {
+	c := &Classifier{cfg: cfg}
+	s, err := newSnapshot(&c.cfg, name, def.Legacy)
+	if err != nil {
 		return nil, err
 	}
+	c.publish(s)
 	return c, nil
 }
 
@@ -140,55 +145,15 @@ func MustNew(cfg Config) *Classifier {
 	return c
 }
 
-// resetDataPath (re)builds every engine, label table and the rule filter for
-// the current engine selection, leaving the installed-rule shadow intact.
-func (c *Classifier) resetDataPath() error {
-	c.labels = label.NewBank()
-	c.fieldUses = make(map[label.Dimension]map[string]*fieldUse, label.NumDimensions)
-	for _, d := range label.Dimensions() {
-		c.fieldUses[d] = make(map[string]*fieldUse)
-	}
+// view returns the published snapshot. The returned snapshot is immutable
+// (up to atomic counters) and remains valid even if an update publishes a
+// successor while the caller is still reading it.
+func (c *Classifier) view() *snapshot { return c.snap.Load() }
 
-	c.engines = make(map[label.Dimension]engine.FieldEngine, label.NumDimensions)
-	if c.sharedL2 == nil {
-		c.sharedL2 = make(map[label.Dimension]*memory.SharedBlock, len(ipSegmentDims))
-	}
-	for _, d := range ipSegmentDims {
-		if c.sharedL2[d] == nil {
-			block := memory.NewBlock(fmt.Sprintf("shared-l2/%s", d), DefaultMBTEntryBits, c.cfg.MBTLevel2Entries)
-			c.sharedL2[d] = memory.NewSharedBlockOwner(block, c.engineName)
-		} else {
-			c.sharedL2[d].SelectOwner(c.engineName)
-		}
-		eng, err := engine.New(c.engineName, engine.Spec{
-			KeyBits:   16,
-			LabelBits: d.Bits(),
-			SharedL2:  c.sharedL2[d],
-		})
-		if err != nil {
-			return fmt.Errorf("core: building %s engine for %s: %w", c.engineName, d, err)
-		}
-		c.engines[d] = eng
-	}
-	for _, d := range []label.Dimension{label.DimSrcPort, label.DimDstPort} {
-		eng, err := engine.New("portreg", engine.Spec{
-			KeyBits:   16,
-			LabelBits: d.Bits(),
-			Registers: c.cfg.PortRegisters,
-		})
-		if err != nil {
-			return fmt.Errorf("core: building port engine for %s: %w", d, err)
-		}
-		c.engines[d] = eng
-	}
-	protoEng, err := engine.New("lut", engine.Spec{KeyBits: 8, LabelBits: DefaultProtocolLabelBits})
-	if err != nil {
-		return fmt.Errorf("core: building protocol engine: %w", err)
-	}
-	c.engines[label.DimProtocol] = protoEng
-
-	c.filter = newRuleFilter(c.cfg.RuleFilterAddressBits, c.cfg.RuleCapacityFor(c.engineName), c.cfg.RuleEntryBits)
-	return nil
+// publish prepares a snapshot and makes it the one served to readers.
+func (c *Classifier) publish(s *snapshot) {
+	s.prepare()
+	c.snap.Store(s)
 }
 
 // Config returns the classifier configuration.
@@ -196,37 +161,35 @@ func (c *Classifier) Config() Config { return c.cfg }
 
 // IPEngineName returns the registry name of the engine currently serving the
 // IP-segment dimensions.
-func (c *Classifier) IPEngineName() string { return c.engineName }
+func (c *Classifier) IPEngineName() string { return c.view().engineName }
 
 // IPAlgorithm returns the current setting of the legacy IPalg_s signal: the
 // selection value of the active IP engine, or 0 when the engine has no
-// legacy value.
+// legacy selection value.
 //
 // Deprecated: use IPEngineName.
-func (c *Classifier) IPAlgorithm() memory.AlgSelect { return c.alg }
+func (c *Classifier) IPAlgorithm() memory.AlgSelect { return c.view().alg }
 
 // RuleCount returns the number of installed rules.
-func (c *Classifier) RuleCount() int { return len(c.installed) }
+func (c *Classifier) RuleCount() int { return len(c.view().installed) }
 
 // RuleCapacity returns the rule capacity under the current engine selection.
-func (c *Classifier) RuleCapacity() int { return c.cfg.RuleCapacityFor(c.engineName) }
+func (c *Classifier) RuleCapacity() int { return c.cfg.RuleCapacityFor(c.view().engineName) }
 
 // InstalledRules returns a copy of the installed rules in installation
 // order.
 func (c *Classifier) InstalledRules() []fivetuple.Rule {
-	out := make([]fivetuple.Rule, len(c.installed))
-	for i, ir := range c.installed {
-		out[i] = ir.rule
-	}
-	return out
+	return c.view().installedRules()
 }
 
-// SelectIPEngine drives the generalised IPalg_s signal (§III.A): it swaps
-// the IP-segment lookup engines for the named registered engine, re-purposes
-// the shared memory blocks (Fig. 5) and re-programmes the data path with the
-// installed rules, exactly as the software controller would re-download the
-// memory images after a configuration change. Selecting the already-active
-// engine is a no-op.
+// SelectIPEngine drives the generalised IPalg_s signal (§III.A): it builds a
+// fresh data path around the named registered engine — new engines, new
+// shared memory blocks (Fig. 5), a re-provisioned rule filter — replays the
+// installed rules onto it, and atomically swaps it in, exactly as the
+// software controller would re-download the memory images after a
+// configuration change. Lookups racing the switch are served by the old
+// data path until the swap; none ever observes a half-programmed engine.
+// Selecting the already-active engine is a no-op.
 func (c *Classifier) SelectIPEngine(name string) error {
 	def, ok := engine.Get(name)
 	if !ok {
@@ -235,25 +198,26 @@ func (c *Classifier) SelectIPEngine(name string) error {
 	if !def.IPCapable {
 		return fmt.Errorf("core: engine %q cannot serve the IP-segment dimensions", name)
 	}
-	if name == c.engineName {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	current := c.view()
+	if name == current.engineName {
 		return nil
 	}
-	if len(c.installed) > c.cfg.RuleCapacityFor(name) {
+	if len(current.installed) > c.cfg.RuleCapacityFor(name) {
 		return fmt.Errorf("core: %d installed rules exceed the %d-rule capacity of the %s configuration",
-			len(c.installed), c.cfg.RuleCapacityFor(name), name)
+			len(current.installed), c.cfg.RuleCapacityFor(name), name)
 	}
-	rules := c.InstalledRules()
-	c.engineName = name
-	c.alg = def.Legacy
-	c.installed = nil
-	if err := c.resetDataPath(); err != nil {
+	next, err := newSnapshot(&c.cfg, name, def.Legacy)
+	if err != nil {
 		return err
 	}
-	for _, r := range rules {
-		if _, err := c.InsertRule(r); err != nil {
+	for _, r := range current.installedRules() {
+		if _, err := next.insertRule(&c.cfg, r); err != nil {
 			return fmt.Errorf("core: re-programming after engine switch: %w", err)
 		}
 	}
+	c.publish(next)
 	return nil
 }
 
@@ -323,39 +287,4 @@ func fieldValue(d label.Dimension, r fivetuple.Rule) engine.Value {
 	default:
 		return engine.Value{}
 	}
-}
-
-// installFieldValue writes a newly labelled field value into the dimension's
-// lookup engine. It returns the number of engine memory writes.
-func (c *Classifier) installFieldValue(d label.Dimension, r fivetuple.Rule, lbl label.Label, priority int) (int, error) {
-	return c.engines[d].Insert(fieldValue(d, r), lbl, priority)
-}
-
-// removeFieldValue deletes a field value from the dimension's engine when
-// its last rule is gone.
-func (c *Classifier) removeFieldValue(d label.Dimension, r fivetuple.Rule, lbl label.Label) (int, error) {
-	return c.engines[d].Remove(fieldValue(d, r), lbl)
-}
-
-// reprioritiseFieldValue re-installs a field value at a new best priority
-// after the rule that defined the old best priority was deleted. Engines
-// whose lists are ordered positionally (ports, protocol) treat this as a
-// no-op.
-func (c *Classifier) reprioritiseFieldValue(d label.Dimension, r fivetuple.Rule, lbl label.Label, newBest int) error {
-	_, err := c.engines[d].Reprioritise(fieldValue(d, r), lbl, newBest)
-	return err
-}
-
-// ruleLabels returns the per-dimension labels of a rule's own field values,
-// for building its combination key. Every value must already be labelled.
-func (c *Classifier) ruleLabels(r fivetuple.Rule) (map[label.Dimension]label.Label, error) {
-	out := make(map[label.Dimension]label.Label, label.NumDimensions)
-	for _, d := range label.Dimensions() {
-		lbl, ok := c.labels.Table(d).Lookup(fieldValueKey(d, r))
-		if !ok {
-			return nil, fmt.Errorf("core: field value %q in dimension %s is not labelled", fieldValueKey(d, r), d)
-		}
-		out[d] = lbl
-	}
-	return out, nil
 }

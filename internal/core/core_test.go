@@ -252,10 +252,10 @@ func TestUpdateReportFollowsFigure4(t *testing.T) {
 	if repB.NewLabels != 1 {
 		t.Errorf("second rule NewLabels = %d, want 1", repB.NewLabels)
 	}
-	if got := c.labels.Table(label.DimDstPort).RefCount(ruleA.DstPort.String()); got != 1 {
+	if got := c.view().labels.Table(label.DimDstPort).RefCount(ruleA.DstPort.String()); got != 1 {
 		t.Errorf("dst port 80 refcount = %d, want 1", got)
 	}
-	if got := c.labels.Table(label.DimProtocol).RefCount(fivetuple.ExactProtocol(fivetuple.ProtoTCP).String()); got != 2 {
+	if got := c.view().labels.Table(label.DimProtocol).RefCount(fivetuple.ExactProtocol(fivetuple.ProtoTCP).String()); got != 2 {
 		t.Errorf("protocol refcount = %d, want 2", got)
 	}
 
@@ -278,9 +278,9 @@ func TestUpdateReportFollowsFigure4(t *testing.T) {
 	if delA.ReleasedLabels != label.NumDimensions {
 		t.Errorf("final delete ReleasedLabels = %d, want %d", delA.ReleasedLabels, label.NumDimensions)
 	}
-	if c.RuleCount() != 0 || c.labels.TotalLabels() != 0 {
+	if c.RuleCount() != 0 || c.view().labels.TotalLabels() != 0 {
 		t.Errorf("classifier not empty after deleting everything: %d rules, %d labels",
-			c.RuleCount(), c.labels.TotalLabels())
+			c.RuleCount(), c.view().labels.TotalLabels())
 	}
 	if UpdateCyclesPerRule() != 3 {
 		t.Errorf("UpdateCyclesPerRule() = %d, want 3", UpdateCyclesPerRule())

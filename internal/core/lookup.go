@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/label"
 )
@@ -43,11 +45,100 @@ type fieldLookup struct {
 // Lookup classifies one packet header through the four pipelined phases of
 // Fig. 3 and returns the Highest Priority Matching Rule found by the
 // configured combination mode.
+//
+// Lookup is lock-free and safe to call from any number of goroutines: it
+// loads the published snapshot once and traverses only that snapshot, so a
+// concurrent update can never hand it a half-programmed data path.
 func (c *Classifier) Lookup(h fivetuple.Header) Result {
+	result := c.view().lookup(&c.cfg, h)
+	c.stats.recordLookup(result)
+	return result
+}
+
+// LookupBatch classifies a batch of headers against one consistent snapshot
+// of the rule set: the published data path is loaded once and every header
+// of the batch is classified against it, even if rule updates land midway.
+// The per-batch counter aggregation is also cheaper than per-lookup
+// recording — one atomic add per counter per batch instead of per packet.
+//
+// The returned slice has one Result per header, in order. Use
+// SummarizeBatch to aggregate the batch's accounting fields.
+func (c *Classifier) LookupBatch(hs []fivetuple.Header) []Result {
+	if len(hs) == 0 {
+		return nil
+	}
+	s := c.view()
+	results := make([]Result, len(hs))
+	for i, h := range hs {
+		results[i] = s.lookup(&c.cfg, h)
+	}
+	c.stats.recordBatch(SummarizeBatch(results))
+	return results
+}
+
+// BatchReport aggregates the accounting fields of one batch of lookups —
+// the per-batch totals that a per-Result reading would otherwise have to
+// re-derive.
+type BatchReport struct {
+	// Packets is the batch size.
+	Packets int
+	// Matched is the number of packets that matched some rule.
+	Matched int
+	// FieldAccesses, LabelFetches, RuleFilterProbes and Combinations are the
+	// summed per-packet counters.
+	FieldAccesses    int
+	LabelFetches     int
+	RuleFilterProbes int
+	Combinations     int
+	// LatencyCycles is the summed per-packet latency; MaxLatencyCycles is
+	// the worst packet of the batch.
+	LatencyCycles    int
+	MaxLatencyCycles int
+}
+
+// AverageLatencyCycles returns the mean modelled latency of the batch.
+func (b BatchReport) AverageLatencyCycles() float64 {
+	if b.Packets == 0 {
+		return 0
+	}
+	return float64(b.LatencyCycles) / float64(b.Packets)
+}
+
+// MatchRate returns the fraction of the batch that matched a rule.
+func (b BatchReport) MatchRate() float64 {
+	if b.Packets == 0 {
+		return 0
+	}
+	return float64(b.Matched) / float64(b.Packets)
+}
+
+// SummarizeBatch aggregates per-lookup results into batch-level totals.
+func SummarizeBatch(results []Result) BatchReport {
+	rep := BatchReport{Packets: len(results)}
+	for _, r := range results {
+		if r.Matched {
+			rep.Matched++
+		}
+		rep.FieldAccesses += r.FieldAccesses
+		rep.LabelFetches += r.LabelFetches
+		rep.RuleFilterProbes += r.RuleFilterProbes
+		rep.Combinations += r.Combinations
+		rep.LatencyCycles += r.LatencyCycles
+		if r.LatencyCycles > rep.MaxLatencyCycles {
+			rep.MaxLatencyCycles = r.LatencyCycles
+		}
+	}
+	return rep
+}
+
+// lookup runs the four-phase pipeline against this snapshot. It performs no
+// writes beyond the atomic access counters inside the engines and the rule
+// filter, which is what makes the concurrent serving path possible.
+func (s *snapshot) lookup(cfg *Config, h fivetuple.Header) Result {
 	// Phase 1: split the header into per-dimension segments and dispatch to
 	// the engines selected by IPalg_s (the dispatch itself costs one cycle).
 	// Phase 2: parallel single-field lookups.
-	fields := c.lookupFields(h)
+	fields := s.lookupFields(h)
 
 	result := Result{}
 	maxFieldCycles := 0
@@ -67,19 +158,16 @@ func (c *Classifier) Lookup(h fivetuple.Header) Result {
 	// match the packet.
 	for _, f := range fields {
 		if f.list.Len() == 0 {
-			c.recordLookup(result)
 			return result
 		}
 	}
 
-	switch c.cfg.CombineMode {
+	switch cfg.CombineMode {
 	case CombineHPML:
-		result = c.combineHPML(fields, result)
+		return s.combineHPML(fields, result)
 	default:
-		result = c.combineCrossProduct(fields, result)
+		return s.combineCrossProduct(cfg, fields, result)
 	}
-	c.recordLookup(result)
-	return result
 }
 
 // headerKeys splits the header into the per-dimension lookup keys of
@@ -100,11 +188,11 @@ func headerKeys(h fivetuple.Header) [label.NumDimensions + 1]uint32 {
 
 // lookupFields performs the parallel phase-2 lookups: every dimension's key
 // is handed to that dimension's engine through the FieldEngine interface.
-func (c *Classifier) lookupFields(h fivetuple.Header) []fieldLookup {
+func (s *snapshot) lookupFields(h fivetuple.Header) []fieldLookup {
 	keys := headerKeys(h)
 	out := make([]fieldLookup, 0, label.NumDimensions)
 	for _, d := range label.Dimensions() {
-		eng := c.engines[d]
+		eng := s.engines[d]
 		list, accesses := eng.Lookup(keys[d])
 		out = append(out, fieldLookup{dim: d, list: list, accesses: accesses, cycles: eng.Cost().LookupCycles})
 	}
@@ -120,14 +208,14 @@ func mbtLookupCycles() int { return 3 * CyclesPerMBTLevel }
 // combineHPML implements the paper's phase-3 combination: the first (highest
 // priority) label of each list is concatenated into the 68-bit key and the
 // Rule Filter is probed once.
-func (c *Classifier) combineHPML(fields []fieldLookup, result Result) Result {
+func (s *snapshot) combineHPML(fields []fieldLookup, result Result) Result {
 	labels := make(map[label.Dimension]label.Label, label.NumDimensions)
 	for _, f := range fields {
 		hpml, _ := f.list.HPML()
 		labels[f.dim] = hpml.Label
 	}
 	result.Combinations = 1
-	entry, found, probes := c.filter.lookup(label.PackKey(labels))
+	entry, found, probes := s.filter.lookup(label.PackKey(labels))
 	result.RuleFilterProbes = probes
 	if found {
 		result.Matched = true
@@ -141,7 +229,7 @@ func (c *Classifier) combineHPML(fields []fieldLookup, result Result) Result {
 // combineCrossProduct probes every combination of matching labels and keeps
 // the best-priority hit; it terminates early once the probe budget is
 // exhausted.
-func (c *Classifier) combineCrossProduct(fields []fieldLookup, result Result) Result {
+func (s *snapshot) combineCrossProduct(cfg *Config, fields []fieldLookup, result Result) Result {
 	items := make([][]label.PriorityLabel, len(fields))
 	for i, f := range fields {
 		items[i] = f.list.Items()
@@ -152,12 +240,12 @@ func (c *Classifier) combineCrossProduct(fields []fieldLookup, result Result) Re
 
 	var walk func(depth int) bool
 	walk = func(depth int) bool {
-		if result.Combinations >= c.cfg.MaxCrossProductProbes {
+		if result.Combinations >= cfg.MaxCrossProductProbes {
 			return true // budget exhausted
 		}
 		if depth == len(fields) {
 			result.Combinations++
-			entry, found, probes := c.filter.lookup(label.PackKey(current))
+			entry, found, probes := s.filter.lookup(label.PackKey(current))
 			result.RuleFilterProbes += probes
 			if found && (!foundAny || entry.priority < best.Priority) {
 				foundAny = true
@@ -238,26 +326,104 @@ func (s Stats) MatchRate() float64 {
 	return float64(s.Matches) / float64(s.Lookups)
 }
 
-func (c *Classifier) recordLookup(r Result) {
-	c.stats.Lookups++
-	if r.Matched {
-		c.stats.Matches++
-	}
-	c.stats.FieldAccesses += uint64(r.FieldAccesses)
-	c.stats.LabelFetches += uint64(r.LabelFetches)
-	c.stats.RuleFilterProbes += uint64(r.RuleFilterProbes)
-	c.stats.Combinations += uint64(r.Combinations)
-	c.stats.LatencyCycles += uint64(r.LatencyCycles)
+// statsCollector is the concurrent backing store of Stats: every counter is
+// atomic so that the lock-free lookup path can record its accounting from
+// any number of goroutines. Batches are folded in with one atomic add per
+// counter rather than one per packet.
+type statsCollector struct {
+	lookups          atomic.Uint64
+	matches          atomic.Uint64
+	fieldAccesses    atomic.Uint64
+	labelFetches     atomic.Uint64
+	ruleFilterProbes atomic.Uint64
+	combinations     atomic.Uint64
+	latencyCycles    atomic.Uint64
+
+	inserts      atomic.Uint64
+	deletes      atomic.Uint64
+	updateCycles atomic.Uint64
 }
 
-// Stats returns a snapshot of the accumulated counters.
-func (c *Classifier) Stats() Stats { return c.stats }
+func (sc *statsCollector) recordLookup(r Result) {
+	sc.lookups.Add(1)
+	if r.Matched {
+		sc.matches.Add(1)
+	}
+	sc.fieldAccesses.Add(uint64(r.FieldAccesses))
+	sc.labelFetches.Add(uint64(r.LabelFetches))
+	sc.ruleFilterProbes.Add(uint64(r.RuleFilterProbes))
+	sc.combinations.Add(uint64(r.Combinations))
+	sc.latencyCycles.Add(uint64(r.LatencyCycles))
+}
+
+func (sc *statsCollector) recordBatch(rep BatchReport) {
+	sc.lookups.Add(uint64(rep.Packets))
+	sc.matches.Add(uint64(rep.Matched))
+	sc.fieldAccesses.Add(uint64(rep.FieldAccesses))
+	sc.labelFetches.Add(uint64(rep.LabelFetches))
+	sc.ruleFilterProbes.Add(uint64(rep.RuleFilterProbes))
+	sc.combinations.Add(uint64(rep.Combinations))
+	sc.latencyCycles.Add(uint64(rep.LatencyCycles))
+}
+
+func (sc *statsCollector) recordInsert(rep UpdateReport) {
+	sc.inserts.Add(1)
+	sc.updateCycles.Add(uint64(rep.ClockCycles))
+}
+
+func (sc *statsCollector) recordDelete(rep UpdateReport) {
+	sc.deletes.Add(1)
+	sc.updateCycles.Add(uint64(rep.ClockCycles))
+}
+
+// recordUpdates folds a whole update batch in at once, with the cycle total
+// summed from the per-op reports so the accounting has a single source.
+func (sc *statsCollector) recordUpdates(inserts, deletes, cycles int) {
+	sc.inserts.Add(uint64(inserts))
+	sc.deletes.Add(uint64(deletes))
+	sc.updateCycles.Add(uint64(cycles))
+}
+
+func (sc *statsCollector) snapshot() Stats {
+	return Stats{
+		Lookups:          sc.lookups.Load(),
+		Matches:          sc.matches.Load(),
+		FieldAccesses:    sc.fieldAccesses.Load(),
+		LabelFetches:     sc.labelFetches.Load(),
+		RuleFilterProbes: sc.ruleFilterProbes.Load(),
+		Combinations:     sc.combinations.Load(),
+		LatencyCycles:    sc.latencyCycles.Load(),
+		Inserts:          sc.inserts.Load(),
+		Deletes:          sc.deletes.Load(),
+		UpdateCycles:     sc.updateCycles.Load(),
+	}
+}
+
+func (sc *statsCollector) reset() {
+	sc.lookups.Store(0)
+	sc.matches.Store(0)
+	sc.fieldAccesses.Store(0)
+	sc.labelFetches.Store(0)
+	sc.ruleFilterProbes.Store(0)
+	sc.combinations.Store(0)
+	sc.latencyCycles.Store(0)
+	sc.inserts.Store(0)
+	sc.deletes.Store(0)
+	sc.updateCycles.Store(0)
+}
+
+// Stats returns a snapshot of the accumulated counters. It is safe to call
+// concurrently with lookups and updates; the individual counters are read
+// atomically (the struct as a whole is not one consistent cut, which is
+// inherent to concurrent collection).
+func (c *Classifier) Stats() Stats { return c.stats.snapshot() }
 
 // ResetStats zeroes the counters without touching installed rules.
 func (c *Classifier) ResetStats() {
-	c.stats = Stats{}
-	c.filter.resetCounters()
-	for _, eng := range c.engines {
+	c.stats.reset()
+	s := c.view()
+	s.filter.resetCounters()
+	for _, eng := range s.engines {
 		eng.ResetStats()
 	}
 }

@@ -67,42 +67,44 @@ func (m MemoryReport) TotalUsedBits() int {
 		m.LabelMemoryUsedBits + m.LabelTableBits + m.RuleFilterUsedBits
 }
 
-// MemoryReport computes the current memory breakdown.
+// MemoryReport computes the current memory breakdown. Like Lookup, it reads
+// one published snapshot, so it is safe to call while updates are in flight.
 func (c *Classifier) MemoryReport() MemoryReport {
+	s := c.view()
 	report := MemoryReport{
-		IPEngine:           c.engineName,
-		Algorithm:          c.alg,
+		IPEngine:           s.engineName,
+		Algorithm:          s.alg,
 		MBTProvisionedBits: 4 * c.cfg.mbtProvisionedBitsPerSegment(),
 		BSTProvisionedBits: 4 * c.cfg.sharedLevel2BitsPerSegment(),
-		ProtocolLUTBits:    c.engines[label.DimProtocol].Footprint().NodeBits,
-		PortRegisterBits: c.engines[label.DimSrcPort].Footprint().NodeBits +
-			c.engines[label.DimDstPort].Footprint().NodeBits,
+		ProtocolLUTBits:    s.engines[label.DimProtocol].Footprint().NodeBits,
+		PortRegisterBits: s.engines[label.DimSrcPort].Footprint().NodeBits +
+			s.engines[label.DimDstPort].Footprint().NodeBits,
 
 		LabelMemoryProvisionedBits: c.cfg.LabelMemoryEntries * c.cfg.LabelMemoryEntryBits,
-		LabelTableBits:             c.labels.StorageBits(),
+		LabelTableBits:             s.labels.StorageBits(),
 
 		// The provisioned Rule Filter is the base hash-addressed block; the
 		// extra capacity available under a shared-resident engine selection
 		// reuses the freed MBT blocks, which are already counted in
 		// MBTProvisionedBits.
 		RuleFilterProvisionedBits: c.cfg.RuleFilterSlots() * c.cfg.RuleEntryBits,
-		RuleFilterUsedBits:        c.filter.usedBits(),
+		RuleFilterUsedBits:        s.filter.usedBits(),
 
-		RulesInstalled: len(c.installed),
-		RuleCapacity:   c.RuleCapacity(),
+		RulesInstalled: len(s.installed),
+		RuleCapacity:   c.cfg.RuleCapacityFor(s.engineName),
 	}
 	// Only the selected engine's node data is resident in the (shared)
 	// memory blocks, so usage is reported for that engine alone.
 	for _, d := range ipSegmentDims {
-		fp := c.engines[d].Footprint()
+		fp := s.engines[d].Footprint()
 		report.IPEngineUsedBits += fp.NodeBits
 		report.LabelMemoryUsedBits += fp.LabelListBits
 	}
 	report.IPEngineProvisionedBits = report.MBTProvisionedBits
-	if def, ok := engine.Get(c.engineName); ok && def.SharesLevel2 {
+	if def, ok := engine.Get(s.engineName); ok && def.SharesLevel2 {
 		report.IPEngineProvisionedBits = report.BSTProvisionedBits
 	}
-	switch c.alg {
+	switch s.alg {
 	case memory.SelectMBT:
 		report.MBTUsedBits = report.IPEngineUsedBits
 	case memory.SelectBST:
@@ -116,13 +118,14 @@ func (c *Classifier) MemoryReport() MemoryReport {
 // takes its latency and initiation interval from the active engine's cost
 // model.
 func (c *Classifier) Pipeline() *pipeline.Pipeline {
-	cost := c.engines[label.DimSrcIPHigh].Cost()
+	s := c.view()
+	cost := s.engines[label.DimSrcIPHigh].Cost()
 	ipStage := pipeline.Stage{
-		Name:               "field lookup (" + c.engineName + ")",
+		Name:               "field lookup (" + s.engineName + ")",
 		LatencyCycles:      cost.LookupCycles,
 		InitiationInterval: cost.InitiationInterval,
 	}
-	return pipeline.MustNew("lookup/"+c.engineName, c.cfg.ClockHz,
+	return pipeline.MustNew("lookup/"+s.engineName, c.cfg.ClockHz,
 		pipeline.Stage{Name: "split+dispatch", LatencyCycles: CyclesDispatch, InitiationInterval: 1},
 		ipStage,
 		pipeline.Stage{Name: "label fetch", LatencyCycles: CyclesLabelFetch, InitiationInterval: 1},

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/hw/hashunit"
@@ -35,8 +36,10 @@ type ruleFilter struct {
 	entryBits int
 	used      int
 
-	reads  uint64
-	writes uint64
+	// The access counters are atomic because lookup runs on published
+	// (otherwise immutable) filters from many goroutines at once.
+	reads  atomic.Uint64
+	writes atomic.Uint64
 }
 
 // newRuleFilter creates a rule filter with the given capacity. The hash unit
@@ -74,11 +77,11 @@ func (rf *ruleFilter) slotFor(key label.CombinationKey, probe int) int {
 func (rf *ruleFilter) insert(key label.CombinationKey, priority int, action fivetuple.Action, actionArg uint32) (slot, probes, writes int, err error) {
 	for probe := 0; probe < len(rf.entries); probe++ {
 		idx := rf.slotFor(key, probe)
-		rf.reads++
+		rf.reads.Add(1)
 		e := &rf.entries[idx]
 		if !e.valid || e.tombstone {
 			*e = ruleEntry{valid: true, key: key, priority: priority, action: action, actionArg: actionArg}
-			rf.writes++
+			rf.writes.Add(1)
 			rf.used++
 			return idx, probe + 1, 1, nil
 		}
@@ -91,14 +94,14 @@ func (rf *ruleFilter) insert(key label.CombinationKey, priority int, action five
 func (rf *ruleFilter) remove(key label.CombinationKey, priority int) (found bool, probes int) {
 	for probe := 0; probe < len(rf.entries); probe++ {
 		idx := rf.slotFor(key, probe)
-		rf.reads++
+		rf.reads.Add(1)
 		e := &rf.entries[idx]
 		if !e.valid {
 			return false, probe + 1
 		}
 		if !e.tombstone && e.key == key && e.priority == priority {
 			e.tombstone = true
-			rf.writes++
+			rf.writes.Add(1)
 			rf.used--
 			return true, probe + 1
 		}
@@ -110,9 +113,12 @@ func (rf *ruleFilter) remove(key label.CombinationKey, priority int) (found bool
 // holding it. probes is the number of slots read.
 func (rf *ruleFilter) lookup(key label.CombinationKey) (entry ruleEntry, found bool, probes int) {
 	best := ruleEntry{}
+	// The read counter is bumped once per call rather than per probed slot:
+	// concurrent lookups all share this one atomic, and cross-product mode
+	// can probe hundreds of slots per packet.
+	defer func() { rf.reads.Add(uint64(probes)) }()
 	for probe := 0; probe < len(rf.entries); probe++ {
 		idx := rf.slotFor(key, probe)
-		rf.reads++
 		probes = probe + 1
 		e := rf.entries[idx]
 		if !e.valid {
@@ -157,10 +163,25 @@ func (rf *ruleFilter) clear() {
 }
 
 // accesses returns the cumulative number of slot reads and writes.
-func (rf *ruleFilter) accesses() (reads, writes uint64) { return rf.reads, rf.writes }
+func (rf *ruleFilter) accesses() (reads, writes uint64) { return rf.reads.Load(), rf.writes.Load() }
 
 // resetCounters zeroes the access counters.
 func (rf *ruleFilter) resetCounters() {
-	rf.reads = 0
-	rf.writes = 0
+	rf.reads.Store(0)
+	rf.writes.Store(0)
+}
+
+// clone duplicates the filter for the copy-on-write update path: the slot
+// array is copied, the (stateless) hash unit is shared and the access
+// counters carry over so cumulative accounting survives the snapshot swap.
+func (rf *ruleFilter) clone() *ruleFilter {
+	c := &ruleFilter{
+		hash:      rf.hash,
+		entries:   append([]ruleEntry(nil), rf.entries...),
+		entryBits: rf.entryBits,
+		used:      rf.used,
+	}
+	c.reads.Store(rf.reads.Load())
+	c.writes.Store(rf.writes.Load())
+	return c
 }

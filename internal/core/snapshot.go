@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"sdnpc/internal/engine"
+	"sdnpc/internal/fivetuple"
+	"sdnpc/internal/hw/memory"
+	"sdnpc/internal/label"
+)
+
+// snapshot is one complete state of the classifier's data path: the
+// per-dimension lookup engines, the label bank, the rule filter and the
+// installed-rule shadow.
+//
+// Snapshots are the unit of the classifier's RCU-style concurrency scheme.
+// A published snapshot is immutable — lookups traverse it without any lock,
+// and the only writes they perform are atomic access counters inside the
+// engines and the rule filter. Updates never touch a published snapshot:
+// they clone it, mutate the private clone and atomically publish the result
+// (see Classifier). In-flight lookups keep reading the snapshot they loaded,
+// so every result is consistent with either the pre-update or the
+// post-update rule set, never a mixture.
+type snapshot struct {
+	engineName string
+	alg        memory.AlgSelect
+
+	labels    *label.Bank
+	fieldUses map[label.Dimension]map[string]*fieldUse
+
+	// engines holds the per-dimension field lookup engines.
+	engines map[label.Dimension]engine.FieldEngine
+
+	// sharedL2 models the IPalg_s-selected shared blocks of Fig. 5, one per
+	// IP segment. An engine switch builds a snapshot with fresh blocks
+	// instead of re-owning these, so concurrent readers of the old snapshot
+	// never observe the ownership change.
+	sharedL2 map[label.Dimension]*memory.SharedBlock
+
+	filter    *ruleFilter
+	installed []installedRule
+}
+
+// newSnapshot builds an empty data path for the given engine selection:
+// every engine, label table and the rule filter, with fresh shared level-2
+// blocks.
+func newSnapshot(cfg *Config, engineName string, alg memory.AlgSelect) (*snapshot, error) {
+	s := &snapshot{
+		engineName: engineName,
+		alg:        alg,
+		labels:     label.NewBank(),
+		fieldUses:  make(map[label.Dimension]map[string]*fieldUse, label.NumDimensions),
+		engines:    make(map[label.Dimension]engine.FieldEngine, label.NumDimensions),
+		sharedL2:   make(map[label.Dimension]*memory.SharedBlock, len(ipSegmentDims)),
+	}
+	for _, d := range label.Dimensions() {
+		s.fieldUses[d] = make(map[string]*fieldUse)
+	}
+	for _, d := range ipSegmentDims {
+		block := memory.NewBlock(fmt.Sprintf("shared-l2/%s", d), DefaultMBTEntryBits, cfg.MBTLevel2Entries)
+		s.sharedL2[d] = memory.NewSharedBlockOwner(block, engineName)
+		eng, err := s.buildEngine(cfg, d)
+		if err != nil {
+			return nil, err
+		}
+		s.engines[d] = eng
+	}
+	for _, d := range []label.Dimension{label.DimSrcPort, label.DimDstPort, label.DimProtocol} {
+		eng, err := s.buildEngine(cfg, d)
+		if err != nil {
+			return nil, err
+		}
+		s.engines[d] = eng
+	}
+	s.filter = newRuleFilter(cfg.RuleFilterAddressBits, cfg.RuleCapacityFor(engineName), cfg.RuleEntryBits)
+	return s, nil
+}
+
+// buildEngine constructs a fresh engine for one dimension of this snapshot's
+// engine selection.
+func (s *snapshot) buildEngine(cfg *Config, d label.Dimension) (engine.FieldEngine, error) {
+	switch d {
+	case label.DimSrcIPHigh, label.DimSrcIPLow, label.DimDstIPHigh, label.DimDstIPLow:
+		eng, err := engine.New(s.engineName, engine.Spec{
+			KeyBits:   16,
+			LabelBits: d.Bits(),
+			SharedL2:  s.sharedL2[d],
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: building %s engine for %s: %w", s.engineName, d, err)
+		}
+		return eng, nil
+	case label.DimSrcPort, label.DimDstPort:
+		eng, err := engine.New("portreg", engine.Spec{
+			KeyBits:   16,
+			LabelBits: d.Bits(),
+			Registers: cfg.PortRegisters,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: building port engine for %s: %w", d, err)
+		}
+		return eng, nil
+	case label.DimProtocol:
+		eng, err := engine.New("lut", engine.Spec{KeyBits: 8, LabelBits: DefaultProtocolLabelBits})
+		if err != nil {
+			return nil, fmt.Errorf("core: building protocol engine: %w", err)
+		}
+		return eng, nil
+	default:
+		return nil, fmt.Errorf("core: unknown dimension %v", d)
+	}
+}
+
+// clone duplicates the snapshot's mutable state so the copy can absorb an
+// update while readers keep traversing the original. Engines implementing
+// engine.Cloner are cloned structurally; any other engine is rebuilt fresh
+// and re-programmed by replaying the installed rules of its dimension — the
+// rebuild hook for third-party engines without a Clone.
+func (s *snapshot) clone(cfg *Config) (*snapshot, error) {
+	c := &snapshot{
+		engineName: s.engineName,
+		alg:        s.alg,
+		labels:     s.labels.Clone(),
+		fieldUses:  make(map[label.Dimension]map[string]*fieldUse, len(s.fieldUses)),
+		engines:    make(map[label.Dimension]engine.FieldEngine, len(s.engines)),
+		sharedL2:   s.sharedL2,
+		filter:     s.filter.clone(),
+		installed:  append([]installedRule(nil), s.installed...),
+	}
+	for d, uses := range s.fieldUses {
+		m := make(map[string]*fieldUse, len(uses))
+		for key, use := range uses {
+			m[key] = use.clone()
+		}
+		c.fieldUses[d] = m
+	}
+	for d, eng := range s.engines {
+		if cl, ok := eng.(engine.Cloner); ok {
+			c.engines[d] = cl.Clone()
+			continue
+		}
+		rebuilt, err := c.rebuildEngine(cfg, d)
+		if err != nil {
+			return nil, fmt.Errorf("core: cloning snapshot: %w", err)
+		}
+		c.engines[d] = rebuilt
+	}
+	return c, nil
+}
+
+// rebuildEngine is the clone fallback for engines without a Clone hook: a
+// fresh engine is built and the dimension's field values are re-installed by
+// replaying the installed rules, exactly as the controller re-downloads the
+// memory image after an engine switch.
+func (s *snapshot) rebuildEngine(cfg *Config, d label.Dimension) (engine.FieldEngine, error) {
+	eng, err := s.buildEngine(cfg, d)
+	if err != nil {
+		return nil, err
+	}
+	for _, ir := range s.installed {
+		key := fieldValueKey(d, ir.rule)
+		lbl, ok := s.labels.Table(d).Lookup(key)
+		if !ok {
+			return nil, fmt.Errorf("core: rebuilding %s: field value %q is not labelled", d, key)
+		}
+		// Insert keeps the better priority for an existing (value, label)
+		// pair, so replaying every rule converges to the best priority per
+		// value — the HPML invariant.
+		if _, err := eng.Insert(fieldValue(d, ir.rule), lbl, ir.rule.Priority); err != nil {
+			return nil, fmt.Errorf("core: rebuilding %s: %w", d, err)
+		}
+	}
+	return eng, nil
+}
+
+// prepare forces every deferred engine-side build (engine.Preparer) so that
+// a published snapshot never mutates itself inside Lookup.
+func (s *snapshot) prepare() {
+	for _, eng := range s.engines {
+		if p, ok := eng.(engine.Preparer); ok {
+			p.Prepare()
+		}
+	}
+}
+
+// installedRules returns a copy of the installed rules in installation
+// order.
+func (s *snapshot) installedRules() []fivetuple.Rule {
+	out := make([]fivetuple.Rule, len(s.installed))
+	for i, ir := range s.installed {
+		out[i] = ir.rule
+	}
+	return out
+}
+
+// installFieldValue writes a newly labelled field value into the dimension's
+// lookup engine. It returns the number of engine memory writes.
+func (s *snapshot) installFieldValue(d label.Dimension, r fivetuple.Rule, lbl label.Label, priority int) (int, error) {
+	return s.engines[d].Insert(fieldValue(d, r), lbl, priority)
+}
+
+// removeFieldValue deletes a field value from the dimension's engine when
+// its last rule is gone.
+func (s *snapshot) removeFieldValue(d label.Dimension, r fivetuple.Rule, lbl label.Label) (int, error) {
+	return s.engines[d].Remove(fieldValue(d, r), lbl)
+}
+
+// reprioritiseFieldValue re-installs a field value at a new best priority
+// after the rule that defined the old best priority was deleted. Engines
+// whose lists are ordered positionally (ports, protocol) treat this as a
+// no-op.
+func (s *snapshot) reprioritiseFieldValue(d label.Dimension, r fivetuple.Rule, lbl label.Label, newBest int) error {
+	_, err := s.engines[d].Reprioritise(fieldValue(d, r), lbl, newBest)
+	return err
+}
+
+// findInstalled locates an installed rule with the same field matches and
+// priority.
+func (s *snapshot) findInstalled(r fivetuple.Rule) int {
+	for i, ir := range s.installed {
+		if ir.rule.Priority != r.Priority {
+			continue
+		}
+		if ir.rule.SrcPrefix.Canonical() == r.SrcPrefix.Canonical() &&
+			ir.rule.DstPrefix.Canonical() == r.DstPrefix.Canonical() &&
+			ir.rule.SrcPort == r.SrcPort &&
+			ir.rule.DstPort == r.DstPort &&
+			ir.rule.Protocol == r.Protocol {
+			return i
+		}
+	}
+	return -1
+}

@@ -44,15 +44,91 @@ func hardwareUpdateCycles() int {
 // label table; a hit only increments the reference counter, a miss creates a
 // new label and writes the value into the corresponding lookup engine.
 // Finally the rule's label combination is hashed into the Rule Filter.
+//
+// The update is applied to a private clone of the published snapshot and
+// swapped in atomically, so concurrent lookups see the rule either fully
+// installed or not at all. A failed insertion publishes nothing.
 func (c *Classifier) InsertRule(r fivetuple.Rule) (UpdateReport, error) {
-	if len(c.installed) >= c.RuleCapacity() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next, err := c.view().clone(&c.cfg)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	report, err := next.insertRule(&c.cfg, r)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	c.publish(next)
+	c.stats.recordInsert(report)
+	return report, nil
+}
+
+// DeleteRule removes one installed rule, identified by its five field
+// matches and priority. Deletion mirrors insertion: every dimension's label
+// counter is decremented and only a counter that reaches zero removes the
+// value from its engine (§IV.A: "only when the counter is zero, the label is
+// deleted from the hardware architecture"). Like InsertRule, the deletion is
+// built on a private clone and published atomically.
+func (c *Classifier) DeleteRule(r fivetuple.Rule) (UpdateReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next, err := c.view().clone(&c.cfg)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	report, _, err := next.deleteRule(r)
+	if err != nil {
+		// The clone is discarded whole, so a partially applied deletion can
+		// never become visible.
+		return UpdateReport{}, err
+	}
+	c.publish(next)
+	c.stats.recordDelete(report)
+	return report, nil
+}
+
+// InstallRuleSet inserts every rule of the set in priority order as one
+// atomic batch: the whole set is applied to a single clone of the data path
+// and published with one swap, so concurrent lookups observe either none or
+// all of the set. It returns the accumulated update report.
+func (c *Classifier) InstallRuleSet(rs *fivetuple.RuleSet) (UpdateReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next, err := c.view().clone(&c.cfg)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	var total UpdateReport
+	inserted := 0
+	for _, r := range rs.Rules() {
+		rep, err := next.insertRule(&c.cfg, r)
+		if err != nil {
+			return total, fmt.Errorf("core: installing %q rule %d: %w", rs.Name, r.Priority, err)
+		}
+		total.NewLabels += rep.NewLabels
+		total.EngineWrites += rep.EngineWrites
+		total.RuleFilterProbes += rep.RuleFilterProbes
+		total.ClockCycles += rep.ClockCycles
+		inserted++
+	}
+	c.publish(next)
+	c.stats.recordUpdates(inserted, 0, total.ClockCycles)
+	return total, nil
+}
+
+// insertRule applies one insertion to this (unpublished) snapshot.
+func (s *snapshot) insertRule(cfg *Config, r fivetuple.Rule) (UpdateReport, error) {
+	if len(s.installed) >= cfg.RuleCapacityFor(s.engineName) {
 		return UpdateReport{}, fmt.Errorf("%w: capacity %d under the %s configuration",
-			ErrRuleFilterFull, c.RuleCapacity(), c.alg)
+			ErrRuleFilterFull, cfg.RuleCapacityFor(s.engineName), s.engineName)
 	}
 	report := UpdateReport{ClockCycles: hardwareUpdateCycles()}
 
-	// Track what has been acquired so a failure midway can be rolled back
-	// without leaking labels.
+	// Track what has been acquired so a failure midway can be rolled back.
+	// The snapshot is private until published, but InstallRuleSet keeps
+	// inserting into the same clone after an individual failure is surfaced,
+	// so the clone must stay internally consistent.
 	type acquisition struct {
 		dim     label.Dimension
 		key     string
@@ -62,20 +138,21 @@ func (c *Classifier) InsertRule(r fivetuple.Rule) (UpdateReport, error) {
 	rollback := func() {
 		for i := len(acquired) - 1; i >= 0; i-- {
 			a := acquired[i]
-			lbl, removed, err := c.labels.Table(a.dim).Release(a.key)
+			lbl, removed, err := s.labels.Table(a.dim).Release(a.key)
 			if err != nil {
 				continue
 			}
-			use := c.fieldUses[a.dim][a.key]
+			use := s.fieldUses[a.dim][a.key]
 			if use != nil {
 				use.remove(r.Priority)
 				if use.empty() {
-					delete(c.fieldUses[a.dim], a.key)
+					delete(s.fieldUses[a.dim], a.key)
 				}
 			}
 			if removed {
-				// The value was created by this insertion; undo the engine write.
-				_, _ = c.removeFieldValue(a.dim, r, lbl)
+				// The value was created by this insertion; undo the engine
+				// write.
+				_, _ = s.removeFieldValue(a.dim, r, lbl)
 			}
 		}
 	}
@@ -83,7 +160,7 @@ func (c *Classifier) InsertRule(r fivetuple.Rule) (UpdateReport, error) {
 	ruleLabels := make(map[label.Dimension]label.Label, label.NumDimensions)
 	for _, d := range label.Dimensions() {
 		key := fieldValueKey(d, r)
-		lbl, created, err := c.labels.Table(d).Acquire(key)
+		lbl, created, err := s.labels.Table(d).Acquire(key)
 		if err != nil {
 			rollback()
 			return UpdateReport{}, fmt.Errorf("core: inserting rule %s: %w", r, err)
@@ -91,17 +168,17 @@ func (c *Classifier) InsertRule(r fivetuple.Rule) (UpdateReport, error) {
 		acquired = append(acquired, acquisition{dim: d, key: key, created: created})
 		ruleLabels[d] = lbl
 
-		use, ok := c.fieldUses[d][key]
+		use, ok := s.fieldUses[d][key]
 		if !ok {
 			use = newFieldUse()
-			c.fieldUses[d][key] = use
+			s.fieldUses[d][key] = use
 		}
 		previousBest := use.best
 		use.add(r.Priority)
 
 		if created {
 			report.NewLabels++
-			writes, err := c.installFieldValue(d, r, lbl, r.Priority)
+			writes, err := s.installFieldValue(d, r, lbl, r.Priority)
 			report.EngineWrites += writes
 			if err != nil {
 				rollback()
@@ -110,7 +187,7 @@ func (c *Classifier) InsertRule(r fivetuple.Rule) (UpdateReport, error) {
 		} else if r.Priority < previousBest {
 			// The existing label gained a better priority: the engine lists
 			// must be reordered so the HPML invariant holds.
-			writes, err := c.installFieldValue(d, r, lbl, r.Priority)
+			writes, err := s.installFieldValue(d, r, lbl, r.Priority)
 			report.EngineWrites += writes
 			if err != nil {
 				rollback()
@@ -120,7 +197,7 @@ func (c *Classifier) InsertRule(r fivetuple.Rule) (UpdateReport, error) {
 	}
 
 	key := label.PackKey(ruleLabels)
-	_, probes, writes, err := c.filter.insert(key, r.Priority, r.Action, r.ActionArg)
+	_, probes, writes, err := s.filter.insert(key, r.Priority, r.Action, r.ActionArg)
 	report.RuleFilterProbes = probes
 	report.EngineWrites += writes
 	if err != nil {
@@ -128,95 +205,57 @@ func (c *Classifier) InsertRule(r fivetuple.Rule) (UpdateReport, error) {
 		return UpdateReport{}, fmt.Errorf("core: inserting rule %s: %w", r, err)
 	}
 
-	c.installed = append(c.installed, installedRule{rule: r, key: key})
-	c.stats.Inserts++
-	c.stats.UpdateCycles += uint64(report.ClockCycles)
+	s.installed = append(s.installed, installedRule{rule: r, key: key})
 	return report, nil
 }
 
-// DeleteRule removes one installed rule, identified by its five field
-// matches and priority. Deletion mirrors insertion: every dimension's label
-// counter is decremented and only a counter that reaches zero removes the
-// value from its engine (§IV.A: "only when the counter is zero, the label is
-// deleted from the hardware architecture").
-func (c *Classifier) DeleteRule(r fivetuple.Rule) (UpdateReport, error) {
-	idx := c.findInstalled(r)
+// deleteRule applies one deletion to this (unpublished) snapshot. mutated
+// reports whether the snapshot was changed when an error is returned: a
+// clean failure (rule not installed, filter entry missing) leaves the
+// snapshot untouched and batch processing may continue, while a mid-loop
+// engine or label-table failure leaves it partially mutated — the caller
+// must then discard the snapshot rather than publish it.
+func (s *snapshot) deleteRule(r fivetuple.Rule) (report UpdateReport, mutated bool, err error) {
+	idx := s.findInstalled(r)
 	if idx < 0 {
-		return UpdateReport{}, fmt.Errorf("%w: %s priority %d", ErrRuleNotInstalled, r, r.Priority)
+		return UpdateReport{}, false, fmt.Errorf("%w: %s priority %d", ErrRuleNotInstalled, r, r.Priority)
 	}
-	installed := c.installed[idx]
-	report := UpdateReport{ClockCycles: hardwareUpdateCycles()}
+	installed := s.installed[idx]
+	report = UpdateReport{ClockCycles: hardwareUpdateCycles()}
 
-	found, probes := c.filter.remove(installed.key, installed.rule.Priority)
+	found, probes := s.filter.remove(installed.key, installed.rule.Priority)
 	report.RuleFilterProbes = probes
 	if !found {
-		return UpdateReport{}, fmt.Errorf("core: rule filter entry for %s missing", r)
+		return UpdateReport{}, false, fmt.Errorf("core: rule filter entry for %s missing", r)
 	}
 
 	for _, d := range label.Dimensions() {
 		key := fieldValueKey(d, r)
-		lbl, removed, err := c.labels.Table(d).Release(key)
+		lbl, removed, err := s.labels.Table(d).Release(key)
 		if err != nil {
-			return report, fmt.Errorf("core: deleting rule %s: %w", r, err)
+			return report, true, fmt.Errorf("core: deleting rule %s: %w", r, err)
 		}
-		use := c.fieldUses[d][key]
+		use := s.fieldUses[d][key]
 		newBest, changed := use.remove(r.Priority)
 		if removed {
 			report.ReleasedLabels++
-			delete(c.fieldUses[d], key)
-			writes, err := c.removeFieldValue(d, r, lbl)
+			delete(s.fieldUses[d], key)
+			writes, err := s.removeFieldValue(d, r, lbl)
 			report.EngineWrites += writes
 			if err != nil {
-				return report, fmt.Errorf("core: deleting rule %s: %w", r, err)
+				return report, true, fmt.Errorf("core: deleting rule %s: %w", r, err)
 			}
 			continue
 		}
 		if changed {
-			if err := c.reprioritiseFieldValue(d, r, lbl, newBest); err != nil {
-				return report, fmt.Errorf("core: deleting rule %s: %w", r, err)
+			if err := s.reprioritiseFieldValue(d, r, lbl, newBest); err != nil {
+				return report, true, fmt.Errorf("core: deleting rule %s: %w", r, err)
 			}
 		}
 	}
 
-	c.installed = append(c.installed[:idx], c.installed[idx+1:]...)
-	c.stats.Deletes++
-	c.stats.UpdateCycles += uint64(report.ClockCycles)
-	return report, nil
-}
-
-// findInstalled locates an installed rule with the same field matches and
-// priority.
-func (c *Classifier) findInstalled(r fivetuple.Rule) int {
-	for i, ir := range c.installed {
-		if ir.rule.Priority != r.Priority {
-			continue
-		}
-		if ir.rule.SrcPrefix.Canonical() == r.SrcPrefix.Canonical() &&
-			ir.rule.DstPrefix.Canonical() == r.DstPrefix.Canonical() &&
-			ir.rule.SrcPort == r.SrcPort &&
-			ir.rule.DstPort == r.DstPort &&
-			ir.rule.Protocol == r.Protocol {
-			return i
-		}
-	}
-	return -1
-}
-
-// InstallRuleSet inserts every rule of the set in priority order. It returns
-// the accumulated update report.
-func (c *Classifier) InstallRuleSet(rs *fivetuple.RuleSet) (UpdateReport, error) {
-	var total UpdateReport
-	for _, r := range rs.Rules() {
-		rep, err := c.InsertRule(r)
-		if err != nil {
-			return total, fmt.Errorf("core: installing %q rule %d: %w", rs.Name, r.Priority, err)
-		}
-		total.NewLabels += rep.NewLabels
-		total.EngineWrites += rep.EngineWrites
-		total.RuleFilterProbes += rep.RuleFilterProbes
-		total.ClockCycles += rep.ClockCycles
-	}
-	return total, nil
+	s.installed = append(s.installed[:idx], s.installed[idx+1:]...)
+	return report, true, nil
 }
 
 // UpdateCyclesPerRule returns the constant per-rule upload cost of the
@@ -225,3 +264,68 @@ func UpdateCyclesPerRule() int { return hardwareUpdateCycles() }
 
 // compile-time check that the hash unit's latency matches the update model.
 var _ = [1]struct{}{}[hashunit.LatencyCycles-CyclesUpdateHash]
+
+// UpdateOp is one rule mutation inside an update batch.
+type UpdateOp struct {
+	// Delete selects deletion; insertion otherwise.
+	Delete bool
+	Rule   fivetuple.Rule
+}
+
+// ApplyUpdates applies a mixed, ordered sequence of insertions and
+// deletions as one batch: the published snapshot is cloned once, every op
+// is applied to the clone in order, and the result is published with a
+// single swap. This is the amortised update path — a control plane
+// streaming thousands of flow-mods pays one data-path copy per batch
+// instead of one per rule.
+//
+// Ops are independent, as if issued separately: an op that fails cleanly
+// (duplicate delete, capacity exceeded, rolled-back insert) is skipped with
+// its error recorded at its index in errs, and the remaining ops still
+// apply. The batch is published when at least one op succeeded. The one
+// exception is a failure that leaves the working copy partially mutated (a
+// deletion failing midway through its engines); publishing would expose an
+// inconsistent data path, so the whole batch is abandoned unpublished and
+// the error returned as err.
+func (c *Classifier) ApplyUpdates(ops []UpdateOp) (reports []UpdateReport, errs []error, err error) {
+	if len(ops) == 0 {
+		return nil, nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next, err := c.view().clone(&c.cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	reports = make([]UpdateReport, len(ops))
+	errs = make([]error, len(ops))
+	inserts, deletes, cycles := 0, 0, 0
+	for i, op := range ops {
+		if op.Delete {
+			var mutated bool
+			reports[i], mutated, errs[i] = next.deleteRule(op.Rule)
+			if errs[i] != nil {
+				if mutated {
+					return nil, nil, fmt.Errorf("core: abandoning update batch at op %d: %w", i, errs[i])
+				}
+				continue
+			}
+			deletes++
+			cycles += reports[i].ClockCycles
+		} else {
+			// insertRule rolls itself back on failure, so a failed insert
+			// never poisons the working copy.
+			reports[i], errs[i] = next.insertRule(&c.cfg, op.Rule)
+			if errs[i] != nil {
+				continue
+			}
+			inserts++
+			cycles += reports[i].ClockCycles
+		}
+	}
+	if inserts+deletes > 0 {
+		c.publish(next)
+		c.stats.recordUpdates(inserts, deletes, cycles)
+	}
+	return reports, errs, nil
+}

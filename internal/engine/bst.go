@@ -82,3 +82,9 @@ func (a *bstEngine) Footprint() Footprint {
 }
 
 func (a *bstEngine) ResetStats() { a.e.ResetStats() }
+
+// Clone implements Cloner. The shared-block handle is carried over as-is:
+// it only tags which engine's data the block holds, and snapshots built for
+// a different engine selection get fresh blocks rather than re-owning this
+// one.
+func (a *bstEngine) Clone() FieldEngine { return &bstEngine{e: a.e.Clone(), shared: a.shared} }

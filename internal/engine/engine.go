@@ -140,9 +140,21 @@ type Footprint struct {
 
 // FieldEngine is one pluggable single-field lookup engine.
 //
-// Implementations are not safe for concurrent use; the controller serialises
-// updates and lookups exactly as the modelled hardware time-multiplexes its
-// memory ports.
+// Concurrency contract (read-only after build): once an engine stops being
+// mutated, Lookup, Cost and Footprint must be safe to call from any number
+// of goroutines concurrently — Lookup must not modify the stored structure,
+// and any internal access counters must be atomic. Insert, Remove,
+// Reprioritise and ResetStats still require external serialisation and must
+// never run concurrently with Lookup on the same instance. The classifier
+// in internal/core guarantees that split by copy-on-write: updates mutate a
+// private clone of every engine and atomically publish the finished
+// snapshot, so readers only ever see engines that are no longer written.
+//
+// Engines that defer expensive structure builds to the first Lookup must
+// implement Preparer so the classifier can force the build before a
+// snapshot is published; engines with mutable state should implement Cloner
+// to make snapshot construction cheap (the classifier otherwise falls back
+// to rebuilding a fresh engine and replaying the installed rules).
 type FieldEngine interface {
 	// Insert stores a match condition carrying a label and the priority of
 	// the best rule using it, returning the number of engine memory writes.
@@ -167,6 +179,25 @@ type FieldEngine interface {
 	// ResetStats zeroes the engine's access counters without touching the
 	// stored conditions.
 	ResetStats()
+}
+
+// Cloner is implemented by engines that can duplicate themselves cheaply.
+// Clone returns an independent deep copy: mutating the copy must never be
+// observable through the original (shared immutable internals are fine).
+// The classifier's copy-on-write update path prefers Clone over its
+// rebuild-and-replay fallback, so every engine that keeps mutable state
+// should implement it. All built-in engines do.
+type Cloner interface {
+	Clone() FieldEngine
+}
+
+// Preparer is implemented by engines that defer expensive structure builds
+// (e.g. the RFC segment table regenerates its equivalence classes lazily on
+// the next Lookup). Prepare forces any pending build so that subsequent
+// Lookups are pure reads; the classifier calls it on every engine of a
+// snapshot before publishing the snapshot to concurrent readers.
+type Preparer interface {
+	Prepare()
 }
 
 // reprioritise re-installs a stored pair at a new priority through the

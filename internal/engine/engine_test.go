@@ -304,3 +304,119 @@ func TestPortAndProtocolEngines(t *testing.T) {
 		t.Fatalf("lut Lookup(17) returned %d labels, want the wildcard only", list.Len())
 	}
 }
+
+// prepared forces an engine's deferred builds (engine.Preparer) so its
+// subsequent lookups are pure reads, mirroring what the classifier does
+// before publishing a snapshot.
+func prepared(e engine.FieldEngine) engine.FieldEngine {
+	if p, ok := e.(engine.Preparer); ok {
+		p.Prepare()
+	}
+	return e
+}
+
+// TestEngineCloneIndependence verifies the Cloner contract that the
+// classifier's copy-on-write update path depends on: every built-in engine
+// implements Clone, and mutations of the original after cloning are never
+// visible through the clone (nor the reverse). This is what lets readers
+// keep traversing a published snapshot while a writer mutates its clone.
+func TestEngineCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, name := range engine.IPEngineNames() {
+		t.Run(name, func(t *testing.T) {
+			eng, err := engine.New(name, engine.Spec{KeyBits: 16, LabelBits: 13})
+			if err != nil {
+				t.Fatalf("New(%s): %v", name, err)
+			}
+			stored := randomPrefixes(rng, 48)
+			for _, p := range stored {
+				if _, err := eng.Insert(engine.Prefix(p.value, p.bits), p.lbl, p.priority); err != nil {
+					t.Fatalf("Insert: %v", err)
+				}
+			}
+			cloner, ok := eng.(engine.Cloner)
+			if !ok {
+				t.Fatalf("engine %q does not implement Cloner; the snapshot-swap update path needs it (or pays a full rebuild per update)", name)
+			}
+			clone := prepared(cloner.Clone())
+			prepared(eng)
+
+			keys := make([]uint32, 0, 64)
+			for i := 0; i < 64; i++ {
+				keys = append(keys, uint32(rng.Intn(1<<16)))
+			}
+			// The clone answers exactly like the original before divergence.
+			for _, key := range keys {
+				want := oracleLookup(stored, key)
+				if got, _ := clone.Lookup(key); !sameLabels(got, want) {
+					t.Fatalf("clone Lookup(%#x) = %v, want %v", key, got.Labels(), want)
+				}
+			}
+			// Mutate the original: drop half the prefixes. The clone must
+			// keep answering for the full stored set.
+			for _, p := range stored[:len(stored)/2] {
+				if _, err := eng.Remove(engine.Prefix(p.value, p.bits), p.lbl); err != nil {
+					t.Fatalf("Remove: %v", err)
+				}
+			}
+			prepared(eng)
+			for _, key := range keys {
+				want := oracleLookup(stored, key)
+				if got, _ := clone.Lookup(key); !sameLabels(got, want) {
+					t.Errorf("after mutating original: clone Lookup(%#x) = %v, want %v", key, got.Labels(), want)
+				}
+			}
+			// And the reverse: mutating the clone must not resurrect the
+			// removed prefixes in the original.
+			remaining := stored[len(stored)/2:]
+			for _, p := range remaining {
+				if _, err := clone.Remove(engine.Prefix(p.value, p.bits), p.lbl); err != nil {
+					t.Fatalf("clone Remove: %v", err)
+				}
+			}
+			prepared(clone)
+			for _, key := range keys {
+				want := oracleLookup(remaining, key)
+				if got, _ := eng.Lookup(key); !sameLabels(got, want) {
+					t.Errorf("after mutating clone: original Lookup(%#x) = %v, want %v", key, got.Labels(), want)
+				}
+			}
+		})
+	}
+}
+
+// TestPortProtocolCloneIndependence covers the non-IP engines' Clone hooks.
+func TestPortProtocolCloneIndependence(t *testing.T) {
+	ports, err := engine.New("portreg", engine.Spec{KeyBits: 16, LabelBits: 7, Registers: 8})
+	if err != nil {
+		t.Fatalf("New(portreg): %v", err)
+	}
+	if _, err := ports.Insert(engine.Range(80, 80), 1, 0); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	portsClone := ports.(engine.Cloner).Clone()
+	if _, err := ports.Remove(engine.Range(80, 80), 1); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if got, _ := portsClone.Lookup(80); got.Len() != 1 {
+		t.Errorf("portreg clone lost its entry after the original was mutated")
+	}
+	if got, _ := ports.Lookup(80); got.Len() != 0 {
+		t.Errorf("portreg original still matches after Remove")
+	}
+
+	proto, err := engine.New("lut", engine.Spec{KeyBits: 8, LabelBits: 2})
+	if err != nil {
+		t.Fatalf("New(lut): %v", err)
+	}
+	if _, err := proto.Insert(engine.Exact(6), 1, 0); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	protoClone := proto.(engine.Cloner).Clone()
+	if _, err := proto.Remove(engine.Exact(6), 1); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if got, _ := protoClone.Lookup(6); got.Len() != 1 {
+		t.Errorf("lut clone lost its entry after the original was mutated")
+	}
+}

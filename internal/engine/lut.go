@@ -76,3 +76,6 @@ func (a *lutEngine) Footprint() Footprint {
 }
 
 func (a *lutEngine) ResetStats() { a.t.ResetStats() }
+
+// Clone implements Cloner by copying the table slots.
+func (a *lutEngine) Clone() FieldEngine { return &lutEngine{t: a.t.Clone()} }

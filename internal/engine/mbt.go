@@ -78,3 +78,6 @@ func (a *mbtEngine) Footprint() Footprint {
 }
 
 func (a *mbtEngine) ResetStats() { a.e.ResetStats() }
+
+// Clone implements Cloner by deep-copying the trie.
+func (a *mbtEngine) Clone() FieldEngine { return &mbtEngine{e: a.e.Clone()} }

@@ -89,3 +89,6 @@ func (a *portregEngine) Footprint() Footprint {
 }
 
 func (a *portregEngine) ResetStats() { a.b.ResetStats() }
+
+// Clone implements Cloner by copying the register file.
+func (a *portregEngine) Clone() FieldEngine { return &portregEngine{b: a.b.Clone()} }

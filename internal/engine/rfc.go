@@ -71,3 +71,10 @@ func (a *rfcEngine) Footprint() Footprint {
 }
 
 func (a *rfcEngine) ResetStats() { a.t.ResetStats() }
+
+// Clone implements Cloner by copying the prepared segment table.
+func (a *rfcEngine) Clone() FieldEngine { return &rfcEngine{t: a.t.Clone()} }
+
+// Prepare implements Preparer: it forces the table's deferred equivalence-
+// class rebuild so that a published snapshot never rebuilds inside Lookup.
+func (a *rfcEngine) Prepare() { a.t.Prepare() }

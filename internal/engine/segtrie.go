@@ -97,3 +97,6 @@ func (a *segtrieEngine) Footprint() Footprint {
 }
 
 func (a *segtrieEngine) ResetStats() { a.e.ResetStats() }
+
+// Clone implements Cloner by deep-copying the segment trie.
+func (a *segtrieEngine) Clone() FieldEngine { return &segtrieEngine{e: a.e.Clone()} }

@@ -272,3 +272,34 @@ func (b *Bank) StorageBits() int {
 	}
 	return total
 }
+
+// Clone returns an independent copy of the table: the value and entry maps
+// and the free list are duplicated, so acquiring and releasing labels on the
+// copy never touches the original. The copy-on-write update path of
+// internal/core clones the label bank of the published snapshot before
+// applying a rule update to it.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		dim:     t.dim,
+		byValue: make(map[string]Label, len(t.byValue)),
+		entries: make(map[Label]*entry, len(t.entries)),
+		free:    append([]Label(nil), t.free...),
+		next:    t.next,
+	}
+	for v, lbl := range t.byValue {
+		c.byValue[v] = lbl
+	}
+	for lbl, e := range t.entries {
+		c.entries[lbl] = &entry{value: e.value, refCount: e.refCount}
+	}
+	return c
+}
+
+// Clone returns an independent copy of the bank with every table cloned.
+func (b *Bank) Clone() *Bank {
+	c := &Bank{tables: make(map[Dimension]*Table, len(b.tables))}
+	for d, t := range b.tables {
+		c.tables[d] = t.Clone()
+	}
+	return c
+}

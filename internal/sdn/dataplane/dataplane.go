@@ -58,6 +58,13 @@ type Switch struct {
 	closed     bool
 	done       chan struct{}
 
+	// mods feeds queued flow updates (and flush barriers) from the control
+	// loop to the applier goroutine, which coalesces consecutive flow-mods
+	// into one core.ApplyUpdates batch — one snapshot clone+swap per batch
+	// instead of per rule, which is what keeps a full-table download linear.
+	mods        chan applierMsg
+	applierDone chan struct{}
+
 	// writeMu serialises control-channel writes issued by the packet path and
 	// by the control loop.
 	writeMu sync.Mutex
@@ -76,7 +83,25 @@ func New(cfg core.Config) (*Switch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataplane: %w", err)
 	}
-	return &Switch{classifier: classifier, done: make(chan struct{})}, nil
+	return &Switch{
+		classifier:  classifier,
+		done:        make(chan struct{}),
+		mods:        make(chan applierMsg, 1024),
+		applierDone: make(chan struct{}),
+	}, nil
+}
+
+// flowMod is one queued flow update from the control channel.
+type flowMod struct {
+	add  bool
+	rule fivetuple.Rule
+	xid  uint32
+}
+
+// applierMsg carries either a flow-mod or a flush barrier to the applier.
+type applierMsg struct {
+	mod   *flowMod
+	flush chan struct{}
 }
 
 // Classifier exposes the embedded classifier for reporting.
@@ -119,8 +144,15 @@ func (s *Switch) Run(conn net.Conn) error {
 	s.mu.Unlock()
 
 	if err := s.writeMessage(conn, openflow.Message{Type: openflow.TypeHello}); err != nil {
+		// Detach the failed connection: the control loop and applier never
+		// started, so leaving conn set would make a later Close wait forever
+		// for a done signal nobody will send.
+		s.mu.Lock()
+		s.conn = nil
+		s.mu.Unlock()
 		return fmt.Errorf("dataplane: hello: %w", err)
 	}
+	go s.applier(conn)
 	go s.controlLoop(conn)
 	return nil
 }
@@ -142,8 +174,15 @@ func (s *Switch) Close() {
 }
 
 // controlLoop applies controller messages until the connection drops.
+// Flow updates are queued to the applier; configuration changes and
+// barriers flush the queue first so the classifier always observes control
+// messages in channel order.
 func (s *Switch) controlLoop(conn net.Conn) {
-	defer close(s.done)
+	defer func() {
+		close(s.mods)
+		<-s.applierDone
+		close(s.done)
+	}()
 	for {
 		msg, err := openflow.Read(conn)
 		if err != nil {
@@ -152,41 +191,48 @@ func (s *Switch) controlLoop(conn net.Conn) {
 		switch msg.Type {
 		case openflow.TypeHello:
 			// Connection is up; nothing else to do.
-		case openflow.TypeFlowAdd:
-			s.applyFlowMod(conn, msg, true)
-		case openflow.TypeFlowDelete:
-			s.applyFlowMod(conn, msg, false)
+		case openflow.TypeFlowAdd, openflow.TypeFlowDelete:
+			mod, err := openflow.UnmarshalFlowMod(msg.Body)
+			if err != nil {
+				s.sendError(conn, msg.Xid, err)
+				continue
+			}
+			s.mods <- applierMsg{mod: &flowMod{
+				add: msg.Type == openflow.TypeFlowAdd, rule: mod.Rule, xid: msg.Xid,
+			}}
 		case openflow.TypeSetAlgorithm:
 			alg, err := openflow.UnmarshalSetAlgorithm(msg.Body)
 			if err != nil {
 				s.sendError(conn, msg.Xid, err)
 				continue
 			}
-			s.mu.Lock()
-			err = s.classifier.SelectIPAlgorithm(alg)
-			if err == nil {
-				s.counters.AlgChanges++
-			}
-			s.mu.Unlock()
-			if err != nil {
+			s.flushMods()
+			// The classifier synchronises its own writers; holding s.mu
+			// across the rule replay would stall every serving worker at
+			// the counter fold for the whole re-programming.
+			if err = s.classifier.SelectIPAlgorithm(alg); err != nil {
 				s.sendError(conn, msg.Xid, err)
+				continue
 			}
+			s.mu.Lock()
+			s.counters.AlgChanges++
+			s.mu.Unlock()
 		case openflow.TypeSetEngine:
 			name, err := openflow.UnmarshalSetEngine(msg.Body)
 			if err != nil {
 				s.sendError(conn, msg.Xid, err)
 				continue
 			}
-			s.mu.Lock()
-			err = s.classifier.SelectIPEngine(name)
-			if err == nil {
-				s.counters.AlgChanges++
-			}
-			s.mu.Unlock()
-			if err != nil {
+			s.flushMods()
+			if err = s.classifier.SelectIPEngine(name); err != nil {
 				s.sendError(conn, msg.Xid, err)
+				continue
 			}
+			s.mu.Lock()
+			s.counters.AlgChanges++
+			s.mu.Unlock()
 		case openflow.TypeBarrierRequest:
+			s.flushMods()
 			_ = s.writeMessage(conn, openflow.Message{Type: openflow.TypeBarrierReply, Xid: msg.Xid})
 		default:
 			// Ignore unknown messages.
@@ -194,28 +240,98 @@ func (s *Switch) controlLoop(conn net.Conn) {
 	}
 }
 
-func (s *Switch) applyFlowMod(conn net.Conn, msg openflow.Message, add bool) {
-	mod, err := openflow.UnmarshalFlowMod(msg.Body)
+// flushMods blocks until every flow update queued so far has been applied.
+func (s *Switch) flushMods() {
+	ch := make(chan struct{})
+	s.mods <- applierMsg{flush: ch}
+	<-ch
+}
+
+// applier drains the flow-update queue, applying consecutive flow-mods as
+// one batched snapshot swap. A flush barrier completes only after every
+// update queued before it has been applied.
+func (s *Switch) applier(conn net.Conn) {
+	defer close(s.applierDone)
+	const maxBatch = 512
+	pending := make([]flowMod, 0, maxBatch)
+	var flushes []chan struct{}
+	apply := func() {
+		if len(pending) > 0 {
+			s.applyFlowBatch(conn, pending)
+			pending = pending[:0]
+		}
+		for _, ch := range flushes {
+			close(ch)
+		}
+		flushes = flushes[:0]
+	}
+	for msg := range s.mods {
+		if msg.mod != nil {
+			pending = append(pending, *msg.mod)
+		}
+		if msg.flush != nil {
+			flushes = append(flushes, msg.flush)
+		}
+		// Opportunistically drain whatever else is already queued so a
+		// streamed rule download coalesces into few snapshot swaps.
+		draining := msg.flush == nil && len(pending) < maxBatch
+		for draining {
+			select {
+			case m, ok := <-s.mods:
+				if !ok {
+					draining = false
+					break
+				}
+				if m.mod != nil {
+					pending = append(pending, *m.mod)
+				}
+				if m.flush != nil {
+					flushes = append(flushes, m.flush)
+					draining = false
+				}
+				if len(pending) >= maxBatch {
+					draining = false
+				}
+			default:
+				draining = false
+			}
+		}
+		apply()
+	}
+	apply()
+}
+
+// applyFlowBatch applies one batch of flow updates through the
+// classifier's batched update path and reports per-update failures back on
+// the control channel.
+func (s *Switch) applyFlowBatch(conn net.Conn, mods []flowMod) {
+	ops := make([]core.UpdateOp, len(mods))
+	for i, m := range mods {
+		ops[i] = core.UpdateOp{Delete: !m.add, Rule: m.rule}
+	}
+	_, errs, err := s.classifier.ApplyUpdates(ops)
 	if err != nil {
-		s.sendError(conn, msg.Xid, err)
+		for _, m := range mods {
+			s.sendError(conn, m.xid, err)
+		}
 		return
 	}
+	var adds, dels uint64
+	for i, m := range mods {
+		if errs[i] != nil {
+			s.sendError(conn, m.xid, errs[i])
+			continue
+		}
+		if m.add {
+			adds++
+		} else {
+			dels++
+		}
+	}
 	s.mu.Lock()
-	if add {
-		_, err = s.classifier.InsertRule(mod.Rule)
-		if err == nil {
-			s.counters.FlowAdds++
-		}
-	} else {
-		_, err = s.classifier.DeleteRule(mod.Rule)
-		if err == nil {
-			s.counters.FlowDels++
-		}
-	}
+	s.counters.FlowAdds += adds
+	s.counters.FlowDels += dels
 	s.mu.Unlock()
-	if err != nil {
-		s.sendError(conn, msg.Xid, err)
-	}
 }
 
 func (s *Switch) sendError(conn net.Conn, xid uint32, err error) {
@@ -228,38 +344,18 @@ func (s *Switch) sendError(conn net.Conn, xid uint32, err error) {
 // ProcessPacket classifies one packet header and applies the resulting
 // action. Table misses and rules with the controller action punt the header
 // to the controller when a control channel is connected.
+//
+// The classification itself runs outside the switch mutex — the classifier
+// serves lookups lock-free from its published snapshot — so any number of
+// goroutines can process packets concurrently with control-plane updates;
+// the mutex only guards the packet counters and the connection handle.
 func (s *Switch) ProcessPacket(h fivetuple.Header) (Verdict, error) {
-	s.mu.Lock()
 	result := s.classifier.Lookup(h)
-	s.counters.Total++
+	verdict, punt := buildVerdict(result)
 
-	verdict := Verdict{Matched: result.Matched}
-	var punt bool
-	if !result.Matched {
-		s.counters.TableMiss++
-		verdict.Action = fivetuple.ActionDrop
-		punt = true
-	} else {
-		verdict.Action = result.Action
-		verdict.RulePriority = result.Priority
-		verdict.EgressPort = result.ActionArg
-		switch result.Action {
-		case fivetuple.ActionForward:
-			s.counters.Forwarded++
-		case fivetuple.ActionDrop:
-			s.counters.Dropped++
-		case fivetuple.ActionModify:
-			s.counters.Modified++
-		case fivetuple.ActionGroup:
-			s.counters.Grouped++
-		case fivetuple.ActionController:
-			punt = true
-		}
-	}
+	s.mu.Lock()
 	conn := s.conn
-	if punt && conn != nil {
-		s.counters.Punted++
-	}
+	s.countVerdict(result, punt && conn != nil)
 	s.mu.Unlock()
 
 	if !punt {
@@ -281,4 +377,95 @@ func (s *Switch) ProcessPacket(h fivetuple.Header) (Verdict, error) {
 	}
 	verdict.PuntedToController = true
 	return verdict, nil
+}
+
+// buildVerdict maps one classification result to its verdict and reports
+// whether the packet needs punting to the controller. Shared by the single
+// and batched serving paths so the two can never drift.
+func buildVerdict(result core.Result) (Verdict, bool) {
+	v := Verdict{Matched: result.Matched}
+	if !result.Matched {
+		v.Action = fivetuple.ActionDrop
+		return v, true
+	}
+	v.Action = result.Action
+	v.RulePriority = result.Priority
+	v.EgressPort = result.ActionArg
+	return v, result.Action == fivetuple.ActionController
+}
+
+// countVerdict folds one classification result into the packet counters.
+// The caller holds s.mu; punted reports whether a packet-in will be sent.
+func (s *Switch) countVerdict(result core.Result, punted bool) {
+	s.counters.Total++
+	if !result.Matched {
+		s.counters.TableMiss++
+	} else {
+		switch result.Action {
+		case fivetuple.ActionForward:
+			s.counters.Forwarded++
+		case fivetuple.ActionDrop:
+			s.counters.Dropped++
+		case fivetuple.ActionModify:
+			s.counters.Modified++
+		case fivetuple.ActionGroup:
+			s.counters.Grouped++
+		}
+	}
+	if punted {
+		s.counters.Punted++
+	}
+}
+
+// ProcessBatch classifies a batch of packet headers against one consistent
+// snapshot of the rule set (see core.LookupBatch) and applies the per-packet
+// actions. Packets that need punting are sent as individual packet-in
+// messages after classification; the counters are folded in under one lock
+// acquisition for the whole batch. A nil error is returned when every punt
+// succeeded (or nothing needed punting).
+func (s *Switch) ProcessBatch(hs []fivetuple.Header) ([]Verdict, error) {
+	if len(hs) == 0 {
+		return nil, nil
+	}
+	results := s.classifier.LookupBatch(hs)
+	verdicts := make([]Verdict, len(results))
+	punts := make([]bool, len(results))
+	for i, result := range results {
+		verdicts[i], punts[i] = buildVerdict(result)
+	}
+
+	s.mu.Lock()
+	conn := s.conn
+	for i, result := range results {
+		s.countVerdict(result, punts[i] && conn != nil)
+	}
+	s.mu.Unlock()
+
+	var firstErr error
+	for i, punt := range punts {
+		if !punt {
+			continue
+		}
+		if conn == nil {
+			if firstErr == nil {
+				firstErr = ErrNotConnected
+			}
+			continue
+		}
+		priority := uint32(0)
+		if results[i].Matched {
+			priority = uint32(results[i].Priority)
+		}
+		if err := s.writeMessage(conn, openflow.Message{
+			Type: openflow.TypePacketIn,
+			Body: openflow.MarshalPacketIn(openflow.PacketIn{Header: hs[i], RulePriority: priority}),
+		}); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dataplane: packet-in: %w", err)
+			}
+			continue
+		}
+		verdicts[i].PuntedToController = true
+	}
+	return verdicts, firstErr
 }

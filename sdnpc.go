@@ -34,6 +34,8 @@ type (
 	// Result is the outcome of one lookup, including the data-plane cost
 	// counters of the architecture model.
 	Result = core.Result
+	// BatchReport aggregates the accounting fields of one LookupBatch call.
+	BatchReport = core.BatchReport
 	// Stats accumulates data-plane counters across lookups and updates.
 	Stats = core.Stats
 	// UpdateReport describes the cost of one rule insertion or deletion.
@@ -92,8 +94,13 @@ func WithClock(hz float64) Option {
 
 // Classifier is a configurable five-tuple packet classifier.
 //
-// It is not safe for concurrent use: the modelled hardware time-multiplexes
-// the lookup data path and the update interface, and the model mirrors that.
+// It is safe for concurrent use. Lookups are served lock-free from an
+// immutable snapshot of the data path held behind an atomic pointer; rule
+// updates and engine switches build the next snapshot off to the side and
+// swap it in atomically (RCU style). Any number of goroutines may call
+// Lookup and LookupBatch while another inserts, deletes or switches
+// engines; every result is consistent with either the pre-update or the
+// post-update rule set, never a mixture.
 type Classifier struct {
 	inner *core.Classifier
 }
@@ -132,8 +139,21 @@ func (c *Classifier) InsertAll(rs *RuleSet) (UpdateReport, error) { return c.inn
 func (c *Classifier) Delete(r Rule) (UpdateReport, error) { return c.inner.DeleteRule(r) }
 
 // Lookup classifies one packet header and returns the highest-priority
-// matching rule's action together with the model's cost counters.
+// matching rule's action together with the model's cost counters. It is
+// lock-free and safe to call from any number of goroutines.
 func (c *Classifier) Lookup(h Header) Result { return c.inner.Lookup(h) }
+
+// LookupBatch classifies a batch of headers against one consistent snapshot
+// of the rule set and returns one Result per header, in order. Batching
+// amortises the per-call overhead of the serving path and guarantees the
+// whole batch is judged by the same rule set even when updates land midway.
+// Use SummarizeBatch for the batch-level accounting totals.
+func (c *Classifier) LookupBatch(hs []Header) []Result { return c.inner.LookupBatch(hs) }
+
+// SummarizeBatch aggregates per-lookup results into batch-level totals:
+// match rate, summed and worst-case modelled latency, and the summed memory
+// access counters.
+func SummarizeBatch(results []Result) BatchReport { return core.SummarizeBatch(results) }
 
 // SelectEngine switches the IP-segment lookup engine at run time — the
 // generalised IPalg_s signal of the paper. The installed rules are

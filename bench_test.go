@@ -181,16 +181,15 @@ func BenchmarkIPEngines(b *testing.B) {
 
 // BenchmarkThroughput measures the real serving rate of the concurrent
 // lookup path: batched lookups driven from N goroutines against one shared
-// classifier, for every registered IP engine. ns/op is per packet and a
+// classifier, for every selectable engine of both tiers (field engines and
+// the whole-packet rfc-full/dcfl/hypercuts). ns/op is per packet and a
 // pkts/s metric is reported; the CI bench job tracks these for regressions.
 // On multi-core machines the worker_4 rows should beat worker_1 (>1x
 // scaling); on a single-core runner they only measure scheduling overhead.
 func BenchmarkThroughput(b *testing.B) {
 	const batch = 64
-	for _, name := range engine.IPEngineNames() {
-		cfg := core.DefaultConfig()
-		cfg.IPEngine = name
-		c := core.MustNew(cfg)
+	for _, name := range engine.SelectableNames() {
+		c := core.MustNew(bench.EngineConfig(name))
 		if _, err := c.InstallRuleSet(benchSmallWorkload.RuleSet); err != nil {
 			b.Fatal(err)
 		}

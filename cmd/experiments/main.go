@@ -37,7 +37,7 @@ func run(args []string) error {
 	className := fs.String("class", "acl", "filter-set class for workload-driven experiments (acl, fw, ipc)")
 	sizeName := fs.String("size", "5k", "filter-set size for workload-driven experiments (1k, 5k, 10k)")
 	packets := fs.Int("packets", 20000, "trace length for workload-driven experiments (per worker for -experiment throughput)")
-	ipEngine := fs.String("ip-engine", "", fmt.Sprintf("restrict the engines sweep to one registered IP engine %v", engine.IPEngineNames()))
+	ipEngine := fs.String("ip-engine", "", fmt.Sprintf("restrict the engines/throughput sweeps to one registered engine of either tier %v", engine.SelectableNames()))
 	workersFlag := fs.String("workers", "", "comma-separated worker counts for the throughput experiment (default: 1,2,4,... up to NumCPU)")
 	batchSize := fs.Int("batch", 64, "LookupBatch size for the throughput experiment")
 	if err := fs.Parse(args); err != nil {

@@ -43,7 +43,7 @@ func run(args []string) error {
 	sizeName := fs.String("size", "1k", "filter-set size (1k, 5k, 10k)")
 	packets := fs.Int("packets", 50000, "number of packets to replay")
 	profileName := fs.String("profile", "throughput", "application profile driving the algorithm choice (throughput, capacity)")
-	ipEngine := fs.String("ip-engine", "", fmt.Sprintf("select the IP engine by name, overriding the profile %v", engine.IPEngineNames()))
+	ipEngine := fs.String("ip-engine", "", fmt.Sprintf("select the serving engine of either tier by name, overriding the profile %v", engine.SelectableNames()))
 	listen := fs.String("listen", "127.0.0.1:0", "controller listen address")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent replay workers sharing the switch")
 	batch := fs.Int("batch", 64, "packets per ProcessBatch call")
@@ -59,8 +59,8 @@ func run(args []string) error {
 		return err
 	}
 	if *ipEngine != "" {
-		if def, ok := engine.Get(*ipEngine); !ok || !def.IPCapable {
-			return fmt.Errorf("unknown IP engine %q (registered: %v)", *ipEngine, engine.IPEngineNames())
+		if _, ok := engine.Selectable(*ipEngine); !ok {
+			return fmt.Errorf("unknown engine %q (selectable: %v)", *ipEngine, engine.SelectableNames())
 		}
 	}
 	profile := controller.ProfileThroughput
@@ -131,8 +131,8 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	fmt.Printf("switch programmed with %d rules (capacity %d, IP engine %q) via the control channel\n",
-		sw.Classifier().RuleCount(), sw.Classifier().RuleCapacity(), sw.Classifier().IPEngineName())
+	fmt.Printf("switch programmed with %d rules (capacity %d, engine %q) via the control channel\n",
+		sw.Classifier().RuleCount(), sw.Classifier().RuleCapacity(), sw.Classifier().ActiveEngineName())
 
 	trace := classbench.GenerateTrace(rs, classbench.TraceConfig{
 		Packets: packets, Seed: 17, MatchFraction: 0.95, Locality: 0.4,

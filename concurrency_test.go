@@ -6,7 +6,10 @@ import (
 )
 
 // The concurrent-serving hammer: N goroutines call Lookup and LookupBatch
-// while one writer inserts and deletes a rule and switches the IP engine.
+// while one writer inserts and deletes a rule and switches the serving
+// engine across every selectable name — Engines() covers both tiers, so the
+// writer repeatedly moves the classifier between the per-field label path
+// and the whole-packet engines (rfc-full, dcfl, hypercuts) mid-traffic.
 // Every observed result must be consistent with either the pre-update or the
 // post-update rule set — the snapshot-swap guarantee. Run it with -race; the
 // race detector is what turns "no torn state was observed" into "no torn

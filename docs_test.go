@@ -1,0 +1,62 @@
+package sdnpc_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"sdnpc/internal/engine"
+)
+
+// TestEnginesDocCoversRegistry fails when a registered engine name is
+// missing from docs/ENGINES.md — the check scripts/check_docs.sh runs in CI,
+// keeping the docs honest as the registry grows. Names must appear in
+// backticks so prose mentioning a word like "full" cannot satisfy the check
+// by accident.
+func TestEnginesDocCoversRegistry(t *testing.T) {
+	doc, err := os.ReadFile("docs/ENGINES.md")
+	if err != nil {
+		t.Fatalf("reading docs/ENGINES.md: %v", err)
+	}
+	text := string(doc)
+	for _, name := range engine.Names() {
+		if !strings.Contains(text, fmt.Sprintf("`%s`", name)) {
+			t.Errorf("registered engine %q is not documented in docs/ENGINES.md", name)
+		}
+	}
+}
+
+// TestReadmeCoversSelectableEngines requires the README's engine matrix to
+// mention every engine a user can actually select.
+func TestReadmeCoversSelectableEngines(t *testing.T) {
+	doc, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	text := string(doc)
+	for _, name := range engine.SelectableNames() {
+		if !strings.Contains(text, fmt.Sprintf("`%s`", name)) {
+			t.Errorf("selectable engine %q is not mentioned in README.md", name)
+		}
+	}
+}
+
+// TestArchitectureDocExists keeps the architecture doc set linked and
+// present: docs/ARCHITECTURE.md must exist and name every layer of the
+// system it claims to map.
+func TestArchitectureDocExists(t *testing.T) {
+	doc, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("reading docs/ARCHITECTURE.md: %v", err)
+	}
+	text := string(doc)
+	for _, layer := range []string{
+		"internal/engine", "internal/core", "internal/algo", "internal/hw",
+		"internal/sdn", "internal/bench", "snapshot", "clone-mutate-swap",
+	} {
+		if !strings.Contains(text, layer) {
+			t.Errorf("docs/ARCHITECTURE.md does not mention %q", layer)
+		}
+	}
+}

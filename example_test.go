@@ -1,0 +1,96 @@
+package sdnpc_test
+
+import (
+	"fmt"
+	"log"
+
+	"sdnpc"
+)
+
+// ExampleClassifier installs a small policy and classifies one packet,
+// reading the matched rule's action and the architecture's modelled cost
+// counters from the Result.
+func ExampleClassifier() {
+	classifier, err := sdnpc.New() // paper-default geometry, "mbt" field engine
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rules := []sdnpc.Rule{
+		sdnpc.NewRule(0).To("203.0.113.0/24").DstPort(443).Proto(sdnpc.TCP).Forward(1).MustBuild(),
+		sdnpc.NewRule(1).From("10.0.0.0/8").DstPort(53).Proto(sdnpc.UDP).Punt().MustBuild(),
+		sdnpc.WildcardRule(2, sdnpc.Drop),
+	}
+	for _, r := range rules {
+		if _, err := classifier.Insert(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	h := sdnpc.MustParseHeader("198.51.100.7", 50000, "203.0.113.10", 443, sdnpc.TCP)
+	result := classifier.Lookup(h)
+	fmt.Println(result.Matched, result.Action, result.Priority)
+	// Output: true forward 0
+}
+
+// ExampleClassifier_LookupBatch classifies a batch of headers against one
+// consistent snapshot of the rule set and aggregates the batch accounting.
+func ExampleClassifier_LookupBatch() {
+	classifier := sdnpc.MustNew()
+	if _, err := classifier.Insert(sdnpc.NewRule(0).To("203.0.113.0/24").Forward(1).MustBuild()); err != nil {
+		log.Fatal(err)
+	}
+
+	batch := []sdnpc.Header{
+		sdnpc.MustParseHeader("198.51.100.7", 50000, "203.0.113.10", 443, sdnpc.TCP),
+		sdnpc.MustParseHeader("198.51.100.8", 50001, "203.0.113.11", 80, sdnpc.TCP),
+		sdnpc.MustParseHeader("192.0.2.1", 1, "192.0.2.2", 2, sdnpc.UDP), // miss
+	}
+	results := classifier.LookupBatch(batch)
+	report := sdnpc.SummarizeBatch(results)
+	fmt.Println(report.Packets, report.Matched)
+	// Output: 3 2
+}
+
+// ExampleClassifier_SelectEngine switches one running classifier across both
+// engine tiers: from the default per-field multi-bit trie to the HyperCuts
+// whole-packet decision tree and back. The installed rules survive every
+// switch — selection is a registry name, not a rebuild of the caller's
+// state.
+func ExampleClassifier_SelectEngine() {
+	classifier := sdnpc.MustNew()
+	if _, err := classifier.Insert(sdnpc.NewRule(0).To("203.0.113.0/24").DstPort(443).Proto(sdnpc.TCP).Forward(1).MustBuild()); err != nil {
+		log.Fatal(err)
+	}
+	h := sdnpc.MustParseHeader("198.51.100.7", 50000, "203.0.113.10", 443, sdnpc.TCP)
+
+	fmt.Println(classifier.Engine(), classifier.Lookup(h).Matched)
+
+	// "hypercuts" names a whole-packet engine: the rules are compiled into
+	// its decision tree and lookups bypass the per-field label path.
+	if err := classifier.SelectEngine("hypercuts"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(classifier.Engine(), classifier.Lookup(h).Matched)
+
+	// Any field-engine name returns to the per-field tier.
+	if err := classifier.SelectEngine("bst"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(classifier.Engine(), classifier.Lookup(h).Matched)
+	// Output:
+	// mbt true
+	// hypercuts true
+	// bst true
+}
+
+// Example_engineInventory lists the registered engines of both tiers — any
+// of these names works with WithEngine, SelectEngine, the -ip-engine flags
+// and the OpenFlow set-engine message.
+func Example_engineInventory() {
+	fmt.Println("field: ", sdnpc.FieldEngines())
+	fmt.Println("packet:", sdnpc.PacketEngines())
+	// Output:
+	// field:  [bst mbt rfc segtrie]
+	// packet: [dcfl hypercuts rfc-full]
+}

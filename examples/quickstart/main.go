@@ -50,16 +50,21 @@ func main() {
 			h, result.Matched, result.Action, result.Priority, result.LatencyCycles)
 	}
 
-	// Every registered IP-segment engine is selectable at run time — the
-	// generalised IPalg_s signal of the paper. Sweep them all.
+	// Every registered engine of both tiers is selectable at run time — the
+	// generalised IPalg_s signal of the paper, extended to the whole-packet
+	// baselines of Table I. Sweep them all.
 	fmt.Printf("\nregistered engines: %v\n", sdnpc.Engines())
 	for _, name := range sdnpc.Engines() {
 		if err := classifier.SelectEngine(name); err != nil {
 			log.Fatalf("selecting %s: %v", name, err)
 		}
 		report := classifier.MemoryReport()
-		fmt.Printf("%-8s %8.2f Gbps at 40-byte packets, %5d-rule capacity, %7.1f Kbit IP node storage\n",
-			name, classifier.ThroughputGbps(40), classifier.RuleCapacity(),
-			float64(report.IPAlgorithmUsedBits())/1024)
+		tier, nodeBits := "field ", report.IPAlgorithmUsedBits()
+		if report.PacketEngine != "" {
+			tier, nodeBits = "packet", report.PacketEngineUsedBits
+		}
+		fmt.Printf("%-10s %s %8.2f Gbps at 40-byte packets, %5d-rule capacity, %7.1f Kbit node storage\n",
+			name, tier, classifier.ThroughputGbps(40), classifier.RuleCapacity(),
+			float64(nodeBits)/1024)
 	}
 }

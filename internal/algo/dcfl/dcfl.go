@@ -20,6 +20,7 @@ package dcfl
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"sdnpc/internal/fivetuple"
 )
@@ -56,8 +57,10 @@ type Classifier struct {
 	transTable *aggTable // (portTable result, proto)
 	finalTable *aggTable // (ipTable result, transTable result) -> rule sets
 
-	lookups        uint64
-	lookupAccesses uint64
+	// Atomic so that a built classifier can serve Classify from any number
+	// of goroutines concurrently (read-only after build).
+	lookups        atomic.Uint64
+	lookupAccesses atomic.Uint64
 }
 
 type prefixValue struct {
@@ -278,7 +281,7 @@ func rangeSearchCost(uniqueValues int) int {
 // any rule matched and the number of memory accesses performed (field
 // searches plus aggregation-table probes).
 func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, accesses int) {
-	c.lookups++
+	c.lookups.Add(1)
 	labels, fieldAccesses := c.fieldSearch(h)
 	accesses = fieldAccesses
 
@@ -323,7 +326,7 @@ func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, 
 			}
 		}
 	}
-	c.lookupAccesses += uint64(accesses)
+	c.lookupAccesses.Add(uint64(accesses))
 	if best < 0 {
 		return 0, false, accesses
 	}
@@ -362,5 +365,11 @@ func (s Stats) AverageAccesses() float64 {
 
 // Stats returns a snapshot of the counters.
 func (c *Classifier) Stats() Stats {
-	return Stats{Lookups: c.lookups, LookupAccesses: c.lookupAccesses}
+	return Stats{Lookups: c.lookups.Load(), LookupAccesses: c.lookupAccesses.Load()}
+}
+
+// ResetStats zeroes the counters without touching the built tables.
+func (c *Classifier) ResetStats() {
+	c.lookups.Store(0)
+	c.lookupAccesses.Store(0)
 }

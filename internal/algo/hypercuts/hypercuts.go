@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"sdnpc/internal/fivetuple"
 )
@@ -145,8 +146,10 @@ type Classifier struct {
 	rulePtrs  int
 	maxDepth  int
 
-	lookups        uint64
-	lookupAccesses uint64
+	// Atomic so that a built classifier can serve Classify from any number
+	// of goroutines concurrently (read-only after build).
+	lookups        atomic.Uint64
+	lookupAccesses atomic.Uint64
 }
 
 // Build constructs a HyperCuts tree for the rule set.
@@ -309,7 +312,7 @@ func ruleOverlapsRegion(r fivetuple.Rule, reg region) bool {
 // any rule matched and the number of memory accesses (tree nodes visited plus
 // leaf rules scanned).
 func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, accesses int) {
-	c.lookups++
+	c.lookups.Add(1)
 	n := c.root
 	for !n.isLeaf() {
 		accesses++
@@ -344,7 +347,7 @@ func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, 
 			break // leaf rules are sorted by priority
 		}
 	}
-	c.lookupAccesses += uint64(accesses)
+	c.lookupAccesses.Add(uint64(accesses))
 	if best < 0 {
 		return 0, false, accesses
 	}
@@ -387,5 +390,11 @@ func (s Stats) AverageAccesses() float64 {
 
 // Stats returns a snapshot of the counters.
 func (c *Classifier) Stats() Stats {
-	return Stats{Lookups: c.lookups, LookupAccesses: c.lookupAccesses}
+	return Stats{Lookups: c.lookups.Load(), LookupAccesses: c.lookupAccesses.Load()}
+}
+
+// ResetStats zeroes the counters without touching the built tree.
+func (c *Classifier) ResetStats() {
+	c.lookups.Store(0)
+	c.lookupAccesses.Store(0)
 }

@@ -18,6 +18,7 @@ package rfc
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"sdnpc/internal/fivetuple"
 )
@@ -53,8 +54,10 @@ type Classifier struct {
 	l4Table    *crossTable // (port, proto)
 	finalTable *crossTable // (l3, l4); its class sets resolve to the HPMR
 
-	lookups        uint64
-	lookupAccesses uint64
+	// Atomic so that a built classifier can serve Classify from any number
+	// of goroutines concurrently (read-only after build).
+	lookups        atomic.Uint64
+	lookupAccesses atomic.Uint64
 }
 
 // crossTable combines two equivalence-class ID streams into one.
@@ -284,7 +287,7 @@ func intersect(a, b []uint32) []uint32 {
 // Classify returns the index of the highest-priority matching rule and the
 // number of table accesses performed.
 func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, accesses int) {
-	c.lookups++
+	c.lookups.Add(1)
 	// Phase 0: seven chunk tables.
 	srcHi := c.phase0[chunkSrcHi][h.SrcIP.High16()]
 	srcLo := c.phase0[chunkSrcLo][h.SrcIP.Low16()]
@@ -306,7 +309,7 @@ func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, 
 	// Phase 3.
 	final := c.finalTable.index(l3, l4)
 	accesses++
-	c.lookupAccesses += uint64(accesses)
+	c.lookupAccesses.Add(uint64(accesses))
 
 	set := c.finalTable.sets[final]
 	if len(set) == 0 {
@@ -340,5 +343,11 @@ type Stats struct {
 
 // Stats returns a snapshot of the counters.
 func (c *Classifier) Stats() Stats {
-	return Stats{Lookups: c.lookups, LookupAccesses: c.lookupAccesses}
+	return Stats{Lookups: c.lookups.Load(), LookupAccesses: c.lookupAccesses.Load()}
+}
+
+// ResetStats zeroes the counters without touching the built tables.
+func (c *Classifier) ResetStats() {
+	c.lookups.Store(0)
+	c.lookupAccesses.Store(0)
 }

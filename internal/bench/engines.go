@@ -8,29 +8,48 @@ import (
 	"sdnpc/internal/engine"
 )
 
+// EngineConfig returns the classifier configuration that serves lookups
+// with the named registered engine, whichever tier it belongs to: field
+// engines select the IP-segment algorithm, whole-packet engines select the
+// packet tier. Unknown names are handed to the field-engine configuration
+// so core.New reports the error.
+func EngineConfig(name string) core.Config {
+	cfg := core.DefaultConfig()
+	if isPacket, ok := engine.Selectable(name); ok && isPacket {
+		cfg.PacketEngine = name
+	} else {
+		cfg.IPEngine = name
+	}
+	return cfg
+}
+
 // EngineRow is one row of the engine sweep: the architecture evaluated with
-// one registered IP-segment engine on a shared workload.
+// one registered engine — field tier or whole-packet tier — on a shared
+// workload. For a field engine the memory columns report the IP-segment
+// node storage; for a packet engine they report the precomputed multi-field
+// structure (the Table I memory figure).
 type EngineRow struct {
 	Engine             string
+	Tier               string
 	AvgFieldAccesses   float64
 	AvgLatencyCycles   float64
 	LookupsPerSecMega  float64
 	ThroughputGbps40   float64
-	IPMemoryKbit       float64
-	IPProvisionedKbit  float64
+	EngineMemoryKbit   float64
+	ProvisionedKbit    float64
 	RuleCapacity       int
 	VerdictMismatches  int
 	PacketsReplayed    int
 	InitiationInterval int
 }
 
-// EngineSweep evaluates every registered IP-segment engine on the workload:
-// each engine serves the four IP-segment dimensions of a fresh classifier,
-// the full rule set is installed, the trace is replayed and every verdict is
-// checked against the linear reference classifier. A non-empty only argument
-// restricts the sweep to that engine.
+// EngineSweep evaluates every selectable engine of both tiers on the
+// workload: each engine serves a fresh classifier, the full rule set is
+// installed, the trace is replayed and every verdict is checked against the
+// linear reference classifier. A non-empty only argument restricts the
+// sweep to that engine.
 func EngineSweep(w Workload, only string) ([]EngineRow, error) {
-	names := engine.IPEngineNames()
+	names := engine.SelectableNames()
 	if only != "" {
 		found := false
 		for _, name := range names {
@@ -40,16 +59,14 @@ func EngineSweep(w Workload, only string) ([]EngineRow, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("bench: unknown IP engine %q (registered: %v)", only, names)
+			return nil, fmt.Errorf("bench: unknown engine %q (selectable: %v)", only, names)
 		}
 		names = []string{only}
 	}
 
 	rows := make([]EngineRow, 0, len(names))
 	for _, name := range names {
-		cfg := core.DefaultConfig()
-		cfg.IPEngine = name
-		c, err := core.New(cfg)
+		c, err := core.New(EngineConfig(name))
 		if err != nil {
 			return nil, fmt.Errorf("bench: engine %s: %w", name, err)
 		}
@@ -67,19 +84,28 @@ func EngineSweep(w Workload, only string) ([]EngineRow, error) {
 		}
 		stats := c.Stats()
 		report := c.MemoryReport()
-		rows = append(rows, EngineRow{
+		row := EngineRow{
 			Engine:             name,
+			Tier:               "field",
 			AvgFieldAccesses:   stats.AverageFieldAccesses(),
 			AvgLatencyCycles:   stats.AverageLatencyCycles(),
 			LookupsPerSecMega:  c.LookupsPerSecond() / 1e6,
 			ThroughputGbps40:   c.ThroughputGbps(40),
-			IPMemoryKbit:       Kbit(report.IPAlgorithmUsedBits()),
-			IPProvisionedKbit:  Kbit(report.IPEngineProvisionedBits),
+			EngineMemoryKbit:   Kbit(report.IPAlgorithmUsedBits()),
+			ProvisionedKbit:    Kbit(report.IPEngineProvisionedBits),
 			RuleCapacity:       c.RuleCapacity(),
 			VerdictMismatches:  mismatches,
 			PacketsReplayed:    len(w.Trace),
 			InitiationInterval: c.Pipeline().BottleneckInterval(),
-		})
+		}
+		if report.PacketEngine != "" {
+			row.Tier = "packet"
+			// Software-precomputed structures have no fixed provisioning; the
+			// used size is the Table I memory figure.
+			row.EngineMemoryKbit = Kbit(report.PacketEngineUsedBits)
+			row.ProvisionedKbit = Kbit(report.PacketEngineUsedBits)
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -88,13 +114,13 @@ func EngineSweep(w Workload, only string) ([]EngineRow, error) {
 // tables.
 func RenderEngineSweep(rows []EngineRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Engine sweep — every registered IP-segment engine on the same workload\n")
-	fmt.Fprintf(&b, "%-10s %12s %12s %12s %10s %12s %14s %10s %12s\n",
-		"engine", "accesses/pkt", "latency cyc", "Mlookups/s", "Gbps@40B", "IP Kbit", "IP prov Kbit", "capacity", "mismatches")
+	fmt.Fprintf(&b, "Engine sweep — every selectable engine (field and whole-packet tiers) on the same workload\n")
+	fmt.Fprintf(&b, "%-10s %7s %12s %12s %12s %10s %12s %14s %10s %12s\n",
+		"engine", "tier", "accesses/pkt", "latency cyc", "Mlookups/s", "Gbps@40B", "mem Kbit", "prov Kbit", "capacity", "mismatches")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %12.2f %12.1f %12.1f %10.2f %12.1f %14.1f %10d %6d/%d\n",
-			r.Engine, r.AvgFieldAccesses, r.AvgLatencyCycles, r.LookupsPerSecMega,
-			r.ThroughputGbps40, r.IPMemoryKbit, r.IPProvisionedKbit, r.RuleCapacity,
+		fmt.Fprintf(&b, "%-10s %7s %12.2f %12.1f %12.1f %10.2f %12.1f %14.1f %10d %6d/%d\n",
+			r.Engine, r.Tier, r.AvgFieldAccesses, r.AvgLatencyCycles, r.LookupsPerSecMega,
+			r.ThroughputGbps40, r.EngineMemoryKbit, r.ProvisionedKbit, r.RuleCapacity,
 			r.VerdictMismatches, r.PacketsReplayed)
 	}
 	return b.String()

@@ -15,8 +15,8 @@ import (
 
 // ThroughputOptions parameterises the concurrent serving-path driver.
 type ThroughputOptions struct {
-	// Engines restricts the sweep to the named IP engines; empty means every
-	// registered IP-capable engine.
+	// Engines restricts the sweep to the named engines; empty means every
+	// selectable engine of both tiers.
 	Engines []string
 	// Workers lists the worker counts to sweep; empty means 1, 2, 4, ...
 	// up to runtime.NumCPU().
@@ -70,7 +70,7 @@ func defaultWorkerCounts() []int {
 func ThroughputSweep(w Workload, opts ThroughputOptions) ([]ThroughputRow, error) {
 	engines := opts.Engines
 	if len(engines) == 0 {
-		engines = engine.IPEngineNames()
+		engines = engine.SelectableNames()
 	}
 	workers := opts.Workers
 	if len(workers) == 0 {
@@ -87,9 +87,7 @@ func ThroughputSweep(w Workload, opts ThroughputOptions) ([]ThroughputRow, error
 
 	rows := make([]ThroughputRow, 0, len(engines)*len(workers))
 	for _, name := range engines {
-		cfg := core.DefaultConfig()
-		cfg.IPEngine = name
-		c, err := core.New(cfg)
+		c, err := core.New(EngineConfig(name))
 		if err != nil {
 			return nil, fmt.Errorf("bench: throughput %s: %w", name, err)
 		}

@@ -132,6 +132,12 @@ func New(cfg Config) (*Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.PacketEngine != "" {
+		s.packetName = cfg.PacketEngine
+		if err := s.syncPacket(); err != nil {
+			return nil, err
+		}
+	}
 	c.publish(s)
 	return c, nil
 }
@@ -160,8 +166,23 @@ func (c *Classifier) publish(s *snapshot) {
 func (c *Classifier) Config() Config { return c.cfg }
 
 // IPEngineName returns the registry name of the engine currently serving the
-// IP-segment dimensions.
+// IP-segment dimensions (programmed even while the packet tier serves).
 func (c *Classifier) IPEngineName() string { return c.view().engineName }
+
+// PacketEngineName returns the registry name of the active whole-packet
+// engine, or "" when the field tier is serving.
+func (c *Classifier) PacketEngineName() string { return c.view().packetName }
+
+// ActiveEngineName returns the name of the engine actually answering
+// lookups: the whole-packet engine when one is selected, the IP-segment
+// field engine otherwise.
+func (c *Classifier) ActiveEngineName() string {
+	s := c.view()
+	if s.packetName != "" {
+		return s.packetName
+	}
+	return s.engineName
+}
 
 // IPAlgorithm returns the current setting of the legacy IPalg_s signal: the
 // selection value of the active IP engine, or 0 when the engine has no
@@ -200,8 +221,33 @@ func (c *Classifier) SelectIPEngine(name string) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.selectIPEngineLocked(name, def, false)
+}
+
+// selectIPEngineLocked performs a field-engine switch (optionally dropping
+// an active packet tier in the same swap) with c.mu held. Everything is
+// staged on an unpublished snapshot, so any failure leaves the serving
+// state exactly as it was.
+func (c *Classifier) selectIPEngineLocked(name string, def engine.Definition, dropPacket bool) error {
 	current := c.view()
+	packetName := current.packetName
+	if dropPacket {
+		packetName = ""
+	}
 	if name == current.engineName {
+		if packetName == current.packetName {
+			return nil
+		}
+		// Same field engine; only the packet tier is being dropped.
+		next, err := current.clone(&c.cfg)
+		if err != nil {
+			return err
+		}
+		next.packetName = packetName
+		if err := next.syncPacket(); err != nil {
+			return err
+		}
+		c.publish(next)
 		return nil
 	}
 	if len(current.installed) > c.cfg.RuleCapacityFor(name) {
@@ -212,13 +258,80 @@ func (c *Classifier) SelectIPEngine(name string) error {
 	if err != nil {
 		return err
 	}
+	next.packetName = packetName
 	for _, r := range current.installedRules() {
 		if _, err := next.insertRule(&c.cfg, r); err != nil {
 			return fmt.Errorf("core: re-programming after engine switch: %w", err)
 		}
 	}
+	// A surviving packet tier keeps serving from the same whole-packet
+	// structure: the rule set is unchanged by the replay, so the built
+	// structure is reused through a cheap Clone instead of recomputed.
+	if packetName != "" && packetName == current.packetName && current.packet != nil {
+		next.packet = current.packet.Clone()
+		next.packetRules = current.packetRules
+		next.packetStale = false
+	}
+	if err := next.syncPacket(); err != nil {
+		return err
+	}
 	c.publish(next)
 	return nil
+}
+
+// SelectPacketEngine switches the classifier between engine tiers at run
+// time. A non-empty name selects the registered whole-packet engine: the
+// installed rules are compiled into its precomputed structure on a private
+// snapshot and swapped in atomically, after which lookups bypass the
+// per-field engines and the label combination entirely. The empty name
+// returns to the field tier, which stayed programmed underneath. Lookups
+// racing the switch are served by the old tier until the swap.
+func (c *Classifier) SelectPacketEngine(name string) error {
+	if name != "" {
+		def, ok := engine.Get(name)
+		if !ok || def.PacketFactory == nil {
+			return fmt.Errorf("core: unknown packet engine %q (registered: %v)", name, engine.PacketEngineNames())
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	current := c.view()
+	if current.packetName == name {
+		return nil
+	}
+	next, err := current.clone(&c.cfg)
+	if err != nil {
+		return err
+	}
+	next.packetName = name
+	next.packet = nil
+	next.packetRules = nil
+	if err := next.syncPacket(); err != nil {
+		return err
+	}
+	c.publish(next)
+	return nil
+}
+
+// SelectEngine selects any registered serving engine by name, whichever
+// tier it belongs to: a whole-packet engine name activates the packet tier,
+// an IP-capable field engine name deactivates it and switches the
+// IP-segment engines — as one atomic swap, so a failed switch never leaves
+// the classifier serving a different engine than before the call. This is
+// the engine selection the facade, the engine flags and the OpenFlow
+// set-engine message resolve through.
+func (c *Classifier) SelectEngine(name string) error {
+	isPacket, ok := engine.Selectable(name)
+	if !ok {
+		return fmt.Errorf("core: unknown engine %q (selectable: %v)", name, engine.SelectableNames())
+	}
+	if isPacket {
+		return c.SelectPacketEngine(name)
+	}
+	def, _ := engine.Get(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.selectIPEngineLocked(name, def, true)
 }
 
 // SelectIPAlgorithm drives the legacy two-valued IPalg_s signal.

@@ -77,6 +77,11 @@ const (
 	// Update cost model (§V.A), in clock cycles per rule.
 	CyclesUpdateMemoryUpload = 2 // one cycle per direction (source, destination)
 	CyclesUpdateHash         = 1 // hardware hash producing the rule address
+
+	// CyclesPacketResult is the result-select latency of the whole-packet
+	// engine tier: the matched rule's action is read directly from the rule
+	// table, with no label fetch and no Rule Filter probe.
+	CyclesPacketResult = 1
 )
 
 // CombineMode selects how the label lists of the seven dimensions are
@@ -119,6 +124,12 @@ type Config struct {
 	// dimensions (see internal/engine: "mbt", "bst", "segtrie", "rfc", ...).
 	// When empty, the legacy IPAlgorithm signal decides.
 	IPEngine string
+	// PacketEngine, when set, selects a whole-packet engine ("rfc-full",
+	// "dcfl", "hypercuts") to serve lookups: the five-tuple is answered by
+	// one precomputed structure, bypassing the per-field engines and the
+	// label combination entirely. The field tier stays programmed underneath
+	// so the classifier can switch back at run time (SelectPacketEngine("")).
+	PacketEngine string
 	// IPAlgorithm is the initial setting of the legacy two-valued IPalg_s
 	// signal, consulted only when IPEngine is empty.
 	IPAlgorithm memory.AlgSelect
@@ -196,6 +207,13 @@ func (c Config) Validate() error {
 		}
 	} else if c.IPAlgorithm != memory.SelectMBT && c.IPAlgorithm != memory.SelectBST {
 		return fmt.Errorf("core: unknown IP algorithm selection %v", c.IPAlgorithm)
+	}
+	if c.PacketEngine != "" {
+		def, ok := engine.Get(c.PacketEngine)
+		if !ok || def.PacketFactory == nil {
+			return fmt.Errorf("core: unknown packet engine %q (registered: %v)",
+				c.PacketEngine, engine.PacketEngineNames())
+		}
 	}
 	if c.CombineMode != CombineHPML && c.CombineMode != CombineCrossProduct {
 		return fmt.Errorf("core: unknown combination mode %v", c.CombineMode)

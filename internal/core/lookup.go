@@ -135,6 +135,13 @@ func SummarizeBatch(results []Result) BatchReport {
 // writes beyond the atomic access counters inside the engines and the rule
 // filter, which is what makes the concurrent serving path possible.
 func (s *snapshot) lookup(cfg *Config, h fivetuple.Header) Result {
+	// Whole-packet tier: one precomputed multi-field structure answers the
+	// five-tuple directly, bypassing the per-field engines, the label
+	// fetches and the Rule Filter.
+	if s.packet != nil {
+		return s.lookupPacket(h)
+	}
+
 	// Phase 1: split the header into per-dimension segments and dispatch to
 	// the engines selected by IPalg_s (the dispatch itself costs one cycle).
 	// Phase 2: parallel single-field lookups.
@@ -168,6 +175,28 @@ func (s *snapshot) lookup(cfg *Config, h fivetuple.Header) Result {
 	default:
 		return s.combineCrossProduct(cfg, fields, result)
 	}
+}
+
+// lookupPacket serves one header from the whole-packet engine tier. The
+// engine returns an index into the best-first packetRules order, so the
+// matched rule's action and priority are read straight from the rule table;
+// the latency model charges the dispatch cycle, one cycle per engine memory
+// access and the result select — no label fetch, no Rule Filter probe.
+func (s *snapshot) lookupPacket(h fivetuple.Header) Result {
+	idx, matched, accesses := s.packet.LookupPacket(h)
+	result := Result{
+		FieldAccesses: accesses,
+		LatencyCycles: CyclesDispatch + accesses + CyclesPacketResult,
+	}
+	if !matched {
+		return result
+	}
+	r := s.packetRules[idx]
+	result.Matched = true
+	result.Priority = r.Priority
+	result.Action = r.Action
+	result.ActionArg = r.ActionArg
+	return result
 }
 
 // headerKeys splits the header into the per-dimension lookup keys of
@@ -425,5 +454,8 @@ func (c *Classifier) ResetStats() {
 	s.filter.resetCounters()
 	for _, eng := range s.engines {
 		eng.ResetStats()
+	}
+	if s.packet != nil {
+		s.packet.ResetStats()
 	}
 }

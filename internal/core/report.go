@@ -36,6 +36,12 @@ type MemoryReport struct {
 	ProtocolLUTBits  int
 	PortRegisterBits int
 
+	// Whole-packet engine tier: the active packet engine's name ("" when
+	// the field tier serves) and the storage its precomputed structure
+	// consumes — the "Memory Space" column of Table I.
+	PacketEngine         string
+	PacketEngineUsedBits int
+
 	// Labels memory block.
 	LabelMemoryProvisionedBits int
 	LabelMemoryUsedBits        int
@@ -61,10 +67,12 @@ func (m MemoryReport) TotalProvisionedBits() int {
 		m.LabelMemoryProvisionedBits + m.RuleFilterProvisionedBits
 }
 
-// TotalUsedBits returns the occupied block-memory bits.
+// TotalUsedBits returns the occupied block-memory bits, including the
+// precomputed tables of an active whole-packet engine.
 func (m MemoryReport) TotalUsedBits() int {
 	return m.IPAlgorithmUsedBits() + m.ProtocolLUTBits +
-		m.LabelMemoryUsedBits + m.LabelTableBits + m.RuleFilterUsedBits
+		m.LabelMemoryUsedBits + m.LabelTableBits + m.RuleFilterUsedBits +
+		m.PacketEngineUsedBits
 }
 
 // MemoryReport computes the current memory breakdown. Like Lookup, it reads
@@ -93,6 +101,10 @@ func (c *Classifier) MemoryReport() MemoryReport {
 		RulesInstalled: len(s.installed),
 		RuleCapacity:   c.cfg.RuleCapacityFor(s.engineName),
 	}
+	report.PacketEngine = s.packetName
+	if s.packet != nil {
+		report.PacketEngineUsedBits = s.packet.Footprint().NodeBits
+	}
 	// Only the selected engine's node data is resident in the (shared)
 	// memory blocks, so usage is reported for that engine alone.
 	for _, d := range ipSegmentDims {
@@ -119,6 +131,20 @@ func (c *Classifier) MemoryReport() MemoryReport {
 // model.
 func (c *Classifier) Pipeline() *pipeline.Pipeline {
 	s := c.view()
+	if s.packet != nil {
+		// Packet tier: dispatch, one whole-packet structure walk, result
+		// select — no label fetch and no Rule Filter stage.
+		cost := s.packet.Cost()
+		return pipeline.MustNew("lookup/"+s.packetName, c.cfg.ClockHz,
+			pipeline.Stage{Name: "split+dispatch", LatencyCycles: CyclesDispatch, InitiationInterval: 1},
+			pipeline.Stage{
+				Name:               "packet lookup (" + s.packetName + ")",
+				LatencyCycles:      cost.LookupCycles,
+				InitiationInterval: cost.InitiationInterval,
+			},
+			pipeline.Stage{Name: "result select", LatencyCycles: CyclesPacketResult, InitiationInterval: 1},
+		)
+	}
 	cost := s.engines[label.DimSrcIPHigh].Cost()
 	ipStage := pipeline.Stage{
 		Name:               "field lookup (" + s.engineName + ")",

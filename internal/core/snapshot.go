@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"sdnpc/internal/engine"
 	"sdnpc/internal/fivetuple"
@@ -39,6 +40,18 @@ type snapshot struct {
 
 	filter    *ruleFilter
 	installed []installedRule
+
+	// Whole-packet engine tier. When packetName is non-empty, lookups are
+	// served by packet — one precomputed multi-field structure — instead of
+	// the per-field engines above, which stay programmed so the classifier
+	// can switch tiers without a re-download. packetRules is the best-first
+	// rule order the engine was installed with (LookupPacket indices resolve
+	// into it); packetStale marks that rules changed since the last Install
+	// and syncPacket must rebuild before the snapshot is published.
+	packetName  string
+	packet      engine.PacketEngine
+	packetRules []fivetuple.Rule
+	packetStale bool
 }
 
 // newSnapshot builds an empty data path for the given engine selection:
@@ -145,7 +158,48 @@ func (s *snapshot) clone(cfg *Config) (*snapshot, error) {
 		}
 		c.engines[d] = rebuilt
 	}
+	c.packetName = s.packetName
+	c.packetRules = s.packetRules
+	c.packetStale = s.packetStale
+	if s.packet != nil {
+		// The clone shares the immutable built structure; a rebuild after a
+		// rule change replaces only the clone's handle, never the published
+		// one.
+		c.packet = s.packet.Clone()
+	}
 	return c, nil
+}
+
+// syncPacket (re)builds the whole-packet engine from the installed rules
+// when the packet tier is active and the rules changed since the last
+// Install. Writers call it before publishing a mutated snapshot; a build
+// failure (e.g. an RFC cross-product explosion) surfaces as the update's
+// error and nothing is published.
+func (s *snapshot) syncPacket() error {
+	if s.packetName == "" {
+		s.packet, s.packetRules, s.packetStale = nil, nil, false
+		return nil
+	}
+	if s.packet != nil && !s.packetStale {
+		return nil
+	}
+	if s.packet == nil {
+		eng, err := engine.NewPacket(s.packetName, engine.Spec{})
+		if err != nil {
+			return err
+		}
+		s.packet = eng
+	}
+	// The Table I structures resolve ties by table order, so hand them the
+	// rules best-first; LookupPacket indices then resolve through this slice.
+	rules := s.installedRules()
+	sort.SliceStable(rules, func(i, j int) bool { return rules[i].Priority < rules[j].Priority })
+	if err := s.packet.Install(rules); err != nil {
+		return fmt.Errorf("core: building %s packet engine over %d rules: %w", s.packetName, len(rules), err)
+	}
+	s.packetRules = rules
+	s.packetStale = false
+	return nil
 }
 
 // rebuildEngine is the clone fallback for engines without a Clone hook: a

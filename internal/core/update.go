@@ -59,6 +59,9 @@ func (c *Classifier) InsertRule(r fivetuple.Rule) (UpdateReport, error) {
 	if err != nil {
 		return UpdateReport{}, err
 	}
+	if err := next.syncPacket(); err != nil {
+		return UpdateReport{}, err
+	}
 	c.publish(next)
 	c.stats.recordInsert(report)
 	return report, nil
@@ -81,6 +84,9 @@ func (c *Classifier) DeleteRule(r fivetuple.Rule) (UpdateReport, error) {
 	if err != nil {
 		// The clone is discarded whole, so a partially applied deletion can
 		// never become visible.
+		return UpdateReport{}, err
+	}
+	if err := next.syncPacket(); err != nil {
 		return UpdateReport{}, err
 	}
 	c.publish(next)
@@ -111,6 +117,9 @@ func (c *Classifier) InstallRuleSet(rs *fivetuple.RuleSet) (UpdateReport, error)
 		total.RuleFilterProbes += rep.RuleFilterProbes
 		total.ClockCycles += rep.ClockCycles
 		inserted++
+	}
+	if err := next.syncPacket(); err != nil {
+		return total, err
 	}
 	c.publish(next)
 	c.stats.recordUpdates(inserted, 0, total.ClockCycles)
@@ -206,6 +215,7 @@ func (s *snapshot) insertRule(cfg *Config, r fivetuple.Rule) (UpdateReport, erro
 	}
 
 	s.installed = append(s.installed, installedRule{rule: r, key: key})
+	s.packetStale = true
 	return report, nil
 }
 
@@ -255,6 +265,7 @@ func (s *snapshot) deleteRule(r fivetuple.Rule) (report UpdateReport, mutated bo
 	}
 
 	s.installed = append(s.installed[:idx], s.installed[idx+1:]...)
+	s.packetStale = true
 	return report, true, nil
 }
 
@@ -282,11 +293,14 @@ type UpdateOp struct {
 // Ops are independent, as if issued separately: an op that fails cleanly
 // (duplicate delete, capacity exceeded, rolled-back insert) is skipped with
 // its error recorded at its index in errs, and the remaining ops still
-// apply. The batch is published when at least one op succeeded. The one
-// exception is a failure that leaves the working copy partially mutated (a
-// deletion failing midway through its engines); publishing would expose an
-// inconsistent data path, so the whole batch is abandoned unpublished and
-// the error returned as err.
+// apply. The batch is published when at least one op succeeded. Two
+// failures are batch-level instead, abandoning the whole batch unpublished
+// with the error returned as err: a failure that leaves the working copy
+// partially mutated (a deletion failing midway through its engines), and —
+// with a packet engine active — a failed rebuild of the precomputed
+// structure over the batch's final rule set (e.g. an RFC cross-product
+// explosion), which is a property of the aggregate rule set rather than of
+// any single op.
 func (c *Classifier) ApplyUpdates(ops []UpdateOp) (reports []UpdateReport, errs []error, err error) {
 	if len(ops) == 0 {
 		return nil, nil, nil
@@ -324,6 +338,9 @@ func (c *Classifier) ApplyUpdates(ops []UpdateOp) (reports []UpdateReport, errs 
 		}
 	}
 	if inserts+deletes > 0 {
+		if err := next.syncPacket(); err != nil {
+			return nil, nil, err
+		}
 		c.publish(next)
 		c.stats.recordUpdates(inserts, deletes, cycles)
 	}

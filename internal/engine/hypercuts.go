@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"sdnpc/internal/algo/hypercuts"
+	"sdnpc/internal/fivetuple"
+)
+
+func init() {
+	MustRegister(Definition{
+		Name:          "hypercuts",
+		Description:   "HyperCuts decision tree: multi-dimensional cuts + linear leaf scan, smallest memory (Table I)",
+		PacketFactory: newHyperCutsEngine,
+	})
+}
+
+// hypercutsEngine adapts the HyperCuts decision tree (Singh et al., SIGCOMM
+// 2003) to the PacketEngine tier. Lookup walks one tree path and scans the
+// leaf linearly — the slowest lookups of Table I but by far the smallest
+// memory, which is the corner of the trade-off space this tier covers.
+type hypercutsEngine struct {
+	cfg   hypercuts.Config
+	rules []fivetuple.Rule
+	c     *hypercuts.Classifier
+}
+
+func newHyperCutsEngine(Spec) (PacketEngine, error) {
+	return &hypercutsEngine{cfg: hypercuts.DefaultConfig()}, nil
+}
+
+func (e *hypercutsEngine) Install(rules []fivetuple.Rule) error {
+	if len(rules) == 0 {
+		e.rules, e.c = nil, nil
+		return nil
+	}
+	c, err := hypercuts.Build(fivetuple.NewRuleSet("hypercuts", rules), e.cfg)
+	if err != nil {
+		return err
+	}
+	e.rules = rules
+	e.c = c
+	return nil
+}
+
+func (e *hypercutsEngine) LookupPacket(h fivetuple.Header) (int, bool, int) {
+	if e.c == nil {
+		return 0, false, 0
+	}
+	return e.c.Classify(h)
+}
+
+func (e *hypercutsEngine) Cost() CostModel {
+	if e.c == nil {
+		return CostModel{LookupCycles: 1, InitiationInterval: 1, WorstCaseAccesses: 1}
+	}
+	// Worst case: the deepest tree path, the leaf header read and a full
+	// binth-rule leaf scan. The walk is iterative over one memory, so the
+	// engine cannot accept a new packet until the current one leaves.
+	accesses := e.c.Depth() + 1 + 1 + e.cfg.Binth
+	return CostModel{
+		LookupCycles:       accesses,
+		InitiationInterval: accesses,
+		WorstCaseAccesses:  accesses,
+	}
+}
+
+func (e *hypercutsEngine) Footprint() Footprint {
+	if e.c == nil {
+		return Footprint{}
+	}
+	return Footprint{NodeBits: e.c.MemoryBits()}
+}
+
+func (e *hypercutsEngine) ResetStats() {
+	if e.c != nil {
+		e.c.ResetStats()
+	}
+}
+
+// Clone shares the immutable built tree; a later Install on either handle
+// replaces that handle's pointer only.
+func (e *hypercutsEngine) Clone() PacketEngine {
+	cp := *e
+	return &cp
+}

@@ -47,15 +47,19 @@ func viewSharedL2(spec Spec, name string) (*memory.Block, error) {
 // Factory builds one engine instance for one dimension.
 type Factory func(spec Spec) (FieldEngine, error)
 
-// Definition describes one registered engine.
+// Definition describes one registered engine of either tier.
 type Definition struct {
-	// Name is the registry key ("mbt", "bst", ...). Selection by
-	// configuration and by the -ip-engine flags uses this name.
+	// Name is the registry key ("mbt", "bst", "rfc-full", ...). Selection by
+	// configuration and by the engine flags uses this name.
 	Name string
 	// Description is a one-line summary for listings.
 	Description string
-	// Factory builds instances.
+	// Factory builds single-field engine instances. Exactly one of Factory
+	// and PacketFactory must be set.
 	Factory Factory
+	// PacketFactory builds whole-packet engine instances: setting it makes
+	// the definition a second-tier (PacketEngine) entry.
+	PacketFactory PacketFactory
 	// IPCapable marks engines that can serve the 16-bit IP-segment
 	// dimensions (they accept KindPrefix values).
 	IPCapable bool
@@ -74,13 +78,17 @@ var (
 )
 
 // Register adds an engine definition to the registry. Registering an empty
-// name, a nil factory or a duplicate name is an error.
+// name, no factory (or both tiers' factories), or a duplicate name is an
+// error.
 func Register(def Definition) error {
 	if def.Name == "" {
 		return fmt.Errorf("engine: cannot register an empty engine name")
 	}
-	if def.Factory == nil {
+	if def.Factory == nil && def.PacketFactory == nil {
 		return fmt.Errorf("engine: engine %q has no factory", def.Name)
+	}
+	if def.Factory != nil && def.PacketFactory != nil {
+		return fmt.Errorf("engine: engine %q registers both a field and a packet factory", def.Name)
 	}
 	registryMu.Lock()
 	defer registryMu.Unlock()

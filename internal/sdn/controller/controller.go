@@ -380,13 +380,15 @@ func (c *Controller) SelectAlgorithm(alg memory.AlgSelect) error {
 	})
 }
 
-// SelectEngine changes the IP engine selection by registry name and pushes
-// the update to every connected data plane. The name is validated against
-// the local engine registry so a typo fails here instead of poisoning the
+// SelectEngine changes the engine selection by registry name — either tier:
+// a field engine re-programs the switches' IP-segment dimensions, a
+// whole-packet engine moves them onto the packet tier — and pushes the
+// update to every connected data plane. The name is validated against the
+// local engine registry so a typo fails here instead of poisoning the
 // controller state and being silently rejected by every switch.
 func (c *Controller) SelectEngine(name string) error {
-	if def, ok := engine.Get(name); !ok || !def.IPCapable {
-		return fmt.Errorf("controller: unknown IP engine %q (registered: %v)", name, engine.IPEngineNames())
+	if _, ok := engine.Selectable(name); !ok {
+		return fmt.Errorf("controller: unknown engine %q (selectable: %v)", name, engine.SelectableNames())
 	}
 	c.mu.Lock()
 	if c.closed {

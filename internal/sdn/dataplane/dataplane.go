@@ -224,7 +224,10 @@ func (s *Switch) controlLoop(conn net.Conn) {
 				continue
 			}
 			s.flushMods()
-			if err = s.classifier.SelectIPEngine(name); err != nil {
+			// SelectEngine resolves the name across both tiers: a field
+			// engine switches the IP-segment dimensions, a whole-packet
+			// engine switches the running switch onto the packet tier.
+			if err = s.classifier.SelectEngine(name); err != nil {
 				s.sendError(conn, msg.Xid, err)
 				continue
 			}

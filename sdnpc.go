@@ -1,16 +1,23 @@
 // Package sdnpc is the public facade of the configurable SDN packet
 // classifier (conf_socc_PerezYSS14): a label-based five-tuple classification
-// architecture whose per-field lookup algorithm is selected by name at run
-// time.
+// architecture whose lookup algorithm is selected by name at run time.
+//
+// Two engine tiers share one registry. Field engines ("mbt", "bst",
+// "segtrie", "rfc") serve one header dimension each and are combined through
+// the paper's label method; whole-packet engines ("rfc-full", "dcfl",
+// "hypercuts" — the multi-field baselines of the paper's Table I) answer the
+// full five-tuple from one precomputed structure. Any selectable name works
+// with WithEngine and Classifier.SelectEngine, so the trade-off between
+// lookup speed, precomputed memory and update cost is run-time data.
 //
 // The package wraps the internal architecture model behind a small surface:
-// a Classifier with insert/delete/lookup, a fluent Rule builder, and
-// engine selection by registry name ("mbt", "bst", "segtrie", "rfc"). Import
-// it as
+// a Classifier with insert/delete/lookup, a fluent Rule builder, and engine
+// selection by registry name. Import it as
 //
 //	import "sdnpc"
 //
-// and see examples/quickstart for a complete walk-through.
+// and see examples/quickstart and example_test.go for complete
+// walk-throughs.
 package sdnpc
 
 import (
@@ -64,9 +71,17 @@ const (
 	ESP  = fivetuple.ProtoESP
 )
 
-// Engines returns the names of the registered IP-segment engines, the values
-// accepted by WithEngine and Classifier.SelectEngine.
-func Engines() []string { return engine.IPEngineNames() }
+// Engines returns the names of every selectable engine across both tiers —
+// the values accepted by WithEngine and Classifier.SelectEngine.
+func Engines() []string { return engine.SelectableNames() }
+
+// FieldEngines returns the names of the registered per-field IP-segment
+// engines (the first tier).
+func FieldEngines() []string { return engine.IPEngineNames() }
+
+// PacketEngines returns the names of the registered whole-packet engines
+// (the second tier).
+func PacketEngines() []string { return engine.PacketEngineNames() }
 
 // NewRuleSet builds a rule set from the given rules; rule priorities are
 // rewritten to their position so the set is internally consistent.
@@ -75,9 +90,17 @@ func NewRuleSet(name string, rules []Rule) *RuleSet { return fivetuple.NewRuleSe
 // Option adjusts the classifier configuration.
 type Option func(*core.Config)
 
-// WithEngine selects the IP-segment lookup engine by registered name.
+// WithEngine selects the lookup engine by registered name, whichever tier it
+// belongs to: a whole-packet engine name activates the packet tier, any
+// other name selects the IP-segment field engine.
 func WithEngine(name string) Option {
-	return func(cfg *core.Config) { cfg.IPEngine = name }
+	return func(cfg *core.Config) {
+		if isPacket, ok := engine.Selectable(name); ok && isPacket {
+			cfg.PacketEngine = name
+			return
+		}
+		cfg.IPEngine = name
+	}
 }
 
 // WithSingleProbe selects the paper's single-probe HPML combination mode:
@@ -155,13 +178,15 @@ func (c *Classifier) LookupBatch(hs []Header) []Result { return c.inner.LookupBa
 // access counters.
 func SummarizeBatch(results []Result) BatchReport { return core.SummarizeBatch(results) }
 
-// SelectEngine switches the IP-segment lookup engine at run time — the
-// generalised IPalg_s signal of the paper. The installed rules are
-// re-programmed onto the new engine.
-func (c *Classifier) SelectEngine(name string) error { return c.inner.SelectIPEngine(name) }
+// SelectEngine switches the lookup engine at run time — the generalised
+// IPalg_s signal of the paper, extended across both tiers. The installed
+// rules are re-programmed onto (or compiled into) the new engine.
+func (c *Classifier) SelectEngine(name string) error { return c.inner.SelectEngine(name) }
 
-// Engine returns the name of the active IP-segment engine.
-func (c *Classifier) Engine() string { return c.inner.IPEngineName() }
+// Engine returns the name of the engine actually answering lookups: the
+// whole-packet engine when one is selected, the IP-segment field engine
+// otherwise.
+func (c *Classifier) Engine() string { return c.inner.ActiveEngineName() }
 
 // Rules returns a copy of the installed rules in installation order.
 func (c *Classifier) Rules() []Rule { return c.inner.InstalledRules() }

@@ -231,6 +231,68 @@ func BenchmarkThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkThroughputZipf measures the microflow cache on a Zipf(1.1)
+// flow-replay trace: for every selectable engine of both tiers, an uncached
+// and a cached sub-benchmark drive the same 4-worker batched serving path.
+// The cached rows additionally report the hit rate; the acceptance target is
+// >= 2x pkts/s with the cache on for at least one engine per tier.
+func BenchmarkThroughputZipf(b *testing.B) {
+	const batch = 64
+	const workers = 4
+	w := bench.NewZipfWorkload(classbench.ACL, classbench.Size1K, 20000, 1.1)
+	for _, name := range engine.SelectableNames() {
+		for _, cached := range []bool{false, true} {
+			cfg := bench.EngineConfig(name)
+			label := "uncached"
+			if cached {
+				cfg = bench.CachedEngineConfig(name, 0, 65536)
+				label = "cached"
+			}
+			c := core.MustNew(cfg)
+			if _, err := c.InstallRuleSet(w.RuleSet); err != nil {
+				b.Fatal(err)
+			}
+			trace := w.Trace
+			b.Run(fmt.Sprintf("%s/%s", name, label), func(b *testing.B) {
+				c.ResetStats()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for wi := 0; wi < workers; wi++ {
+					count := b.N / workers
+					if wi == 0 {
+						count += b.N % workers
+					}
+					wg.Add(1)
+					go func(count, pos int) {
+						defer wg.Done()
+						hs := make([]fivetuple.Header, batch)
+						for count > 0 {
+							n := batch
+							if n > count {
+								n = count
+							}
+							for i := 0; i < n; i++ {
+								hs[i] = trace[pos%len(trace)]
+								pos++
+							}
+							c.LookupBatch(hs[:n])
+							count -= n
+						}
+					}(count, wi*len(trace)/workers)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(b.N)/sec, "pkts/s")
+				}
+				if stats, ok := c.CacheStats(); ok {
+					b.ReportMetric(100*stats.HitRate(), "hit%")
+				}
+			})
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Table VII — throughput comparison
 // ---------------------------------------------------------------------------

@@ -5,7 +5,7 @@
 //
 //	experiments [-experiment all|table1|table2|table3|table4|table5|table6|table7|fig3|fig5|update|hpml|labelmethod|engines|throughput]
 //	            [-class acl|fw|ipc] [-size 1k|5k|10k] [-packets N] [-ip-engine name]
-//	            [-workers list] [-batch N]
+//	            [-workers list] [-batch N] [-cache-shards N] [-cache-capacity N] [-zipf s]
 //
 // The measured values are printed next to the values the paper reports, in
 // the same row/column structure, so the output can be pasted into
@@ -40,6 +40,9 @@ func run(args []string) error {
 	ipEngine := fs.String("ip-engine", "", fmt.Sprintf("restrict the engines/throughput sweeps to one registered engine of either tier %v", engine.SelectableNames()))
 	workersFlag := fs.String("workers", "", "comma-separated worker counts for the throughput experiment (default: 1,2,4,... up to NumCPU)")
 	batchSize := fs.Int("batch", 64, "LookupBatch size for the throughput experiment")
+	cacheShards := fs.Int("cache-shards", 0, "microflow cache shard count for the throughput experiment (0 = cache default)")
+	cacheCapacity := fs.Int("cache-capacity", 0, "microflow cache entry budget; > 0 adds cached rows beside the uncached ones in the throughput experiment")
+	zipf := fs.Float64("zipf", 0, "Zipf skew (> 1, e.g. 1.1) for the throughput trace: replay a flow population with Zipf-ranked popularity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,11 +164,18 @@ func run(args []string) error {
 	}
 	if wants("throughput") {
 		ranAny = true
-		opts := bench.ThroughputOptions{Workers: workers, BatchSize: *batchSize, PacketsPerWorker: *packets}
+		opts := bench.ThroughputOptions{
+			Workers: workers, BatchSize: *batchSize, PacketsPerWorker: *packets,
+			CacheShards: *cacheShards, CacheCapacity: *cacheCapacity,
+		}
 		if *ipEngine != "" {
 			opts.Engines = []string{*ipEngine}
 		}
-		rows, err := bench.ThroughputSweep(getWorkload(), opts)
+		w := getWorkload()
+		if *zipf > 1 {
+			w = bench.NewZipfWorkload(class, size, *packets, *zipf)
+		}
+		rows, err := bench.ThroughputSweep(w, opts)
 		if err != nil {
 			return fmt.Errorf("throughput: %w", err)
 		}

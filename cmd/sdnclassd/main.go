@@ -7,6 +7,7 @@
 //
 //	sdnclassd -class acl -size 1k -packets 50000 -profile throughput
 //	          [-ip-engine name] [-workers N] [-batch N]
+//	          [-cache-shards N] [-cache-capacity N] [-zipf s]
 //
 // It prints the switch's per-action counters, the classifier's data-plane
 // statistics and the modelled throughput for the selected configuration.
@@ -47,11 +48,17 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:0", "controller listen address")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent replay workers sharing the switch")
 	batch := fs.Int("batch", 64, "packets per ProcessBatch call")
+	cacheShards := fs.Int("cache-shards", 0, "microflow cache shard count (0 = cache default)")
+	cacheCapacity := fs.Int("cache-capacity", 0, "microflow cache entry budget in front of the engines; 0 disables the cache")
+	zipf := fs.Float64("zipf", 0, "Zipf skew (> 1, e.g. 1.1) for the replay trace: repeat a flow population with Zipf-ranked popularity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 1 || *batch < 1 {
 		return fmt.Errorf("-workers and -batch must be positive")
+	}
+	if *cacheCapacity < 0 || *cacheShards < 0 {
+		return fmt.Errorf("-cache-capacity and -cache-shards must not be negative")
 	}
 
 	class, size, err := parseWorkload(*className, *sizeName)
@@ -81,10 +88,13 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("listening: %w", err)
 	}
-	return runLoop(ln, rs, profile, *ipEngine, *packets, *workers, *batch)
+	swCfg := core.DefaultConfig()
+	swCfg.CacheShards = *cacheShards
+	swCfg.CacheCapacity = *cacheCapacity
+	return runLoop(ln, rs, profile, *ipEngine, swCfg, *packets, *workers, *batch, *zipf)
 }
 
-func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.ApplicationProfile, ipEngine string, packets, workers, batch int) error {
+func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.ApplicationProfile, ipEngine string, swCfg core.Config, packets, workers, batch int, zipf float64) error {
 	ctrl := controller.New(rs, profile, nil)
 	if ipEngine != "" {
 		// Record the name-based selection before any switch connects so the
@@ -96,7 +106,7 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 	go func() { _ = ctrl.Serve(ln) }()
 	defer ctrl.Stop()
 
-	sw, err := dataplane.New(core.DefaultConfig())
+	sw, err := dataplane.New(swCfg)
 	if err != nil {
 		return err
 	}
@@ -135,7 +145,7 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 		sw.Classifier().RuleCount(), sw.Classifier().RuleCapacity(), sw.Classifier().ActiveEngineName())
 
 	trace := classbench.GenerateTrace(rs, classbench.TraceConfig{
-		Packets: packets, Seed: 17, MatchFraction: 0.95, Locality: 0.4,
+		Packets: packets, Seed: 17, MatchFraction: 0.95, Locality: 0.4, ZipfSkew: zipf,
 	})
 	// Shard the trace across workers; each worker replays its shard in
 	// batches through the shared switch. The classifier serves every worker
@@ -181,6 +191,12 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 	fmt.Printf("average lookup latency: %.1f cycles at %.2f MHz\n",
 		stats.AverageLatencyCycles(), sw.Classifier().Config().ClockHz/1e6)
 	fmt.Printf("modelled hardware throughput (40-byte packets): %.2f Gbps\n", sw.Classifier().ThroughputGbps(40))
+	if cs, ok := sw.Classifier().CacheStats(); ok {
+		report := sw.Classifier().MemoryReport()
+		fmt.Printf("microflow cache: %.1f%% hit rate (%d hits, %d misses, %d evictions, %d stale-generation drops) over %d entries (%d Kbit)\n",
+			100*cs.HitRate(), cs.Hits, cs.Misses, cs.Evictions, cs.StaleGenerations,
+			report.CacheEntries, report.CacheBits/1024)
+	}
 	fmt.Printf("controller observed %d packet-in messages\n", ctrl.PacketIns())
 	return nil
 }

@@ -113,3 +113,109 @@ func TestConcurrentServingDuringUpdates(t *testing.T) {
 			stats.Inserts, stats.Deletes, writerIterations+1, writerIterations)
 	}
 }
+
+// The cache-coherence hammer: the same update storm, tier hops and lookup
+// flood as above, but with the microflow cache in front of both tiers. The
+// invariants tighten accordingly: a lookup must never return a verdict
+// inconsistent with the old-or-new snapshot — in cache terms, a
+// stale-generation entry must never be served after the writer's
+// clone-mutate-swap publishes a successor, even though the cache is shared
+// across snapshots and never flushed. Readers hammer a tiny header set so
+// nearly every lookup is a cache hit or fill; the writer churns the rule set
+// and hops engines so generations retire constantly. Run with -race.
+func TestConcurrentCacheCoherenceDuringUpdates(t *testing.T) {
+	c := MustNew(WithCache(4, 512))
+
+	stable := NewRule(5).From("10.1.0.0/16").To("192.168.0.0/16").DstPort(443).Proto(TCP).Forward(42).MustBuild()
+	if _, err := c.Insert(stable); err != nil {
+		t.Fatalf("installing stable rule: %v", err)
+	}
+	flip := NewRule(9).From("10.2.0.0/16").To("192.168.0.0/16").DstPort(80).Proto(TCP).Drop().MustBuild()
+
+	headerStable := MustParseHeader("10.1.2.3", 1234, "192.168.1.1", 443, TCP)
+	headerFlip := MustParseHeader("10.2.9.9", 5555, "192.168.3.4", 80, TCP)
+	headerMiss := MustParseHeader("172.16.0.1", 9, "172.16.0.2", 9, UDP)
+
+	checkStable := func(r Result) {
+		if !r.Matched || r.Priority != 5 || r.Action != Forward || r.ActionArg != 42 {
+			t.Errorf("stable rule lookup = %+v, want priority-5 forward to 42 in every snapshot", r)
+		}
+	}
+	checkFlip := func(r Result) {
+		if r.Matched && (r.Priority != 9 || r.Action != Drop) {
+			t.Errorf("flip rule lookup = %+v, want either a miss or the priority-9 drop", r)
+		}
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	const readers = 4
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				checkStable(c.Lookup(headerStable))
+				checkFlip(c.Lookup(headerFlip))
+				if r := c.Lookup(headerMiss); r.Matched {
+					t.Errorf("miss header matched %+v; no installed rule ever covers it", r)
+				}
+				batch := c.LookupBatch([]Header{headerFlip, headerStable, headerFlip})
+				// One batch is served by one snapshot generation: the two
+				// flip lookups must agree even though the writer inserts and
+				// deletes that rule — and retires cache generations — the
+				// whole time.
+				if batch[0].Matched != batch[2].Matched {
+					t.Errorf("one batch saw the flip rule both installed and absent: %+v vs %+v", batch[0], batch[2])
+				}
+				checkStable(batch[1])
+			}
+		}()
+	}
+
+	engines := Engines()
+	const writerIterations = 120
+	for i := 0; i < writerIterations; i++ {
+		if _, err := c.Insert(flip); err != nil {
+			t.Errorf("insert flip: %v", err)
+			break
+		}
+		if i%15 == 7 {
+			if err := c.SelectEngine(engines[(i/15)%len(engines)]); err != nil {
+				t.Errorf("engine switch: %v", err)
+				break
+			}
+		}
+		if _, err := c.Delete(flip); err != nil {
+			t.Errorf("delete flip: %v", err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// The writer has stopped with the flip rule deleted. Any cached verdict
+	// for it belongs to a retired generation; serving one now would be the
+	// stale-generation hit the design forbids.
+	for i := 0; i < 3; i++ {
+		if r := c.Lookup(headerFlip); r.Matched {
+			t.Fatalf("flip rule served after its final delete (stale-generation cache hit): %+v", r)
+		}
+		checkStable(c.Lookup(headerStable))
+	}
+	stats, ok := c.CacheStats()
+	if !ok {
+		t.Fatal("cache disabled on a WithCache classifier")
+	}
+	if stats.Hits == 0 {
+		t.Errorf("the hammer never hit the cache: %+v", stats)
+	}
+	if got := c.RuleCount(); got != 1 {
+		t.Errorf("RuleCount after the hammer = %d, want 1 (the stable rule)", got)
+	}
+}

@@ -1,0 +1,349 @@
+package sdnpc
+
+import (
+	"fmt"
+	"testing"
+
+	"sdnpc/internal/bench"
+	"sdnpc/internal/classbench"
+	"sdnpc/internal/core"
+	"sdnpc/internal/engine"
+	"sdnpc/internal/fivetuple"
+)
+
+// The differential suite: every selectable engine of both tiers, plus the
+// microflow-cache-enabled serving path of each tier, must return exactly the
+// verdict of the linear-search oracle (fivetuple.RuleSet.Classify) for every
+// header. FuzzDifferentialLookup explores random rule sets and headers;
+// TestDifferentialEngines replays a deterministic corpus of generated sets
+// and hand-built edge cases so the same property is enforced on every plain
+// `go test` run, not only under -fuzz.
+
+const (
+	maxFuzzRules   = 40
+	maxFuzzHeaders = 20
+	fuzzRuleBytes  = 20
+	fuzzHdrBytes   = 13
+)
+
+// decodeDifferentialInput deterministically maps fuzz bytes to a rule list
+// and a header list. Malformed values are normalised (prefix lengths mod 33,
+// inverted port ranges swapped) rather than rejected, so every input decodes
+// to a valid — possibly adversarial — classification workload.
+func decodeDifferentialInput(data []byte) ([]fivetuple.Rule, []fivetuple.Header) {
+	if len(data) < 2 {
+		return nil, nil
+	}
+	nRules := 1 + int(data[0])%maxFuzzRules
+	nHeaders := 1 + int(data[1])%maxFuzzHeaders
+	data = data[2:]
+
+	u16 := func(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+	u32 := func(b []byte) uint32 {
+		return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	}
+
+	var rules []fivetuple.Rule
+	for i := 0; i < nRules && len(data) >= fuzzRuleBytes; i++ {
+		b := data[:fuzzRuleBytes]
+		data = data[fuzzRuleBytes:]
+		spLo, spHi := u16(b[10:]), u16(b[12:])
+		if spLo > spHi {
+			spLo, spHi = spHi, spLo
+		}
+		dpLo, dpHi := u16(b[14:]), u16(b[16:])
+		if dpLo > dpHi {
+			dpLo, dpHi = dpHi, dpLo
+		}
+		r := fivetuple.Rule{
+			SrcPrefix: fivetuple.Prefix{Addr: fivetuple.IPv4(u32(b[0:])), Len: b[4] % 33}.Canonical(),
+			DstPrefix: fivetuple.Prefix{Addr: fivetuple.IPv4(u32(b[5:])), Len: b[9] % 33}.Canonical(),
+			SrcPort:   fivetuple.PortRange{Lo: spLo, Hi: spHi},
+			DstPort:   fivetuple.PortRange{Lo: dpLo, Hi: dpHi},
+			Protocol:  fivetuple.ExactProtocol(b[18]),
+			Action:    fivetuple.ActionForward,
+			ActionArg: uint32(i),
+		}
+		if b[19]&1 == 1 {
+			r.Protocol = fivetuple.WildcardProtocol()
+		}
+		rules = append(rules, r)
+	}
+	var headers []fivetuple.Header
+	for i := 0; i < nHeaders && len(data) >= fuzzHdrBytes; i++ {
+		b := data[:fuzzHdrBytes]
+		data = data[fuzzHdrBytes:]
+		headers = append(headers, fivetuple.Header{
+			SrcIP:    fivetuple.IPv4(u32(b[0:])),
+			DstIP:    fivetuple.IPv4(u32(b[4:])),
+			SrcPort:  u16(b[8:]),
+			DstPort:  u16(b[10:]),
+			Protocol: b[12],
+		})
+	}
+	// Aim the first header at the first rule so random inputs exercise the
+	// match path, not only misses.
+	if len(rules) > 0 && len(headers) > 0 {
+		r := rules[0]
+		headers[0] = fivetuple.Header{
+			SrcIP:    r.SrcPrefix.Addr,
+			DstIP:    r.DstPrefix.Addr,
+			SrcPort:  r.SrcPort.Lo,
+			DstPort:  r.DstPort.Hi,
+			Protocol: r.Protocol.Value,
+		}
+	}
+	return rules, headers
+}
+
+// differentialPaths builds one classifier per selectable engine of both
+// tiers plus one cache-enabled classifier per tier, all in exact
+// (cross-product) combination mode, with the rule set installed.
+func differentialPaths(t testing.TB, rs *fivetuple.RuleSet) map[string]*core.Classifier {
+	t.Helper()
+	paths := make(map[string]*core.Classifier)
+	build := func(label string, cfg core.Config) {
+		c, err := core.New(cfg)
+		if err != nil {
+			t.Fatalf("building %s classifier: %v", label, err)
+		}
+		if _, err := c.InstallRuleSet(rs); err != nil {
+			t.Fatalf("installing %d rules on %s: %v", rs.Len(), label, err)
+		}
+		paths[label] = c
+	}
+	for _, name := range engine.SelectableNames() {
+		build(name, bench.EngineConfig(name))
+	}
+	// The cache front must be transparent over both tiers; the second lookup
+	// pass below is served from the cache.
+	build("mbt+cache", bench.CachedEngineConfig("mbt", 4, 4096))
+	build("hypercuts+cache", bench.CachedEngineConfig("hypercuts", 4, 4096))
+	return paths
+}
+
+// runDifferential asserts that every path agrees with the linear oracle on
+// every header — match flag, rule priority, action and action argument — on
+// a cold pass and on a warm (cache-hitting) pass.
+func runDifferential(t testing.TB, rules []fivetuple.Rule, headers []fivetuple.Header) {
+	t.Helper()
+	rs := fivetuple.NewRuleSet("differential", rules)
+	paths := differentialPaths(t, rs)
+	for label, c := range paths {
+		for pass := 0; pass < 2; pass++ {
+			for i, h := range headers {
+				wantIdx, wantOK := rs.Classify(h)
+				got := c.Lookup(h)
+				if got.Matched != wantOK {
+					t.Fatalf("%s pass %d header %d (%s): matched = %v, oracle says %v",
+						label, pass, i, h, got.Matched, wantOK)
+				}
+				if !wantOK {
+					continue
+				}
+				want := rs.Rule(wantIdx)
+				if got.Priority != wantIdx || got.Action != want.Action || got.ActionArg != want.ActionArg {
+					t.Fatalf("%s pass %d header %d (%s): got priority %d action %v/%d, oracle rule %d (%s) action %v/%d",
+						label, pass, i, h, got.Priority, got.Action, got.ActionArg,
+						wantIdx, want, want.Action, want.ActionArg)
+				}
+			}
+		}
+	}
+}
+
+// FuzzDifferentialLookup drives random rule sets and headers through all
+// seven engines and both cache-enabled paths, asserting byte-identical
+// verdicts versus the linear oracle. CI runs it as a smoke pass
+// (-fuzz=FuzzDifferentialLookup -fuzztime=30s); the corpus below seeds
+// structurally interesting shapes.
+func FuzzDifferentialLookup(f *testing.F) {
+	// Seeds: a tiny one-rule workload, port-boundary patterns, wide prefixes
+	// with duplicates, and a spread of random-looking bytes.
+	f.Add([]byte{0, 0,
+		10, 0, 0, 1, 32, 192, 168, 0, 1, 24, 0, 0, 255, 255, 0, 80, 0, 80, 6, 0,
+		10, 0, 0, 1, 192, 168, 0, 99, 1, 1, 0, 80, 6})
+	f.Add([]byte{3, 4,
+		1, 2, 3, 4, 16, 5, 6, 7, 8, 0, 255, 255, 255, 255, 0, 0, 0, 0, 17, 1,
+		1, 2, 3, 4, 16, 5, 6, 7, 8, 0, 255, 255, 255, 255, 0, 0, 0, 0, 17, 1,
+		9, 9, 9, 9, 8, 7, 7, 7, 7, 33, 0, 1, 255, 254, 128, 0, 255, 255, 6, 0,
+		1, 2, 200, 4, 5, 6, 7, 8, 255, 255, 255, 255, 17,
+		9, 9, 1, 1, 7, 7, 2, 2, 0, 0, 65, 66, 6})
+	f.Add([]byte{255, 255, 100, 101, 102, 103, 104, 105, 106, 107, 108, 109,
+		110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120, 121,
+		130, 131, 132, 133, 134, 135, 136, 137, 138, 139, 140})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rules, headers := decodeDifferentialInput(data)
+		if len(rules) == 0 || len(headers) == 0 {
+			t.Skip("input too short to decode a workload")
+		}
+		runDifferential(t, rules, headers)
+	})
+}
+
+// TestDifferentialEngines is the seeded deterministic corpus runner: the
+// differential property is checked on generated ClassBench-style sets and on
+// hand-built edge cases (max-port boundaries, duplicate rules, wildcard
+// stacks, adjacent prefixes) on every test run.
+func TestDifferentialEngines(t *testing.T) {
+	t.Run("generated", func(t *testing.T) {
+		for _, class := range []classbench.Class{classbench.ACL, classbench.FW, classbench.IPC} {
+			t.Run(class.String(), func(t *testing.T) {
+				rs := classbench.Generate(classbench.Config{Class: class, Rules: 150, Seed: int64(class) * 31})
+				trace := classbench.GenerateTrace(rs, classbench.TraceConfig{
+					Packets: 300, Seed: int64(class) * 17, MatchFraction: 0.85, Locality: 0.3,
+				})
+				runDifferential(t, rs.Rules(), trace)
+			})
+		}
+	})
+
+	prefix := fivetuple.MustParsePrefix
+	exact := fivetuple.ExactPort
+	ports := func(lo, hi uint16) fivetuple.PortRange { return fivetuple.PortRange{Lo: lo, Hi: hi} }
+	wildPorts := fivetuple.WildcardPortRange()
+	rule := func(src, dst string, sp, dp fivetuple.PortRange, proto fivetuple.ProtocolMatch, arg uint32) fivetuple.Rule {
+		return fivetuple.Rule{
+			SrcPrefix: prefix(src), DstPrefix: prefix(dst),
+			SrcPort: sp, DstPort: dp, Protocol: proto,
+			Action: fivetuple.ActionForward, ActionArg: arg,
+		}
+	}
+	tcp := fivetuple.ExactProtocol(fivetuple.ProtoTCP)
+	wild := fivetuple.WildcardProtocol()
+
+	edgeCases := []struct {
+		name    string
+		rules   []fivetuple.Rule
+		headers []fivetuple.Header
+	}{
+		{
+			name: "max-port-boundaries",
+			rules: []fivetuple.Rule{
+				rule("0.0.0.0/0", "0.0.0.0/0", wildPorts, exact(65535), tcp, 0),
+				rule("0.0.0.0/0", "0.0.0.0/0", wildPorts, ports(65534, 65535), tcp, 1),
+				rule("0.0.0.0/0", "0.0.0.0/0", wildPorts, exact(0), tcp, 2),
+				rule("0.0.0.0/0", "0.0.0.0/0", ports(0, 0), wildPorts, wild, 3),
+			},
+			headers: []fivetuple.Header{
+				{DstPort: 65535, Protocol: fivetuple.ProtoTCP},
+				{DstPort: 65534, Protocol: fivetuple.ProtoTCP},
+				{DstPort: 0, Protocol: fivetuple.ProtoTCP},
+				{SrcPort: 65535, DstPort: 1, Protocol: fivetuple.ProtoUDP},
+				{SrcPort: 0, DstPort: 9, Protocol: fivetuple.ProtoGRE},
+			},
+		},
+		{
+			name: "duplicate-rules-distinct-priorities",
+			rules: []fivetuple.Rule{
+				rule("10.0.0.0/8", "0.0.0.0/0", wildPorts, exact(80), tcp, 0),
+				rule("10.0.0.0/8", "0.0.0.0/0", wildPorts, exact(80), tcp, 1),
+				rule("10.0.0.0/8", "0.0.0.0/0", wildPorts, exact(80), tcp, 2),
+				rule("0.0.0.0/0", "0.0.0.0/0", wildPorts, wildPorts, wild, 3),
+			},
+			headers: []fivetuple.Header{
+				{SrcIP: fivetuple.MustParseIPv4("10.1.2.3"), DstPort: 80, Protocol: fivetuple.ProtoTCP},
+				{SrcIP: fivetuple.MustParseIPv4("11.1.2.3"), DstPort: 80, Protocol: fivetuple.ProtoTCP},
+			},
+		},
+		{
+			name: "adjacent-prefix-boundaries",
+			rules: []fivetuple.Rule{
+				rule("255.255.255.255/32", "0.0.0.0/0", wildPorts, wildPorts, wild, 0),
+				rule("255.255.255.254/31", "0.0.0.0/0", wildPorts, wildPorts, wild, 1),
+				rule("128.0.0.0/1", "0.0.0.0/0", wildPorts, wildPorts, wild, 2),
+				rule("0.0.0.0/32", "0.0.0.0/0", wildPorts, wildPorts, wild, 3),
+				rule("10.0.255.255/32", "10.1.0.0/16", wildPorts, wildPorts, wild, 4),
+			},
+			headers: []fivetuple.Header{
+				{SrcIP: fivetuple.MustParseIPv4("255.255.255.255"), Protocol: fivetuple.ProtoTCP},
+				{SrcIP: fivetuple.MustParseIPv4("255.255.255.254"), Protocol: fivetuple.ProtoTCP},
+				{SrcIP: fivetuple.MustParseIPv4("128.0.0.0"), Protocol: fivetuple.ProtoUDP},
+				{SrcIP: 0, Protocol: fivetuple.ProtoUDP},
+				{SrcIP: fivetuple.MustParseIPv4("10.0.255.255"), DstIP: fivetuple.MustParseIPv4("10.1.2.3")},
+			},
+		},
+		{
+			name: "protocol-zero-vs-wildcard",
+			rules: []fivetuple.Rule{
+				rule("0.0.0.0/0", "0.0.0.0/0", wildPorts, wildPorts, fivetuple.ExactProtocol(0), 0),
+				rule("0.0.0.0/0", "0.0.0.0/0", wildPorts, wildPorts, wild, 1),
+			},
+			headers: []fivetuple.Header{
+				{Protocol: 0},
+				{Protocol: 255},
+				{Protocol: fivetuple.ProtoTCP},
+			},
+		},
+		{
+			name: "single-wildcard-rule",
+			rules: []fivetuple.Rule{
+				rule("0.0.0.0/0", "0.0.0.0/0", wildPorts, wildPorts, wild, 0),
+			},
+			headers: []fivetuple.Header{
+				{},
+				{SrcIP: ^fivetuple.IPv4(0), DstIP: ^fivetuple.IPv4(0), SrcPort: 65535, DstPort: 65535, Protocol: 255},
+			},
+		},
+	}
+	for _, tc := range edgeCases {
+		t.Run(tc.name, func(t *testing.T) {
+			runDifferential(t, tc.rules, tc.headers)
+		})
+	}
+
+	// Fuzz-decoder determinism: the corpus runner also pushes the seed
+	// inputs through the byte decoder so the fuzz entry point itself is
+	// covered without -fuzz.
+	t.Run("decoded-seeds", func(t *testing.T) {
+		seeds := [][]byte{
+			{0, 0, 10, 0, 0, 1, 32, 192, 168, 0, 1, 24, 0, 0, 255, 255, 0, 80, 0, 80, 6, 0,
+				10, 0, 0, 1, 192, 168, 0, 99, 1, 1, 0, 80, 6},
+			{255, 255, 100, 101, 102, 103, 104, 105, 106, 107, 108, 109,
+				110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120, 121,
+				130, 131, 132, 133, 134, 135, 136, 137, 138, 139, 140},
+		}
+		for i, seed := range seeds {
+			rules, headers := decodeDifferentialInput(seed)
+			if len(rules) == 0 || len(headers) == 0 {
+				t.Fatalf("seed %d does not decode to a workload", i)
+			}
+			runDifferential(t, rules, headers)
+		}
+	})
+}
+
+// TestDecodeDifferentialInputShapes pins the decoder's normalisation: port
+// ranges come out ordered, prefix lengths in range, and short inputs yield
+// nothing rather than panicking.
+func TestDecodeDifferentialInputShapes(t *testing.T) {
+	for _, data := range [][]byte{nil, {1}, {1, 1}, {1, 1, 9, 9}} {
+		rules, headers := decodeDifferentialInput(data)
+		if len(rules) != 0 || len(headers) != 0 {
+			t.Errorf("decode(%v) = %d rules / %d headers, want none", data, len(rules), len(headers))
+		}
+	}
+	data := make([]byte, 2+maxFuzzRules*fuzzRuleBytes+maxFuzzHeaders*fuzzHdrBytes)
+	for i := range data {
+		data[i] = byte(i*37 + 11)
+	}
+	data[0], data[1] = 255, 255 // ask for the maxima
+	rules, headers := decodeDifferentialInput(data)
+	if len(rules) == 0 || len(headers) == 0 {
+		t.Fatal("full-length input decoded to an empty workload")
+	}
+	if len(rules) > maxFuzzRules || len(headers) > maxFuzzHeaders {
+		t.Fatalf("decode exceeded caps: %d rules / %d headers", len(rules), len(headers))
+	}
+	for i, r := range rules {
+		if r.SrcPort.Lo > r.SrcPort.Hi || r.DstPort.Lo > r.DstPort.Hi {
+			t.Errorf("rule %d has an inverted port range: %s", i, r)
+		}
+		if r.SrcPrefix.Len > 32 || r.DstPrefix.Len > 32 {
+			t.Errorf("rule %d has an out-of-range prefix length: %s", i, r)
+		}
+	}
+	if fmt.Sprint(rules) != fmt.Sprint(func() []fivetuple.Rule { r, _ := decodeDifferentialInput(data); return r }()) {
+		t.Error("decoder is not deterministic")
+	}
+}

@@ -53,10 +53,36 @@ func TestArchitectureDocExists(t *testing.T) {
 	text := string(doc)
 	for _, layer := range []string{
 		"internal/engine", "internal/core", "internal/algo", "internal/hw",
-		"internal/sdn", "internal/bench", "snapshot", "clone-mutate-swap",
+		"internal/sdn", "internal/bench", "internal/cache", "snapshot",
+		"clone-mutate-swap",
 	} {
 		if !strings.Contains(text, layer) {
 			t.Errorf("docs/ARCHITECTURE.md does not mention %q", layer)
+		}
+	}
+}
+
+// TestDocsCoverCacheFlags keeps the microflow-cache surface documented: the
+// README must name the cache flags and facade option, and ENGINES.md must
+// explain generation-based invalidation — the piece of the serving contract
+// a new engine author would otherwise trip over.
+func TestDocsCoverCacheFlags(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	for _, want := range []string{"-cache-capacity", "WithCache", "CacheStats"} {
+		if !strings.Contains(string(readme), want) {
+			t.Errorf("README.md does not mention %q", want)
+		}
+	}
+	engines, err := os.ReadFile("docs/ENGINES.md")
+	if err != nil {
+		t.Fatalf("reading docs/ENGINES.md: %v", err)
+	}
+	for _, want := range []string{"generation", "-cache-capacity", "-cache-shards", "internal/cache"} {
+		if !strings.Contains(string(engines), want) {
+			t.Errorf("docs/ENGINES.md does not mention %q", want)
 		}
 	}
 }

@@ -76,6 +76,39 @@ func TestFacadeOptions(t *testing.T) {
 	}
 }
 
+func TestFacadeCacheOption(t *testing.T) {
+	c, err := New(WithCache(4, 1024))
+	if err != nil {
+		t.Fatalf("New(WithCache): %v", err)
+	}
+	if _, ok := c.CacheStats(); !ok {
+		t.Fatal("CacheStats reports disabled after WithCache")
+	}
+	rule := NewRule(0).From("10.0.0.0/8").DstPort(443).Proto(TCP).Forward(1).MustBuild()
+	if _, err := c.Insert(rule); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	h := MustParseHeader("10.1.1.1", 1000, "192.0.2.1", 443, TCP)
+	first := c.Lookup(h)
+	second := c.Lookup(h)
+	if first != second {
+		t.Errorf("cached lookup %+v differs from the filling one %+v", second, first)
+	}
+	stats, _ := c.CacheStats()
+	if stats.Hits == 0 {
+		t.Errorf("repeated lookup did not hit the cache: %+v", stats)
+	}
+	if rep := c.MemoryReport(); rep.CacheEntries == 0 || rep.CacheBits == 0 {
+		t.Errorf("memory report omits the cache footprint: %+v entries / %d bits", rep.CacheEntries, rep.CacheBits)
+	}
+	if _, ok := MustNew().CacheStats(); ok {
+		t.Error("CacheStats reports enabled without WithCache")
+	}
+	if _, err := New(WithCache(0, -1)); err == nil {
+		t.Error("negative cache capacity should fail validation")
+	}
+}
+
 func TestRuleBuilderErrors(t *testing.T) {
 	if _, err := NewRule(0).From("not-a-prefix").Build(); err == nil {
 		t.Error("bad source prefix should surface at Build")

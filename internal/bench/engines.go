@@ -23,6 +23,15 @@ func EngineConfig(name string) core.Config {
 	return cfg
 }
 
+// CachedEngineConfig is EngineConfig with the microflow cache enabled at the
+// given geometry (shards <= 0 selects the cache's default shard count).
+func CachedEngineConfig(name string, shards, capacity int) core.Config {
+	cfg := EngineConfig(name)
+	cfg.CacheShards = shards
+	cfg.CacheCapacity = capacity
+	return cfg
+}
+
 // EngineRow is one row of the engine sweep: the architecture evaluated with
 // one registered engine — field tier or whole-packet tier — on a shared
 // workload. For a field engine the memory columns report the IP-segment

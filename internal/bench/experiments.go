@@ -53,6 +53,18 @@ func NewWorkload(class classbench.Class, size classbench.Size, packets int) Work
 	return Workload{RuleSet: rs, Trace: trace}
 }
 
+// NewZipfWorkload generates the same filter set as NewWorkload but replays a
+// fixed flow population with Zipf(skew)-ranked popularity — the
+// repeated-five-tuple traffic shape whose hit rate the microflow cache
+// converts into throughput. skew must be > 1; 1.1 is a realistic heavy tail.
+func NewZipfWorkload(class classbench.Class, size classbench.Size, packets int, skew float64) Workload {
+	rs := classbench.Generate(classbench.StandardConfig(class, size))
+	trace := classbench.GenerateTrace(rs, classbench.TraceConfig{
+		Packets: packets, Seed: 99, MatchFraction: 0.9, Locality: 0.3, ZipfSkew: skew,
+	})
+	return Workload{RuleSet: rs, Trace: trace}
+}
+
 // ---------------------------------------------------------------------------
 // Table I — lookup performance of algorithm approaches
 // ---------------------------------------------------------------------------

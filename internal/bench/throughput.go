@@ -26,6 +26,13 @@ type ThroughputOptions struct {
 	// PacketsPerWorker is how many packets each worker replays; <= 0 selects
 	// 50000.
 	PacketsPerWorker int
+	// CacheCapacity, when > 0, measures every (engine, workers) cell a
+	// second time with the microflow cache enabled at this entry budget, so
+	// the sweep reports cached and uncached columns side by side.
+	CacheCapacity int
+	// CacheShards is the cache shard count for the cached cells; <= 0
+	// selects the cache's default.
+	CacheShards int
 }
 
 // ThroughputRow is the measured serving throughput of one (engine, workers)
@@ -43,8 +50,14 @@ type ThroughputRow struct {
 	P99PerPacket    time.Duration
 	MatchedFraction float64
 	// SpeedupVs1 is PacketsPerSec relative to the 1-worker row of the same
-	// engine (1.0 for the 1-worker row itself, 0 when no such row ran).
+	// engine and cache setting (1.0 for the 1-worker row itself, 0 when no
+	// such row ran).
 	SpeedupVs1 float64
+	// Cached marks rows measured with the microflow cache enabled.
+	Cached bool
+	// CacheHitRate is the fraction of lookups the cache answered (cached
+	// rows only).
+	CacheHitRate float64
 }
 
 // defaultWorkerCounts doubles from 1 up to the CPU count, always including
@@ -87,32 +100,46 @@ func ThroughputSweep(w Workload, opts ThroughputOptions) ([]ThroughputRow, error
 
 	rows := make([]ThroughputRow, 0, len(engines)*len(workers))
 	for _, name := range engines {
-		c, err := core.New(EngineConfig(name))
-		if err != nil {
-			return nil, fmt.Errorf("bench: throughput %s: %w", name, err)
+		cfgs := []core.Config{EngineConfig(name)}
+		if opts.CacheCapacity > 0 {
+			cfgs = append(cfgs, CachedEngineConfig(name, opts.CacheShards, opts.CacheCapacity))
 		}
-		if _, err := c.InstallRuleSet(w.RuleSet); err != nil {
-			return nil, fmt.Errorf("bench: throughput %s: %w", name, err)
-		}
-		engineRows := make([]ThroughputRow, 0, len(workers))
-		for _, n := range workers {
-			engineRows = append(engineRows, runThroughput(c, w.Trace, name, n, batch, perWorker))
-		}
-		// Normalise speedups after the sweep so the 1-worker baseline is
-		// found regardless of where it appears in the worker list.
-		var base float64
-		for _, row := range engineRows {
-			if row.Workers == 1 {
-				base = row.PacketsPerSec
-				break
+		for _, cfg := range cfgs {
+			engineRows := make([]ThroughputRow, 0, len(workers))
+			for _, n := range workers {
+				// Each cell gets a freshly built classifier: a shared one
+				// would hand later worker counts a pre-warmed cache, making
+				// hit rates and speedups depend on sweep order.
+				c, err := core.New(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("bench: throughput %s: %w", name, err)
+				}
+				if _, err := c.InstallRuleSet(w.RuleSet); err != nil {
+					return nil, fmt.Errorf("bench: throughput %s: %w", name, err)
+				}
+				row := runThroughput(c, w.Trace, name, n, batch, perWorker)
+				if stats, ok := c.CacheStats(); ok {
+					row.Cached = true
+					row.CacheHitRate = stats.HitRate()
+				}
+				engineRows = append(engineRows, row)
 			}
-		}
-		for i := range engineRows {
-			if base > 0 {
-				engineRows[i].SpeedupVs1 = engineRows[i].PacketsPerSec / base
+			// Normalise speedups after the sweep so the 1-worker baseline is
+			// found regardless of where it appears in the worker list.
+			var base float64
+			for _, row := range engineRows {
+				if row.Workers == 1 {
+					base = row.PacketsPerSec
+					break
+				}
 			}
+			for i := range engineRows {
+				if base > 0 {
+					engineRows[i].SpeedupVs1 = engineRows[i].PacketsPerSec / base
+				}
+			}
+			rows = append(rows, engineRows...)
 		}
-		rows = append(rows, engineRows...)
 	}
 	return rows, nil
 }
@@ -205,12 +232,17 @@ func runThroughput(c *core.Classifier, trace []fivetuple.Header, name string, wo
 func RenderThroughput(rows []ThroughputRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Concurrent serving throughput — snapshot-swap classifier, batched lookups\n")
-	fmt.Fprintf(&b, "%-10s %8s %7s %14s %10s %12s %12s %8s\n",
-		"engine", "workers", "batch", "packets/sec", "speedup", "p50/pkt", "p99/pkt", "match%")
+	fmt.Fprintf(&b, "%-10s %6s %8s %7s %14s %10s %12s %12s %8s %6s\n",
+		"engine", "cache", "workers", "batch", "packets/sec", "speedup", "p50/pkt", "p99/pkt", "match%", "hit%")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %8d %7d %14.0f %9.2fx %12s %12s %7.1f%%\n",
-			r.Engine, r.Workers, r.BatchSize, r.PacketsPerSec, r.SpeedupVs1,
-			r.P50PerPacket, r.P99PerPacket, 100*r.MatchedFraction)
+		cacheCol, hitCol := "off", "-"
+		if r.Cached {
+			cacheCol = "on"
+			hitCol = fmt.Sprintf("%.1f", 100*r.CacheHitRate)
+		}
+		fmt.Fprintf(&b, "%-10s %6s %8d %7d %14.0f %9.2fx %12s %12s %7.1f%% %6s\n",
+			r.Engine, cacheCol, r.Workers, r.BatchSize, r.PacketsPerSec, r.SpeedupVs1,
+			r.P50PerPacket, r.P99PerPacket, 100*r.MatchedFraction, hitCol)
 	}
 	return b.String()
 }

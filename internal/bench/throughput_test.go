@@ -54,6 +54,44 @@ func TestThroughputSweepMechanics(t *testing.T) {
 	}
 }
 
+// TestThroughputSweepCachedRows verifies the cached/uncached pairing: with a
+// cache capacity set, every engine gets an uncached and a cached row per
+// worker count, the cached rows report a hit rate, and on a Zipf-skewed
+// trace that hit rate is substantial.
+func TestThroughputSweepCachedRows(t *testing.T) {
+	w := Workload{RuleSet: throughputWorkload().RuleSet}
+	w.Trace = classbench.GenerateTrace(w.RuleSet, classbench.TraceConfig{
+		Packets: 2000, Seed: 99, MatchFraction: 0.9, ZipfSkew: 1.1, Flows: 256,
+	})
+	rows, err := ThroughputSweep(w, ThroughputOptions{
+		Engines:          []string{"mbt"},
+		Workers:          []int{1},
+		PacketsPerWorker: 4000,
+		CacheCapacity:    4096,
+		CacheShards:      4,
+	})
+	if err != nil {
+		t.Fatalf("ThroughputSweep: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want an uncached and a cached one", len(rows))
+	}
+	if rows[0].Cached || !rows[1].Cached {
+		t.Fatalf("rows = %+v, want [uncached, cached]", rows)
+	}
+	if rows[1].CacheHitRate < 0.5 {
+		t.Errorf("cache hit rate on the Zipf trace = %.2f, want >= 0.5", rows[1].CacheHitRate)
+	}
+	if rows[0].MatchedFraction != rows[1].MatchedFraction {
+		t.Errorf("cached row changed the verdicts: match %.3f vs %.3f",
+			rows[1].MatchedFraction, rows[0].MatchedFraction)
+	}
+	out := RenderThroughput(rows)
+	if !strings.Contains(out, "cache") || !strings.Contains(out, "hit%") {
+		t.Errorf("RenderThroughput output missing the cache columns:\n%s", out)
+	}
+}
+
 func TestThroughputSweepRejectsUnknownEngine(t *testing.T) {
 	if _, err := ThroughputSweep(throughputWorkload(), ThroughputOptions{
 		Engines: []string{"no-such-engine"}, Workers: []int{1}, PacketsPerWorker: 10,

@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sdnpc/internal/fivetuple"
+)
+
+func header(i int) fivetuple.Header {
+	return fivetuple.Header{
+		SrcIP:    fivetuple.IPv4(0x0a000000 + uint32(i)),
+		DstIP:    fivetuple.IPv4(0xc0a80000 + uint32(i*7)),
+		SrcPort:  uint16(1024 + i),
+		DstPort:  uint16(80 + i%3),
+		Protocol: fivetuple.ProtoTCP,
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New[int](4, 64)
+	h := header(1)
+	if _, ok := c.Get(1, h); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(1, h, 42)
+	got, ok := c.Get(1, h)
+	if !ok || got != 42 {
+		t.Fatalf("Get after Put = (%d, %v), want (42, true)", got, ok)
+	}
+	stats := c.Stats()
+	if stats.Hits != 1 || stats.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", stats)
+	}
+}
+
+func TestGenerationMismatchNeverServes(t *testing.T) {
+	c := New[int](1, 16)
+	h := header(2)
+	c.Put(1, h, 10)
+
+	// A reader serving a newer snapshot must not see the old verdict.
+	if _, ok := c.Get(2, h); ok {
+		t.Fatal("entry of generation 1 served to a generation-2 reader")
+	}
+	stats := c.Stats()
+	if stats.StaleGenerations != 1 {
+		t.Errorf("stale counter = %d, want 1", stats.StaleGenerations)
+	}
+	// The stale entry was dropped: a generation-1 reader misses now too.
+	if _, ok := c.Get(1, h); ok {
+		t.Fatal("dropped stale entry was served afterwards")
+	}
+	// Refill under generation 2 and both directions behave.
+	c.Put(2, h, 20)
+	if got, ok := c.Get(2, h); !ok || got != 20 {
+		t.Fatalf("refilled entry = (%d, %v), want (20, true)", got, ok)
+	}
+	if _, ok := c.Get(3, h); ok {
+		t.Fatal("generation-2 entry served to a generation-3 reader")
+	}
+}
+
+// TestDrainingReaderDoesNotEvictNewerEntries pins the other direction of the
+// generation protocol: a reader still draining a superseded snapshot misses
+// on a newer-generation entry but must neither serve it, drop it, nor
+// overwrite it — otherwise hot entries ping-pong between generations for as
+// long as old readers drain after every swap.
+func TestDrainingReaderDoesNotEvictNewerEntries(t *testing.T) {
+	c := New[int](1, 16)
+	h := header(4)
+	c.Put(2, h, 20) // filled by a reader of the new snapshot
+
+	if _, ok := c.Get(1, h); ok {
+		t.Fatal("generation-2 entry served to a draining generation-1 reader")
+	}
+	c.Put(1, h, 10) // the draining reader writes back its recomputed verdict
+	if got, ok := c.Get(2, h); !ok || got != 20 {
+		t.Fatalf("new-generation entry after a draining reader's Get+Put = (%d, %v), want the retained (20, true)", got, ok)
+	}
+	if s := c.Stats(); s.StaleGenerations != 0 {
+		t.Errorf("draining-reader misses were counted as stale drops: %+v", s)
+	}
+}
+
+func TestPutOverwritesSameKey(t *testing.T) {
+	c := New[int](1, 16)
+	h := header(3)
+	c.Put(1, h, 1)
+	c.Put(2, h, 2)
+	if got, ok := c.Get(2, h); !ok || got != 2 {
+		t.Fatalf("Get = (%d, %v), want the overwritten (2, true)", got, ok)
+	}
+	if c.Stats().Evictions != 0 {
+		t.Errorf("overwriting the same key counted as an eviction")
+	}
+}
+
+func TestClockEvictionWithinBucket(t *testing.T) {
+	// One shard with exactly one bucket: every insert shares the bucket, so
+	// inserting more than `ways` distinct keys must evict.
+	c := New[int](1, 1)
+	if c.Capacity() != ways {
+		t.Fatalf("capacity = %d, want one bucket of %d ways", c.Capacity(), ways)
+	}
+	n := ways + 3
+	for i := 0; i < n; i++ {
+		c.Put(1, header(i), i)
+	}
+	if ev := c.Stats().Evictions; ev != uint64(n-ways) {
+		t.Errorf("evictions = %d, want %d", ev, n-ways)
+	}
+	survivors := 0
+	for i := 0; i < n; i++ {
+		if _, ok := c.Get(1, header(i)); ok {
+			survivors++
+		}
+	}
+	if survivors != ways {
+		t.Errorf("%d entries survive, want exactly %d (bucket capacity)", survivors, ways)
+	}
+}
+
+func TestClockPrefersUnreferencedVictims(t *testing.T) {
+	c := New[int](1, 1)
+	for i := 0; i < ways; i++ {
+		c.Put(1, header(i), i)
+	}
+	// First overflow: every slot is referenced (Put sets ref), so the sweep
+	// clears all bits and evicts at the hand — slot 0, header(0) — leaving
+	// the hand at slot 1 and slots 1..3 unreferenced.
+	c.Put(1, header(100), 100)
+	if _, ok := c.Get(1, header(0)); ok {
+		t.Fatal("first overflow did not evict the hand slot")
+	}
+	// Re-touch every survivor except header(2). The next sweep starts at
+	// slot 1 (referenced) and must skip it to land on the unreferenced
+	// slot 2 — a ref-blind round-robin would evict header(1) instead.
+	for _, i := range []int{1, 3, 100} {
+		if _, ok := c.Get(1, header(i)); !ok {
+			t.Fatalf("warm entry %d missing", i)
+		}
+	}
+	c.Put(1, header(200), 200)
+	if _, ok := c.Get(1, header(2)); ok {
+		t.Error("unreferenced entry survived the CLOCK sweep; a referenced one was evicted instead")
+	}
+	for _, i := range []int{1, 3, 100, 200} {
+		if _, ok := c.Get(1, header(i)); !ok {
+			t.Errorf("referenced entry %d was evicted before the unreferenced one", i)
+		}
+	}
+}
+
+func TestGeometryRounding(t *testing.T) {
+	cases := []struct {
+		shards, capacity       int
+		wantShards             int
+		wantCapacityAtLeast    int
+		wantPowerOfTwoPerShard bool
+	}{
+		{0, 0, 8, 8 * ways, true},
+		{3, 100, 4, 100, true},
+		{1, 5, 1, ways, true},
+		{16, 4096, 16, 4096, true},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%d_%d", tc.shards, tc.capacity), func(t *testing.T) {
+			c := New[int](tc.shards, tc.capacity)
+			if c.Shards() != tc.wantShards {
+				t.Errorf("Shards() = %d, want %d", c.Shards(), tc.wantShards)
+			}
+			if c.Capacity() < tc.wantCapacityAtLeast {
+				t.Errorf("Capacity() = %d, want >= %d", c.Capacity(), tc.wantCapacityAtLeast)
+			}
+			perShard := c.Capacity() / c.Shards() / ways
+			if perShard&(perShard-1) != 0 {
+				t.Errorf("buckets per shard = %d, want a power of two", perShard)
+			}
+			if c.FootprintBits() <= 0 {
+				t.Errorf("FootprintBits() = %d, want > 0", c.FootprintBits())
+			}
+		})
+	}
+}
+
+func TestResetStatsKeepsEntries(t *testing.T) {
+	c := New[int](2, 32)
+	h := header(9)
+	c.Put(1, h, 9)
+	if _, ok := c.Get(1, h); !ok {
+		t.Fatal("warm entry missing")
+	}
+	c.ResetStats()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("stats after reset = %+v, want zero", s)
+	}
+	if got, ok := c.Get(1, h); !ok || got != 9 {
+		t.Errorf("entry lost by ResetStats: (%d, %v)", got, ok)
+	}
+}
+
+// TestConcurrentAccess exercises all shards from many goroutines under -race:
+// mixed gets, puts and generation bumps must stay data-race free and every
+// served value must be the one stored for that (generation, key) pair.
+func TestConcurrentAccess(t *testing.T) {
+	c := New[uint64](4, 256)
+	const goroutines = 8
+	const opsPerG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPerG; i++ {
+				h := header(i % 97)
+				gen := uint64(1 + i%3)
+				want := gen*1000 + uint64(i%97)
+				if got, ok := c.Get(gen, h); ok && got != want {
+					t.Errorf("Get(gen=%d, key=%d) = %d, want %d", gen, i%97, got, want)
+					return
+				}
+				c.Put(gen, h, want)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Hits+s.Misses != goroutines*opsPerG {
+		t.Errorf("hits+misses = %d, want %d", s.Hits+s.Misses, goroutines*opsPerG)
+	}
+}

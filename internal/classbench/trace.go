@@ -1,6 +1,7 @@
 package classbench
 
 import (
+	"math"
 	"math/rand"
 
 	"sdnpc/internal/fivetuple"
@@ -16,38 +17,110 @@ type TraceConfig struct {
 	// non-default rule of the filter set (the remainder are uniformly
 	// random and usually fall through to the default rule). 1.0 means every
 	// header is derived from some rule, as in the ClassBench trace
-	// generator; lower values add background noise traffic.
+	// generator; lower values add background noise traffic. Values outside
+	// [0,1] (including NaN) are clamped.
 	MatchFraction float64
 	// Locality, in [0,1), biases rule selection towards high-priority rules
-	// to model flow locality. 0 selects rules uniformly.
+	// to model flow locality. 0 selects rules uniformly; out-of-range values
+	// (including NaN) are clamped.
 	Locality float64
+
+	// ZipfSkew, when > 1, switches the generator into flow-replay mode: a
+	// population of Flows distinct five-tuples is drawn first (each with the
+	// MatchFraction/Locality logic above) and the trace replays them with
+	// Zipf(s = ZipfSkew) rank popularity — the rank-1 flow dominates, the
+	// tail is long. This models the repeated-five-tuple traffic a microflow
+	// cache exploits; ZipfSkew <= 1 keeps the classic per-packet mode.
+	ZipfSkew float64
+	// Flows is the flow-population size in Zipf mode; <= 0 selects
+	// min(Packets, 4096).
+	Flows int
 }
 
-// GenerateTrace derives a header trace from a filter set. Headers engineered
-// to match a rule are drawn uniformly inside that rule's hyper-rectangle so
-// they may also match other (possibly higher-priority) rules — exactly the
-// behaviour of the ClassBench trace generator.
-func GenerateTrace(rs *fivetuple.RuleSet, cfg TraceConfig) []fivetuple.Header {
-	if cfg.Packets <= 0 {
-		return nil
-	}
-	if cfg.MatchFraction < 0 {
+// maxZipfSkew bounds the Zipf exponent. Above this the rank-1 flow already
+// carries essentially the whole trace, and rand.NewZipf's internal state
+// degenerates to NaN at +Inf — where Uint64 would spin forever.
+const maxZipfSkew = 64
+
+// normalized clamps the free-form float fields into their documented domains
+// (NaN compares false against everything, so the conditions are written to
+// catch it).
+func (cfg TraceConfig) normalized() TraceConfig {
+	if !(cfg.MatchFraction >= 0) {
 		cfg.MatchFraction = 0
 	}
 	if cfg.MatchFraction > 1 {
 		cfg.MatchFraction = 1
 	}
+	if !(cfg.Locality >= 0) {
+		cfg.Locality = 0
+	}
+	if cfg.Locality >= 1 {
+		cfg.Locality = math.Nextafter(1, 0)
+	}
+	if math.IsNaN(cfg.ZipfSkew) {
+		cfg.ZipfSkew = 0
+	}
+	if cfg.ZipfSkew > maxZipfSkew {
+		cfg.ZipfSkew = maxZipfSkew
+	}
+	return cfg
+}
+
+// GenerateTrace derives a header trace from a filter set. Headers engineered
+// to match a rule are drawn uniformly inside that rule's hyper-rectangle so
+// they may also match other (possibly higher-priority) rules — exactly the
+// behaviour of the ClassBench trace generator. With ZipfSkew > 1 the trace
+// replays a fixed flow population with Zipf-ranked popularity instead of
+// drawing every packet independently.
+func GenerateTrace(rs *fivetuple.RuleSet, cfg TraceConfig) []fivetuple.Header {
+	if cfg.Packets <= 0 {
+		return nil
+	}
+	cfg = cfg.normalized()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.ZipfSkew > 1 {
+		return generateZipfTrace(rs, cfg, rng)
+	}
 	headers := make([]fivetuple.Header, 0, cfg.Packets)
 	for i := 0; i < cfg.Packets; i++ {
-		if rs.Len() > 0 && rng.Float64() < cfg.MatchFraction {
-			ruleIdx := pickRule(rng, rs.Len(), cfg.Locality)
-			headers = append(headers, headerInRule(rng, rs.Rule(ruleIdx)))
-		} else {
-			headers = append(headers, randomHeader(rng))
-		}
+		headers = append(headers, drawHeader(rng, rs, cfg))
 	}
 	return headers
+}
+
+// generateZipfTrace draws the flow population and replays it with Zipf rank
+// popularity. The population itself is drawn with the per-packet logic, so
+// match fraction and locality shape which flows exist; the Zipf law shapes
+// how often each recurs.
+func generateZipfTrace(rs *fivetuple.RuleSet, cfg TraceConfig, rng *rand.Rand) []fivetuple.Header {
+	flows := cfg.Flows
+	if flows <= 0 {
+		flows = 4096
+	}
+	if flows > cfg.Packets {
+		flows = cfg.Packets
+	}
+	population := make([]fivetuple.Header, flows)
+	for i := range population {
+		population[i] = drawHeader(rng, rs, cfg)
+	}
+	z := rand.NewZipf(rng, cfg.ZipfSkew, 1, uint64(flows-1))
+	headers := make([]fivetuple.Header, 0, cfg.Packets)
+	for i := 0; i < cfg.Packets; i++ {
+		headers = append(headers, population[z.Uint64()])
+	}
+	return headers
+}
+
+// drawHeader draws one trace header: engineered to match some rule with
+// probability MatchFraction, uniformly random otherwise.
+func drawHeader(rng *rand.Rand, rs *fivetuple.RuleSet, cfg TraceConfig) fivetuple.Header {
+	if rs.Len() > 0 && rng.Float64() < cfg.MatchFraction {
+		ruleIdx := pickRule(rng, rs.Len(), cfg.Locality)
+		return headerInRule(rng, rs.Rule(ruleIdx))
+	}
+	return randomHeader(rng)
 }
 
 // pickRule selects a rule index with optional bias towards low indices
@@ -92,9 +165,17 @@ func addrInPrefix(rng *rand.Rand, p fivetuple.Prefix) fivetuple.IPv4 {
 	return (p.Addr & p.Mask()) | (random & hostMask)
 }
 
+// portInRange draws a port uniformly from the range. Inverted ranges
+// (Lo > Hi, constructible only by hand — the parsers reject them) are
+// tolerated by swapping the bounds; the old unsigned subtraction underflowed
+// the span and could return ports outside the range entirely.
 func portInRange(rng *rand.Rand, r fivetuple.PortRange) uint16 {
-	span := uint32(r.Hi) - uint32(r.Lo) + 1
-	return r.Lo + uint16(rng.Intn(int(span)))
+	lo, hi := r.Lo, r.Hi
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	span := uint32(hi) - uint32(lo) + 1
+	return lo + uint16(rng.Intn(int(span)))
 }
 
 func protocolInMatch(rng *rand.Rand, m fivetuple.ProtocolMatch) uint8 {

@@ -1,0 +1,172 @@
+package classbench
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sdnpc/internal/fivetuple"
+)
+
+// smallSet builds a deterministic rule set for trace tests.
+func smallSet() *fivetuple.RuleSet {
+	return Generate(Config{Class: ACL, Rules: 100, Seed: 3})
+}
+
+// TestTraceConfigClamping is the table test locking in the edge cases the
+// differential fuzzer surfaced: out-of-domain match fractions and localities
+// (negative, above one, NaN) must degrade gracefully instead of panicking or
+// silently skewing selection to the last rule.
+func TestTraceConfigClamping(t *testing.T) {
+	rs := smallSet()
+	cases := []struct {
+		name string
+		cfg  TraceConfig
+	}{
+		{"negative-match-fraction", TraceConfig{Packets: 50, Seed: 1, MatchFraction: -3}},
+		{"match-fraction-above-one", TraceConfig{Packets: 50, Seed: 1, MatchFraction: 7}},
+		{"nan-match-fraction", TraceConfig{Packets: 50, Seed: 1, MatchFraction: math.NaN()}},
+		{"negative-locality", TraceConfig{Packets: 50, Seed: 1, MatchFraction: 1, Locality: -2}},
+		{"locality-at-one", TraceConfig{Packets: 50, Seed: 1, MatchFraction: 1, Locality: 1}},
+		{"locality-above-one", TraceConfig{Packets: 50, Seed: 1, MatchFraction: 1, Locality: 9}},
+		{"nan-locality", TraceConfig{Packets: 50, Seed: 1, MatchFraction: 1, Locality: math.NaN()}},
+		{"zipf-on-nan-locality", TraceConfig{Packets: 50, Seed: 1, MatchFraction: 1, Locality: math.NaN(), ZipfSkew: 1.2}},
+		{"zipf-infinite-skew", TraceConfig{Packets: 50, Seed: 1, MatchFraction: 1, ZipfSkew: math.Inf(1)}},
+		{"zipf-huge-skew", TraceConfig{Packets: 50, Seed: 1, MatchFraction: 1, ZipfSkew: 1e308}},
+		{"zipf-nan-skew", TraceConfig{Packets: 50, Seed: 1, MatchFraction: 1, ZipfSkew: math.NaN()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trace := GenerateTrace(rs, tc.cfg)
+			if len(trace) != tc.cfg.Packets {
+				t.Fatalf("trace length = %d, want %d", len(trace), tc.cfg.Packets)
+			}
+		})
+	}
+	// The negative-locality regression specifically: selection used to
+	// collapse onto the last (default) rule. With locality clamped to 0 the
+	// trace must hit more than one distinct rule.
+	trace := GenerateTrace(rs, TraceConfig{Packets: 200, Seed: 2, MatchFraction: 1, Locality: -5})
+	distinct := make(map[int]struct{})
+	for _, h := range trace {
+		if idx, ok := rs.Classify(h); ok {
+			distinct[idx] = struct{}{}
+		}
+	}
+	if len(distinct) < 2 {
+		t.Errorf("negative locality collapsed rule selection onto %d rule(s)", len(distinct))
+	}
+}
+
+// TestTraceInvertedPortRange locks in the portInRange underflow fix: a rule
+// with an inverted (hand-built) port range must still yield headers inside
+// the real range, at every boundary.
+func TestTraceInvertedPortRange(t *testing.T) {
+	inverted := fivetuple.Rule{
+		SrcPrefix: fivetuple.MustParsePrefix("10.0.0.0/8"),
+		DstPrefix: fivetuple.MustParsePrefix("0.0.0.0/0"),
+		SrcPort:   fivetuple.PortRange{Lo: 65535, Hi: 65530}, // inverted on purpose
+		DstPort:   fivetuple.PortRange{Lo: 80, Hi: 80},
+		Protocol:  fivetuple.ExactProtocol(fivetuple.ProtoTCP),
+		Action:    fivetuple.ActionForward,
+	}
+	rs := fivetuple.NewRuleSet("inverted", []fivetuple.Rule{inverted})
+	trace := GenerateTrace(rs, TraceConfig{Packets: 300, Seed: 4, MatchFraction: 1})
+	for i, h := range trace {
+		if h.SrcPort < 65530 {
+			t.Fatalf("header %d src port %d fell outside the inverted range [65530,65535]", i, h.SrcPort)
+		}
+	}
+}
+
+// TestTraceMaxPortBoundaries draws from rules pinned to the port-space
+// boundaries and requires every generated header to respect them.
+func TestTraceMaxPortBoundaries(t *testing.T) {
+	rules := []fivetuple.Rule{
+		{
+			SrcPrefix: fivetuple.MustParsePrefix("0.0.0.0/0"),
+			DstPrefix: fivetuple.MustParsePrefix("0.0.0.0/0"),
+			SrcPort:   fivetuple.ExactPort(65535),
+			DstPort:   fivetuple.ExactPort(0),
+			Protocol:  fivetuple.ExactProtocol(fivetuple.ProtoUDP),
+			Action:    fivetuple.ActionForward,
+		},
+		{
+			SrcPrefix: fivetuple.MustParsePrefix("0.0.0.0/0"),
+			DstPrefix: fivetuple.MustParsePrefix("0.0.0.0/0"),
+			SrcPort:   fivetuple.PortRange{Lo: 65534, Hi: 65535},
+			DstPort:   fivetuple.WildcardPortRange(),
+			Protocol:  fivetuple.WildcardProtocol(),
+			Action:    fivetuple.ActionForward,
+		},
+	}
+	rs := fivetuple.NewRuleSet("boundaries", rules)
+	trace := GenerateTrace(rs, TraceConfig{Packets: 400, Seed: 5, MatchFraction: 1})
+	sawRule0, sawRule1 := false, false
+	for i, h := range trace {
+		idx, ok := rs.Classify(h)
+		if !ok {
+			t.Fatalf("header %d (%s) matches no rule despite MatchFraction 1", i, h)
+		}
+		switch idx {
+		case 0:
+			sawRule0 = true
+		case 1:
+			sawRule1 = true
+		}
+	}
+	if !sawRule0 || !sawRule1 {
+		t.Errorf("boundary rules not both exercised: rule0=%v rule1=%v", sawRule0, sawRule1)
+	}
+}
+
+// TestZipfTraceShape checks the Zipf flow-replay mode: deterministic for a
+// seed, bounded to the flow population, and actually skewed — the hottest
+// flow must dominate a uniform share by a wide margin.
+func TestZipfTraceShape(t *testing.T) {
+	rs := smallSet()
+	cfg := TraceConfig{Packets: 5000, Seed: 11, MatchFraction: 0.9, ZipfSkew: 1.1, Flows: 64}
+	a := GenerateTrace(rs, cfg)
+	b := GenerateTrace(rs, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Zipf trace is not deterministic for a fixed seed")
+	}
+	counts := make(map[fivetuple.Header]int)
+	for _, h := range a {
+		counts[h]++
+	}
+	if len(counts) > cfg.Flows {
+		t.Fatalf("trace contains %d distinct flows, want <= %d", len(counts), cfg.Flows)
+	}
+	top := 0
+	for _, n := range counts {
+		if n > top {
+			top = n
+		}
+	}
+	uniformShare := float64(cfg.Packets) / float64(cfg.Flows)
+	if float64(top) < 4*uniformShare {
+		t.Errorf("hottest flow carries %d packets, want >= 4x the uniform share (%.0f) under Zipf(1.1)", top, uniformShare)
+	}
+	// Skew <= 1 must keep the classic independent-draw mode: far more
+	// distinct headers than the Zipf population bound.
+	classic := GenerateTrace(rs, TraceConfig{Packets: 5000, Seed: 11, MatchFraction: 0.9, ZipfSkew: 1.0})
+	classicDistinct := make(map[fivetuple.Header]struct{})
+	for _, h := range classic {
+		classicDistinct[h] = struct{}{}
+	}
+	if len(classicDistinct) <= cfg.Flows {
+		t.Errorf("ZipfSkew=1.0 produced only %d distinct headers; flow-replay mode leaked into the classic path", len(classicDistinct))
+	}
+}
+
+// TestZipfTraceSmallPopulations covers the degenerate Zipf geometries.
+func TestZipfTraceSmallPopulations(t *testing.T) {
+	rs := smallSet()
+	for _, tc := range []struct{ packets, flows int }{{1, 1}, {10, 1}, {5, 100}, {10, 0}} {
+		trace := GenerateTrace(rs, TraceConfig{Packets: tc.packets, Seed: 7, MatchFraction: 1, ZipfSkew: 2, Flows: tc.flows})
+		if len(trace) != tc.packets {
+			t.Errorf("packets=%d flows=%d: trace length = %d", tc.packets, tc.flows, len(trace))
+		}
+	}
+}

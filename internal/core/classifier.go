@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sdnpc/internal/cache"
 	"sdnpc/internal/engine"
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/hw/memory"
@@ -114,6 +115,16 @@ type Classifier struct {
 	// snap is the published snapshot read by the lock-free lookup path.
 	snap atomic.Pointer[snapshot]
 
+	// gen numbers published snapshots. publish assigns the next value to
+	// every snapshot it stores, so two published snapshots never share a
+	// generation and microflow-cache entries can be keyed by it.
+	gen atomic.Uint64
+
+	// microflow is the optional exact-match cache in front of both engine
+	// tiers (nil when Config.CacheCapacity is 0). It is shared across
+	// snapshots; generation matching keeps it coherent through swaps.
+	microflow *cache.Cache[Result]
+
 	stats statsCollector
 }
 
@@ -128,6 +139,9 @@ func New(cfg Config) (*Classifier, error) {
 		return nil, fmt.Errorf("core: unknown field engine %q", name)
 	}
 	c := &Classifier{cfg: cfg}
+	if cfg.CacheCapacity > 0 {
+		c.microflow = cache.New[Result](cfg.CacheShards, cfg.CacheCapacity)
+	}
 	s, err := newSnapshot(&c.cfg, name, def.Legacy)
 	if err != nil {
 		return nil, err
@@ -156,10 +170,27 @@ func MustNew(cfg Config) *Classifier {
 // successor while the caller is still reading it.
 func (c *Classifier) view() *snapshot { return c.snap.Load() }
 
-// publish prepares a snapshot and makes it the one served to readers.
+// publish prepares a snapshot, stamps it with the next generation and makes
+// it the one served to readers. The fresh generation is what retires every
+// microflow-cache entry filled under predecessors: entries are only served
+// to readers of the generation that filled them, so the swap invalidates the
+// cache in O(1) with no flush.
 func (c *Classifier) publish(s *snapshot) {
 	s.prepare()
+	s.gen = c.gen.Add(1)
 	c.snap.Store(s)
+}
+
+// CacheEnabled reports whether the microflow cache is configured.
+func (c *Classifier) CacheEnabled() bool { return c.microflow != nil }
+
+// CacheStats returns the microflow cache counters; ok is false when the
+// cache is disabled.
+func (c *Classifier) CacheStats() (stats cache.Stats, ok bool) {
+	if c.microflow == nil {
+		return cache.Stats{}, false
+	}
+	return c.microflow.Stats(), true
 }
 
 // Config returns the classifier configuration.

@@ -161,6 +161,16 @@ type Config struct {
 	// MaxCrossProductProbes bounds the number of Rule Filter probes issued by
 	// the cross-product combination mode for a single lookup.
 	MaxCrossProductProbes int
+
+	// CacheCapacity is the total entry budget of the exact-match microflow
+	// cache that fronts both engine tiers; 0 (the default) disables the
+	// cache. The capacity is rounded up so every shard holds a power-of-two
+	// number of fixed-associativity buckets.
+	CacheCapacity int
+	// CacheShards is the number of independently locked cache shards,
+	// rounded up to a power of two; <= 0 selects the default (8). Only
+	// consulted when CacheCapacity > 0.
+	CacheShards int
 }
 
 // DefaultConfig returns the architecture configuration evaluated in the
@@ -240,6 +250,15 @@ func (c Config) Validate() error {
 	}
 	if c.MaxCrossProductProbes < 1 {
 		return fmt.Errorf("core: cross-product probe budget must be positive")
+	}
+	if c.CacheCapacity < 0 {
+		return fmt.Errorf("core: microflow cache capacity %d must not be negative", c.CacheCapacity)
+	}
+	if c.CacheCapacity > 0 && c.CacheCapacity > 1<<24 {
+		return fmt.Errorf("core: microflow cache capacity %d out of range (max %d entries)", c.CacheCapacity, 1<<24)
+	}
+	if c.CacheShards > 1<<12 {
+		return fmt.Errorf("core: microflow cache shard count %d out of range (max %d)", c.CacheShards, 1<<12)
 	}
 	return nil
 }

@@ -49,10 +49,35 @@ type fieldLookup struct {
 // Lookup is lock-free and safe to call from any number of goroutines: it
 // loads the published snapshot once and traverses only that snapshot, so a
 // concurrent update can never hand it a half-programmed data path.
+//
+// When the microflow cache is configured, a repeated five-tuple is answered
+// from the cache before any engine structure — of either tier — is walked.
+// Cached verdicts are keyed by the snapshot's generation, so a lookup racing
+// a rule update still returns a result consistent with either the pre-update
+// or the post-update snapshot, never a cached leftover of a third.
 func (c *Classifier) Lookup(h fivetuple.Header) Result {
-	result := c.view().lookup(&c.cfg, h)
+	result := c.serve(c.view(), h)
 	c.stats.recordLookup(result)
 	return result
+}
+
+// serve answers one header from the given snapshot, through the microflow
+// cache when one is configured. A cache hit replays the memoised Result of
+// the first lookup of this five-tuple under this exact snapshot — including
+// its model cost counters, which are deterministic per (snapshot, header) —
+// so the cached path is byte-identical to the uncached one. This is what
+// makes the cache tier-agnostic: it fronts the field tier and the packet
+// tier with the same three lines.
+func (c *Classifier) serve(s *snapshot, h fivetuple.Header) Result {
+	if c.microflow == nil {
+		return s.lookup(&c.cfg, h)
+	}
+	if r, ok := c.microflow.Get(s.gen, h); ok {
+		return r
+	}
+	r := s.lookup(&c.cfg, h)
+	c.microflow.Put(s.gen, h, r)
+	return r
 }
 
 // LookupBatch classifies a batch of headers against one consistent snapshot
@@ -70,7 +95,7 @@ func (c *Classifier) LookupBatch(hs []fivetuple.Header) []Result {
 	s := c.view()
 	results := make([]Result, len(hs))
 	for i, h := range hs {
-		results[i] = s.lookup(&c.cfg, h)
+		results[i] = c.serve(s, h)
 	}
 	c.stats.recordBatch(SummarizeBatch(results))
 	return results
@@ -447,9 +472,13 @@ func (sc *statsCollector) reset() {
 // inherent to concurrent collection).
 func (c *Classifier) Stats() Stats { return c.stats.snapshot() }
 
-// ResetStats zeroes the counters without touching installed rules.
+// ResetStats zeroes the counters without touching installed rules. The
+// microflow cache's counters are reset too; its entries are kept.
 func (c *Classifier) ResetStats() {
 	c.stats.reset()
+	if c.microflow != nil {
+		c.microflow.ResetStats()
+	}
 	s := c.view()
 	s.filter.resetCounters()
 	for _, eng := range s.engines {

@@ -42,6 +42,15 @@ type MemoryReport struct {
 	PacketEngine         string
 	PacketEngineUsedBits int
 
+	// Microflow cache: the provisioned entry slots of the exact-match cache
+	// fronting both tiers and their software footprint (entry structs plus
+	// per-bucket eviction state). Both are 0 when the cache is disabled. The
+	// cache is a software serving-path structure, not one of the modelled
+	// hardware block memories, so these are reported beside — not inside —
+	// the provisioned block-memory totals.
+	CacheEntries int
+	CacheBits    int
+
 	// Labels memory block.
 	LabelMemoryProvisionedBits int
 	LabelMemoryUsedBits        int
@@ -104,6 +113,10 @@ func (c *Classifier) MemoryReport() MemoryReport {
 	report.PacketEngine = s.packetName
 	if s.packet != nil {
 		report.PacketEngineUsedBits = s.packet.Footprint().NodeBits
+	}
+	if c.microflow != nil {
+		report.CacheEntries = c.microflow.Capacity()
+		report.CacheBits = c.microflow.FootprintBits()
 	}
 	// Only the selected engine's node data is resident in the (shared)
 	// memory blocks, so usage is reported for that engine alone.

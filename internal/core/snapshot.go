@@ -26,6 +26,15 @@ type snapshot struct {
 	engineName string
 	alg        memory.AlgSelect
 
+	// gen is the publication generation, assigned by Classifier.publish from
+	// a monotonic counter. It keys the microflow cache: cache entries record
+	// the generation of the snapshot whose lookup produced them and are only
+	// served to readers of that same generation, so publishing a successor
+	// invalidates every cached verdict in O(1) without a flush. A snapshot
+	// that is never published keeps generation 0, which publish never
+	// assigns.
+	gen uint64
+
 	labels    *label.Bank
 	fieldUses map[label.Dimension]map[string]*fieldUse
 

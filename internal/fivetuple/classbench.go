@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -109,8 +110,12 @@ func (rs *RuleSet) WriteClassBench(w io.Writer) error {
 //	srcIP dstIP srcPort dstPort protocol [matchedRule]
 //
 // where IPs are 32-bit decimal integers. A trailing matched-rule column, if
-// present, is ignored.
+// present, is ignored. Every field is range-checked: a port above 65535, a
+// protocol above 255 or an address above 2^32-1 is an error, not a silent
+// truncation into a different header.
 func ParseTrace(r io.Reader) ([]Header, error) {
+	// traceFieldMax holds the inclusive upper bound of each header column.
+	traceFieldMax := [5]uint64{1<<32 - 1, 1<<32 - 1, 65535, 65535, 255}
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var headers []Header
@@ -131,6 +136,10 @@ func ParseTrace(r io.Reader) ([]Header, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fivetuple: trace line %d field %d: %w", lineNo, i, err)
 			}
+			if v > traceFieldMax[i] {
+				return nil, fmt.Errorf("fivetuple: trace line %d field %d: value %d exceeds maximum %d",
+					lineNo, i, v, traceFieldMax[i])
+			}
 			vals[i] = v
 		}
 		headers = append(headers, Header{
@@ -147,13 +156,13 @@ func ParseTrace(r io.Reader) ([]Header, error) {
 	return headers, nil
 }
 
+// parseUint parses a strictly decimal unsigned integer. Unlike the previous
+// hand-rolled digit loop it rejects overflow instead of wrapping, so an
+// absurdly long digit string cannot alias onto a small in-range value.
 func parseUint(s string) (uint64, error) {
-	var v uint64
-	for _, c := range s {
-		if c < '0' || c > '9' {
-			return 0, fmt.Errorf("invalid unsigned integer %q", s)
-		}
-		v = v*10 + uint64(c-'0')
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid unsigned integer %q", s)
 	}
 	return v, nil
 }

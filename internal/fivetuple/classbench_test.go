@@ -1,0 +1,188 @@
+package fivetuple
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseClassBenchRuleEdgeCases locks in the parser behaviour the
+// differential fuzzer leans on: empty (inverted) ranges are rejected,
+// max-port boundaries parse exactly, and malformed lines fail loudly.
+func TestParseClassBenchRuleEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		line    string
+		wantErr bool
+		check   func(t *testing.T, r Rule)
+	}{
+		{
+			name: "max-port-boundary",
+			line: "@0.0.0.0/0\t0.0.0.0/0\t65535 : 65535\t0 : 65535\t0x06/0xFF",
+			check: func(t *testing.T, r Rule) {
+				if r.SrcPort != (PortRange{Lo: 65535, Hi: 65535}) {
+					t.Errorf("SrcPort = %v, want exactly 65535", r.SrcPort)
+				}
+				if !r.DstPort.IsWildcard() {
+					t.Errorf("DstPort = %v, want the full wildcard", r.DstPort)
+				}
+			},
+		},
+		{
+			name: "zero-port-boundary",
+			line: "@10.0.0.0/8\t192.168.0.0/16\t0 : 0\t80 : 80\t0x11/0xFF",
+			check: func(t *testing.T, r Rule) {
+				if !r.SrcPort.IsExact() || r.SrcPort.Lo != 0 {
+					t.Errorf("SrcPort = %v, want exactly 0", r.SrcPort)
+				}
+			},
+		},
+		{
+			name:    "empty-range-rejected",
+			line:    "@0.0.0.0/0\t0.0.0.0/0\t5 : 3\t0 : 65535\t0x06/0xFF",
+			wantErr: true,
+		},
+		{
+			name:    "port-above-max-rejected",
+			line:    "@0.0.0.0/0\t0.0.0.0/0\t0 : 65536\t0 : 65535\t0x06/0xFF",
+			wantErr: true,
+		},
+		{
+			name:    "prefix-length-above-32-rejected",
+			line:    "@10.0.0.0/33\t0.0.0.0/0\t0 : 65535\t0 : 65535\t0x06/0xFF",
+			wantErr: true,
+		},
+		{
+			name:    "missing-fields-rejected",
+			line:    "@10.0.0.0/8\t192.168.0.0/16\t0 : 65535",
+			wantErr: true,
+		},
+		{
+			name:    "no-at-prefix-rejected",
+			line:    "10.0.0.0/8\t192.168.0.0/16\t0 : 65535\t0 : 65535\t0x06/0xFF",
+			wantErr: true,
+		},
+		{
+			name: "wildcard-protocol",
+			line: "@0.0.0.0/0\t0.0.0.0/0\t0 : 65535\t0 : 65535\t0x00/0x00",
+			check: func(t *testing.T, r Rule) {
+				if !r.Protocol.IsWildcard() {
+					t.Errorf("Protocol = %v, want wildcard", r.Protocol)
+				}
+			},
+		},
+		{
+			name: "extra-flag-columns-ignored",
+			line: "@1.2.3.4/32\t5.6.7.8/32\t80 : 80\t443 : 443\t0x06/0xFF\t0x1000/0x1000",
+			check: func(t *testing.T, r Rule) {
+				if r.SrcPrefix.Len != 32 || r.DstPort.Lo != 443 {
+					t.Errorf("rule = %s, extra columns corrupted the parse", r)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := ParseClassBenchRule(tc.line)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseClassBenchRule(%q) accepted a malformed line: %+v", tc.line, r)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseClassBenchRule(%q): %v", tc.line, err)
+			}
+			if tc.check != nil {
+				tc.check(t, r)
+			}
+		})
+	}
+}
+
+// TestParseClassBenchDuplicatePriorities locks in the duplicate-rule
+// convention: identical lines are all kept and renumbered by position, and
+// classification returns the first (highest-priority) copy.
+func TestParseClassBenchDuplicatePriorities(t *testing.T) {
+	const line = "@10.0.0.0/8\t0.0.0.0/0\t0 : 65535\t80 : 80\t0x06/0xFF\n"
+	rs, err := ParseClassBench(strings.NewReader(line + line + line))
+	if err != nil {
+		t.Fatalf("ParseClassBench: %v", err)
+	}
+	if rs.Len() != 3 {
+		t.Fatalf("parsed %d rules, want all 3 duplicates kept", rs.Len())
+	}
+	for i := 0; i < rs.Len(); i++ {
+		if rs.Rule(i).Priority != i {
+			t.Errorf("rule %d has priority %d, want position-assigned %d", i, rs.Rule(i).Priority, i)
+		}
+	}
+	h := Header{SrcIP: MustParseIPv4("10.9.9.9"), DstPort: 80, Protocol: ProtoTCP}
+	if idx, ok := rs.Classify(h); !ok || idx != 0 {
+		t.Errorf("Classify = (%d, %v), want the first duplicate (0, true)", idx, ok)
+	}
+}
+
+// TestParseTraceValidation locks in the range checking that replaced silent
+// truncation: out-of-range ports, protocols and addresses are errors.
+func TestParseTraceValidation(t *testing.T) {
+	good := "167772161 3232235521 1234 80 6\n# comment\n\n167772162 3232235522 65535 0 255 17\n"
+	headers, err := ParseTrace(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("ParseTrace(good): %v", err)
+	}
+	if len(headers) != 2 {
+		t.Fatalf("parsed %d headers, want 2", len(headers))
+	}
+	if headers[0].SrcIP != MustParseIPv4("10.0.0.1") || headers[0].DstPort != 80 {
+		t.Errorf("header 0 = %+v, want 10.0.0.1 -> :80", headers[0])
+	}
+	if headers[1].SrcPort != 65535 || headers[1].Protocol != 255 {
+		t.Errorf("header 1 = %+v, want the max-port/max-protocol boundary", headers[1])
+	}
+
+	bad := []struct{ name, line string }{
+		{"port-above-max", "1 2 65536 80 6"},
+		{"protocol-above-max", "1 2 3 4 256"},
+		{"address-above-max", "4294967296 2 3 4 6"},
+		{"uint64-overflow", "99999999999999999999999999 2 3 4 6"},
+		{"negative", "-1 2 3 4 6"},
+		{"hex", "0x10 2 3 4 6"},
+		{"short-line", "1 2 3 4"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if hs, err := ParseTrace(strings.NewReader(tc.line)); err == nil {
+				t.Errorf("ParseTrace(%q) accepted a malformed line: %+v", tc.line, hs)
+			}
+		})
+	}
+}
+
+// TestClassBenchBoundaryRoundTrip writes a parsed set back out and
+// re-parses it, covering the boundary values end to end.
+func TestClassBenchBoundaryRoundTrip(t *testing.T) {
+	in := "@255.255.255.255/32\t0.0.0.0/0\t65535 : 65535\t0 : 0\t0xFF/0xFF\n" +
+		"@0.0.0.0/0\t128.0.0.0/1\t0 : 65535\t1024 : 65535\t0x00/0x00\n"
+	rs, err := ParseClassBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseClassBench: %v", err)
+	}
+	var out strings.Builder
+	if err := rs.WriteClassBench(&out); err != nil {
+		t.Fatalf("WriteClassBench: %v", err)
+	}
+	rs2, err := ParseClassBench(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("re-parsing emitted set: %v", err)
+	}
+	if rs2.Len() != rs.Len() {
+		t.Fatalf("round trip changed the rule count: %d -> %d", rs.Len(), rs2.Len())
+	}
+	for i := 0; i < rs.Len(); i++ {
+		a, b := rs.Rule(i), rs2.Rule(i)
+		if a.SrcPrefix != b.SrcPrefix || a.DstPrefix != b.DstPrefix ||
+			a.SrcPort != b.SrcPort || a.DstPort != b.DstPort || a.Protocol != b.Protocol {
+			t.Errorf("rule %d changed in the round trip: %s -> %s", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# check_coverage.sh — fail when total statement coverage drops below the
+# floor. The floor is intentionally below the current figure (~79%) so the
+# gate catches real erosion (a new subsystem landing without tests), not
+# noise from small refactors.
+#
+# Usage: check_coverage.sh [floor-percent]   (default 70)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+floor="${1:-70}"
+profile="$(mktemp)"
+trap 'rm -f "$profile"' EXIT
+
+go test -count=1 -coverprofile="$profile" ./... > /dev/null
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/, "", $3); print $3}')"
+if [ -z "$total" ]; then
+  echo "check_coverage: could not read the total from the cover profile" >&2
+  exit 1
+fi
+echo "total statement coverage: ${total}% (floor: ${floor}%)"
+awk -v total="$total" -v floor="$floor" 'BEGIN { exit (total+0 >= floor+0) ? 0 : 1 }' || {
+  echo "check_coverage: coverage ${total}% is below the ${floor}% floor" >&2
+  exit 1
+}

@@ -23,6 +23,7 @@ package sdnpc
 import (
 	"fmt"
 
+	"sdnpc/internal/cache"
 	"sdnpc/internal/core"
 	"sdnpc/internal/engine"
 	"sdnpc/internal/fivetuple"
@@ -49,6 +50,8 @@ type (
 	UpdateReport = core.UpdateReport
 	// MemoryReport breaks down the architecture's memory consumption.
 	MemoryReport = core.MemoryReport
+	// CacheStats reports the microflow cache's hit/miss/eviction counters.
+	CacheStats = cache.Stats
 	// Action is a rule's forwarding action.
 	Action = fivetuple.Action
 )
@@ -113,6 +116,20 @@ func WithSingleProbe() Option {
 // WithClock sets the modelled clock frequency in Hz.
 func WithClock(hz float64) Option {
 	return func(cfg *core.Config) { cfg.ClockHz = hz }
+}
+
+// WithCache enables the sharded exact-match microflow cache in front of the
+// lookup engines (both tiers): repeated five-tuples are answered without
+// walking any classification structure, and every rule update or engine
+// switch invalidates the whole cache in O(1) via snapshot generations.
+// capacity is the total entry budget (rounded up to the sharded geometry);
+// shards is the number of independently locked shards, rounded up to a power
+// of two, with <= 0 selecting the default of 8.
+func WithCache(shards, capacity int) Option {
+	return func(cfg *core.Config) {
+		cfg.CacheShards = shards
+		cfg.CacheCapacity = capacity
+	}
 }
 
 // Classifier is a configurable five-tuple packet classifier.
@@ -199,6 +216,10 @@ func (c *Classifier) RuleCapacity() int { return c.inner.RuleCapacity() }
 
 // Stats returns a snapshot of the accumulated data-plane counters.
 func (c *Classifier) Stats() Stats { return c.inner.Stats() }
+
+// CacheStats returns the microflow cache counters; ok is false when the
+// classifier was built without WithCache.
+func (c *Classifier) CacheStats() (stats CacheStats, ok bool) { return c.inner.CacheStats() }
 
 // ResetStats zeroes the counters without touching installed rules.
 func (c *Classifier) ResetStats() { c.inner.ResetStats() }

@@ -40,6 +40,14 @@ type TraceOptions struct {
 	MatchFraction float64
 	// Locality biases consecutive packets towards the same flows.
 	Locality float64
+	// ZipfSkew, when > 1, replays a fixed population of flows with
+	// Zipf-ranked popularity (rank-1 hottest) instead of drawing every
+	// packet independently — the repeated-five-tuple traffic shape the
+	// microflow cache exploits. A skew of 1.1 is a realistic heavy tail.
+	ZipfSkew float64
+	// Flows sizes the flow population in Zipf mode; <= 0 selects
+	// min(Packets, 4096).
+	Flows int
 }
 
 // GenerateTrace produces a synthetic header trace exercising the rule set.
@@ -55,6 +63,8 @@ func GenerateTrace(rs *RuleSet, opts TraceOptions) []Header {
 		Seed:          opts.Seed,
 		MatchFraction: opts.MatchFraction,
 		Locality:      opts.Locality,
+		ZipfSkew:      opts.ZipfSkew,
+		Flows:         opts.Flows,
 	})
 }
 

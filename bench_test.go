@@ -547,6 +547,112 @@ func BenchmarkAblation_BSTRebuild(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Update plane — incremental delta-apply versus full rebuild
+// ---------------------------------------------------------------------------
+
+// BenchmarkUpdateLatency measures the write side of every packet engine on
+// a 1k-rule set, incremental versus rebuild, at two levels. The
+// "structure-*" rows isolate the update primitive itself: one delta op
+// (insert + delete) versus one full Install of the precomputed structure —
+// the marginal per-op cost a batched flow-mod download pays, and where the
+// incremental plane must win by >= 5x. The publish-level "delta"/"rebuild"
+// rows run the same single-rule updates through the full RCU
+// clone-mutate-sync-swap path, whose snapshot clone is a shared constant
+// cost on both modes; they track the end-to-end publish latency the CI
+// benchstat job gates. "delta" rows ride the incremental plane (unbounded
+// budget, degradation trip disabled); "rebuild" rows pin
+// RebuildAfterDeltas=1, the pre-incremental one-precomputation-per-publish
+// behaviour.
+func BenchmarkUpdateLatency(b *testing.B) {
+	structureRules := benchSmallWorkload.RuleSet.Rules()
+	for _, name := range engine.PacketEngineNames() {
+		for _, mode := range []string{"structure-delta", "structure-rebuild"} {
+			b.Run(fmt.Sprintf("%s/%s", name, mode), func(b *testing.B) {
+				eng, err := engine.NewPacket(name, engine.Spec{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Install(structureRules); err != nil {
+					b.Fatal(err)
+				}
+				churn := fivetuple.Rule{
+					SrcPrefix: fivetuple.MustParsePrefix("203.0.113.0/24"),
+					DstPrefix: fivetuple.MustParsePrefix("198.51.100.0/24"),
+					SrcPort:   fivetuple.WildcardPortRange(),
+					DstPort:   fivetuple.ExactPort(8443),
+					Protocol:  fivetuple.ExactProtocol(fivetuple.ProtoTCP),
+					Priority:  100000, Action: fivetuple.ActionForward,
+				}
+				if mode == "structure-delta" {
+					inc, ok := eng.(engine.IncrementalPacketEngine)
+					if !ok {
+						b.Skipf("%s has no incremental update path", name)
+					}
+					end := len(structureRules)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := inc.InsertRule(churn, end); err != nil {
+							b.Fatal(err)
+						}
+						if err := inc.DeleteRule(churn, end); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := eng.Install(structureRules); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+		for _, mode := range []string{"delta", "rebuild"} {
+			b.Run(fmt.Sprintf("%s/%s", name, mode), func(b *testing.B) {
+				cfg := bench.EngineConfig(name)
+				if mode == "rebuild" {
+					cfg.RebuildAfterDeltas = 1
+				} else {
+					def, _ := engine.Get(name)
+					if !def.Incremental {
+						b.Skipf("%s has no incremental update path", name)
+					}
+					cfg.RebuildAfterDeltas = -1
+					cfg.DegradationThreshold = 1.01
+				}
+				c := core.MustNew(cfg)
+				if _, err := c.InstallRuleSet(benchSmallWorkload.RuleSet); err != nil {
+					b.Fatal(err)
+				}
+				churn := fivetuple.Rule{
+					SrcPrefix: fivetuple.MustParsePrefix("203.0.113.0/24"),
+					DstPrefix: fivetuple.MustParsePrefix("198.51.100.0/24"),
+					SrcPort:   fivetuple.WildcardPortRange(),
+					DstPort:   fivetuple.ExactPort(8443),
+					Protocol:  fivetuple.ExactProtocol(fivetuple.ProtoTCP),
+					Priority:  100000, Action: fivetuple.ActionForward,
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.InsertRule(churn); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := c.DeleteRule(churn); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				stats := c.UpdateStats()
+				b.ReportMetric(float64(stats.DeltasApplied), "deltas")
+				b.ReportMetric(float64(stats.Rebuilds), "rebuilds")
+				b.ReportMetric(stats.PublishLatency.P99().Seconds()*1e9, "p99_ns")
+			})
+		}
+	}
+}
+
 // BenchmarkHashUnit measures the hardware hash model itself.
 func BenchmarkHashUnit(b *testing.B) {
 	u := hashunit.MustNew(13)

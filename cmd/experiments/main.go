@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	experiments [-experiment all|table1|table2|table3|table4|table5|table6|table7|fig3|fig5|update|hpml|labelmethod|engines|throughput]
+//	experiments [-experiment all|table1|table2|table3|table4|table5|table6|table7|fig3|fig5|update|hpml|labelmethod|engines|throughput|churn]
 //	            [-class acl|fw|ipc] [-size 1k|5k|10k] [-packets N] [-ip-engine name]
 //	            [-workers list] [-batch N] [-cache-shards N] [-cache-capacity N] [-zipf s]
+//	            [-churn-ops N] [-churn-rate R] [-churn-locality L] [-churn-inserts F]
 //
 // The measured values are printed next to the values the paper reports, in
 // the same row/column structure, so the output can be pasted into
@@ -33,7 +34,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment to run (all, table1..table7, fig3, fig5, update, hpml, labelmethod, engines)")
+	experiment := fs.String("experiment", "all", "experiment to run (all, table1..table7, fig3, fig5, update, hpml, labelmethod, engines, throughput, churn)")
 	className := fs.String("class", "acl", "filter-set class for workload-driven experiments (acl, fw, ipc)")
 	sizeName := fs.String("size", "5k", "filter-set size for workload-driven experiments (1k, 5k, 10k)")
 	packets := fs.Int("packets", 20000, "trace length for workload-driven experiments (per worker for -experiment throughput)")
@@ -43,6 +44,10 @@ func run(args []string) error {
 	cacheShards := fs.Int("cache-shards", 0, "microflow cache shard count for the throughput experiment (0 = cache default)")
 	cacheCapacity := fs.Int("cache-capacity", 0, "microflow cache entry budget; > 0 adds cached rows beside the uncached ones in the throughput experiment")
 	zipf := fs.Float64("zipf", 0, "Zipf skew (> 1, e.g. 1.1) for the throughput trace: replay a flow population with Zipf-ranked popularity")
+	churnOps := fs.Int("churn-ops", 2000, "update ops per cell in the churn experiment")
+	churnRate := fs.Float64("churn-rate", 0, "writer pacing in updates/sec for the churn experiment; 0 = full speed")
+	churnLocality := fs.Float64("churn-locality", 0.3, "rule locality [0,1) of the churn trace: higher concentrates updates on the same rules")
+	churnInserts := fs.Float64("churn-inserts", 0.5, "insert fraction of the churn trace (0.5 = balanced churn)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,6 +185,29 @@ func run(args []string) error {
 			return fmt.Errorf("throughput: %w", err)
 		}
 		fmt.Println(bench.RenderThroughput(rows))
+	}
+	// Churn is opt-in (not part of "all"): its rebuild-mode cells pay one
+	// full precomputation per publish on every packet engine, which is the
+	// point of the comparison but far too slow to ride along by default.
+	if selected == "churn" {
+		ranAny = true
+		opts := bench.UpdateSweepOptions{
+			Ops:            *churnOps,
+			OpsPerSecond:   *churnRate,
+			InsertFraction: *churnInserts,
+			Locality:       *churnLocality,
+		}
+		if len(workers) > 0 {
+			opts.Readers = workers[len(workers)-1]
+		}
+		if *ipEngine != "" {
+			opts.Engines = []string{*ipEngine}
+		}
+		rows, err := bench.UpdateSweep(getWorkload(), opts)
+		if err != nil {
+			return fmt.Errorf("churn: %w", err)
+		}
+		fmt.Println(bench.RenderUpdateSweep(rows))
 	}
 	if !ranAny {
 		return fmt.Errorf("unknown experiment %q", *experiment)

@@ -7,7 +7,12 @@
 //
 //	sdnclassd -class acl -size 1k -packets 50000 -profile throughput
 //	          [-ip-engine name] [-workers N] [-batch N]
-//	          [-cache-shards N] [-cache-capacity N] [-zipf s]
+//	          [-cache-shards N] [-cache-capacity N] [-zipf s] [-churn-rate R]
+//
+// With -churn-rate R > 0 a churn writer applies a generated flow-mod trace
+// to the switch at R updates/sec while the replay runs, exercising the
+// incremental update plane under live traffic; the update-plane statistics
+// (delta publishes, rebuilds, publish latency) are printed afterwards.
 //
 // It prints the switch's per-action counters, the classifier's data-plane
 // statistics and the modelled throughput for the selected configuration.
@@ -51,6 +56,7 @@ func run(args []string) error {
 	cacheShards := fs.Int("cache-shards", 0, "microflow cache shard count (0 = cache default)")
 	cacheCapacity := fs.Int("cache-capacity", 0, "microflow cache entry budget in front of the engines; 0 disables the cache")
 	zipf := fs.Float64("zipf", 0, "Zipf skew (> 1, e.g. 1.1) for the replay trace: repeat a flow population with Zipf-ranked popularity")
+	churnRate := fs.Float64("churn-rate", 0, "flow-mod churn rate in updates/sec applied to the switch during the replay; 0 disables churn")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +65,9 @@ func run(args []string) error {
 	}
 	if *cacheCapacity < 0 || *cacheShards < 0 {
 		return fmt.Errorf("-cache-capacity and -cache-shards must not be negative")
+	}
+	if *churnRate < 0 {
+		return fmt.Errorf("-churn-rate must not be negative")
 	}
 
 	class, size, err := parseWorkload(*className, *sizeName)
@@ -91,10 +100,10 @@ func run(args []string) error {
 	swCfg := core.DefaultConfig()
 	swCfg.CacheShards = *cacheShards
 	swCfg.CacheCapacity = *cacheCapacity
-	return runLoop(ln, rs, profile, *ipEngine, swCfg, *packets, *workers, *batch, *zipf)
+	return runLoop(ln, rs, profile, *ipEngine, swCfg, *packets, *workers, *batch, *zipf, *churnRate)
 }
 
-func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.ApplicationProfile, ipEngine string, swCfg core.Config, packets, workers, batch int, zipf float64) error {
+func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.ApplicationProfile, ipEngine string, swCfg core.Config, packets, workers, batch int, zipf, churnRate float64) error {
 	ctrl := controller.New(rs, profile, nil)
 	if ipEngine != "" {
 		// Record the name-based selection before any switch connects so the
@@ -147,6 +156,49 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 	trace := classbench.GenerateTrace(rs, classbench.TraceConfig{
 		Packets: packets, Seed: 17, MatchFraction: 0.95, Locality: 0.4, ZipfSkew: zipf,
 	})
+
+	// Optional churn writer: a controller-style flow-mod storm applied to
+	// the switch's classifier at the requested rate while the replay runs.
+	// Incremental packet engines absorb it through delta publishes; the
+	// update-plane statistics are reported after the replay.
+	churnDone := make(chan struct{})
+	var churnApplied, churnSkipped int
+	var churnWG sync.WaitGroup
+	if churnRate > 0 {
+		churnOps := classbench.GenerateUpdateTrace(rs, classbench.UpdateTraceConfig{
+			Ops: packets, Seed: 23, Locality: 0.4,
+		})
+		interval := time.Duration(float64(time.Second) / churnRate)
+		if interval <= 0 {
+			// Rates beyond 1e9/s truncate to zero, which NewTicker rejects.
+			interval = time.Nanosecond
+		}
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for _, op := range churnOps {
+				select {
+				case <-churnDone:
+					return
+				case <-ticker.C:
+				}
+				var err error
+				if op.Delete {
+					_, err = sw.Classifier().DeleteRule(op.Rule)
+				} else {
+					_, err = sw.Classifier().InsertRule(op.Rule)
+				}
+				if err != nil {
+					churnSkipped++
+					continue
+				}
+				churnApplied++
+			}
+		}()
+	}
+
 	// Shard the trace across workers; each worker replays its shard in
 	// batches through the shared switch. The classifier serves every worker
 	// lock-free from its published snapshot, so this is a real concurrent
@@ -175,6 +227,8 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	close(churnDone)
+	churnWG.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return fmt.Errorf("processing packets: %w", err)
@@ -196,6 +250,12 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 		fmt.Printf("microflow cache: %.1f%% hit rate (%d hits, %d misses, %d evictions, %d stale-generation drops) over %d entries (%d Kbit)\n",
 			100*cs.HitRate(), cs.Hits, cs.Misses, cs.Evictions, cs.StaleGenerations,
 			report.CacheEntries, report.CacheBits/1024)
+	}
+	if churnRate > 0 {
+		us := sw.Classifier().UpdateStats()
+		fmt.Printf("churn: %d flow-mods applied at ~%.0f/s (%d skipped at capacity); %d delta publishes carrying %d deltas, %d rebuilds, publish latency p50 %v p99 %v, current delta debt %d\n",
+			churnApplied, churnRate, churnSkipped, us.DeltaPublishes, us.DeltasApplied,
+			us.Rebuilds, us.PublishLatency.P50(), us.PublishLatency.P99(), us.DeltasSinceRebuild)
 	}
 	fmt.Printf("controller observed %d packet-in messages\n", ctrl.PacketIns())
 	return nil

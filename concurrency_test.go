@@ -5,6 +5,125 @@ import (
 	"testing"
 )
 
+// The update-storm hammer: a writer floods the incremental update plane of
+// the packet tier (single-rule inserts and deletes riding the delta-apply
+// path, with periodic amortising rebuilds and hops between the packet
+// engines) while readers assert old-or-new-snapshot consistency through the
+// microflow cache — a cached verdict from a retired generation must never
+// surface. After the storm, the UpdateStats counters must be coherent:
+// every update publish was served by exactly one of the delta and rebuild
+// paths, the latency histogram saw every publish, the delta debt never
+// exceeds the configured bound, and a forced rebuild resets it to zero.
+// Run with -race.
+func TestConcurrentUpdateStormIncremental(t *testing.T) {
+	const rebuildAfterDeltas = 8
+	c := MustNew(WithEngine("hypercuts"), WithCache(4, 512), WithUpdatePolicy(rebuildAfterDeltas, 0))
+
+	stable := NewRule(5).From("10.1.0.0/16").To("192.168.0.0/16").DstPort(443).Proto(TCP).Forward(42).MustBuild()
+	if _, err := c.Insert(stable); err != nil {
+		t.Fatalf("installing stable rule: %v", err)
+	}
+	flip := NewRule(9).From("10.2.0.0/16").To("192.168.0.0/16").DstPort(80).Proto(TCP).Drop().MustBuild()
+
+	headerStable := MustParseHeader("10.1.2.3", 1234, "192.168.1.1", 443, TCP)
+	headerFlip := MustParseHeader("10.2.9.9", 5555, "192.168.3.4", 80, TCP)
+	headerMiss := MustParseHeader("172.16.0.1", 9, "172.16.0.2", 9, UDP)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	const readers = 4
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if r := c.Lookup(headerStable); !r.Matched || r.Priority != 5 || r.ActionArg != 42 {
+					t.Errorf("stable rule lookup = %+v, want the priority-5 forward in every snapshot", r)
+				}
+				if r := c.Lookup(headerFlip); r.Matched && (r.Priority != 9 || r.Action != Drop) {
+					t.Errorf("flip rule lookup = %+v, want a miss or the priority-9 drop", r)
+				}
+				if r := c.Lookup(headerMiss); r.Matched {
+					t.Errorf("miss header matched %+v; no installed rule ever covers it", r)
+				}
+				batch := c.LookupBatch([]Header{headerFlip, headerStable, headerFlip})
+				if batch[0].Matched != batch[2].Matched {
+					t.Errorf("one batch saw the flip rule both installed and absent: %+v vs %+v", batch[0], batch[2])
+				}
+			}
+		}()
+	}
+
+	// The writer hops only between packet engines, so every update publish
+	// runs the packet-tier update plane and the publish accounting below is
+	// exact: updates = 1 stable insert + 2 per iteration.
+	packetEngines := PacketEngines()
+	const writerIterations = 150
+	updates := uint64(1)
+	for i := 0; i < writerIterations; i++ {
+		if _, err := c.Insert(flip); err != nil {
+			t.Fatalf("insert flip: %v", err)
+		}
+		updates++
+		if i%25 == 12 {
+			if err := c.SelectEngine(packetEngines[(i/25)%len(packetEngines)]); err != nil {
+				t.Fatalf("engine hop: %v", err)
+			}
+		}
+		if _, err := c.Delete(flip); err != nil {
+			t.Fatalf("delete flip: %v", err)
+		}
+		updates++
+		if debt := c.UpdateStats().DeltasSinceRebuild; debt >= rebuildAfterDeltas {
+			t.Fatalf("delta debt %d reached the bound %d; the amortising rebuild never fired", debt, rebuildAfterDeltas)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// Post-storm coherence: every update publish went through exactly one of
+	// the two paths, and the histogram saw them all.
+	stats := c.UpdateStats()
+	if stats.DeltaPublishes+stats.Rebuilds != updates {
+		t.Errorf("delta publishes (%d) + rebuilds (%d) != update publishes (%d)",
+			stats.DeltaPublishes, stats.Rebuilds, updates)
+	}
+	if stats.PublishLatency.Total() != updates {
+		t.Errorf("PublishLatency.Total() = %d, want %d", stats.PublishLatency.Total(), updates)
+	}
+	if stats.DeltasApplied == 0 || stats.Rebuilds == 0 {
+		t.Errorf("storm should exercise both paths: %+v", stats)
+	}
+
+	// A forced rebuild (engine re-selection reinstalls the structure) must
+	// reset the delta debt coherently.
+	if err := c.SelectEngine("dcfl"); err != nil {
+		t.Fatalf("forcing a rebuild: %v", err)
+	}
+	if got := c.UpdateStats().DeltasSinceRebuild; got != 0 {
+		t.Errorf("DeltasSinceRebuild after a forced rebuild = %d, want 0", got)
+	}
+
+	// Quiesced end state: the flip rule is deleted; any cached verdict for
+	// it belongs to a retired generation and must not surface.
+	for i := 0; i < 3; i++ {
+		if r := c.Lookup(headerFlip); r.Matched {
+			t.Fatalf("flip rule served after its final delete (stale-generation cache hit): %+v", r)
+		}
+		if r := c.Lookup(headerStable); !r.Matched || r.Priority != 5 {
+			t.Fatalf("stable rule lost after the storm: %+v", r)
+		}
+	}
+	if cs, ok := c.CacheStats(); !ok || cs.Hits == 0 {
+		t.Errorf("the storm never hit the cache: %+v", cs)
+	}
+}
+
 // The concurrent-serving hammer: N goroutines call Lookup and LookupBatch
 // while one writer inserts and deletes a rule and switches the serving
 // engine across every selectable name — Engines() covers both tiers, so the

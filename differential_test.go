@@ -38,48 +38,15 @@ func decodeDifferentialInput(data []byte) ([]fivetuple.Rule, []fivetuple.Header)
 	nHeaders := 1 + int(data[1])%maxFuzzHeaders
 	data = data[2:]
 
-	u16 := func(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
-	u32 := func(b []byte) uint32 {
-		return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
-	}
-
 	var rules []fivetuple.Rule
 	for i := 0; i < nRules && len(data) >= fuzzRuleBytes; i++ {
-		b := data[:fuzzRuleBytes]
+		rules = append(rules, decodeFuzzRule(data[:fuzzRuleBytes], i))
 		data = data[fuzzRuleBytes:]
-		spLo, spHi := u16(b[10:]), u16(b[12:])
-		if spLo > spHi {
-			spLo, spHi = spHi, spLo
-		}
-		dpLo, dpHi := u16(b[14:]), u16(b[16:])
-		if dpLo > dpHi {
-			dpLo, dpHi = dpHi, dpLo
-		}
-		r := fivetuple.Rule{
-			SrcPrefix: fivetuple.Prefix{Addr: fivetuple.IPv4(u32(b[0:])), Len: b[4] % 33}.Canonical(),
-			DstPrefix: fivetuple.Prefix{Addr: fivetuple.IPv4(u32(b[5:])), Len: b[9] % 33}.Canonical(),
-			SrcPort:   fivetuple.PortRange{Lo: spLo, Hi: spHi},
-			DstPort:   fivetuple.PortRange{Lo: dpLo, Hi: dpHi},
-			Protocol:  fivetuple.ExactProtocol(b[18]),
-			Action:    fivetuple.ActionForward,
-			ActionArg: uint32(i),
-		}
-		if b[19]&1 == 1 {
-			r.Protocol = fivetuple.WildcardProtocol()
-		}
-		rules = append(rules, r)
 	}
 	var headers []fivetuple.Header
 	for i := 0; i < nHeaders && len(data) >= fuzzHdrBytes; i++ {
-		b := data[:fuzzHdrBytes]
+		headers = append(headers, decodeFuzzHeader(data[:fuzzHdrBytes]))
 		data = data[fuzzHdrBytes:]
-		headers = append(headers, fivetuple.Header{
-			SrcIP:    fivetuple.IPv4(u32(b[0:])),
-			DstIP:    fivetuple.IPv4(u32(b[4:])),
-			SrcPort:  u16(b[8:]),
-			DstPort:  u16(b[10:]),
-			Protocol: b[12],
-		})
 	}
 	// Aim the first header at the first rule so random inputs exercise the
 	// match path, not only misses.
@@ -94,6 +61,48 @@ func decodeDifferentialInput(data []byte) ([]fivetuple.Rule, []fivetuple.Header)
 		}
 	}
 	return rules, headers
+}
+
+func fuzzU16(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+func fuzzU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// decodeFuzzRule maps fuzzRuleBytes bytes to one normalised rule; arg seeds
+// the action argument so rules stay distinguishable.
+func decodeFuzzRule(b []byte, arg int) fivetuple.Rule {
+	spLo, spHi := fuzzU16(b[10:]), fuzzU16(b[12:])
+	if spLo > spHi {
+		spLo, spHi = spHi, spLo
+	}
+	dpLo, dpHi := fuzzU16(b[14:]), fuzzU16(b[16:])
+	if dpLo > dpHi {
+		dpLo, dpHi = dpHi, dpLo
+	}
+	r := fivetuple.Rule{
+		SrcPrefix: fivetuple.Prefix{Addr: fivetuple.IPv4(fuzzU32(b[0:])), Len: b[4] % 33}.Canonical(),
+		DstPrefix: fivetuple.Prefix{Addr: fivetuple.IPv4(fuzzU32(b[5:])), Len: b[9] % 33}.Canonical(),
+		SrcPort:   fivetuple.PortRange{Lo: spLo, Hi: spHi},
+		DstPort:   fivetuple.PortRange{Lo: dpLo, Hi: dpHi},
+		Protocol:  fivetuple.ExactProtocol(b[18]),
+		Action:    fivetuple.ActionForward,
+		ActionArg: uint32(arg),
+	}
+	if b[19]&1 == 1 {
+		r.Protocol = fivetuple.WildcardProtocol()
+	}
+	return r
+}
+
+// decodeFuzzHeader maps fuzzHdrBytes bytes to one header.
+func decodeFuzzHeader(b []byte) fivetuple.Header {
+	return fivetuple.Header{
+		SrcIP:    fivetuple.IPv4(fuzzU32(b[0:])),
+		DstIP:    fivetuple.IPv4(fuzzU32(b[4:])),
+		SrcPort:  fuzzU16(b[8:]),
+		DstPort:  fuzzU16(b[10:]),
+		Protocol: b[12],
+	}
 }
 
 // differentialPaths builds one classifier per selectable engine of both

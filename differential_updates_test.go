@@ -1,0 +1,445 @@
+package sdnpc
+
+import (
+	"sort"
+	"testing"
+
+	"sdnpc/internal/bench"
+	"sdnpc/internal/core"
+	"sdnpc/internal/engine"
+	"sdnpc/internal/fivetuple"
+)
+
+// The update-path differential suite: fuzz-decoded *mutation sequences*
+// (insert / delete / engine-hop) applied through the incremental publish
+// path must leave every packet engine answering byte-identically to a
+// freshly rebuilt engine over the same live rules and to a best-first linear
+// oracle. FuzzDifferentialUpdates explores random sequences;
+// TestDifferentialEngines gains a deterministic update-sequence corpus
+// (delete-then-reinsert, priority inversion, duplicate rule, delete-missing)
+// in differential_test.go's style so the property holds on every plain
+// `go test` run.
+
+const (
+	maxFuzzInitRules = 16
+	maxFuzzOps       = 12
+	maxFuzzOpHeaders = 8
+	fuzzOpBytes      = 2
+)
+
+// fuzzUpdateOp is one decoded mutation.
+type fuzzUpdateOp struct {
+	kind byte // 0/1 = insert, 2 = delete, 3 = engine hop
+	sel  byte
+	rule fivetuple.Rule
+}
+
+// decodeUpdateInput maps fuzz bytes to an initial rule list, a mutation
+// sequence and a probe header list. Rule priorities are forced unique
+// (position for the initial rules, 1000+op for inserts) so the best-first
+// oracle is unambiguous; the deterministic corpus covers duplicate
+// identities separately.
+func decodeUpdateInput(data []byte) (init []fivetuple.Rule, ops []fuzzUpdateOp, headers []fivetuple.Header) {
+	if len(data) < 3 {
+		return nil, nil, nil
+	}
+	nInit := 1 + int(data[0])%maxFuzzInitRules
+	nOps := 1 + int(data[1])%maxFuzzOps
+	nHeaders := 1 + int(data[2])%maxFuzzOpHeaders
+	data = data[3:]
+
+	for i := 0; i < nInit && len(data) >= fuzzRuleBytes; i++ {
+		r := decodeFuzzRule(data[:fuzzRuleBytes], i)
+		r.Priority = i
+		init = append(init, r)
+		data = data[fuzzRuleBytes:]
+	}
+	for i := 0; i < nHeaders && len(data) >= fuzzHdrBytes; i++ {
+		headers = append(headers, decodeFuzzHeader(data[:fuzzHdrBytes]))
+		data = data[fuzzHdrBytes:]
+	}
+	for i := 0; i < nOps && len(data) >= fuzzOpBytes; i++ {
+		op := fuzzUpdateOp{kind: data[0] % 4, sel: data[1]}
+		data = data[fuzzOpBytes:]
+		if op.kind <= 1 {
+			if len(data) < fuzzRuleBytes {
+				break
+			}
+			op.rule = decodeFuzzRule(data[:fuzzRuleBytes], 1000+i)
+			op.rule.Priority = 1000 + i
+			data = data[fuzzRuleBytes:]
+		}
+		ops = append(ops, op)
+	}
+	// Aim the first header at the first initial rule so sequences exercise
+	// the match path.
+	if len(init) > 0 && len(headers) > 0 {
+		r := init[0]
+		headers[0] = fivetuple.Header{
+			SrcIP: r.SrcPrefix.Addr, DstIP: r.DstPrefix.Addr,
+			SrcPort: r.SrcPort.Lo, DstPort: r.DstPort.Hi, Protocol: r.Protocol.Value,
+		}
+	}
+	return init, ops, headers
+}
+
+// bestFirstOracle returns the highest-priority (lowest value) live rule
+// matching h. Priorities are unique by construction of the decoders.
+func bestFirstOracle(live []fivetuple.Rule, h fivetuple.Header) (fivetuple.Rule, bool) {
+	best := fivetuple.Rule{}
+	found := false
+	for _, r := range live {
+		if r.Matches(h) && (!found || r.Priority < best.Priority) {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}
+
+// checkAgainstOracle asserts one classifier agrees with the best-first
+// oracle on every header.
+func checkAgainstOracle(t testing.TB, phase, label string, c *core.Classifier, live []fivetuple.Rule, headers []fivetuple.Header) {
+	t.Helper()
+	for i, h := range headers {
+		want, wantOK := bestFirstOracle(live, h)
+		got := c.Lookup(h)
+		if got.Matched != wantOK {
+			t.Fatalf("%s %s header %d (%s): matched = %v, oracle says %v", phase, label, i, h, got.Matched, wantOK)
+		}
+		if wantOK && (got.Priority != want.Priority || got.Action != want.Action || got.ActionArg != want.ActionArg) {
+			t.Fatalf("%s %s header %d (%s): got priority %d action %v/%d, oracle priority %d action %v/%d",
+				phase, label, i, h, got.Priority, got.Action, got.ActionArg,
+				want.Priority, want.Action, want.ActionArg)
+		}
+	}
+}
+
+// removeFirstMatch mirrors core's delete identity: drop the first live rule
+// (in installation order) with the same field matches and priority.
+func removeFirstMatch(live []fivetuple.Rule, r fivetuple.Rule) []fivetuple.Rule {
+	for i, lr := range live {
+		if lr.Priority == r.Priority &&
+			lr.SrcPrefix.Canonical() == r.SrcPrefix.Canonical() &&
+			lr.DstPrefix.Canonical() == r.DstPrefix.Canonical() &&
+			lr.SrcPort == r.SrcPort && lr.DstPort == r.DstPort && lr.Protocol == r.Protocol {
+			return append(append([]fivetuple.Rule(nil), live[:i]...), live[i+1:]...)
+		}
+	}
+	return live
+}
+
+// runDifferentialUpdates applies the mutation sequence through each packet
+// engine's incremental publish path (delta-friendly policy, plus a cached
+// variant for one engine), checking every intermediate state against the
+// best-first oracle and the final state against a freshly rebuilt
+// classifier pinned to rebuild-on-every-publish.
+func runDifferentialUpdates(t testing.TB, init []fivetuple.Rule, ops []fuzzUpdateOp, headers []fivetuple.Header) {
+	t.Helper()
+	selectable := engine.SelectableNames()
+	variants := make(map[string]core.Config)
+	for _, name := range engine.PacketEngineNames() {
+		cfg := bench.EngineConfig(name)
+		// Keep the whole sequence on the delta path: unbounded budget and a
+		// disabled degradation trip (Degradation never exceeds 1).
+		cfg.RebuildAfterDeltas = 1 << 20
+		cfg.DegradationThreshold = 1.01
+		variants[name] = cfg
+	}
+	{
+		cfg := bench.CachedEngineConfig("hypercuts", 4, 1024)
+		cfg.RebuildAfterDeltas = 1 << 20
+		cfg.DegradationThreshold = 1.01
+		variants["hypercuts+cache"] = cfg
+	}
+
+	for label, cfg := range variants {
+		c, err := core.New(cfg)
+		if err != nil {
+			t.Fatalf("building %s classifier: %v", label, err)
+		}
+		live := append([]fivetuple.Rule(nil), init...)
+		installOps := make([]core.UpdateOp, len(init))
+		for i, r := range init {
+			installOps[i] = core.UpdateOp{Rule: r}
+		}
+		if _, _, err := c.ApplyUpdates(installOps); err != nil {
+			t.Fatalf("%s: installing %d initial rules: %v", label, len(init), err)
+		}
+		checkAgainstOracle(t, "init", label, c, live, headers)
+
+		for i, op := range ops {
+			switch op.kind {
+			case 2: // delete a live rule (selected deterministically)
+				if len(live) == 0 {
+					continue
+				}
+				target := live[int(op.sel)%len(live)]
+				if _, err := c.DeleteRule(target); err != nil {
+					t.Fatalf("%s op %d: DeleteRule(%s): %v", label, i, target, err)
+				}
+				live = removeFirstMatch(live, target)
+			case 3: // hop the serving engine mid-sequence
+				name := selectable[int(op.sel)%len(selectable)]
+				if err := c.SelectEngine(name); err != nil {
+					t.Fatalf("%s op %d: SelectEngine(%s): %v", label, i, name, err)
+				}
+			default: // insert
+				if _, err := c.InsertRule(op.rule); err != nil {
+					t.Fatalf("%s op %d: InsertRule(%s): %v", label, i, op.rule, err)
+				}
+				live = append(live, op.rule)
+			}
+			checkAgainstOracle(t, "mutated", label, c, live, headers)
+		}
+
+		// Final cross-check: a freshly rebuilt classifier on whatever engine
+		// the sequence left active, pinned to the rebuild path, must answer
+		// byte-identically to the delta-updated one.
+		freshCfg := bench.EngineConfig(c.ActiveEngineName())
+		freshCfg.RebuildAfterDeltas = 1
+		fresh, err := core.New(freshCfg)
+		if err != nil {
+			t.Fatalf("%s: building fresh comparator: %v", label, err)
+		}
+		reinstall := make([]core.UpdateOp, len(live))
+		for i, r := range live {
+			reinstall[i] = core.UpdateOp{Rule: r}
+		}
+		if len(reinstall) > 0 {
+			if _, _, err := fresh.ApplyUpdates(reinstall); err != nil {
+				t.Fatalf("%s: reinstalling %d rules on the fresh comparator: %v", label, len(live), err)
+			}
+		}
+		for i, h := range headers {
+			got, want := c.Lookup(h), fresh.Lookup(h)
+			if got.Matched != want.Matched || got.Priority != want.Priority ||
+				got.Action != want.Action || got.ActionArg != want.ActionArg {
+				t.Fatalf("%s header %d (%s): delta path %+v, freshly rebuilt %+v", label, i, h, got, want)
+			}
+		}
+	}
+}
+
+// FuzzDifferentialUpdates drives fuzz-decoded mutation sequences through the
+// incremental update path of every packet engine (and the cached hypercuts
+// variant), asserting byte-identical verdicts versus the best-first oracle
+// after every mutation and versus a freshly rebuilt engine at the end. CI
+// runs it as a smoke pass (-fuzz=FuzzDifferentialUpdates -fuzztime=30s).
+func FuzzDifferentialUpdates(f *testing.F) {
+	// Seeds: one insert on a single rule; a delete/insert/hop mix; dense ops
+	// over several rules.
+	f.Add([]byte{0, 0, 0,
+		10, 0, 0, 1, 32, 192, 168, 0, 1, 24, 0, 0, 255, 255, 0, 80, 0, 80, 6, 0,
+		10, 0, 0, 1, 192, 168, 0, 99, 1, 1, 0, 80, 6,
+		0, 7, 9, 9, 9, 9, 8, 7, 7, 7, 7, 33, 0, 1, 255, 254, 128, 0, 255, 255, 6, 0})
+	f.Add([]byte{2, 5, 2,
+		1, 2, 3, 4, 16, 5, 6, 7, 8, 0, 255, 255, 255, 255, 0, 0, 0, 0, 17, 1,
+		9, 9, 9, 9, 8, 7, 7, 7, 7, 33, 0, 1, 255, 254, 128, 0, 255, 255, 6, 0,
+		1, 2, 200, 4, 5, 6, 7, 8, 255, 255, 255, 255, 17,
+		9, 9, 1, 1, 7, 7, 2, 2, 0, 0, 65, 66, 6,
+		2, 0,
+		3, 4,
+		0, 1, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30,
+		2, 9,
+		3, 1})
+	f.Add([]byte{255, 255, 255, 100, 101, 102, 103, 104, 105, 106, 107, 108, 109,
+		110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120, 121,
+		130, 131, 132, 133, 134, 135, 136, 137, 138, 139, 140,
+		3, 3, 2, 200, 1, 50, 0, 9, 9, 9, 9, 8, 7, 7, 7, 7, 33, 0, 1, 255, 254, 128, 0, 255, 255, 6, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		init, ops, headers := decodeUpdateInput(data)
+		if len(init) == 0 || len(ops) == 0 || len(headers) == 0 {
+			t.Skip("input too short to decode a mutation workload")
+		}
+		runDifferentialUpdates(t, init, ops, headers)
+	})
+}
+
+// TestDifferentialUpdateSequences is the deterministic update-sequence
+// corpus: the churn patterns most likely to break a delta path —
+// delete-then-reinsert, priority inversion, duplicate rules and
+// delete-missing — replayed through every packet engine's incremental
+// publish path on every plain `go test` run.
+func TestDifferentialUpdateSequences(t *testing.T) {
+	prefix := fivetuple.MustParsePrefix
+	mk := func(src string, dstPort uint16, priority int, arg uint32) fivetuple.Rule {
+		return fivetuple.Rule{
+			SrcPrefix: prefix(src), DstPrefix: prefix("0.0.0.0/0"),
+			SrcPort: fivetuple.WildcardPortRange(), DstPort: fivetuple.ExactPort(dstPort),
+			Protocol: fivetuple.ExactProtocol(fivetuple.ProtoTCP),
+			Priority: priority, Action: fivetuple.ActionForward, ActionArg: arg,
+		}
+	}
+	hdr := func(src string, dstPort uint16) fivetuple.Header {
+		return fivetuple.Header{
+			SrcIP: fivetuple.MustParseIPv4(src), DstIP: fivetuple.MustParseIPv4("10.9.9.9"),
+			SrcPort: 1234, DstPort: dstPort, Protocol: fivetuple.ProtoTCP,
+		}
+	}
+
+	for _, name := range engine.PacketEngineNames() {
+		t.Run(name, func(t *testing.T) {
+			cfg := bench.EngineConfig(name)
+			cfg.RebuildAfterDeltas = 1 << 20 // every sequence stays on the delta path
+			cfg.DegradationThreshold = 1.01  // tiny rule sets trip the default 0.5 by design
+			c, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := mk("10.1.0.0/16", 80, 1, 10)
+			b := mk("10.0.0.0/8", 80, 5, 20)
+			if _, err := c.InsertRule(a); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.InsertRule(b); err != nil {
+				t.Fatal(err)
+			}
+			probe := hdr("10.1.2.3", 80)
+			live := []fivetuple.Rule{a, b}
+			checkAgainstOracle(t, "seed", name, c, live, []fivetuple.Header{probe})
+
+			t.Run("delete-then-reinsert", func(t *testing.T) {
+				if _, err := c.DeleteRule(a); err != nil {
+					t.Fatal(err)
+				}
+				if got := c.Lookup(probe); !got.Matched || got.Priority != 5 {
+					t.Fatalf("after deleting the specific rule: %+v, want the /8 fallback", got)
+				}
+				if _, err := c.InsertRule(a); err != nil {
+					t.Fatal(err)
+				}
+				if got := c.Lookup(probe); !got.Matched || got.Priority != 1 {
+					t.Fatalf("after reinsert: %+v, want the specific rule back", got)
+				}
+			})
+
+			t.Run("priority-inversion", func(t *testing.T) {
+				// A better-priority rule arriving later must splice in at the
+				// front of the best-first order, displacing both live rules.
+				top := mk("10.0.0.0/7", 80, 0, 30)
+				if _, err := c.InsertRule(top); err != nil {
+					t.Fatal(err)
+				}
+				if got := c.Lookup(probe); !got.Matched || got.Priority != 0 || got.ActionArg != 30 {
+					t.Fatalf("after inserting a better-priority rule: %+v, want priority 0", got)
+				}
+				if _, err := c.DeleteRule(top); err != nil {
+					t.Fatal(err)
+				}
+				if got := c.Lookup(probe); !got.Matched || got.Priority != 1 {
+					t.Fatalf("after removing it again: %+v, want the original winner", got)
+				}
+			})
+
+			t.Run("duplicate-rule", func(t *testing.T) {
+				// Two live rules with identical matches and priority: deleting
+				// one must leave the verdict intact, deleting the second
+				// removes it.
+				if _, err := c.InsertRule(a); err != nil {
+					t.Fatalf("inserting the duplicate: %v", err)
+				}
+				if _, err := c.DeleteRule(a); err != nil {
+					t.Fatal(err)
+				}
+				if got := c.Lookup(probe); !got.Matched || got.Priority != 1 {
+					t.Fatalf("after deleting one duplicate: %+v, want the twin still serving", got)
+				}
+				if _, err := c.DeleteRule(a); err != nil {
+					t.Fatal(err)
+				}
+				if got := c.Lookup(probe); !got.Matched || got.Priority != 5 {
+					t.Fatalf("after deleting both duplicates: %+v, want the /8 fallback", got)
+				}
+				if _, err := c.InsertRule(a); err != nil {
+					t.Fatal(err)
+				}
+			})
+
+			t.Run("delete-missing", func(t *testing.T) {
+				before := c.UpdateStats()
+				missing := mk("172.16.0.0/12", 7777, 99, 0)
+				if _, err := c.DeleteRule(missing); err == nil {
+					t.Fatal("deleting a never-installed rule should fail")
+				}
+				after := c.UpdateStats()
+				if after.PublishLatency.Total() != before.PublishLatency.Total() {
+					t.Fatal("a failed delete must not publish")
+				}
+				if got := c.Lookup(probe); !got.Matched || got.Priority != 1 {
+					t.Fatalf("verdicts changed after a failed delete: %+v", got)
+				}
+			})
+
+			// The sequence ran entirely on the delta path for incremental
+			// engines; pin that so the corpus cannot silently regress into
+			// testing the rebuild path.
+			stats := c.UpdateStats()
+			if def, _ := engine.Get(name); def.Incremental {
+				if stats.DeltasApplied == 0 || stats.Rebuilds != 1 {
+					t.Errorf("update-sequence corpus for %s left stats %+v; want deltas with only the seed rebuild", name, stats)
+				}
+			} else if stats.DeltasApplied != 0 {
+				t.Errorf("non-incremental %s applied deltas: %+v", name, stats)
+			}
+
+			// Final differential sweep: delta-churned classifier versus a
+			// freshly rebuilt one over the surviving rules.
+			finalRules := c.InstalledRules()
+			sort.SliceStable(finalRules, func(i, j int) bool { return finalRules[i].Priority < finalRules[j].Priority })
+			freshCfg := bench.EngineConfig(name)
+			freshCfg.RebuildAfterDeltas = 1
+			fresh := core.MustNew(freshCfg)
+			for _, r := range finalRules {
+				if _, err := fresh.InsertRule(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, h := range []fivetuple.Header{probe, hdr("10.200.0.1", 80), hdr("10.1.2.3", 81)} {
+				got, want := c.Lookup(h), fresh.Lookup(h)
+				if got.Matched != want.Matched || got.Priority != want.Priority || got.ActionArg != want.ActionArg {
+					t.Fatalf("final state diverged on %s: delta %+v, rebuilt %+v", h, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeUpdateInputShapes pins the mutation decoder's normalisation:
+// short inputs decode to nothing, caps hold, priorities are unique, and the
+// decode is deterministic.
+func TestDecodeUpdateInputShapes(t *testing.T) {
+	for _, data := range [][]byte{nil, {1}, {1, 2}, {1, 2, 3}} {
+		init, ops, headers := decodeUpdateInput(data)
+		if len(init) != 0 || len(ops) != 0 || len(headers) != 0 {
+			t.Errorf("decode(%v) yielded %d/%d/%d, want nothing", data, len(init), len(ops), len(headers))
+		}
+	}
+	data := make([]byte, 3+maxFuzzInitRules*fuzzRuleBytes+maxFuzzOpHeaders*fuzzHdrBytes+maxFuzzOps*(fuzzOpBytes+fuzzRuleBytes))
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	data[0], data[1], data[2] = 255, 255, 255
+	init, ops, headers := decodeUpdateInput(data)
+	if len(init) == 0 || len(ops) == 0 || len(headers) == 0 {
+		t.Fatal("full-length input decoded to an empty workload")
+	}
+	if len(init) > maxFuzzInitRules || len(ops) > maxFuzzOps || len(headers) > maxFuzzOpHeaders {
+		t.Fatalf("decode exceeded caps: %d/%d/%d", len(init), len(ops), len(headers))
+	}
+	seen := map[int]bool{}
+	for _, r := range init {
+		if seen[r.Priority] {
+			t.Fatalf("duplicate decoded priority %d", r.Priority)
+		}
+		seen[r.Priority] = true
+	}
+	for _, op := range ops {
+		if op.kind <= 1 {
+			if seen[op.rule.Priority] {
+				t.Fatalf("duplicate decoded priority %d", op.rule.Priority)
+			}
+			seen[op.rule.Priority] = true
+		}
+	}
+}

@@ -62,6 +62,69 @@ func TestArchitectureDocExists(t *testing.T) {
 	}
 }
 
+// TestDocsCoverUpdatePlane keeps the incremental update plane documented:
+// ARCHITECTURE.md must describe the delta-apply vs rebuild decision and the
+// UpdateStats surface, ENGINES.md must state the incremental contract and
+// the policy knobs, and the ENGINES.md incremental-support matrix must agree
+// with the registry's Incremental flags engine by engine — so the docs
+// cannot claim (or forget) delta support the code does not have.
+func TestDocsCoverUpdatePlane(t *testing.T) {
+	arch, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("reading docs/ARCHITECTURE.md: %v", err)
+	}
+	for _, want := range []string{
+		"delta-apply", "RebuildAfterDeltas", "DegradationThreshold", "UpdateStats",
+		"bench.UpdateSweep", "-churn-rate", "-experiment churn", "BenchmarkUpdateLatency",
+	} {
+		if !strings.Contains(string(arch), want) {
+			t.Errorf("docs/ARCHITECTURE.md does not mention %q", want)
+		}
+	}
+	engines, err := os.ReadFile("docs/ENGINES.md")
+	if err != nil {
+		t.Fatalf("reading docs/ENGINES.md: %v", err)
+	}
+	text := string(engines)
+	for _, want := range []string{
+		"IncrementalPacketEngine", "UpdateCost", "RebuildAfterDeltas",
+		"DegradationThreshold", "Incremental-support matrix", "copy-on-write",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("docs/ENGINES.md does not mention %q", want)
+		}
+	}
+	// Matrix honesty: one row per packet engine whose second column opens
+	// with yes/no matching the registry flag.
+	for _, name := range engine.PacketEngineNames() {
+		def, _ := engine.Get(name)
+		rowPrefix := fmt.Sprintf("| `%s` |", name)
+		found := false
+		for _, line := range strings.Split(text, "\n") {
+			if !strings.HasPrefix(line, rowPrefix) {
+				continue
+			}
+			cells := strings.Split(line, "|")
+			if len(cells) < 3 {
+				continue
+			}
+			support := strings.TrimSpace(cells[2])
+			if strings.HasPrefix(support, "yes") || strings.HasPrefix(support, "no") {
+				found = true
+				documented := strings.HasPrefix(support, "yes")
+				if documented != def.Incremental {
+					t.Errorf("docs/ENGINES.md incremental matrix says %q for %s, registry says Incremental=%v",
+						support, name, def.Incremental)
+				}
+				break
+			}
+		}
+		if !found {
+			t.Errorf("docs/ENGINES.md incremental-support matrix has no yes/no row for %q", name)
+		}
+	}
+}
+
 // TestDocsCoverCacheFlags keeps the microflow-cache surface documented: the
 // README must name the cache flags and facade option, and ENGINES.md must
 // explain generation-based invalidation — the piece of the serving contract

@@ -1,6 +1,72 @@
 package sdnpc
 
-import "testing"
+import (
+	"sort"
+	"testing"
+)
+
+// TestFacadeUpdatePlane exercises the incremental update surface end to end:
+// WithUpdatePolicy selects the delta path, Apply drains a generated churn
+// trace, and UpdateStats reports the delta/rebuild split with a populated
+// latency histogram.
+func TestFacadeUpdatePlane(t *testing.T) {
+	c, err := New(WithEngine("hypercuts"), WithUpdatePolicy(10000, 0))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rs := MustGenerateRuleSet("acl", "1k")
+	if _, err := c.InsertAll(rs); err != nil {
+		t.Fatalf("InsertAll: %v", err)
+	}
+	ops := GenerateUpdateTrace(rs, UpdateTraceOptions{Ops: 40, Seed: 9, Locality: 0.5})
+	if len(ops) != 40 {
+		t.Fatalf("GenerateUpdateTrace produced %d ops, want 40", len(ops))
+	}
+	reports, errs, err := c.Apply(ops)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(reports) != len(ops) || len(errs) != len(ops) {
+		t.Fatalf("Apply returned %d reports / %d errs for %d ops", len(reports), len(errs), len(ops))
+	}
+	for i, opErr := range errs {
+		if opErr != nil {
+			t.Fatalf("op %d failed: %v", i, opErr)
+		}
+	}
+	stats := c.UpdateStats()
+	if stats.DeltasApplied != 40 || stats.DeltaPublishes != 1 {
+		t.Errorf("UpdateStats = %+v, want one delta publish carrying all 40 ops", stats)
+	}
+	if stats.Rebuilds != 1 { // the bulk InsertAll
+		t.Errorf("Rebuilds = %d, want exactly the bulk install's", stats.Rebuilds)
+	}
+	if stats.PublishLatency.Total() != 2 || stats.PublishLatency.P99() < stats.PublishLatency.P50() {
+		t.Errorf("publish latency histogram inconsistent: %+v", stats.PublishLatency)
+	}
+
+	// The delta-churned classifier must still agree with a linear best-first
+	// scan over the live rules (which keep their original priorities, so the
+	// renumbering RuleSet oracle does not apply here).
+	live := c.Rules()
+	sort.SliceStable(live, func(i, j int) bool { return live[i].Priority < live[j].Priority })
+	for _, h := range GenerateTrace(NewRuleSet("probe", live), TraceOptions{Packets: 300, Seed: 10}) {
+		wantIdx := -1
+		for i, r := range live {
+			if r.Matches(h) {
+				wantIdx = i
+				break
+			}
+		}
+		got := c.Lookup(h)
+		if got.Matched != (wantIdx >= 0) {
+			t.Fatalf("after churn: Lookup(%s) matched %v, oracle %v", h, got.Matched, wantIdx >= 0)
+		}
+		if wantIdx >= 0 && got.Priority != live[wantIdx].Priority {
+			t.Fatalf("after churn: Lookup(%s) priority %d, oracle %d", h, got.Priority, live[wantIdx].Priority)
+		}
+	}
+}
 
 func TestFacadeRoundTrip(t *testing.T) {
 	c, err := New()

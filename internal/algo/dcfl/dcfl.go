@@ -57,6 +57,12 @@ type Classifier struct {
 	transTable *aggTable // (portTable result, proto)
 	finalTable *aggTable // (ipTable result, transTable result) -> rule sets
 
+	// Delta accounting (see delta.go): stale combination entries left by
+	// deletes, and the op/write counters of updates applied since Build.
+	staleCombos int
+	deltas      int
+	deltaWrites int
+
 	// Atomic so that a built classifier can serve Classify from any number
 	// of goroutines concurrently (read-only after build).
 	lookups        atomic.Uint64

@@ -1,0 +1,251 @@
+package dcfl
+
+import (
+	"fmt"
+	"maps"
+	"sort"
+
+	"sdnpc/internal/fivetuple"
+)
+
+// Incremental updates. DCFL decomposes the rule set per field, which makes
+// it naturally delta-friendly: one rule touches exactly one label per field
+// and one combination entry per aggregation node, so an insert is five label
+// acquisitions plus four table adds, and a delete empties the rule's
+// combination sets along the same path. The only structure-wide work is
+// renumbering the stored rule indices around the spliced position — O(total
+// set entries) of integer increments, versus the per-rule map construction
+// of a full Build.
+//
+// Deletes leave garbage behind on purpose: emptied combination entries and
+// unused field values stay in the tables, costing extra probes but never
+// correctness (the final aggregation node decides by set contents, and an
+// empty set matches nothing). Degradation quantifies that garbage so a
+// policy layer can amortise it away with an occasional rebuild.
+
+// Clone returns a deep copy of the classifier: the rule table, the per-field
+// label maps and value lists, and every aggregation table are duplicated, so
+// delta updates applied to the copy are never observable through the
+// original. Lookup counters start at zero on the copy.
+func (c *Classifier) Clone() *Classifier {
+	cp := &Classifier{
+		rules:       append([]fivetuple.Rule(nil), c.rules...),
+		srcPrefixes: append([]prefixValue(nil), c.srcPrefixes...),
+		dstPrefixes: append([]prefixValue(nil), c.dstPrefixes...),
+		srcPorts:    append([]portValue(nil), c.srcPorts...),
+		dstPorts:    append([]portValue(nil), c.dstPorts...),
+		protos:      append([]protoValue(nil), c.protos...),
+		ipTable:     c.ipTable.clone(),
+		portTable:   c.portTable.clone(),
+		transTable:  c.transTable.clone(),
+		finalTable:  c.finalTable.clone(),
+		staleCombos: c.staleCombos,
+		deltas:      c.deltas,
+		deltaWrites: c.deltaWrites,
+	}
+	for f := fieldIndex(0); f < numFields; f++ {
+		cp.fieldLabels[f] = maps.Clone(c.fieldLabels[f])
+	}
+	return cp
+}
+
+func (t *aggTable) clone() *aggTable {
+	cp := &aggTable{combos: maps.Clone(t.combos), sets: make([][]uint32, len(t.sets))}
+	for i, s := range t.sets {
+		cp.sets[i] = append([]uint32(nil), s...)
+	}
+	return cp
+}
+
+// shiftUp adds one to every stored rule index >= idx, freeing the index for
+// an insertion. Ascending set order is preserved.
+func (t *aggTable) shiftUp(idx int) {
+	for _, s := range t.sets {
+		for j, v := range s {
+			if v >= uint32(idx) {
+				s[j] = v + 1
+			}
+		}
+	}
+}
+
+// shiftDown subtracts one from every stored rule index > idx, closing the
+// gap a deletion left.
+func (t *aggTable) shiftDown(idx int) {
+	for _, s := range t.sets {
+		for j, v := range s {
+			if v > uint32(idx) {
+				s[j] = v - 1
+			}
+		}
+	}
+}
+
+// remove deletes rule index idx from the set of combination id. emptied
+// reports whether the set became empty (a stale combination entry).
+func (t *aggTable) remove(id uint32, idx int) (found, emptied bool) {
+	s := t.sets[id]
+	pos := sort.Search(len(s), func(i int) bool { return s[i] >= uint32(idx) })
+	if pos >= len(s) || s[pos] != uint32(idx) {
+		return false, false
+	}
+	t.sets[id] = append(s[:pos], s[pos+1:]...)
+	return true, len(t.sets[id]) == 0
+}
+
+// InsertAt splices rule r into the classifier's best-first rule order at
+// index idx: every aggregation set is renumbered around the new index, the
+// rule's five field values are labelled (new values are appended to the
+// field-search lists), and the rule is added along its combination path.
+func (c *Classifier) InsertAt(r fivetuple.Rule, idx int) error {
+	if idx < 0 || idx > len(c.rules) {
+		return fmt.Errorf("dcfl: insert index %d out of range [0,%d]", idx, len(c.rules))
+	}
+	for _, t := range c.aggTables() {
+		t.shiftUp(idx)
+	}
+	c.rules = append(c.rules, fivetuple.Rule{})
+	copy(c.rules[idx+1:], c.rules[idx:])
+	c.rules[idx] = r
+
+	srcLbl := c.labelFor(fieldSrcIP, r.SrcPrefix.Canonical().String())
+	dstLbl := c.labelFor(fieldDstIP, r.DstPrefix.Canonical().String())
+	spLbl := c.labelFor(fieldSrcPort, r.SrcPort.String())
+	dpLbl := c.labelFor(fieldDstPort, r.DstPort.String())
+	prLbl := c.labelFor(fieldProto, protoKey(r.Protocol))
+	c.storeFieldValue(fieldSrcIP, r, srcLbl)
+	c.storeFieldValue(fieldDstIP, r, dstLbl)
+	c.storeFieldValue(fieldSrcPort, r, spLbl)
+	c.storeFieldValue(fieldDstPort, r, dpLbl)
+	c.storeFieldValue(fieldProto, r, prLbl)
+
+	ipID := c.addCombo(c.ipTable, srcLbl, dstLbl, idx)
+	portID := c.addCombo(c.portTable, spLbl, dpLbl, idx)
+	transID := c.addCombo(c.transTable, portID, prLbl, idx)
+	c.addCombo(c.finalTable, ipID, transID, idx)
+	c.deltas++
+	return nil
+}
+
+// addCombo registers the combination for the rule, maintaining the
+// stale-entry accounting: refilling a previously emptied set revives it.
+func (c *Classifier) addCombo(t *aggTable, a, b uint32, idx int) uint32 {
+	if id, ok := t.probe(a, b); ok && len(t.sets[id]) == 0 {
+		c.staleCombos--
+	}
+	c.deltaWrites++
+	return t.add(a, b, uint32(idx))
+}
+
+// DeleteAt removes the rule at index idx of the best-first order: it is
+// deleted from the four aggregation sets along its combination path and the
+// remaining indices are renumbered down. Emptied combination entries and
+// now-unused field values are left in place as tracked garbage.
+func (c *Classifier) DeleteAt(idx int) error {
+	if idx < 0 || idx >= len(c.rules) {
+		return fmt.Errorf("dcfl: delete index %d out of range [0,%d)", idx, len(c.rules))
+	}
+	r := c.rules[idx]
+	lookup := func(f fieldIndex, key string) (uint32, error) {
+		lbl, ok := c.fieldLabels[f][key]
+		if !ok {
+			return 0, fmt.Errorf("dcfl: field value %q of rule %d is not labelled", key, idx)
+		}
+		return lbl, nil
+	}
+	srcLbl, err := lookup(fieldSrcIP, r.SrcPrefix.Canonical().String())
+	if err != nil {
+		return err
+	}
+	dstLbl, err := lookup(fieldDstIP, r.DstPrefix.Canonical().String())
+	if err != nil {
+		return err
+	}
+	spLbl, err := lookup(fieldSrcPort, r.SrcPort.String())
+	if err != nil {
+		return err
+	}
+	dpLbl, err := lookup(fieldDstPort, r.DstPort.String())
+	if err != nil {
+		return err
+	}
+	prLbl, err := lookup(fieldProto, protoKey(r.Protocol))
+	if err != nil {
+		return err
+	}
+	ipID, ok := c.ipTable.probe(srcLbl, dstLbl)
+	if !ok {
+		return fmt.Errorf("dcfl: IP combination of rule %d missing", idx)
+	}
+	portID, ok := c.portTable.probe(spLbl, dpLbl)
+	if !ok {
+		return fmt.Errorf("dcfl: port combination of rule %d missing", idx)
+	}
+	transID, ok := c.transTable.probe(portID, prLbl)
+	if !ok {
+		return fmt.Errorf("dcfl: transport combination of rule %d missing", idx)
+	}
+	finalID, ok := c.finalTable.probe(ipID, transID)
+	if !ok {
+		return fmt.Errorf("dcfl: final combination of rule %d missing", idx)
+	}
+	for _, del := range []struct {
+		t  *aggTable
+		id uint32
+	}{{c.ipTable, ipID}, {c.portTable, portID}, {c.transTable, transID}, {c.finalTable, finalID}} {
+		found, emptied := del.t.remove(del.id, idx)
+		if !found {
+			return fmt.Errorf("dcfl: rule %d missing from its combination set", idx)
+		}
+		if emptied {
+			c.staleCombos++
+		}
+		c.deltaWrites++
+	}
+	for _, t := range c.aggTables() {
+		t.shiftDown(idx)
+	}
+	c.rules = append(c.rules[:idx], c.rules[idx+1:]...)
+	c.deltas++
+	return nil
+}
+
+func (c *Classifier) aggTables() []*aggTable {
+	return []*aggTable{c.ipTable, c.portTable, c.transTable, c.finalTable}
+}
+
+// DeltaStats reports the delta debt accumulated since the tables were built.
+type DeltaStats struct {
+	// Deltas is the number of InsertAt/DeleteAt ops applied since Build.
+	Deltas int
+	// Writes is the number of combination-set edits performed by those ops.
+	Writes int
+	// StaleCombos is the number of combination entries whose rule set is
+	// empty — garbage a fresh build would not contain.
+	StaleCombos int
+}
+
+// DeltaStats returns the delta debt since Build.
+func (c *Classifier) DeltaStats() DeltaStats {
+	return DeltaStats{Deltas: c.deltas, Writes: c.deltaWrites, StaleCombos: c.staleCombos}
+}
+
+// Degradation estimates how far the delta-updated tables have drifted from
+// freshly built ones, as the fraction of combination entries that are stale:
+// 0 right after a build, growing as deletes empty entries that keep
+// consuming probes. The classifier stays correct regardless — degradation
+// only measures lookup-cost and memory drift.
+func (c *Classifier) Degradation() float64 {
+	total := 0
+	for _, t := range c.aggTables() {
+		total += len(t.sets)
+	}
+	if total == 0 {
+		return 0
+	}
+	d := float64(c.staleCombos) / float64(total)
+	if d > 1 {
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,164 @@
+package dcfl
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdnpc/internal/classbench"
+	"sdnpc/internal/fivetuple"
+)
+
+// TestDeltaMatchesFreshBuild churns built tables through a random
+// insert/delete sequence via the delta ops and asserts that every verdict
+// agrees with tables freshly built over the final rule list and with the
+// linear oracle.
+func TestDeltaMatchesFreshBuild(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Class: classbench.ACL, Rules: 200, Seed: 91})
+	c, err := Build(rs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	live := append([]fivetuple.Rule(nil), rs.Rules()...)
+	extra := classbench.Generate(classbench.Config{Class: classbench.IPC, Rules: 120, Seed: 92}).Rules()
+	rng := rand.New(rand.NewSource(93))
+	next := 0
+	for op := 0; op < 160; op++ {
+		if (rng.Intn(2) == 0 || len(live) == 0) && next < len(extra) {
+			idx := rng.Intn(len(live) + 1)
+			r := extra[next]
+			next++
+			if err := c.InsertAt(r, idx); err != nil {
+				t.Fatalf("InsertAt(%d): %v", idx, err)
+			}
+			live = append(live, fivetuple.Rule{})
+			copy(live[idx+1:], live[idx:])
+			live[idx] = r
+		} else if len(live) > 0 {
+			idx := rng.Intn(len(live))
+			if err := c.DeleteAt(idx); err != nil {
+				t.Fatalf("DeleteAt(%d): %v", idx, err)
+			}
+			live = append(live[:idx], live[idx+1:]...)
+		}
+	}
+	if got := c.DeltaStats().Deltas; got != 160 {
+		t.Errorf("DeltaStats.Deltas = %d, want 160", got)
+	}
+
+	finalSet := fivetuple.NewRuleSet("final", live)
+	fresh, err := Build(finalSet)
+	if err != nil {
+		t.Fatalf("fresh Build over %d rules: %v", finalSet.Len(), err)
+	}
+	trace := classbench.GenerateTrace(finalSet, classbench.TraceConfig{Packets: 800, Seed: 94, MatchFraction: 0.85})
+	for _, h := range trace {
+		wantIdx, wantOK := finalSet.Classify(h)
+		gotIdx, gotOK, _ := c.Classify(h)
+		if gotOK != wantOK || (wantOK && gotIdx != wantIdx) {
+			t.Fatalf("delta tables Classify(%s) = (%d,%v), oracle (%d,%v)", h, gotIdx, gotOK, wantIdx, wantOK)
+		}
+		freshIdx, freshOK, _ := fresh.Classify(h)
+		if gotOK != freshOK || (gotOK && gotIdx != freshIdx) {
+			t.Fatalf("delta tables Classify(%s) = (%d,%v), fresh build (%d,%v)", h, gotIdx, gotOK, freshIdx, freshOK)
+		}
+	}
+}
+
+// TestDeltaIndexBounds pins the range checks of the delta ops.
+func TestDeltaIndexBounds(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Class: classbench.ACL, Rules: 20, Seed: 5})
+	c, err := Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(rs.Rules())
+	if err := c.InsertAt(rs.Rule(0), n+1); err == nil {
+		t.Error("InsertAt past the end should fail")
+	}
+	if err := c.InsertAt(rs.Rule(0), -1); err == nil {
+		t.Error("InsertAt(-1) should fail")
+	}
+	if err := c.DeleteAt(n); err == nil {
+		t.Error("DeleteAt(len) should fail")
+	}
+	if err := c.DeleteAt(-1); err == nil {
+		t.Error("DeleteAt(-1) should fail")
+	}
+}
+
+// TestCloneIsolation asserts that delta ops on a clone are never observable
+// through the original.
+func TestCloneIsolation(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Class: classbench.FW, Rules: 150, Seed: 23})
+	orig, err := Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := classbench.GenerateTrace(rs, classbench.TraceConfig{Packets: 200, Seed: 24, MatchFraction: 0.9})
+	type verdict struct {
+		idx int
+		ok  bool
+	}
+	before := make([]verdict, len(trace))
+	for i, h := range trace {
+		idx, ok, _ := orig.Classify(h)
+		before[i] = verdict{idx, ok}
+	}
+
+	cl := orig.Clone()
+	for i := 0; i < 40; i++ {
+		if err := cl.DeleteAt(0); err != nil {
+			t.Fatalf("DeleteAt on clone: %v", err)
+		}
+	}
+	if err := cl.InsertAt(rs.Rule(0), 0); err != nil {
+		t.Fatalf("InsertAt on clone: %v", err)
+	}
+	if got := orig.DeltaStats().Deltas; got != 0 {
+		t.Errorf("original DeltaStats.Deltas = %d after clone mutation, want 0", got)
+	}
+	for i, h := range trace {
+		idx, ok, _ := orig.Classify(h)
+		if idx != before[i].idx || ok != before[i].ok {
+			t.Fatalf("original verdict for %s changed after clone mutation: (%d,%v) -> (%d,%v)",
+				h, before[i].idx, before[i].ok, idx, ok)
+		}
+	}
+}
+
+// TestDegradationTracksStaleCombos deletes rules and asserts the stale-entry
+// fraction rises, then falls again when the same rules are re-inserted (the
+// delete-then-reinsert churn pattern revives emptied combination entries).
+func TestDegradationTracksStaleCombos(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Class: classbench.ACL, Rules: 60, Seed: 31})
+	c, err := Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Degradation(); got != 0 {
+		t.Fatalf("fresh build degradation = %v, want 0", got)
+	}
+	// Delete the first 20 rules (always at index 0 so the renumbering path
+	// is exercised too).
+	deleted := append([]fivetuple.Rule(nil), rs.Rules()[:20]...)
+	for i := 0; i < 20; i++ {
+		if err := c.DeleteAt(0); err != nil {
+			t.Fatalf("DeleteAt: %v", err)
+		}
+	}
+	mid := c.Degradation()
+	if mid <= 0 {
+		t.Fatalf("degradation after 20 deletes = %v, want > 0", mid)
+	}
+	for i := len(deleted) - 1; i >= 0; i-- {
+		if err := c.InsertAt(deleted[i], 0); err != nil {
+			t.Fatalf("InsertAt: %v", err)
+		}
+	}
+	if got := c.Degradation(); got >= mid {
+		t.Errorf("degradation after re-inserting = %v, want below the post-delete %v", got, mid)
+	}
+	if got := c.DeltaStats().StaleCombos; got != 0 {
+		t.Errorf("StaleCombos after full re-insert = %d, want 0", got)
+	}
+}

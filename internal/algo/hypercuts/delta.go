@@ -1,0 +1,217 @@
+package hypercuts
+
+import (
+	"fmt"
+	"sort"
+
+	"sdnpc/internal/fivetuple"
+)
+
+// Incremental updates. A HyperCuts tree is naturally delta-friendly: the
+// internal nodes encode a fixed partition of the header space, so inserting
+// or deleting one rule only changes the leaf rule lists — the cut structure
+// is untouched. A delta walk visits every node once, renumbering the stored
+// rule indices around the spliced position and editing the rule into (or out
+// of) exactly the leaves whose region it overlaps. That is O(nodes + stored
+// rule pointers) of integer work, versus the geometric recursion of a full
+// Build.
+//
+// The price is drift: inserts can grow a leaf beyond binth (a fresh build
+// would have split it), so the linear leaf scan slowly lengthens. The tree
+// stays correct — Degradation quantifies the drift so a policy layer can
+// amortise it away with an occasional rebuild.
+
+// Clone returns a deep structural copy of the classifier: nodes, leaf rule
+// lists and the rule table are all duplicated, so delta updates applied to
+// the copy are never observable through the original. The cut descriptions
+// (cutDims, cutsPer) are immutable after Build and stay shared. Lookup
+// counters start at zero on the copy.
+func (c *Classifier) Clone() *Classifier {
+	cp := &Classifier{
+		cfg:          c.cfg,
+		rules:        append([]fivetuple.Rule(nil), c.rules...),
+		nodeCount:    c.nodeCount,
+		leafCount:    c.leafCount,
+		rulePtrs:     c.rulePtrs,
+		maxDepth:     c.maxDepth,
+		maxLeaf:      c.maxLeaf,
+		baseOverflow: c.baseOverflow,
+		overflowPtrs: c.overflowPtrs,
+		deltas:       c.deltas,
+		deltaWrites:  c.deltaWrites,
+	}
+	cp.root = cloneNode(c.root)
+	return cp
+}
+
+func cloneNode(n *node) *node {
+	if n == nil {
+		return nil
+	}
+	cp := &node{
+		leafRules: append([]int(nil), n.leafRules...),
+		cutDims:   n.cutDims,
+		cutsPer:   n.cutsPer,
+		region:    n.region,
+	}
+	if n.children != nil {
+		cp.children = make([]*node, len(n.children))
+		for i, ch := range n.children {
+			cp.children[i] = cloneNode(ch)
+		}
+	}
+	return cp
+}
+
+// InsertAt splices rule r into the classifier's best-first rule order at
+// index idx and adds it to every leaf whose region the rule overlaps — the
+// leaf-local delta update. Stored leaf indices at or above idx shift up by
+// one during the same traversal, so the tree stays consistent with the new
+// rule order without a rebuild.
+func (c *Classifier) InsertAt(r fivetuple.Rule, idx int) error {
+	if idx < 0 || idx > len(c.rules) {
+		return fmt.Errorf("hypercuts: insert index %d out of range [0,%d]", idx, len(c.rules))
+	}
+	c.rules = append(c.rules, fivetuple.Rule{})
+	copy(c.rules[idx+1:], c.rules[idx:])
+	c.rules[idx] = r
+	c.insertWalk(c.root, r, idx)
+	c.deltas++
+	return nil
+}
+
+func (c *Classifier) insertWalk(n *node, r fivetuple.Rule, idx int) {
+	if n.isLeaf() {
+		// Renumbering adds one to every index >= idx, which preserves the
+		// ascending (best-first) order, so idx then lands at its search
+		// position.
+		for i, ri := range n.leafRules {
+			if ri >= idx {
+				n.leafRules[i] = ri + 1
+			}
+		}
+		if ruleOverlapsRegion(r, n.region) {
+			pos := sort.SearchInts(n.leafRules, idx)
+			n.leafRules = append(n.leafRules, 0)
+			copy(n.leafRules[pos+1:], n.leafRules[pos:])
+			n.leafRules[pos] = idx
+			c.rulePtrs++
+			c.deltaWrites++
+			if occ := len(n.leafRules); occ > c.maxLeaf {
+				c.maxLeaf = occ
+			}
+			if len(n.leafRules) > c.cfg.Binth {
+				c.overflowPtrs++
+			}
+		}
+		return
+	}
+	for _, ch := range n.children {
+		c.insertWalk(ch, r, idx)
+	}
+}
+
+// DeleteAt removes the rule at index idx of the best-first order from every
+// leaf storing it and renumbers the remaining indices down, then drops the
+// rule from the rule table. Leaves are never re-merged; the (cheap) excess
+// depth this can leave behind is amortised away by the policy layer's
+// periodic rebuild.
+func (c *Classifier) DeleteAt(idx int) error {
+	if idx < 0 || idx >= len(c.rules) {
+		return fmt.Errorf("hypercuts: delete index %d out of range [0,%d)", idx, len(c.rules))
+	}
+	c.deleteWalk(c.root, idx)
+	c.rules = append(c.rules[:idx], c.rules[idx+1:]...)
+	c.deltas++
+	return nil
+}
+
+func (c *Classifier) deleteWalk(n *node, idx int) {
+	if n.isLeaf() {
+		pos := sort.SearchInts(n.leafRules, idx)
+		if pos < len(n.leafRules) && n.leafRules[pos] == idx {
+			if len(n.leafRules) > c.cfg.Binth {
+				c.overflowPtrs--
+			}
+			n.leafRules = append(n.leafRules[:pos], n.leafRules[pos+1:]...)
+			c.rulePtrs--
+			c.deltaWrites++
+		}
+		for i, ri := range n.leafRules {
+			if ri > idx {
+				n.leafRules[i] = ri - 1
+			}
+		}
+		return
+	}
+	for _, ch := range n.children {
+		c.deleteWalk(ch, idx)
+	}
+}
+
+// DeltaStats reports the delta debt accumulated since the tree was built.
+type DeltaStats struct {
+	// Deltas is the number of InsertAt/DeleteAt ops applied since Build.
+	Deltas int
+	// Writes is the number of leaf entries written or removed by those ops.
+	Writes int
+	// OverflowPtrs is the number of leaf entries beyond binth in excess of
+	// what the build itself produced (deep or fully overlapping rule sets
+	// can leave overfull leaves even in a fresh tree, which is not delta
+	// drift).
+	OverflowPtrs int
+}
+
+// DeltaStats returns the delta debt since Build.
+func (c *Classifier) DeltaStats() DeltaStats {
+	over := c.overflowPtrs - c.baseOverflow
+	if over < 0 {
+		over = 0
+	}
+	return DeltaStats{Deltas: c.deltas, Writes: c.deltaWrites, OverflowPtrs: over}
+}
+
+// Degradation estimates how far the delta-updated tree has drifted from a
+// freshly built one, as the fraction of rules now sitting in overfull
+// leaves: 0 right after a build, approaching 1 when the leaf scans have
+// outgrown binth everywhere. The classifier stays correct regardless —
+// degradation only measures lookup-cost drift.
+func (c *Classifier) Degradation() float64 {
+	if len(c.rules) == 0 {
+		return 0
+	}
+	d := float64(c.DeltaStats().OverflowPtrs) / float64(len(c.rules))
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+// MaxLeafOccupancy returns an upper bound on the occupancy of the fullest
+// leaf: exact after Build and after inserts; deletes may leave it stale
+// high, which only overestimates the modelled worst case.
+func (c *Classifier) MaxLeafOccupancy() int { return c.maxLeaf }
+
+// initLeafMetrics derives the leaf-occupancy counters of a freshly built
+// tree — the zero point the delta accounting measures drift from.
+func (c *Classifier) initLeafMetrics() {
+	c.overflowPtrs, c.maxLeaf = 0, 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.isLeaf() {
+			if l := len(n.leafRules); l > c.maxLeaf {
+				c.maxLeaf = l
+			}
+			if over := len(n.leafRules) - c.cfg.Binth; over > 0 {
+				c.overflowPtrs += over
+			}
+			return
+		}
+		for _, ch := range n.children {
+			walk(ch)
+		}
+	}
+	walk(c.root)
+	c.baseOverflow = c.overflowPtrs
+	c.deltas, c.deltaWrites = 0, 0
+}

@@ -146,6 +146,14 @@ type Classifier struct {
 	rulePtrs  int
 	maxDepth  int
 
+	// Delta accounting (see delta.go): leaf-occupancy metrics anchored at
+	// Build time, and the op/write counters of updates applied since.
+	maxLeaf      int
+	baseOverflow int
+	overflowPtrs int
+	deltas       int
+	deltaWrites  int
+
 	// Atomic so that a built classifier can serve Classify from any number
 	// of goroutines concurrently (read-only after build).
 	lookups        atomic.Uint64
@@ -166,6 +174,7 @@ func Build(rs *fivetuple.RuleSet, cfg Config) (*Classifier, error) {
 		all[i] = i
 	}
 	c.root = c.build(all, fullRegion(), 0)
+	c.initLeafMetrics()
 	return c, nil
 }
 

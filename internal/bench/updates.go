@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdnpc/internal/classbench"
+	"sdnpc/internal/core"
+	"sdnpc/internal/engine"
+	"sdnpc/internal/label"
+)
+
+// UpdateSweepOptions parameterises the churn driver.
+type UpdateSweepOptions struct {
+	// Engines restricts the sweep to the named engines; empty means every
+	// selectable engine of both tiers. Incremental packet engines run once
+	// per update mode, non-incremental ones run a single "rebuild" cell, and
+	// field engines (no packet structure to rebuild) run once as "field".
+	Engines []string
+	// Ops is the churn-trace length per cell; <= 0 selects 2000.
+	Ops int
+	// Readers is the number of goroutines flooding lookups while the writer
+	// churns; <= 0 selects 2. The measured lookup throughput is what the
+	// serving path sustains *under* churn, not in isolation.
+	Readers int
+	// OpsPerSecond paces the writer (the churn rate); <= 0 applies the trace
+	// at full speed, which is how update latency is usually measured.
+	OpsPerSecond float64
+	// InsertFraction and Locality shape the generated churn trace (see
+	// classbench.UpdateTraceConfig).
+	InsertFraction float64
+	Locality       float64
+	// Seed makes the churn trace deterministic; 0 selects 42.
+	Seed int64
+}
+
+// updateModes names the two packet-tier update policies the sweep compares:
+// the delta-apply path under the default amortisation policy, and the
+// rebuild-every-publish baseline (RebuildAfterDeltas = 1).
+var updateModes = []string{"delta", "rebuild"}
+
+// UpdateSweepRow is one measured cell of the churn sweep.
+type UpdateSweepRow struct {
+	Engine string
+	// Mode is "delta" or "rebuild" for packet engines, "field" for field
+	// engines (updated in place per label, no structure to rebuild).
+	Mode string
+	// Ops is the number of update ops applied (failed ops are skipped and
+	// not counted).
+	Ops int
+	// UpdateP50 and UpdateP99 are wall-clock per-publish latency quantiles;
+	// UpdatesPerSec is the sustained publish rate.
+	UpdateP50     time.Duration
+	UpdateP99     time.Duration
+	UpdatesPerSec float64
+	// LookupsPerSec is the concurrent reader throughput sustained while the
+	// writer churned.
+	LookupsPerSec float64
+	// DeltasApplied and Rebuilds are the classifier's update-plane counters
+	// after the storm.
+	DeltasApplied uint64
+	Rebuilds      uint64
+}
+
+// UpdateSweep measures the write side under churn: for every selected engine
+// (and, for packet engines, every update mode) it installs the workload's
+// rule set, generates one shared churn trace, then applies it op by op
+// through InsertRule/DeleteRule while Readers goroutines flood lookups
+// against the same classifier. Update latency is measured per publish
+// wall-clock; lookup throughput is what the readers actually sustained
+// during the storm.
+func UpdateSweep(w Workload, opts UpdateSweepOptions) ([]UpdateSweepRow, error) {
+	engines := opts.Engines
+	if len(engines) == 0 {
+		engines = engine.SelectableNames()
+	}
+	ops := opts.Ops
+	if ops <= 0 {
+		ops = 2000
+	}
+	readers := opts.Readers
+	if readers <= 0 {
+		readers = 2
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	trace := classbench.GenerateUpdateTrace(w.RuleSet, classbench.UpdateTraceConfig{
+		Ops: ops, Seed: seed, InsertFraction: opts.InsertFraction, Locality: opts.Locality,
+	})
+
+	var rows []UpdateSweepRow
+	for _, name := range engines {
+		isPacket, ok := engine.Selectable(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown engine %q (selectable: %v)", name, engine.SelectableNames())
+		}
+		modes := []string{"field"}
+		if isPacket {
+			// A non-incremental packet engine has no delta path: its "delta"
+			// cell would rebuild every publish exactly like "rebuild" under a
+			// wrong label (and double the slowest cells of the sweep).
+			if def, _ := engine.Get(name); def.Incremental {
+				modes = updateModes
+			} else {
+				modes = []string{"rebuild"}
+			}
+		}
+		for _, mode := range modes {
+			cfg := EngineConfig(name)
+			if mode == "rebuild" {
+				cfg.RebuildAfterDeltas = 1
+			}
+			row, err := runUpdateCell(cfg, name, mode, w, trace, readers, opts.OpsPerSecond)
+			if err != nil {
+				return nil, fmt.Errorf("bench: churn %s/%s: %w", name, mode, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runUpdateCell drives one (engine, mode) cell of the churn sweep.
+func runUpdateCell(cfg core.Config, name, mode string, w Workload, trace []classbench.UpdateOp, readers int, pace float64) (UpdateSweepRow, error) {
+	c, err := core.New(cfg)
+	if err != nil {
+		return UpdateSweepRow{}, err
+	}
+	if _, err := c.InstallRuleSet(w.RuleSet); err != nil {
+		return UpdateSweepRow{}, err
+	}
+	c.ResetStats()
+
+	done := make(chan struct{})
+	var lookups atomic.Uint64
+	var wg sync.WaitGroup
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func(pos int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				c.Lookup(w.Trace[pos%len(w.Trace)])
+				lookups.Add(1)
+				pos++
+			}
+		}(ri * len(w.Trace) / readers)
+	}
+
+	var interval time.Duration
+	if pace > 0 {
+		interval = time.Duration(float64(time.Second) / pace)
+	}
+	latencies := make([]time.Duration, 0, len(trace))
+	applied := 0
+	start := time.Now()
+	next := start
+	for _, op := range trace {
+		if interval > 0 {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		t0 := time.Now()
+		if op.Delete {
+			_, err = c.DeleteRule(op.Rule)
+		} else {
+			_, err = c.InsertRule(op.Rule)
+		}
+		if err != nil {
+			// Capacity overflows (rule filter or a dimension's label budget)
+			// and duplicate deletes are workload noise, not measurement
+			// failures; anything else aborts the cell.
+			if errors.Is(err, core.ErrRuleFilterFull) || errors.Is(err, core.ErrRuleNotInstalled) ||
+				errors.Is(err, label.ErrTableFull) {
+				continue
+			}
+			close(done)
+			wg.Wait()
+			return UpdateSweepRow{}, err
+		}
+		latencies = append(latencies, time.Since(t0))
+		applied++
+	}
+	elapsed := time.Since(start)
+	close(done)
+	wg.Wait()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quantile := func(q float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return latencies[int(q*float64(len(latencies)-1))]
+	}
+	stats := c.UpdateStats()
+	row := UpdateSweepRow{
+		Engine:        name,
+		Mode:          mode,
+		Ops:           applied,
+		UpdateP50:     quantile(0.50),
+		UpdateP99:     quantile(0.99),
+		DeltasApplied: stats.DeltasApplied,
+		Rebuilds:      stats.Rebuilds,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		row.UpdatesPerSec = float64(applied) / sec
+		row.LookupsPerSec = float64(lookups.Load()) / sec
+	}
+	return row, nil
+}
+
+// RenderUpdateSweep renders the churn sweep as a table.
+func RenderUpdateSweep(rows []UpdateSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Update-plane churn sweep — per-publish latency and concurrent lookup throughput\n")
+	fmt.Fprintf(&b, "%-10s %8s %6s %12s %12s %12s %14s %8s %9s\n",
+		"engine", "mode", "ops", "update p50", "update p99", "updates/s", "lookups/s", "deltas", "rebuilds")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8s %6d %12s %12s %12.0f %14.0f %8d %9d\n",
+			r.Engine, r.Mode, r.Ops, r.UpdateP50, r.UpdateP99, r.UpdatesPerSec,
+			r.LookupsPerSec, r.DeltasApplied, r.Rebuilds)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"sdnpc/internal/classbench"
+)
+
+func TestUpdateSweepShapesAndCounters(t *testing.T) {
+	w := NewWorkload(classbench.ACL, classbench.Size1K, 500)
+	rows, err := UpdateSweep(w, UpdateSweepOptions{
+		Engines: []string{"mbt", "hypercuts"},
+		Ops:     60,
+		Readers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mbt runs once as "field"; hypercuts runs in both update modes.
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (field + delta + rebuild)", len(rows))
+	}
+	byMode := map[string]UpdateSweepRow{}
+	for _, r := range rows {
+		byMode[r.Engine+"/"+r.Mode] = r
+		if r.Ops == 0 || r.UpdatesPerSec <= 0 || r.LookupsPerSec <= 0 {
+			t.Errorf("row %s/%s has empty measurements: %+v", r.Engine, r.Mode, r)
+		}
+		if r.UpdateP99 < r.UpdateP50 {
+			t.Errorf("row %s/%s: p99 %v below p50 %v", r.Engine, r.Mode, r.UpdateP99, r.UpdateP50)
+		}
+	}
+	field, ok := byMode["mbt/field"]
+	if !ok || field.DeltasApplied != 0 || field.Rebuilds != 0 {
+		t.Errorf("field row should carry no packet-tier counters: %+v", field)
+	}
+	delta, ok := byMode["hypercuts/delta"]
+	if !ok || delta.DeltasApplied == 0 {
+		t.Errorf("delta row should have applied deltas: %+v", delta)
+	}
+	rebuild, ok := byMode["hypercuts/rebuild"]
+	if !ok || rebuild.DeltasApplied != 0 || rebuild.Rebuilds == 0 {
+		t.Errorf("rebuild row should rebuild every publish and apply no deltas: %+v", rebuild)
+	}
+	if out := RenderUpdateSweep(rows); len(out) == 0 {
+		t.Error("RenderUpdateSweep produced no output")
+	}
+}
+
+func TestUpdateSweepRejectsUnknownEngine(t *testing.T) {
+	w := NewWorkload(classbench.ACL, classbench.Size1K, 100)
+	if _, err := UpdateSweep(w, UpdateSweepOptions{Engines: []string{"no-such-engine"}, Ops: 5}); err == nil {
+		t.Fatal("unknown engine should error")
+	}
+}
+
+func TestUpdateSweepPacing(t *testing.T) {
+	w := NewWorkload(classbench.ACL, classbench.Size1K, 100)
+	rows, err := UpdateSweep(w, UpdateSweepOptions{
+		Engines: []string{"mbt"}, Ops: 20, Readers: 1, OpsPerSecond: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 ops at 2000/s should take ~10ms, so the sustained rate must not
+	// exceed the pace by much (scheduling may make it slower, never faster).
+	if got := rows[0].UpdatesPerSec; got > 3000 {
+		t.Errorf("paced sweep ran at %.0f updates/s, want <= ~2000", got)
+	}
+}

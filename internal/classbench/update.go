@@ -1,0 +1,150 @@
+package classbench
+
+import (
+	"math/rand"
+	"sort"
+
+	"sdnpc/internal/fivetuple"
+)
+
+// UpdateOp is one rule mutation of a generated churn trace: an insertion of
+// a new (or previously deleted) rule, or the deletion of a currently live
+// one. The trace is applicable by construction — every delete references a
+// rule that is live at that point when the ops are applied in order starting
+// from the base filter set.
+type UpdateOp struct {
+	Delete bool
+	Rule   fivetuple.Rule
+}
+
+// UpdateTraceConfig parameterises churn-trace generation — the controller-
+// driven flow-mod storms the incremental update plane is built for.
+type UpdateTraceConfig struct {
+	// Ops is the number of mutations to generate.
+	Ops int
+	// Seed makes generation deterministic.
+	Seed int64
+	// InsertFraction is the insert/delete mix: the probability that an op is
+	// an insertion. 0 selects the balanced default of 0.5 (a steady-state
+	// churn that neither grows nor shrinks the set on average); negative
+	// values select a pure-delete storm; values above 1 are clamped to
+	// all-inserts. When the live set is empty a delete op degrades to an
+	// insert.
+	InsertFraction float64
+	// Locality, in [0,1), concentrates the churn on a hot subset of the
+	// rules: 0 spreads deletes uniformly over the live set, values towards 1
+	// bias them onto the same high-priority rules over and over — the
+	// delete-then-reinsert pattern of flapping SDN flows. Reinsertions of
+	// previously deleted rules follow the same bias. Out-of-range values
+	// (including NaN) are clamped.
+	Locality float64
+	// ReinsertFraction is the probability that an insertion re-installs a
+	// previously deleted rule verbatim instead of drawing a fresh one; 0
+	// selects the default of 0.5. Reinserted rules keep their original
+	// priority, so churn oscillates rather than monotonically growing the
+	// priority space.
+	ReinsertFraction float64
+}
+
+func (cfg UpdateTraceConfig) normalized() UpdateTraceConfig {
+	if cfg.InsertFraction == 0 {
+		cfg.InsertFraction = 0.5
+	}
+	if !(cfg.InsertFraction >= 0) { // negative or NaN
+		cfg.InsertFraction = 0
+	}
+	if cfg.InsertFraction > 1 {
+		cfg.InsertFraction = 1
+	}
+	if !(cfg.Locality >= 0) {
+		cfg.Locality = 0
+	}
+	if cfg.Locality >= 1 {
+		cfg.Locality = 0.999
+	}
+	if cfg.ReinsertFraction == 0 {
+		cfg.ReinsertFraction = 0.5
+	}
+	if !(cfg.ReinsertFraction >= 0) {
+		cfg.ReinsertFraction = 0
+	}
+	if cfg.ReinsertFraction > 1 {
+		cfg.ReinsertFraction = 1
+	}
+	return cfg
+}
+
+// GenerateUpdateTrace derives a deterministic mutation sequence from a base
+// filter set. Applying the ops in order to a classifier holding the base set
+// is always valid: deletes name live rules, fresh inserts carry priorities
+// beyond every live one, and reinserts restore previously deleted rules
+// verbatim. Fresh rules are drawn by mutating the match fields of existing
+// rules, so the churn stays inside the workload's structural distribution
+// instead of injecting uniform noise.
+func GenerateUpdateTrace(rs *fivetuple.RuleSet, cfg UpdateTraceConfig) []UpdateOp {
+	if cfg.Ops <= 0 {
+		return nil
+	}
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	live := rs.Rules()
+	var deleted []fivetuple.Rule
+	nextPriority := 0
+	for _, r := range live {
+		if r.Priority >= nextPriority {
+			nextPriority = r.Priority + 1
+		}
+	}
+
+	ops := make([]UpdateOp, 0, cfg.Ops)
+	for len(ops) < cfg.Ops {
+		if rng.Float64() < cfg.InsertFraction || len(live) == 0 {
+			var r fivetuple.Rule
+			if len(deleted) > 0 && rng.Float64() < cfg.ReinsertFraction {
+				i := pickRule(rng, len(deleted), cfg.Locality)
+				r = deleted[i]
+				deleted = append(deleted[:i], deleted[i+1:]...)
+			} else {
+				r = freshRule(rng, rs, nextPriority)
+				nextPriority++
+			}
+			// Keep live in priority order so the locality bias below keeps
+			// aiming at the same high-priority rules: a reinserted rule
+			// returns to the hot front instead of hiding at the tail.
+			pos := sort.Search(len(live), func(i int) bool { return live[i].Priority > r.Priority })
+			live = append(live, fivetuple.Rule{})
+			copy(live[pos+1:], live[pos:])
+			live[pos] = r
+			ops = append(ops, UpdateOp{Rule: r})
+		} else {
+			i := pickRule(rng, len(live), cfg.Locality)
+			r := live[i]
+			live = append(live[:i], live[i+1:]...)
+			deleted = append(deleted, r)
+			ops = append(ops, UpdateOp{Delete: true, Rule: r})
+		}
+	}
+	return ops
+}
+
+// freshRule draws a never-before-seen rule shaped like the base set: an
+// existing rule's match fields under a fresh priority, with a new source
+// prefix. Only the IP fields are perturbed — their label space is the
+// architecture's widest (13 bits per segment) — so a long churn run coins
+// new IP labels without exhausting the narrow port and protocol label
+// budgets the way random fresh ports would.
+func freshRule(rng *rand.Rand, rs *fivetuple.RuleSet, priority int) fivetuple.Rule {
+	var r fivetuple.Rule
+	if rs.Len() > 0 {
+		r = rs.Rule(rng.Intn(rs.Len()))
+	} else {
+		r = fivetuple.Wildcard(0, fivetuple.ActionForward)
+	}
+	r.Priority = priority
+	r.ActionArg = uint32(priority)
+	r.SrcPrefix = fivetuple.Prefix{
+		Addr: fivetuple.IPv4(rng.Uint32()),
+		Len:  16 + uint8(rng.Intn(17)),
+	}.Canonical()
+	return r
+}

@@ -1,0 +1,132 @@
+package classbench
+
+import (
+	"math"
+	"testing"
+
+	"sdnpc/internal/fivetuple"
+)
+
+// replayTrace applies the ops to a mirror of the base set the way a
+// classifier would, failing if any delete names a rule that is not live —
+// the applicability guarantee of the generator.
+func replayTrace(t *testing.T, rs *fivetuple.RuleSet, ops []UpdateOp) (live []fivetuple.Rule) {
+	t.Helper()
+	live = rs.Rules()
+	find := func(r fivetuple.Rule) int {
+		for i, lr := range live {
+			if lr.Priority == r.Priority &&
+				lr.SrcPrefix.Canonical() == r.SrcPrefix.Canonical() &&
+				lr.DstPrefix.Canonical() == r.DstPrefix.Canonical() &&
+				lr.SrcPort == r.SrcPort && lr.DstPort == r.DstPort && lr.Protocol == r.Protocol {
+				return i
+			}
+		}
+		return -1
+	}
+	for i, op := range ops {
+		if op.Delete {
+			idx := find(op.Rule)
+			if idx < 0 {
+				t.Fatalf("op %d deletes a rule that is not live: %s priority %d", i, op.Rule, op.Rule.Priority)
+			}
+			live = append(live[:idx], live[idx+1:]...)
+		} else {
+			live = append(live, op.Rule)
+		}
+	}
+	return live
+}
+
+func TestGenerateUpdateTraceIsApplicableAndDeterministic(t *testing.T) {
+	rs := Generate(Config{Class: ACL, Rules: 200, Seed: 7})
+	cfg := UpdateTraceConfig{Ops: 500, Seed: 11, InsertFraction: 0.5, Locality: 0.3}
+	ops := GenerateUpdateTrace(rs, cfg)
+	if len(ops) != 500 {
+		t.Fatalf("generated %d ops, want 500", len(ops))
+	}
+	replayTrace(t, rs, ops)
+
+	again := GenerateUpdateTrace(rs, cfg)
+	for i := range ops {
+		if ops[i].Delete != again[i].Delete || ops[i].Rule != again[i].Rule {
+			t.Fatalf("op %d differs between identical generations", i)
+		}
+	}
+
+	inserts := 0
+	for _, op := range ops {
+		if !op.Delete {
+			inserts++
+		}
+	}
+	if inserts < 150 || inserts > 350 {
+		t.Errorf("insert mix = %d/500, want roughly balanced for InsertFraction 0.5", inserts)
+	}
+}
+
+func TestGenerateUpdateTraceMixKnob(t *testing.T) {
+	rs := Generate(Config{Class: FW, Rules: 100, Seed: 3})
+	allIn := GenerateUpdateTrace(rs, UpdateTraceConfig{Ops: 100, Seed: 5, InsertFraction: 2})
+	for i, op := range allIn {
+		if op.Delete {
+			t.Fatalf("op %d is a delete under InsertFraction > 1 (all-inserts)", i)
+		}
+	}
+	allDel := GenerateUpdateTrace(rs, UpdateTraceConfig{Ops: 50, Seed: 5, InsertFraction: -1})
+	deletes := 0
+	for _, op := range allDel {
+		if op.Delete {
+			deletes++
+		}
+	}
+	// A pure-delete storm deletes until the live set is exhausted, then
+	// degrades to inserts; with 100 live rules and 50 ops it never runs out.
+	if deletes != 50 {
+		t.Errorf("pure-delete storm produced %d deletes of 50 ops", deletes)
+	}
+	replayTrace(t, rs, allDel)
+
+	nan := GenerateUpdateTrace(rs, UpdateTraceConfig{Ops: 20, Seed: 5, InsertFraction: math.NaN(), Locality: math.NaN()})
+	replayTrace(t, rs, nan)
+	if GenerateUpdateTrace(rs, UpdateTraceConfig{Ops: 0, Seed: 1}) != nil {
+		t.Error("zero ops should generate nil")
+	}
+}
+
+func TestGenerateUpdateTraceLocalityConcentratesChurn(t *testing.T) {
+	rs := Generate(Config{Class: ACL, Rules: 300, Seed: 13})
+	distinct := func(locality float64) int {
+		ops := GenerateUpdateTrace(rs, UpdateTraceConfig{Ops: 400, Seed: 17, InsertFraction: 0.5, Locality: locality})
+		replayTrace(t, rs, ops)
+		seen := map[int]struct{}{}
+		for _, op := range ops {
+			if op.Delete {
+				seen[op.Rule.Priority] = struct{}{}
+			}
+		}
+		return len(seen)
+	}
+	uniform, hot := distinct(0), distinct(0.95)
+	if hot >= uniform {
+		t.Errorf("high locality touched %d distinct rules, uniform %d; want concentration", hot, uniform)
+	}
+}
+
+func TestGenerateUpdateTraceReinsertsDeletedRules(t *testing.T) {
+	rs := Generate(Config{Class: IPC, Rules: 150, Seed: 19})
+	ops := GenerateUpdateTrace(rs, UpdateTraceConfig{Ops: 600, Seed: 23, InsertFraction: 0.5, Locality: 0.5})
+	replayTrace(t, rs, ops)
+	deleted := map[int]bool{}
+	reinserts := 0
+	for _, op := range ops {
+		if op.Delete {
+			deleted[op.Rule.Priority] = true
+		} else if deleted[op.Rule.Priority] {
+			reinserts++
+		}
+	}
+	if reinserts == 0 {
+		t.Error("no delete-then-reinsert cycles in 600 ops; the churn shape is wrong")
+	}
+}

@@ -148,7 +148,7 @@ func New(cfg Config) (*Classifier, error) {
 	}
 	if cfg.PacketEngine != "" {
 		s.packetName = cfg.PacketEngine
-		if err := s.syncPacket(); err != nil {
+		if _, err := s.syncPacket(&c.cfg); err != nil {
 			return nil, err
 		}
 	}
@@ -275,7 +275,7 @@ func (c *Classifier) selectIPEngineLocked(name string, def engine.Definition, dr
 			return err
 		}
 		next.packetName = packetName
-		if err := next.syncPacket(); err != nil {
+		if _, err := next.syncPacket(&c.cfg); err != nil {
 			return err
 		}
 		c.publish(next)
@@ -297,13 +297,17 @@ func (c *Classifier) selectIPEngineLocked(name string, def engine.Definition, dr
 	}
 	// A surviving packet tier keeps serving from the same whole-packet
 	// structure: the rule set is unchanged by the replay, so the built
-	// structure is reused through a cheap Clone instead of recomputed.
+	// structure is reused through a cheap Clone instead of recomputed. The
+	// replay queued one pending mutation per rule; those are already
+	// reflected in the reused structure, so they are dropped — along with
+	// its carried delta debt, which the amortisation policy keeps bounding.
 	if packetName != "" && packetName == current.packetName && current.packet != nil {
 		next.packet = current.packet.Clone()
 		next.packetRules = current.packetRules
-		next.packetStale = false
+		next.packetPending = nil
+		next.packetDeltas = current.packetDeltas
 	}
-	if err := next.syncPacket(); err != nil {
+	if _, err := next.syncPacket(&c.cfg); err != nil {
 		return err
 	}
 	c.publish(next)
@@ -337,7 +341,9 @@ func (c *Classifier) SelectPacketEngine(name string) error {
 	next.packetName = name
 	next.packet = nil
 	next.packetRules = nil
-	if err := next.syncPacket(); err != nil {
+	next.packetPending = nil
+	next.packetDeltas = 0
+	if _, err := next.syncPacket(&c.cfg); err != nil {
 		return err
 	}
 	c.publish(next)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/label"
@@ -396,6 +397,27 @@ type statsCollector struct {
 	inserts      atomic.Uint64
 	deletes      atomic.Uint64
 	updateCycles atomic.Uint64
+
+	// Update-plane counters (see UpdateStats): how publishes were served by
+	// the packet tier and how long each took wall-clock.
+	deltasApplied  atomic.Uint64
+	deltaPublishes atomic.Uint64
+	rebuilds       atomic.Uint64
+	publishLatency [publishLatencyBuckets]atomic.Uint64
+}
+
+// recordPublish folds one rule-update publish into the update-plane
+// counters: the sync outcome (delta-applied vs rebuilt) and the wall-clock
+// latency of the whole clone-mutate-sync-swap.
+func (sc *statsCollector) recordPublish(sync publishSync, elapsed time.Duration) {
+	switch {
+	case sync.rebuilt:
+		sc.rebuilds.Add(1)
+	case sync.deltas > 0:
+		sc.deltaPublishes.Add(1)
+		sc.deltasApplied.Add(uint64(sync.deltas))
+	}
+	sc.publishLatency[latencyBucket(elapsed)].Add(1)
 }
 
 func (sc *statsCollector) recordLookup(r Result) {
@@ -464,6 +486,12 @@ func (sc *statsCollector) reset() {
 	sc.inserts.Store(0)
 	sc.deletes.Store(0)
 	sc.updateCycles.Store(0)
+	sc.deltasApplied.Store(0)
+	sc.deltaPublishes.Store(0)
+	sc.rebuilds.Store(0)
+	for i := range sc.publishLatency {
+		sc.publishLatency[i].Store(0)
+	}
 }
 
 // Stats returns a snapshot of the accumulated counters. It is safe to call

@@ -42,6 +42,14 @@ type MemoryReport struct {
 	PacketEngine         string
 	PacketEngineUsedBits int
 
+	// Update plane: the delta debt of the active packet structure. Deltas is
+	// how many incremental ops it has absorbed since its last full build,
+	// and Degradation the engine-reported drift from a fresh build (stale
+	// DCFL combination entries, overfull HyperCuts leaves). Both are 0 for
+	// non-incremental engines and right after a rebuild.
+	PacketEngineDeltas      int
+	PacketEngineDegradation float64
+
 	// Microflow cache: the provisioned entry slots of the exact-match cache
 	// fronting both tiers and their software footprint (entry structs plus
 	// per-bucket eviction state). Both are 0 when the cache is disabled. The
@@ -113,6 +121,10 @@ func (c *Classifier) MemoryReport() MemoryReport {
 	report.PacketEngine = s.packetName
 	if s.packet != nil {
 		report.PacketEngineUsedBits = s.packet.Footprint().NodeBits
+		report.PacketEngineDeltas = s.packetDeltas
+		if inc, ok := s.packet.(engine.IncrementalPacketEngine); ok {
+			report.PacketEngineDegradation = inc.UpdateCost().Degradation
+		}
 	}
 	if c.microflow != nil {
 		report.CacheEntries = c.microflow.Capacity()

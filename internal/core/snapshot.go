@@ -54,13 +54,29 @@ type snapshot struct {
 	// served by packet — one precomputed multi-field structure — instead of
 	// the per-field engines above, which stay programmed so the classifier
 	// can switch tiers without a re-download. packetRules is the best-first
-	// rule order the engine was installed with (LookupPacket indices resolve
-	// into it); packetStale marks that rules changed since the last Install
-	// and syncPacket must rebuild before the snapshot is published.
+	// rule order the engine currently answers in (LookupPacket indices
+	// resolve into it). A nil packet with a non-empty packetName marks a
+	// structural invalidation (tier selection, engine switch) that forces a
+	// full build before the snapshot is published.
 	packetName  string
 	packet      engine.PacketEngine
 	packetRules []fivetuple.Rule
-	packetStale bool
+
+	// Update plane. packetPending records the rule mutations applied to this
+	// (unpublished) snapshot since it was cloned; syncPacket drains it —
+	// through the engine's delta ops when it is incremental and the policy
+	// allows, through a full rebuild otherwise. packetDeltas counts the
+	// delta ops the current packet structure has absorbed since its last
+	// full build (the debt the RebuildAfterDeltas policy bounds); it is
+	// carried across clones and reset by every rebuild.
+	packetPending []packetDelta
+	packetDeltas  int
+}
+
+// packetDelta is one pending rule mutation awaiting packet-tier sync.
+type packetDelta struct {
+	delete bool
+	rule   fivetuple.Rule
 }
 
 // newSnapshot builds an empty data path for the given engine selection:
@@ -169,33 +185,57 @@ func (s *snapshot) clone(cfg *Config) (*snapshot, error) {
 	}
 	c.packetName = s.packetName
 	c.packetRules = s.packetRules
-	c.packetStale = s.packetStale
+	c.packetPending = append([]packetDelta(nil), s.packetPending...)
+	c.packetDeltas = s.packetDeltas
 	if s.packet != nil {
-		// The clone shares the immutable built structure; a rebuild after a
-		// rule change replaces only the clone's handle, never the published
-		// one.
+		// The clone shares the built structure; a rebuild after a rule change
+		// replaces only the clone's handle, and a delta update copy-on-writes
+		// inside the engine — never the published one either way.
 		c.packet = s.packet.Clone()
 	}
 	return c, nil
 }
 
-// syncPacket (re)builds the whole-packet engine from the installed rules
-// when the packet tier is active and the rules changed since the last
-// Install. Writers call it before publishing a mutated snapshot; a build
-// failure (e.g. an RFC cross-product explosion) surfaces as the update's
-// error and nothing is published.
-func (s *snapshot) syncPacket() error {
+// publishSync reports how syncPacket brought the packet tier in step with
+// the installed rules: how many pending mutations were delta-applied, or
+// whether the precomputed structure was rebuilt in full.
+type publishSync struct {
+	deltas  int
+	rebuilt bool
+}
+
+// syncPacket brings the whole-packet engine in sync with the installed rules
+// before a mutated snapshot is published. When the engine is incremental and
+// the update policy allows, the pending mutations are delta-applied — the
+// flat-latency path SDN flow-mod churn rides; otherwise the structure is
+// rebuilt from scratch. The policy forces the amortising rebuild in two
+// cases: the structure's delta debt would reach Config.RebuildAfterDeltas,
+// or the applied deltas push the engine's degradation past
+// Config.DegradationThreshold. A build failure (e.g. an RFC cross-product
+// explosion) surfaces as the update's error and nothing is published.
+func (s *snapshot) syncPacket(cfg *Config) (publishSync, error) {
 	if s.packetName == "" {
-		s.packet, s.packetRules, s.packetStale = nil, nil, false
-		return nil
+		s.packet, s.packetRules = nil, nil
+		s.packetPending, s.packetDeltas = nil, 0
+		return publishSync{}, nil
 	}
-	if s.packet != nil && !s.packetStale {
-		return nil
+	if s.packet != nil && len(s.packetPending) == 0 {
+		return publishSync{}, nil
+	}
+	if s.packet != nil {
+		if inc, ok := s.packet.(engine.IncrementalPacketEngine); ok && s.deltaBudgetAllows(cfg) {
+			if applied, ok := s.applyPacketDeltas(cfg, inc); ok {
+				return publishSync{deltas: applied}, nil
+			}
+			// The delta path declined (an op failed midway, or the applied
+			// deltas tripped the degradation threshold); the full rebuild
+			// below repairs whatever state the engine is in.
+		}
 	}
 	if s.packet == nil {
 		eng, err := engine.NewPacket(s.packetName, engine.Spec{})
 		if err != nil {
-			return err
+			return publishSync{}, err
 		}
 		s.packet = eng
 	}
@@ -204,11 +244,81 @@ func (s *snapshot) syncPacket() error {
 	rules := s.installedRules()
 	sort.SliceStable(rules, func(i, j int) bool { return rules[i].Priority < rules[j].Priority })
 	if err := s.packet.Install(rules); err != nil {
-		return fmt.Errorf("core: building %s packet engine over %d rules: %w", s.packetName, len(rules), err)
+		return publishSync{}, fmt.Errorf("core: building %s packet engine over %d rules: %w", s.packetName, len(rules), err)
 	}
 	s.packetRules = rules
-	s.packetStale = false
-	return nil
+	s.packetPending = nil
+	s.packetDeltas = 0
+	return publishSync{rebuilt: true}, nil
+}
+
+// deltaBudgetAllows applies the amortisation bound: a publish whose pending
+// mutations would push the structure's delta debt to RebuildAfterDeltas (or
+// past it) must rebuild instead.
+func (s *snapshot) deltaBudgetAllows(cfg *Config) bool {
+	k := cfg.rebuildAfterDeltas()
+	return k <= 0 || s.packetDeltas+len(s.packetPending) < k
+}
+
+// applyPacketDeltas drains the pending mutations through the engine's delta
+// ops, keeping packetRules in step so LookupPacket indices keep resolving.
+// Insert positions are the stable upper bound of the rule's priority —
+// exactly where the rebuild path's stable sort would place a rule appended
+// to the installation order — so the delta-updated and rebuilt structures
+// answer in the same rule order. ok is false when an op failed or the
+// applied deltas tripped the degradation threshold; the caller then
+// rebuilds.
+func (s *snapshot) applyPacketDeltas(cfg *Config, inc engine.IncrementalPacketEngine) (applied int, ok bool) {
+	// Copy-on-write: packetRules is shared with the published predecessor.
+	rules := append([]fivetuple.Rule(nil), s.packetRules...)
+	for _, op := range s.packetPending {
+		if op.delete {
+			idx := packetRuleIndex(rules, op.rule)
+			if idx < 0 {
+				return 0, false
+			}
+			if err := inc.DeleteRule(op.rule, idx); err != nil {
+				return 0, false
+			}
+			rules = append(rules[:idx], rules[idx+1:]...)
+		} else {
+			idx := sort.Search(len(rules), func(i int) bool { return rules[i].Priority > op.rule.Priority })
+			if err := inc.InsertRule(op.rule, idx); err != nil {
+				return 0, false
+			}
+			rules = append(rules, fivetuple.Rule{})
+			copy(rules[idx+1:], rules[idx:])
+			rules[idx] = op.rule
+		}
+	}
+	if inc.UpdateCost().Degradation >= cfg.degradationThreshold() {
+		// The deltas themselves tripped the degradation bound: amortise now,
+		// in the same publish, rather than serving a degraded structure.
+		return 0, false
+	}
+	applied = len(s.packetPending)
+	s.packetRules = rules
+	s.packetPending = nil
+	s.packetDeltas += applied
+	return applied, true
+}
+
+// packetRuleIndex locates a rule in the best-first packet order by its field
+// matches and priority — the same identity findInstalled uses. The slice is
+// priority-sorted, so the scan is bounded to the equal-priority run.
+func packetRuleIndex(rules []fivetuple.Rule, r fivetuple.Rule) int {
+	lo := sort.Search(len(rules), func(i int) bool { return rules[i].Priority >= r.Priority })
+	for i := lo; i < len(rules) && rules[i].Priority == r.Priority; i++ {
+		pr := rules[i]
+		if pr.SrcPrefix.Canonical() == r.SrcPrefix.Canonical() &&
+			pr.DstPrefix.Canonical() == r.DstPrefix.Canonical() &&
+			pr.SrcPort == r.SrcPort &&
+			pr.DstPort == r.DstPort &&
+			pr.Protocol == r.Protocol {
+			return i
+		}
+	}
+	return -1
 }
 
 // rebuildEngine is the clone fallback for engines without a Clone hook: a

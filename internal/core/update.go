@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/hw/hashunit"
@@ -51,6 +52,7 @@ func hardwareUpdateCycles() int {
 func (c *Classifier) InsertRule(r fivetuple.Rule) (UpdateReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
 	next, err := c.view().clone(&c.cfg)
 	if err != nil {
 		return UpdateReport{}, err
@@ -59,11 +61,13 @@ func (c *Classifier) InsertRule(r fivetuple.Rule) (UpdateReport, error) {
 	if err != nil {
 		return UpdateReport{}, err
 	}
-	if err := next.syncPacket(); err != nil {
+	sync, err := next.syncPacket(&c.cfg)
+	if err != nil {
 		return UpdateReport{}, err
 	}
 	c.publish(next)
 	c.stats.recordInsert(report)
+	c.stats.recordPublish(sync, time.Since(start))
 	return report, nil
 }
 
@@ -76,6 +80,7 @@ func (c *Classifier) InsertRule(r fivetuple.Rule) (UpdateReport, error) {
 func (c *Classifier) DeleteRule(r fivetuple.Rule) (UpdateReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
 	next, err := c.view().clone(&c.cfg)
 	if err != nil {
 		return UpdateReport{}, err
@@ -86,11 +91,13 @@ func (c *Classifier) DeleteRule(r fivetuple.Rule) (UpdateReport, error) {
 		// never become visible.
 		return UpdateReport{}, err
 	}
-	if err := next.syncPacket(); err != nil {
+	sync, err := next.syncPacket(&c.cfg)
+	if err != nil {
 		return UpdateReport{}, err
 	}
 	c.publish(next)
 	c.stats.recordDelete(report)
+	c.stats.recordPublish(sync, time.Since(start))
 	return report, nil
 }
 
@@ -101,6 +108,7 @@ func (c *Classifier) DeleteRule(r fivetuple.Rule) (UpdateReport, error) {
 func (c *Classifier) InstallRuleSet(rs *fivetuple.RuleSet) (UpdateReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
 	next, err := c.view().clone(&c.cfg)
 	if err != nil {
 		return UpdateReport{}, err
@@ -118,11 +126,13 @@ func (c *Classifier) InstallRuleSet(rs *fivetuple.RuleSet) (UpdateReport, error)
 		total.ClockCycles += rep.ClockCycles
 		inserted++
 	}
-	if err := next.syncPacket(); err != nil {
+	sync, err := next.syncPacket(&c.cfg)
+	if err != nil {
 		return total, err
 	}
 	c.publish(next)
 	c.stats.recordUpdates(inserted, 0, total.ClockCycles)
+	c.stats.recordPublish(sync, time.Since(start))
 	return total, nil
 }
 
@@ -215,7 +225,7 @@ func (s *snapshot) insertRule(cfg *Config, r fivetuple.Rule) (UpdateReport, erro
 	}
 
 	s.installed = append(s.installed, installedRule{rule: r, key: key})
-	s.packetStale = true
+	s.packetPending = append(s.packetPending, packetDelta{rule: r})
 	return report, nil
 }
 
@@ -265,7 +275,7 @@ func (s *snapshot) deleteRule(r fivetuple.Rule) (report UpdateReport, mutated bo
 	}
 
 	s.installed = append(s.installed[:idx], s.installed[idx+1:]...)
-	s.packetStale = true
+	s.packetPending = append(s.packetPending, packetDelta{delete: true, rule: installed.rule})
 	return report, true, nil
 }
 
@@ -307,6 +317,7 @@ func (c *Classifier) ApplyUpdates(ops []UpdateOp) (reports []UpdateReport, errs 
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
 	next, err := c.view().clone(&c.cfg)
 	if err != nil {
 		return nil, nil, err
@@ -338,11 +349,13 @@ func (c *Classifier) ApplyUpdates(ops []UpdateOp) (reports []UpdateReport, errs 
 		}
 	}
 	if inserts+deletes > 0 {
-		if err := next.syncPacket(); err != nil {
+		sync, err := next.syncPacket(&c.cfg)
+		if err != nil {
 			return nil, nil, err
 		}
 		c.publish(next)
 		c.stats.recordUpdates(inserts, deletes, cycles)
+		c.stats.recordPublish(sync, time.Since(start))
 	}
 	return reports, errs, nil
 }

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/bits"
+	"time"
+)
+
+// publishLatencyBuckets is the bucket count of the publish-latency
+// histogram: power-of-two nanosecond buckets up to ~2.1 s, which covers
+// everything from a sub-microsecond delta publish to a pathological rebuild.
+const publishLatencyBuckets = 32
+
+// LatencyHistogram is a fixed-bucket wall-clock latency histogram:
+// Counts[i] tallies observations in [2^i, 2^(i+1)) nanoseconds, with the
+// first and last buckets absorbing the tails.
+type LatencyHistogram struct {
+	Counts [publishLatencyBuckets]uint64
+}
+
+// latencyBucket maps a duration to its histogram bucket.
+func latencyBucket(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= publishLatencyBuckets {
+		b = publishLatencyBuckets - 1
+	}
+	return b
+}
+
+// Total returns the number of recorded observations.
+func (h LatencyHistogram) Total() uint64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	return total
+}
+
+// Quantile returns an upper bound on the q-quantile latency (q in [0,1]):
+// the upper edge of the bucket holding the q-th observation. Zero when the
+// histogram is empty.
+func (h LatencyHistogram) Quantile(q float64) time.Duration {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total-1))
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if c > 0 && seen > rank {
+			return time.Duration(uint64(1) << (i + 1))
+		}
+	}
+	return time.Duration(uint64(1) << publishLatencyBuckets)
+}
+
+// P50 returns the median publish latency bucket bound.
+func (h LatencyHistogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P99 returns the 99th-percentile publish latency bucket bound.
+func (h LatencyHistogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// UpdateStats describes the write side of the classifier — how rule-update
+// publishes were served by the whole-packet tier's update plane. Publishes
+// with only the field tier active appear in the latency histogram but in
+// neither the delta nor the rebuild counters (the field tier is updated in
+// place per label, not delta-vs-rebuild).
+type UpdateStats struct {
+	// DeltasApplied is the total number of rule mutations applied through
+	// the incremental engine's delta ops.
+	DeltasApplied uint64
+	// DeltaPublishes is the number of publishes served entirely by deltas.
+	DeltaPublishes uint64
+	// Rebuilds is the number of publishes that rebuilt the precomputed
+	// packet structure in full — because the engine is not incremental, the
+	// RebuildAfterDeltas bound was reached, the degradation threshold
+	// tripped, or a delta op failed.
+	Rebuilds uint64
+	// DeltasSinceRebuild is the delta debt of the currently published packet
+	// structure: how many delta ops it has absorbed since its last full
+	// build. Every rebuild resets it to zero; when a positive
+	// RebuildAfterDeltas bound is configured it stays below that bound by
+	// construction (with the bound disabled, only a degradation trip resets
+	// it, so it can grow arbitrarily).
+	DeltasSinceRebuild int
+	// PublishLatency is the wall-clock latency histogram of rule-update
+	// publishes (clone + mutate + sync + swap).
+	PublishLatency LatencyHistogram
+}
+
+// UpdateStats returns a snapshot of the update-plane counters. Like Stats,
+// the individual counters are read atomically; the struct as a whole is not
+// one consistent cut.
+func (c *Classifier) UpdateStats() UpdateStats {
+	stats := UpdateStats{
+		DeltasApplied:      c.stats.deltasApplied.Load(),
+		DeltaPublishes:     c.stats.deltaPublishes.Load(),
+		Rebuilds:           c.stats.rebuilds.Load(),
+		DeltasSinceRebuild: c.view().packetDeltas,
+	}
+	for i := range stats.PublishLatency.Counts {
+		stats.PublishLatency.Counts[i] = c.stats.publishLatency[i].Load()
+	}
+	return stats
+}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"sdnpc/internal/algo/dcfl"
 	"sdnpc/internal/fivetuple"
 )
@@ -10,6 +12,7 @@ func init() {
 		Name:          "dcfl",
 		Description:   "Distributed Crossproducting of Field Labels: parallel field searches + aggregation-network probes (Table I)",
 		PacketFactory: newDCFLEngine,
+		Incremental:   true,
 	})
 }
 
@@ -18,16 +21,26 @@ func init() {
 // network that probes only the label combinations actually present in the
 // rule set. Lookup cost tracks the matching label sets (small), memory cost
 // the combination tables (large) — the Table I decomposition trade-off.
+//
+// The engine is incremental: DCFL decomposes the rule set per field, so a
+// delta update labels five field values and edits one combination entry per
+// aggregation node (see dcfl delta.go). Deletes leave stale entries behind;
+// the tracked garbage surfaces through UpdateCost.Degradation so the
+// classifier's policy layer can amortise it with a rebuild.
 type dcflEngine struct {
 	rules []fivetuple.Rule
 	c     *dcfl.Classifier
+	// owned marks the tables as private to this handle. Clone clears it;
+	// the first delta op on an un-owned handle deep-copies the tables first,
+	// so a delta is never observable through the cloned-from handle.
+	owned bool
 }
 
 func newDCFLEngine(Spec) (PacketEngine, error) { return &dcflEngine{}, nil }
 
 func (e *dcflEngine) Install(rules []fivetuple.Rule) error {
 	if len(rules) == 0 {
-		e.rules, e.c = nil, nil
+		e.rules, e.c, e.owned = nil, nil, false
 		return nil
 	}
 	c, err := dcfl.Build(fivetuple.NewRuleSet("dcfl", rules))
@@ -36,7 +49,52 @@ func (e *dcflEngine) Install(rules []fivetuple.Rule) error {
 	}
 	e.rules = rules
 	e.c = c
+	e.owned = true
 	return nil
+}
+
+// own makes the underlying tables private to this handle, deep-copying them
+// on the first delta after a Clone.
+func (e *dcflEngine) own() {
+	if !e.owned {
+		e.c = e.c.Clone()
+		e.owned = true
+	}
+}
+
+func (e *dcflEngine) InsertRule(r fivetuple.Rule, idx int) error {
+	if e.c == nil {
+		return fmt.Errorf("dcfl: no built tables to delta-update (install first)")
+	}
+	e.own()
+	if err := e.c.InsertAt(r, idx); err != nil {
+		return err
+	}
+	e.rules = spliceIn(e.rules, r, idx)
+	return nil
+}
+
+func (e *dcflEngine) DeleteRule(r fivetuple.Rule, idx int) error {
+	if e.c == nil {
+		return fmt.Errorf("dcfl: no built tables to delta-update (install first)")
+	}
+	if idx < 0 || idx >= len(e.rules) || e.rules[idx].Priority != r.Priority {
+		return fmt.Errorf("dcfl: delete index %d does not hold a priority-%d rule", idx, r.Priority)
+	}
+	e.own()
+	if err := e.c.DeleteAt(idx); err != nil {
+		return err
+	}
+	e.rules = spliceOut(e.rules, idx)
+	return nil
+}
+
+func (e *dcflEngine) UpdateCost() UpdateCost {
+	if e.c == nil {
+		return UpdateCost{}
+	}
+	ds := e.c.DeltaStats()
+	return UpdateCost{Deltas: ds.Deltas, Writes: ds.Writes, Degradation: e.c.Degradation()}
 }
 
 func (e *dcflEngine) LookupPacket(h fivetuple.Header) (int, bool, int) {
@@ -76,9 +134,11 @@ func (e *dcflEngine) ResetStats() {
 	}
 }
 
-// Clone shares the immutable built tables; a later Install on either handle
-// replaces that handle's pointer only.
+// Clone shares the built tables; a later Install on either handle replaces
+// that handle's pointer only, and a later delta op copy-on-writes the
+// tables (own), so neither handle can observe the other's mutations.
 func (e *dcflEngine) Clone() PacketEngine {
 	cp := *e
+	cp.owned = false
 	return &cp
 }

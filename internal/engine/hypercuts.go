@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"sdnpc/internal/algo/hypercuts"
 	"sdnpc/internal/fivetuple"
 )
@@ -10,6 +12,7 @@ func init() {
 		Name:          "hypercuts",
 		Description:   "HyperCuts decision tree: multi-dimensional cuts + linear leaf scan, smallest memory (Table I)",
 		PacketFactory: newHyperCutsEngine,
+		Incremental:   true,
 	})
 }
 
@@ -17,10 +20,20 @@ func init() {
 // 2003) to the PacketEngine tier. Lookup walks one tree path and scans the
 // leaf linearly — the slowest lookups of Table I but by far the smallest
 // memory, which is the corner of the trade-off space this tier covers.
+//
+// The engine is incremental: the cut structure partitions the header space
+// independently of the rule list, so a delta update only edits the leaf rule
+// lists (see hypercuts delta.go). Inserts can overfill leaves; the tracked
+// overflow surfaces through UpdateCost.Degradation so the classifier's
+// policy layer can amortise it with a rebuild.
 type hypercutsEngine struct {
 	cfg   hypercuts.Config
 	rules []fivetuple.Rule
 	c     *hypercuts.Classifier
+	// owned marks the structure as private to this handle. Clone clears it;
+	// the first delta op on an un-owned handle deep-copies the tree first,
+	// so a delta is never observable through the cloned-from handle.
+	owned bool
 }
 
 func newHyperCutsEngine(Spec) (PacketEngine, error) {
@@ -29,7 +42,7 @@ func newHyperCutsEngine(Spec) (PacketEngine, error) {
 
 func (e *hypercutsEngine) Install(rules []fivetuple.Rule) error {
 	if len(rules) == 0 {
-		e.rules, e.c = nil, nil
+		e.rules, e.c, e.owned = nil, nil, false
 		return nil
 	}
 	c, err := hypercuts.Build(fivetuple.NewRuleSet("hypercuts", rules), e.cfg)
@@ -38,7 +51,52 @@ func (e *hypercutsEngine) Install(rules []fivetuple.Rule) error {
 	}
 	e.rules = rules
 	e.c = c
+	e.owned = true
 	return nil
+}
+
+// own makes the underlying tree private to this handle, deep-copying it on
+// the first delta after a Clone.
+func (e *hypercutsEngine) own() {
+	if !e.owned {
+		e.c = e.c.Clone()
+		e.owned = true
+	}
+}
+
+func (e *hypercutsEngine) InsertRule(r fivetuple.Rule, idx int) error {
+	if e.c == nil {
+		return fmt.Errorf("hypercuts: no built tree to delta-update (install first)")
+	}
+	e.own()
+	if err := e.c.InsertAt(r, idx); err != nil {
+		return err
+	}
+	e.rules = spliceIn(e.rules, r, idx)
+	return nil
+}
+
+func (e *hypercutsEngine) DeleteRule(r fivetuple.Rule, idx int) error {
+	if e.c == nil {
+		return fmt.Errorf("hypercuts: no built tree to delta-update (install first)")
+	}
+	if idx < 0 || idx >= len(e.rules) || e.rules[idx].Priority != r.Priority {
+		return fmt.Errorf("hypercuts: delete index %d does not hold a priority-%d rule", idx, r.Priority)
+	}
+	e.own()
+	if err := e.c.DeleteAt(idx); err != nil {
+		return err
+	}
+	e.rules = spliceOut(e.rules, idx)
+	return nil
+}
+
+func (e *hypercutsEngine) UpdateCost() UpdateCost {
+	if e.c == nil {
+		return UpdateCost{}
+	}
+	ds := e.c.DeltaStats()
+	return UpdateCost{Deltas: ds.Deltas, Writes: ds.Writes, Degradation: e.c.Degradation()}
 }
 
 func (e *hypercutsEngine) LookupPacket(h fivetuple.Header) (int, bool, int) {
@@ -53,9 +111,14 @@ func (e *hypercutsEngine) Cost() CostModel {
 		return CostModel{LookupCycles: 1, InitiationInterval: 1, WorstCaseAccesses: 1}
 	}
 	// Worst case: the deepest tree path, the leaf header read and a full
-	// binth-rule leaf scan. The walk is iterative over one memory, so the
-	// engine cannot accept a new packet until the current one leaves.
-	accesses := e.c.Depth() + 1 + 1 + e.cfg.Binth
+	// scan of the fullest leaf (binth after a clean build; delta inserts can
+	// overfill a leaf past it). The walk is iterative over one memory, so
+	// the engine cannot accept a new packet until the current one leaves.
+	worstLeaf := e.cfg.Binth
+	if occ := e.c.MaxLeafOccupancy(); occ > worstLeaf {
+		worstLeaf = occ
+	}
+	accesses := e.c.Depth() + 1 + 1 + worstLeaf
 	return CostModel{
 		LookupCycles:       accesses,
 		InitiationInterval: accesses,
@@ -76,9 +139,11 @@ func (e *hypercutsEngine) ResetStats() {
 	}
 }
 
-// Clone shares the immutable built tree; a later Install on either handle
-// replaces that handle's pointer only.
+// Clone shares the built tree; a later Install on either handle replaces
+// that handle's pointer only, and a later delta op copy-on-writes the tree
+// (own), so neither handle can observe the other's mutations.
 func (e *hypercutsEngine) Clone() PacketEngine {
 	cp := *e
+	cp.owned = false
 	return &cp
 }

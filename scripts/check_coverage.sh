@@ -2,13 +2,14 @@
 # check_coverage.sh — fail when total statement coverage drops below the
 # floor. The floor is intentionally below the current figure (~79%) so the
 # gate catches real erosion (a new subsystem landing without tests), not
-# noise from small refactors.
+# noise from small refactors. Raised from 70 to 75 once the incremental
+# update plane brought the write side under test.
 #
-# Usage: check_coverage.sh [floor-percent]   (default 70)
+# Usage: check_coverage.sh [floor-percent]   (default 75)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-floor="${1:-70}"
+floor="${1:-75}"
 profile="$(mktemp)"
 trap 'rm -f "$profile"' EXIT
 

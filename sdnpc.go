@@ -48,6 +48,15 @@ type (
 	Stats = core.Stats
 	// UpdateReport describes the cost of one rule insertion or deletion.
 	UpdateReport = core.UpdateReport
+	// UpdateOp is one rule mutation inside an Apply batch.
+	UpdateOp = core.UpdateOp
+	// UpdateStats describes how rule-update publishes were served by the
+	// packet tier's update plane: delta publishes versus full rebuilds, plus
+	// the wall-clock publish-latency histogram.
+	UpdateStats = core.UpdateStats
+	// LatencyHistogram is the fixed-bucket publish-latency histogram inside
+	// UpdateStats.
+	LatencyHistogram = core.LatencyHistogram
 	// MemoryReport breaks down the architecture's memory consumption.
 	MemoryReport = core.MemoryReport
 	// CacheStats reports the microflow cache's hit/miss/eviction counters.
@@ -132,6 +141,21 @@ func WithCache(shards, capacity int) Option {
 	}
 }
 
+// WithUpdatePolicy tunes the packet tier's incremental update plane: an
+// incremental engine (dcfl, hypercuts) absorbs single-rule updates as delta
+// ops until either it has carried rebuildAfterDeltas of them since the last
+// full build, or its structural degradation reaches degradationThreshold —
+// then one publish pays an amortising rebuild. Zero values select the
+// defaults (64 deltas, 0.5 degradation); rebuildAfterDeltas = 1 restores
+// rebuild-on-every-update; a negative value disables either bound. Engines
+// without delta support rebuild on every update regardless.
+func WithUpdatePolicy(rebuildAfterDeltas int, degradationThreshold float64) Option {
+	return func(cfg *core.Config) {
+		cfg.RebuildAfterDeltas = rebuildAfterDeltas
+		cfg.DegradationThreshold = degradationThreshold
+	}
+}
+
 // Classifier is a configurable five-tuple packet classifier.
 //
 // It is safe for concurrent use. Lookups are served lock-free from an
@@ -178,6 +202,15 @@ func (c *Classifier) InsertAll(rs *RuleSet) (UpdateReport, error) { return c.inn
 // priority.
 func (c *Classifier) Delete(r Rule) (UpdateReport, error) { return c.inner.DeleteRule(r) }
 
+// Apply applies a mixed, ordered batch of insertions and deletions as one
+// atomic publish — the amortised path for streamed flow-mod downloads. Ops
+// are independent: a cleanly failed op is skipped with its error at its
+// index in errs while the rest still apply; err is non-nil only when the
+// whole batch was abandoned unpublished.
+func (c *Classifier) Apply(ops []UpdateOp) (reports []UpdateReport, errs []error, err error) {
+	return c.inner.ApplyUpdates(ops)
+}
+
 // Lookup classifies one packet header and returns the highest-priority
 // matching rule's action together with the model's cost counters. It is
 // lock-free and safe to call from any number of goroutines.
@@ -216,6 +249,12 @@ func (c *Classifier) RuleCapacity() int { return c.inner.RuleCapacity() }
 
 // Stats returns a snapshot of the accumulated data-plane counters.
 func (c *Classifier) Stats() Stats { return c.inner.Stats() }
+
+// UpdateStats returns the update-plane counters: how many rule-update
+// publishes were served by incremental deltas versus full rebuilds of the
+// packet structure, the current delta debt, and the publish-latency
+// histogram.
+func (c *Classifier) UpdateStats() UpdateStats { return c.inner.UpdateStats() }
 
 // CacheStats returns the microflow cache counters; ok is false when the
 // classifier was built without WithCache.

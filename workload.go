@@ -68,6 +68,42 @@ func GenerateTrace(rs *RuleSet, opts TraceOptions) []Header {
 	})
 }
 
+// UpdateTraceOptions parameterise churn-trace generation — a deterministic
+// flow-mod storm derived from a rule set, for exercising the incremental
+// update plane.
+type UpdateTraceOptions struct {
+	// Ops is the number of mutations; <= 0 selects 1000.
+	Ops int
+	// Seed makes the trace reproducible.
+	Seed int64
+	// InsertFraction is the insert/delete mix (0 = the balanced default of
+	// 0.5; negative = pure deletes; clamped above at 1).
+	InsertFraction float64
+	// Locality, in [0,1), concentrates the churn on the same high-priority
+	// rules — the delete-then-reinsert pattern of flapping flows.
+	Locality float64
+}
+
+// GenerateUpdateTrace derives a mutation sequence from the rule set that is
+// valid to Apply (or Insert/Delete one by one) against a classifier holding
+// it: deletes always name live rules, inserts are fresh or reinstated rules.
+func GenerateUpdateTrace(rs *RuleSet, opts UpdateTraceOptions) []UpdateOp {
+	if opts.Ops <= 0 {
+		opts.Ops = 1000
+	}
+	raw := classbench.GenerateUpdateTrace(rs, classbench.UpdateTraceConfig{
+		Ops:            opts.Ops,
+		Seed:           opts.Seed,
+		InsertFraction: opts.InsertFraction,
+		Locality:       opts.Locality,
+	})
+	ops := make([]UpdateOp, len(raw))
+	for i, op := range raw {
+		ops[i] = UpdateOp{Delete: op.Delete, Rule: op.Rule}
+	}
+	return ops
+}
+
 func parseClass(name string) (classbench.Class, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "acl", "acl1":

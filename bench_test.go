@@ -11,7 +11,7 @@
 // bits, clock cycles, Gbps) through b.ReportMetric in addition to the usual
 // ns/op, so the figures that belong in EXPERIMENTS.md appear directly in the
 // benchmark output.
-package sdnpc
+package sdnpc_test
 
 import (
 	"fmt"

@@ -3,10 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-experiment all|table1|table2|table3|table4|table5|table6|table7|fig3|fig5|update|hpml|labelmethod|engines|throughput|churn]
+//	experiments [-experiment all|table1|table2|table3|table4|table5|table6|table7|fig3|fig5|update|hpml|labelmethod|engines|throughput|churn|serve]
 //	            [-class acl|fw|ipc] [-size 1k|5k|10k] [-packets N] [-ip-engine name]
 //	            [-workers list] [-batch N] [-cache-shards N] [-cache-capacity N] [-zipf s]
 //	            [-churn-ops N] [-churn-rate R] [-churn-locality L] [-churn-inserts F]
+//	            [-serve-addr host:port] [-serve-tenants T] [-serve-clients M] [-serve-requests N]
+//
+// -experiment serve is the wire-API load generator: it provisions T tenants
+// (in-process unless -serve-addr targets a running sdnclassd daemon),
+// installs the generated filter set on each, and drives M concurrent
+// clients hammering classify-batch with Zipf-skewed traffic, reporting
+// lookups/s, p50/p99 wire latency and per-tenant match/cache-hit rates.
 //
 // The measured values are printed next to the values the paper reports, in
 // the same row/column structure, so the output can be pasted into
@@ -23,6 +30,7 @@ import (
 	"sdnpc/internal/bench"
 	"sdnpc/internal/classbench"
 	"sdnpc/internal/engine"
+	"sdnpc/internal/loadgen"
 )
 
 func main() {
@@ -48,6 +56,10 @@ func run(args []string) error {
 	churnRate := fs.Float64("churn-rate", 0, "writer pacing in updates/sec for the churn experiment; 0 = full speed")
 	churnLocality := fs.Float64("churn-locality", 0.3, "rule locality [0,1) of the churn trace: higher concentrates updates on the same rules")
 	churnInserts := fs.Float64("churn-inserts", 0.5, "insert fraction of the churn trace (0.5 = balanced churn)")
+	serveAddr := fs.String("serve-addr", "", "target daemon for the serve experiment (host:port); empty starts an in-process server")
+	serveTenants := fs.Int("serve-tenants", 2, "tenant count for the serve experiment")
+	serveClients := fs.Int("serve-clients", 4, "concurrent load clients for the serve experiment")
+	serveRequests := fs.Int("serve-requests", 100, "classify-batch requests per client for the serve experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -208,6 +220,31 @@ func run(args []string) error {
 			return fmt.Errorf("churn: %w", err)
 		}
 		fmt.Println(bench.RenderUpdateSweep(rows))
+	}
+	// Serve is opt-in (not part of "all"): it binds a port and drives real
+	// HTTP load, which should not ride along with the cycle-accurate tables.
+	if selected == "serve" {
+		ranAny = true
+		opts := loadgen.ServeOptions{
+			Addr:              *serveAddr,
+			Tenants:           *serveTenants,
+			Clients:           *serveClients,
+			RequestsPerClient: *serveRequests,
+			BatchSize:         *batchSize,
+			Class:             class,
+			Size:              size,
+			ZipfSkew:          *zipf,
+			CacheShards:       *cacheShards,
+			CacheCapacity:     *cacheCapacity,
+		}
+		if *ipEngine != "" {
+			opts.Engines = []string{*ipEngine}
+		}
+		result, err := loadgen.ServeLoad(opts)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		fmt.Println(loadgen.RenderServe(result))
 	}
 	if !ranAny {
 		return fmt.Errorf("unknown experiment %q", *experiment)

@@ -1,31 +1,41 @@
-// Command sdnclassd runs the full SDN loop on one machine: a controller
-// owning a generated filter set, a software switch whose classification is
-// performed by the configurable architecture, and a synthetic traffic source
-// replaying a ClassBench-style trace through the switch.
+// Command sdnclassd is the classifier daemon. Its default mode serves the
+// multi-tenant wire API of internal/server: any number of independent
+// classifier tables (tenants) behind one HTTP/JSON endpoint, with per-tenant
+// rule CRUD, classify/classify-batch, engine selection and stats (see
+// docs/SERVICE.md for the API reference).
 //
-// Usage:
+//	sdnclassd [-mode serve] [-http addr] [-log-level level]
 //
-//	sdnclassd -class acl -size 1k -packets 50000 -profile throughput
-//	          [-ip-engine name] [-workers N] [-batch N]
+// The daemon exits non-zero when the listen address cannot be bound and
+// shuts down gracefully on SIGINT/SIGTERM.
+//
+// The original single-table experiment — a controller owning a generated
+// filter set, a software switch classifying through the configurable
+// architecture and a synthetic trace replayed through it — is kept behind
+// -mode replay:
+//
+//	sdnclassd -mode replay -class acl -size 1k -packets 50000
+//	          [-profile throughput] [-ip-engine name] [-workers N] [-batch N]
 //	          [-cache-shards N] [-cache-capacity N] [-zipf s] [-churn-rate R]
 //
 // With -churn-rate R > 0 a churn writer applies a generated flow-mod trace
 // to the switch at R updates/sec while the replay runs, exercising the
 // incremental update plane under live traffic; the update-plane statistics
 // (delta publishes, rebuilds, publish latency) are printed afterwards.
-//
-// It prints the switch's per-action counters, the classifier's data-plane
-// statistics and the modelled throughput for the selected configuration.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"sdnpc/internal/classbench"
@@ -34,6 +44,7 @@ import (
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/sdn/controller"
 	"sdnpc/internal/sdn/dataplane"
+	"sdnpc/internal/server"
 )
 
 func main() {
@@ -45,6 +56,9 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sdnclassd", flag.ContinueOnError)
+	mode := fs.String("mode", "serve", "run mode: serve (multi-tenant wire-API daemon) or replay (single-table trace replay)")
+	httpAddr := fs.String("http", "127.0.0.1:8080", "wire-API listen address for -mode serve")
+	logLevel := fs.String("log-level", "info", "log level for -mode serve (debug, info, warn, error)")
 	className := fs.String("class", "acl", "filter-set class (acl, fw, ipc)")
 	sizeName := fs.String("size", "1k", "filter-set size (1k, 5k, 10k)")
 	packets := fs.Int("packets", 50000, "number of packets to replay")
@@ -59,6 +73,13 @@ func run(args []string) error {
 	churnRate := fs.Float64("churn-rate", 0, "flow-mod churn rate in updates/sec applied to the switch during the replay; 0 disables churn")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch strings.ToLower(*mode) {
+	case "serve":
+		return runServe(*httpAddr, *logLevel)
+	case "replay":
+	default:
+		return fmt.Errorf("unknown -mode %q (serve, replay)", *mode)
 	}
 	if *workers < 1 || *batch < 1 {
 		return fmt.Errorf("-workers and -batch must be positive")
@@ -259,6 +280,22 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 	}
 	fmt.Printf("controller observed %d packet-in messages\n", ctrl.PacketIns())
 	return nil
+}
+
+// runServe runs the multi-tenant wire-API daemon until SIGINT or SIGTERM,
+// then shuts down gracefully. A bind failure surfaces as an error (and a
+// non-zero exit) instead of a panic or a silent idle process.
+func runServe(addr, level string) error {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("invalid -log-level %q: %w", level, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	return server.New(logger).ListenAndServe(ctx, addr)
 }
 
 func parseWorkload(className, sizeName string) (classbench.Class, classbench.Size, error) {

@@ -3,10 +3,12 @@ package sdnpc_test
 import (
 	"fmt"
 	"os"
+	"regexp"
 	"strings"
 	"testing"
 
 	"sdnpc/internal/engine"
+	"sdnpc/internal/server"
 )
 
 // TestEnginesDocCoversRegistry fails when a registered engine name is
@@ -53,8 +55,8 @@ func TestArchitectureDocExists(t *testing.T) {
 	text := string(doc)
 	for _, layer := range []string{
 		"internal/engine", "internal/core", "internal/algo", "internal/hw",
-		"internal/sdn", "internal/bench", "internal/cache", "snapshot",
-		"clone-mutate-swap",
+		"internal/sdn", "internal/bench", "internal/cache", "internal/server",
+		"snapshot", "clone-mutate-swap",
 	} {
 		if !strings.Contains(text, layer) {
 			t.Errorf("docs/ARCHITECTURE.md does not mention %q", layer)
@@ -121,6 +123,37 @@ func TestDocsCoverUpdatePlane(t *testing.T) {
 		}
 		if !found {
 			t.Errorf("docs/ENGINES.md incremental-support matrix has no yes/no row for %q", name)
+		}
+	}
+}
+
+// TestServiceDocCoversRoutes keeps docs/SERVICE.md and the wire API in
+// lockstep, both ways: every route the server registers must appear in the
+// doc as a backticked `METHOD /path` pattern, and every such pattern the doc
+// claims must be a registered route — so an endpoint cannot be added,
+// renamed or removed without the reference following.
+func TestServiceDocCoversRoutes(t *testing.T) {
+	doc, err := os.ReadFile("docs/SERVICE.md")
+	if err != nil {
+		t.Fatalf("reading docs/SERVICE.md: %v", err)
+	}
+	text := string(doc)
+
+	registered := make(map[string]bool)
+	for _, route := range server.Routes() {
+		registered[route] = true
+		if !strings.Contains(text, fmt.Sprintf("`%s`", route)) {
+			t.Errorf("registered route %q is not documented in docs/SERVICE.md", route)
+		}
+	}
+
+	documented := regexp.MustCompile("`((?:GET|POST|PUT|DELETE|PATCH|HEAD) /[^`]*)`").FindAllStringSubmatch(text, -1)
+	if len(documented) == 0 {
+		t.Fatal("docs/SERVICE.md documents no `METHOD /path` routes")
+	}
+	for _, m := range documented {
+		if !registered[m[1]] {
+			t.Errorf("docs/SERVICE.md documents %q, which is not a registered route", m[1])
 		}
 	}
 }

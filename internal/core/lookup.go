@@ -500,6 +500,33 @@ func (sc *statsCollector) reset() {
 // inherent to concurrent collection).
 func (c *Classifier) Stats() Stats { return c.stats.snapshot() }
 
+// LookupCounters is the served-request summary of one classifier: how many
+// lookups it answered and how many returned a rule. It is the cheap
+// per-tenant accounting surface of the serving layer — two counters, not the
+// full Stats snapshot.
+type LookupCounters struct {
+	// Lookups is the number of headers classified (batch lookups count one
+	// per header).
+	Lookups uint64
+	// Matches is the number of those lookups that returned a rule.
+	Matches uint64
+}
+
+// MatchRate returns the fraction of served lookups that matched a rule.
+func (lc LookupCounters) MatchRate() float64 {
+	if lc.Lookups == 0 {
+		return 0
+	}
+	return float64(lc.Matches) / float64(lc.Lookups)
+}
+
+// LookupCounters returns the served-request counters. It reads exactly two
+// atomics, so per-request stats endpoints can call it without paying for a
+// full Stats snapshot.
+func (c *Classifier) LookupCounters() LookupCounters {
+	return LookupCounters{Lookups: c.stats.lookups.Load(), Matches: c.stats.matches.Load()}
+}
+
 // ResetStats zeroes the counters without touching installed rules. The
 // microflow cache's counters are reset too; its entries are kept.
 func (c *Classifier) ResetStats() {

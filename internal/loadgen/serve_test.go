@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+
+	"sdnpc/internal/classbench"
+)
+
+// TestServeLoadInProcess runs a miniature load-generation window against an
+// in-process daemon and checks the reported accounting: request totals,
+// throughput, latency quantiles and the per-tenant counter diffs.
+func TestServeLoadInProcess(t *testing.T) {
+	opts := ServeOptions{
+		Tenants:           2,
+		Clients:           2,
+		RequestsPerClient: 4,
+		BatchSize:         16,
+		Engines:           []string{"bst", "hypercuts"},
+		Class:             classbench.ACL,
+		Size:              classbench.Size1K,
+		CacheCapacity:     512,
+		Seed:              7,
+	}
+	res, err := ServeLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("load run reported %d errors", res.Errors)
+	}
+	wantReqs := opts.Clients * opts.RequestsPerClient
+	if res.Requests != wantReqs || res.Packets != wantReqs*opts.BatchSize {
+		t.Fatalf("requests/packets = %d/%d, want %d/%d", res.Requests, res.Packets, wantReqs, wantReqs*opts.BatchSize)
+	}
+	if res.LookupsPerSec <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("throughput accounting = %+v", res)
+	}
+	if res.WireP50 <= 0 || res.WireP99 < res.WireP50 {
+		t.Fatalf("latency quantiles p50=%v p99=%v", res.WireP50, res.WireP99)
+	}
+	if len(res.PerTenant) != opts.Tenants {
+		t.Fatalf("per-tenant rows = %d, want %d", len(res.PerTenant), opts.Tenants)
+	}
+	var lookups uint64
+	for i, row := range res.PerTenant {
+		lookups += row.Lookups
+		if row.Engine != opts.Engines[i%len(opts.Engines)] {
+			t.Fatalf("tenant %s engine = %q, want round-robin %q", row.ID, row.Engine, opts.Engines[i%len(opts.Engines)])
+		}
+		if row.Rules == 0 {
+			t.Fatalf("tenant %s has no rules installed", row.ID)
+		}
+		if !row.Cached {
+			t.Fatalf("tenant %s should report an enabled cache", row.ID)
+		}
+	}
+	if lookups != uint64(res.Packets) {
+		t.Fatalf("per-tenant lookups sum to %d, want %d", lookups, res.Packets)
+	}
+
+	out := RenderServe(res)
+	for _, want := range []string{"lookups/s", "p50", "p99", "loadgen-00", "loadgen-01"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RenderServe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeLoadBadEngine surfaces provisioning failures instead of reporting
+// a zero-load run.
+func TestServeLoadBadEngine(t *testing.T) {
+	_, err := ServeLoad(ServeOptions{
+		Tenants:           1,
+		Clients:           1,
+		RequestsPerClient: 1,
+		BatchSize:         1,
+		Engines:           []string{"no-such-engine"},
+		Class:             classbench.ACL,
+		Size:              classbench.Size1K,
+	})
+	if err == nil {
+		t.Fatal("ServeLoad with an unknown engine returned nil error")
+	}
+}

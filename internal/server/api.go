@@ -1,0 +1,585 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"time"
+
+	"sdnpc"
+)
+
+// maxBodyBytes bounds every request body; a full 10k-rule batch install is
+// ~1 MiB of JSON, so 8 MiB leaves generous headroom without letting one
+// client balloon the process.
+const maxBodyBytes = 8 << 20
+
+// maxBatchHeaders bounds one classify-batch request. Larger loads should be
+// split across requests (which is also what amortises better on the wire).
+const maxBatchHeaders = 1 << 16
+
+// api holds the handler state: the tenant table and the request logger.
+type api struct {
+	mgr *Manager
+	log *slog.Logger
+}
+
+// routes maps every wire-API pattern to its handler. This table is the
+// single source of truth for the served surface: the mux is built from it
+// and Routes exposes it to the docs check, so a route cannot be registered
+// without being documented (or documented without existing).
+func (a *api) routes() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"GET /healthz":                         a.handleHealthz,
+		"GET /v1/stats":                        a.handleGlobalStats,
+		"GET /v1/tenants":                      a.handleListTenants,
+		"POST /v1/tenants":                     a.handleCreateTenant,
+		"GET /v1/tenants/{id}":                 a.handleGetTenant,
+		"DELETE /v1/tenants/{id}":              a.handleDeleteTenant,
+		"GET /v1/tenants/{id}/rules":           a.handleGetRules,
+		"POST /v1/tenants/{id}/rules":          a.handlePostRules,
+		"DELETE /v1/tenants/{id}/rules":        a.handleDeleteRule,
+		"PUT /v1/tenants/{id}/engine":          a.handlePutEngine,
+		"POST /v1/tenants/{id}/classify":       a.handleClassify,
+		"POST /v1/tenants/{id}/classify-batch": a.handleClassifyBatch,
+		"GET /v1/tenants/{id}/stats":           a.handleTenantStats,
+	}
+}
+
+// Routes returns every registered route pattern, sorted — the list
+// docs/SERVICE.md must cover (checked by docs_test.go in CI).
+func Routes() []string {
+	a := &api{}
+	patterns := make([]string, 0, len(a.routes()))
+	for p := range a.routes() {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	return patterns
+}
+
+// Wire forms of the management payloads.
+
+// CreateTenantRequest is the POST /v1/tenants body.
+type CreateTenantRequest struct {
+	ID                   string  `json:"id"`
+	Engine               string  `json:"engine,omitempty"`
+	CacheShards          int     `json:"cache_shards,omitempty"`
+	CacheCapacity        int     `json:"cache_capacity,omitempty"`
+	RebuildAfterDeltas   int     `json:"rebuild_after_deltas,omitempty"`
+	DegradationThreshold float64 `json:"degradation_threshold,omitempty"`
+	SingleProbe          bool    `json:"single_probe,omitempty"`
+}
+
+// WireTenant describes one tenant in list/get/create responses.
+type WireTenant struct {
+	ID           string    `json:"id"`
+	Engine       string    `json:"engine"`
+	Rules        int       `json:"rules"`
+	RuleCapacity int       `json:"rule_capacity"`
+	CacheEnabled bool      `json:"cache_enabled"`
+	Created      time.Time `json:"created"`
+}
+
+// WireRuleOp is one mutation of a batch rule update.
+type WireRuleOp struct {
+	// Op is "insert" or "delete".
+	Op   string   `json:"op"`
+	Rule WireRule `json:"rule"`
+}
+
+// RulesRequest is the POST /v1/tenants/{id}/rules body: either one bare
+// rule object (single insert), a "rules" list (batch insert) or an "ops"
+// list (mixed batch CRUD). Exactly one form must be used.
+type RulesRequest struct {
+	Rules []WireRule   `json:"rules,omitempty"`
+	Ops   []WireRuleOp `json:"ops,omitempty"`
+	// The embedded rule carries the single-insert form: a bare rule object
+	// unmarshals into these promoted fields.
+	WireRule
+}
+
+// WireOpError reports one failed op of a batch by its index.
+type WireOpError struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+// RulesResponse summarises one rule-CRUD request.
+type RulesResponse struct {
+	Installed int           `json:"installed"`
+	Deleted   int           `json:"deleted"`
+	Rules     int           `json:"rules"`
+	Errors    []WireOpError `json:"errors,omitempty"`
+}
+
+// ClassifyBatchRequest is the POST /v1/tenants/{id}/classify-batch body.
+type ClassifyBatchRequest struct {
+	Headers []WireHeader `json:"headers"`
+}
+
+// WireBatchReport aggregates one classify-batch response.
+type WireBatchReport struct {
+	Packets          int     `json:"packets"`
+	Matched          int     `json:"matched"`
+	MatchRate        float64 `json:"match_rate"`
+	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
+	MaxLatencyCycles int     `json:"max_latency_cycles"`
+}
+
+// ClassifyBatchResponse is the classify-batch reply: one verdict per header,
+// in order, plus the batch aggregation.
+type ClassifyBatchResponse struct {
+	Results []WireResult    `json:"results"`
+	Report  WireBatchReport `json:"report"`
+}
+
+// WireCacheStats reports a tenant's microflow-cache counters.
+type WireCacheStats struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+	Entries   int     `json:"entries"`
+	Bits      int     `json:"bits"`
+}
+
+// WireUpdateStats reports a tenant's update-plane counters.
+type WireUpdateStats struct {
+	Inserts        uint64 `json:"inserts"`
+	Deletes        uint64 `json:"deletes"`
+	DeltaPublishes uint64 `json:"delta_publishes"`
+	DeltasApplied  uint64 `json:"deltas_applied"`
+	Rebuilds       uint64 `json:"rebuilds"`
+	DeltaDebt      int    `json:"delta_debt"`
+	PublishP50Ns   int64  `json:"publish_p50_ns"`
+	PublishP99Ns   int64  `json:"publish_p99_ns"`
+}
+
+// WireTenantStats is the GET /v1/tenants/{id}/stats payload.
+type WireTenantStats struct {
+	ID           string `json:"id"`
+	Engine       string `json:"engine"`
+	Rules        int    `json:"rules"`
+	RuleCapacity int    `json:"rule_capacity"`
+	// Lookups and Matched are the tenant's served-request counters
+	// (facade LookupCounters), i.e. what this process actually answered.
+	Lookups   uint64  `json:"lookups"`
+	Matched   uint64  `json:"matched"`
+	MatchRate float64 `json:"match_rate"`
+	// ModelLookupsPerSec is the modelled hardware lookup rate of the
+	// tenant's active engine, for capacity planning.
+	ModelLookupsPerSec float64 `json:"model_lookups_per_sec"`
+	// MemoryBits is the tenant's occupied classifier memory (engines,
+	// labels, rule filter, packet structure).
+	MemoryBits int             `json:"memory_bits"`
+	Cache      *WireCacheStats `json:"cache,omitempty"`
+	Update     WireUpdateStats `json:"update"`
+}
+
+// WireGlobalStats is the GET /v1/stats payload: the shared-memory and
+// served-traffic accounting summed across every tenant, plus the per-tenant
+// breakdown.
+type WireGlobalStats struct {
+	Tenants    int               `json:"tenants"`
+	Lookups    uint64            `json:"lookups"`
+	Matched    uint64            `json:"matched"`
+	MemoryBits int               `json:"memory_bits"`
+	CacheBits  int               `json:"cache_bits"`
+	PerTenant  []WireTenantStats `json:"per_tenant"`
+}
+
+// errorResponse is the uniform error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is out; a broken client connection is not recoverable here
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// readJSON decodes the request body into v, bounding its size and rejecting
+// trailing garbage.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return errors.New("request body holds more than one JSON value")
+	}
+	return nil
+}
+
+// tenant resolves the {id} path value, writing the 404 itself on a miss.
+func (a *api) tenant(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
+	t, err := a.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return t, true
+}
+
+func wireTenant(t *Tenant) WireTenant {
+	c := t.Classifier
+	_, cached := c.CacheStats()
+	return WireTenant{
+		ID:           t.ID,
+		Engine:       c.Engine(),
+		Rules:        c.RuleCount(),
+		RuleCapacity: c.RuleCapacity(),
+		CacheEnabled: cached,
+		Created:      t.Created,
+	}
+}
+
+// wireTenantStats assembles one tenant's stats payload from facade calls
+// only: LookupCounters for the served-request counters, Stats for the
+// update totals, UpdateStats for the update plane and MemoryReport for the
+// memory accounting.
+func wireTenantStats(t *Tenant) WireTenantStats {
+	c := t.Classifier
+	lc := c.LookupCounters()
+	stats := c.Stats()
+	us := c.UpdateStats()
+	mem := c.MemoryReport()
+	ws := WireTenantStats{
+		ID:                 t.ID,
+		Engine:             c.Engine(),
+		Rules:              c.RuleCount(),
+		RuleCapacity:       c.RuleCapacity(),
+		Lookups:            lc.Lookups,
+		Matched:            lc.Matches,
+		MatchRate:          lc.MatchRate(),
+		ModelLookupsPerSec: c.LookupsPerSecond(),
+		MemoryBits:         mem.TotalUsedBits(),
+		Update: WireUpdateStats{
+			Inserts:        stats.Inserts,
+			Deletes:        stats.Deletes,
+			DeltaPublishes: us.DeltaPublishes,
+			DeltasApplied:  us.DeltasApplied,
+			Rebuilds:       us.Rebuilds,
+			DeltaDebt:      us.DeltasSinceRebuild,
+			PublishP50Ns:   us.PublishLatency.P50().Nanoseconds(),
+			PublishP99Ns:   us.PublishLatency.P99().Nanoseconds(),
+		},
+	}
+	if cs, ok := c.CacheStats(); ok {
+		ws.Cache = &WireCacheStats{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			HitRate:   cs.HitRate(),
+			Entries:   mem.CacheEntries,
+			Bits:      mem.CacheBits,
+		}
+	}
+	return ws
+}
+
+// --- handlers ---
+
+func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tenants": a.mgr.Len()})
+}
+
+func (a *api) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	var req CreateTenantRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := a.mgr.Create(req.ID, TenantConfig{
+		Engine:               req.Engine,
+		CacheShards:          req.CacheShards,
+		CacheCapacity:        req.CacheCapacity,
+		RebuildAfterDeltas:   req.RebuildAfterDeltas,
+		DegradationThreshold: req.DegradationThreshold,
+		SingleProbe:          req.SingleProbe,
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrTenantExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	a.log.Info("tenant created", "tenant", t.ID, "engine", t.Classifier.Engine())
+	writeJSON(w, http.StatusCreated, wireTenant(t))
+}
+
+func (a *api) handleListTenants(w http.ResponseWriter, r *http.Request) {
+	tenants := a.mgr.List()
+	out := make([]WireTenant, len(tenants))
+	for i, t := range tenants {
+		out[i] = wireTenant(t)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": out})
+}
+
+func (a *api) handleGetTenant(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, wireTenant(t))
+}
+
+func (a *api) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := a.mgr.Delete(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	a.log.Info("tenant deleted", "tenant", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (a *api) handleGetRules(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	rules := t.Classifier.Rules()
+	out := make([]WireRule, len(rules))
+	for i, rule := range rules {
+		out[i] = encodeRule(rule)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rules": out, "count": len(out)})
+}
+
+// handlePostRules serves single-rule inserts, batch inserts and mixed
+// insert/delete batches. Every multi-op form goes through the facade's
+// Apply path, so a batch is one atomic publish with per-op error reporting.
+func (a *api) handlePostRules(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	var req RulesRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Rules) > 0 && len(req.Ops) > 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`use either "rules" or "ops", not both`))
+		return
+	}
+
+	// Normalise all three request forms into one op batch.
+	var wireOps []WireRuleOp
+	switch {
+	case len(req.Ops) > 0:
+		wireOps = req.Ops
+	case len(req.Rules) > 0:
+		wireOps = make([]WireRuleOp, len(req.Rules))
+		for i, wr := range req.Rules {
+			wireOps[i] = WireRuleOp{Op: "insert", Rule: wr}
+		}
+	case req.WireRule.Action != "":
+		wireOps = []WireRuleOp{{Op: "insert", Rule: req.WireRule}}
+	default:
+		writeError(w, http.StatusBadRequest, errors.New(`request body must be a rule object, {"rules": [...]} or {"ops": [...]}`))
+		return
+	}
+
+	resp := RulesResponse{}
+	ops := make([]sdnpc.UpdateOp, 0, len(wireOps))
+	// opIndex maps applied-op positions back to request indices so per-op
+	// errors from Apply are reported against the caller's numbering even
+	// when some ops already failed decoding.
+	opIndex := make([]int, 0, len(wireOps))
+	for i, wop := range wireOps {
+		var del bool
+		switch wop.Op {
+		case "insert", "":
+			del = false
+		case "delete":
+			del = true
+		default:
+			resp.Errors = append(resp.Errors, WireOpError{Index: i, Error: fmt.Sprintf("unknown op %q (want insert or delete)", wop.Op)})
+			continue
+		}
+		rule, err := decodeRule(wop.Rule)
+		if err != nil {
+			resp.Errors = append(resp.Errors, WireOpError{Index: i, Error: err.Error()})
+			continue
+		}
+		ops = append(ops, sdnpc.UpdateOp{Delete: del, Rule: rule})
+		opIndex = append(opIndex, i)
+	}
+	if len(ops) == 0 && len(resp.Errors) > 0 {
+		// Nothing decodable: the request as a whole is malformed.
+		writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+
+	_, errs, err := t.Classifier.Apply(ops)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("applying rule batch: %w", err))
+		return
+	}
+	for i, opErr := range errs {
+		if opErr != nil {
+			resp.Errors = append(resp.Errors, WireOpError{Index: opIndex[i], Error: opErr.Error()})
+			continue
+		}
+		if ops[i].Delete {
+			resp.Deleted++
+		} else {
+			resp.Installed++
+		}
+	}
+	resp.Rules = t.Classifier.RuleCount()
+	a.log.Info("rules applied", "tenant", t.ID, "installed", resp.Installed, "deleted", resp.Deleted, "errors", len(resp.Errors))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDeleteRule removes one installed rule, identified by its field
+// matches and priority in the request body.
+func (a *api) handleDeleteRule(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	var wr WireRule
+	if err := readJSON(w, r, &wr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rule, err := decodeRule(wr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := t.Classifier.Delete(rule); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RulesResponse{Deleted: 1, Rules: t.Classifier.RuleCount()})
+}
+
+func (a *api) handlePutEngine(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Engine string `json:"engine"`
+	}
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := t.Classifier.SelectEngine(req.Engine); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	a.log.Info("engine selected", "tenant", t.ID, "engine", t.Classifier.Engine())
+	writeJSON(w, http.StatusOK, map[string]string{"engine": t.Classifier.Engine()})
+}
+
+func (a *api) handleClassify(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	var wh WireHeader
+	if err := readJSON(w, r, &wh); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	h, err := decodeHeader(wh)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, encodeResult(t.Classifier.Lookup(h)))
+}
+
+func (a *api) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	var req ClassifyBatchRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Headers) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`"headers" must hold at least one header`))
+		return
+	}
+	if len(req.Headers) > maxBatchHeaders {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d headers exceeds the %d-header limit", len(req.Headers), maxBatchHeaders))
+		return
+	}
+	headers := make([]sdnpc.Header, len(req.Headers))
+	for i, wh := range req.Headers {
+		h, err := decodeHeader(wh)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("header %d: %w", i, err))
+			return
+		}
+		headers[i] = h
+	}
+	results := t.Classifier.LookupBatch(headers)
+	report := sdnpc.SummarizeBatch(results)
+	resp := ClassifyBatchResponse{
+		Results: make([]WireResult, len(results)),
+		Report: WireBatchReport{
+			Packets:          report.Packets,
+			Matched:          report.Matched,
+			MatchRate:        report.MatchRate(),
+			AvgLatencyCycles: report.AverageLatencyCycles(),
+			MaxLatencyCycles: report.MaxLatencyCycles,
+		},
+	}
+	for i, res := range results {
+		resp.Results[i] = encodeResult(res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *api) handleTenantStats(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, wireTenantStats(t))
+}
+
+// handleGlobalStats sums the served-traffic and memory accounting across
+// every tenant — the process-wide view of the shared machine.
+func (a *api) handleGlobalStats(w http.ResponseWriter, r *http.Request) {
+	tenants := a.mgr.List()
+	out := WireGlobalStats{Tenants: len(tenants), PerTenant: make([]WireTenantStats, len(tenants))}
+	for i, t := range tenants {
+		ts := wireTenantStats(t)
+		out.PerTenant[i] = ts
+		out.Lookups += ts.Lookups
+		out.Matched += ts.Matched
+		out.MemoryBits += ts.MemoryBits
+		if ts.Cache != nil {
+			out.CacheBits += ts.Cache.Bits
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

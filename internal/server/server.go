@@ -1,0 +1,115 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+)
+
+// shutdownGrace is how long Serve waits for in-flight requests after its
+// context is cancelled before closing their connections.
+const shutdownGrace = 5 * time.Second
+
+// Server is the multi-tenant classifier daemon: the tenant manager, the
+// wire-API handler tree and the HTTP plumbing around them.
+type Server struct {
+	mgr *Manager
+	log *slog.Logger
+	mux *http.ServeMux
+}
+
+// New builds a server with an empty tenant table. A nil logger selects
+// slog.Default.
+func New(log *slog.Logger) *Server {
+	if log == nil {
+		log = slog.Default()
+	}
+	s := &Server{mgr: NewManager(), log: log, mux: http.NewServeMux()}
+	a := &api{mgr: s.mgr, log: log}
+	for pattern, handler := range a.routes() {
+		s.mux.Handle(pattern, handler)
+	}
+	return s
+}
+
+// Manager returns the server's tenant table, for embedding callers (the
+// load generator pre-provisions tenants through it in in-process mode).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Handler returns the full handler tree — the wire API wrapped in request
+// logging — for mounting under httptest or a caller-owned http.Server.
+func (s *Server) Handler() http.Handler { return s.logRequests(s.mux) }
+
+// ListenAndServe binds addr and serves until ctx is cancelled. A bind
+// failure is returned immediately (the daemon must exit non-zero on it, not
+// limp along); after a clean shutdown it returns nil.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: binding %s: %w", addr, err)
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves the wire API on the given listener until ctx is cancelled,
+// then shuts down gracefully: no new connections, in-flight requests get
+// shutdownGrace to finish.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	httpServer := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.Serve(ln) }()
+	s.log.Info("serving", "addr", ln.Addr().String())
+
+	select {
+	case err := <-errCh:
+		// Serve never returns nil; anything before cancellation is real.
+		return fmt.Errorf("server: serving %s: %w", ln.Addr(), err)
+	case <-ctx.Done():
+	}
+
+	s.log.Info("shutting down", "grace", shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("server: serving %s: %w", ln.Addr(), err)
+	}
+	s.log.Info("shutdown complete")
+	return nil
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// logRequests wraps the handler tree in structured request logging: method,
+// path, status and wall-clock duration per request.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration", time.Since(start),
+		)
+	})
+}

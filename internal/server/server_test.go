@@ -1,0 +1,68 @@
+// Lifecycle tests: real TCP serving, graceful shutdown on context
+// cancellation, and the bind-failure path the daemon turns into a non-zero
+// exit.
+package server_test
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"sdnpc/internal/server"
+)
+
+func TestServeGracefulShutdown(t *testing.T) {
+	srv, _ := newTestServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+
+	// The server answers while running...
+	url := "http://" + ln.Addr().String() + "/healthz"
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("healthz while serving: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// ...and cancellation shuts it down cleanly.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve after cancel: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after context cancellation")
+	}
+	if _, err := client.Get(url); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+}
+
+func TestListenAndServeBindFailure(t *testing.T) {
+	// Occupy a port, then ask the server to bind it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+
+	srv := server.New(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	if err := srv.ListenAndServe(context.Background(), ln.Addr().String()); err == nil {
+		t.Fatal("ListenAndServe on an occupied port returned nil")
+	}
+}

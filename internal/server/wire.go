@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+
+	"sdnpc"
+)
+
+// The wire representations of rules, headers and results. Field matches are
+// carried in human-readable form (CIDR prefixes, port ranges, action names)
+// so the API is curl-able; omitted match fields are wildcards, mirroring the
+// facade's rule builder.
+
+// WireRule is the JSON form of one classification rule.
+type WireRule struct {
+	// Priority orders the rule within the tenant's table; smaller wins.
+	Priority int `json:"priority"`
+	// Src and Dst are CIDR prefixes; empty or omitted means any address.
+	Src string `json:"src,omitempty"`
+	Dst string `json:"dst,omitempty"`
+	// SrcPort and DstPort are inclusive ranges; omitted means any port.
+	SrcPort *WirePortRange `json:"src_port,omitempty"`
+	DstPort *WirePortRange `json:"dst_port,omitempty"`
+	// Proto is an exact IP protocol number; omitted means any protocol.
+	Proto *uint8 `json:"proto,omitempty"`
+	// Action is one of forward, drop, modify, group, controller.
+	Action string `json:"action"`
+	// ActionArg carries the action parameter (egress port, group id, ...).
+	ActionArg uint32 `json:"action_arg,omitempty"`
+}
+
+// WirePortRange is an inclusive port range on the wire.
+type WirePortRange struct {
+	Lo uint16 `json:"lo"`
+	Hi uint16 `json:"hi"`
+}
+
+// WireHeader is the JSON form of one packet five-tuple.
+type WireHeader struct {
+	SrcIP   string `json:"src_ip"`
+	SrcPort uint16 `json:"src_port"`
+	DstIP   string `json:"dst_ip"`
+	DstPort uint16 `json:"dst_port"`
+	Proto   uint8  `json:"proto"`
+}
+
+// WireResult is the JSON form of one classification verdict.
+type WireResult struct {
+	Matched bool `json:"matched"`
+	// Priority and the action fields are meaningful only when Matched.
+	Priority      int    `json:"priority"`
+	Action        string `json:"action,omitempty"`
+	ActionArg     uint32 `json:"action_arg,omitempty"`
+	LatencyCycles int    `json:"latency_cycles"`
+}
+
+// decodeRule converts a wire rule into a facade rule through the rule
+// builder, so the wire API accepts exactly what the embedded API accepts.
+func decodeRule(wr WireRule) (sdnpc.Rule, error) {
+	b := sdnpc.NewRule(wr.Priority)
+	if wr.Src != "" {
+		b = b.From(wr.Src)
+	}
+	if wr.Dst != "" {
+		b = b.To(wr.Dst)
+	}
+	if wr.SrcPort != nil {
+		b = b.SrcPorts(wr.SrcPort.Lo, wr.SrcPort.Hi)
+	}
+	if wr.DstPort != nil {
+		b = b.DstPorts(wr.DstPort.Lo, wr.DstPort.Hi)
+	}
+	if wr.Proto != nil {
+		b = b.Proto(*wr.Proto)
+	}
+	switch wr.Action {
+	case "forward":
+		b = b.Forward(wr.ActionArg)
+	case "drop":
+		b = b.Drop()
+	case "modify":
+		b = b.ModifyWith(wr.ActionArg)
+	case "group":
+		b = b.GroupTo(wr.ActionArg)
+	case "controller":
+		b = b.Punt()
+	case "":
+		return sdnpc.Rule{}, fmt.Errorf("server: rule has no action (want forward, drop, modify, group or controller)")
+	default:
+		return sdnpc.Rule{}, fmt.Errorf("server: unknown action %q (want forward, drop, modify, group or controller)", wr.Action)
+	}
+	return b.Build()
+}
+
+// encodeRule converts an installed rule back to its wire form.
+func encodeRule(r sdnpc.Rule) WireRule {
+	wr := WireRule{
+		Priority:  r.Priority,
+		Action:    r.Action.String(),
+		ActionArg: r.ActionArg,
+	}
+	if !r.SrcPrefix.IsWildcard() {
+		wr.Src = r.SrcPrefix.String()
+	}
+	if !r.DstPrefix.IsWildcard() {
+		wr.Dst = r.DstPrefix.String()
+	}
+	if !r.SrcPort.IsWildcard() {
+		wr.SrcPort = &WirePortRange{Lo: r.SrcPort.Lo, Hi: r.SrcPort.Hi}
+	}
+	if !r.DstPort.IsWildcard() {
+		wr.DstPort = &WirePortRange{Lo: r.DstPort.Lo, Hi: r.DstPort.Hi}
+	}
+	if !r.Protocol.IsWildcard() {
+		proto := r.Protocol.Value
+		wr.Proto = &proto
+	}
+	return wr
+}
+
+// decodeHeader converts a wire header into a facade header.
+func decodeHeader(wh WireHeader) (sdnpc.Header, error) {
+	return sdnpc.ParseHeader(wh.SrcIP, wh.SrcPort, wh.DstIP, wh.DstPort, wh.Proto)
+}
+
+// encodeResult converts a lookup result to its wire form.
+func encodeResult(r sdnpc.Result) WireResult {
+	wr := WireResult{
+		Matched:       r.Matched,
+		Priority:      r.Priority,
+		LatencyCycles: r.LatencyCycles,
+	}
+	if r.Matched {
+		wr.Action = r.Action.String()
+		wr.ActionArg = r.ActionArg
+	}
+	return wr
+}

@@ -9,4 +9,4 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-go test -run 'TestEnginesDocCoversRegistry|TestReadmeCoversSelectableEngines|TestArchitectureDocExists|TestDocsCoverCacheFlags|TestDocsCoverUpdatePlane' .
+go test -run 'TestEnginesDocCoversRegistry|TestReadmeCoversSelectableEngines|TestArchitectureDocExists|TestDocsCoverCacheFlags|TestDocsCoverUpdatePlane|TestServiceDocCoversRoutes' .

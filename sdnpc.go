@@ -54,6 +54,9 @@ type (
 	// packet tier's update plane: delta publishes versus full rebuilds, plus
 	// the wall-clock publish-latency histogram.
 	UpdateStats = core.UpdateStats
+	// LookupCounters is the served-request summary of one classifier:
+	// lookups answered and matches returned. See Classifier.LookupCounters.
+	LookupCounters = core.LookupCounters
 	// LatencyHistogram is the fixed-bucket publish-latency histogram inside
 	// UpdateStats.
 	LatencyHistogram = core.LatencyHistogram
@@ -249,6 +252,12 @@ func (c *Classifier) RuleCapacity() int { return c.inner.RuleCapacity() }
 
 // Stats returns a snapshot of the accumulated data-plane counters.
 func (c *Classifier) Stats() Stats { return c.inner.Stats() }
+
+// LookupCounters returns the classifier's served-request counters — lookups
+// answered and matches returned — as a cheap two-atomic read. Serving layers
+// that report per-tenant traffic (one classifier per tenant) should prefer
+// this over Stats, which snapshots every data-plane counter.
+func (c *Classifier) LookupCounters() LookupCounters { return c.inner.LookupCounters() }
 
 // UpdateStats returns the update-plane counters: how many rule-update
 // publishes were served by incremental deltas versus full rebuilds of the

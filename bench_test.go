@@ -491,8 +491,8 @@ func BenchmarkAblation_MemorySharing(b *testing.B) {
 	var withSharing, withoutSharing int
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig()
-		withSharing = cfg.RuleCapacity(memory.SelectBST)
-		withoutSharing = cfg.RuleCapacity(memory.SelectMBT)
+		withSharing = cfg.RuleCapacityFor("bst")
+		withoutSharing = cfg.RuleCapacityFor("mbt")
 	}
 	b.ReportMetric(float64(withSharing), "rules_with_sharing")
 	b.ReportMetric(float64(withoutSharing), "rules_without_sharing")

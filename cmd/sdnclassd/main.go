@@ -257,23 +257,26 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 	}
 
 	counters := sw.Counters()
-	stats := sw.Classifier().Stats()
+	// One Report call carries every observability surface the summary
+	// prints: data-plane counters, cache counters, memory breakdown and the
+	// update plane, all against one snapshot.
+	rep := sw.Classifier().Report()
 	fmt.Printf("\nreplayed %d packets in %v across %d workers (%.0f software lookups/s)\n",
 		counters.Total, elapsed.Round(time.Millisecond), workers, float64(counters.Total)/elapsed.Seconds())
 	fmt.Printf("forwarded %d, dropped %d, modified %d, punted %d, table misses %d\n",
 		counters.Forwarded, counters.Dropped, counters.Modified, counters.Punted, counters.TableMiss)
-	fmt.Printf("average field memory accesses per packet: %.2f\n", stats.AverageFieldAccesses())
+	fmt.Printf("average field memory accesses per packet: %.2f\n", rep.Stats.AverageFieldAccesses())
 	fmt.Printf("average lookup latency: %.1f cycles at %.2f MHz\n",
-		stats.AverageLatencyCycles(), sw.Classifier().Config().ClockHz/1e6)
+		rep.Stats.AverageLatencyCycles(), sw.Classifier().Config().ClockHz/1e6)
 	fmt.Printf("modelled hardware throughput (40-byte packets): %.2f Gbps\n", sw.Classifier().ThroughputGbps(40))
-	if cs, ok := sw.Classifier().CacheStats(); ok {
-		report := sw.Classifier().MemoryReport()
+	if rep.CacheEnabled {
+		cs := rep.Cache
 		fmt.Printf("microflow cache: %.1f%% hit rate (%d hits, %d misses, %d evictions, %d stale-generation drops) over %d entries (%d Kbit)\n",
 			100*cs.HitRate(), cs.Hits, cs.Misses, cs.Evictions, cs.StaleGenerations,
-			report.CacheEntries, report.CacheBits/1024)
+			rep.Memory.CacheEntries, rep.Memory.CacheBits/1024)
 	}
 	if churnRate > 0 {
-		us := sw.Classifier().UpdateStats()
+		us := rep.Updates
 		fmt.Printf("churn: %d flow-mods applied at ~%.0f/s (%d skipped at capacity); %d delta publishes carrying %d deltas, %d rebuilds, publish latency p50 %v p99 %v, current delta debt %d\n",
 			churnApplied, churnRate, churnSkipped, us.DeltaPublishes, us.DeltasApplied,
 			us.Rebuilds, us.PublishLatency.P50(), us.PublishLatency.P99(), us.DeltasSinceRebuild)

@@ -57,6 +57,7 @@ func TestArchitectureDocExists(t *testing.T) {
 		"internal/engine", "internal/core", "internal/algo", "internal/hw",
 		"internal/sdn", "internal/bench", "internal/cache", "internal/server",
 		"snapshot", "clone-mutate-swap",
+		"internal/arena", "0 allocs/op", "BenchmarkLookupUnderGC",
 	} {
 		if !strings.Contains(text, layer) {
 			t.Errorf("docs/ARCHITECTURE.md does not mention %q", layer)
@@ -66,7 +67,7 @@ func TestArchitectureDocExists(t *testing.T) {
 
 // TestDocsCoverUpdatePlane keeps the incremental update plane documented:
 // ARCHITECTURE.md must describe the delta-apply vs rebuild decision and the
-// UpdateStats surface, ENGINES.md must state the incremental contract and
+// Report().Updates surface, ENGINES.md must state the incremental contract and
 // the policy knobs, and the ENGINES.md incremental-support matrix must agree
 // with the registry's Incremental flags engine by engine — so the docs
 // cannot claim (or forget) delta support the code does not have.
@@ -76,7 +77,7 @@ func TestDocsCoverUpdatePlane(t *testing.T) {
 		t.Fatalf("reading docs/ARCHITECTURE.md: %v", err)
 	}
 	for _, want := range []string{
-		"delta-apply", "RebuildAfterDeltas", "DegradationThreshold", "UpdateStats",
+		"delta-apply", "RebuildAfterDeltas", "DegradationThreshold", "Report().Updates",
 		"bench.UpdateSweep", "-churn-rate", "-experiment churn", "BenchmarkUpdateLatency",
 	} {
 		if !strings.Contains(string(arch), want) {
@@ -167,7 +168,7 @@ func TestDocsCoverCacheFlags(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reading README.md: %v", err)
 	}
-	for _, want := range []string{"-cache-capacity", "WithCache", "CacheStats"} {
+	for _, want := range []string{"-cache-capacity", "WithCache", "Report()"} {
 		if !strings.Contains(string(readme), want) {
 			t.Errorf("README.md does not mention %q", want)
 		}

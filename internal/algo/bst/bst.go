@@ -237,10 +237,18 @@ func (e *Engine) rebuild() int {
 // matching the key and the number of node-memory accesses performed by the
 // binary search. The returned list is freshly allocated.
 func (e *Engine) Lookup(key uint32) (*label.List, int) {
+	result := &label.List{}
+	return result, e.LookupInto(key, result)
+}
+
+// LookupInto is the allocation-free variant of Lookup: it resets out, fills
+// it with the matching labels and returns the access count.
+func (e *Engine) LookupInto(key uint32, out *label.List) int {
 	e.lookups.Add(1)
+	out.Reset()
 	if len(e.intervals) == 0 {
 		e.lookupAccesses.Add(1)
-		return &label.List{}, 1
+		return 1
 	}
 	accesses := 0
 	lo, hi := 0, len(e.intervals)-1
@@ -256,9 +264,8 @@ func (e *Engine) Lookup(key uint32) (*label.List, int) {
 		}
 	}
 	e.lookupAccesses.Add(uint64(accesses))
-	result := &label.List{}
-	result.Merge(e.intervals[match].labels)
-	return result, accesses
+	out.Merge(e.intervals[match].labels)
+	return accesses
 }
 
 // WorstCaseAccessesFor returns the per-packet access count the hardware is

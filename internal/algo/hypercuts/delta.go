@@ -10,26 +10,31 @@ import (
 // Incremental updates. A HyperCuts tree is naturally delta-friendly: the
 // internal nodes encode a fixed partition of the header space, so inserting
 // or deleting one rule only changes the leaf rule lists — the cut structure
-// is untouched. A delta walk visits every node once, renumbering the stored
-// rule indices around the spliced position and editing the rule into (or out
-// of) exactly the leaves whose region it overlaps. That is O(nodes + stored
-// rule pointers) of integer work, versus the geometric recursion of a full
-// Build.
+// is untouched. A delta pass visits every node record once, renumbering the
+// stored rule indices around the spliced position and editing the rule into
+// (or out of) exactly the leaves whose region it overlaps. On the flat tree
+// that is one linear sweep of the arena — O(nodes + stored rule pointers) of
+// integer work, versus the geometric recursion of a full Build. A leaf that
+// outgrows its span's slack relocates into the spare region (the arena grows
+// when even that runs out), so a delta never fails mid-structure.
 //
 // The price is drift: inserts can grow a leaf beyond binth (a fresh build
-// would have split it), so the linear leaf scan slowly lengthens. The tree
-// stays correct — Degradation quantifies the drift so a policy layer can
-// amortise it away with an occasional rebuild.
+// would have split it), so the linear leaf scan slowly lengthens, and
+// relocations leak their old spans until the next rebuild re-compacts. The
+// tree stays correct — Degradation quantifies the drift so a policy layer
+// can amortise it away with an occasional rebuild.
 
-// Clone returns a deep structural copy of the classifier: nodes, leaf rule
-// lists and the rule table are all duplicated, so delta updates applied to
-// the copy are never observable through the original. The cut descriptions
-// (cutDims, cutsPer) are immutable after Build and stay shared. Lookup
-// counters start at zero on the copy.
+// Clone returns a deep structural copy of the classifier: the arena and the
+// rule table are duplicated (two memcpys — the flat layout's copy-on-write
+// dividend), so delta updates applied to the copy are never observable
+// through the original. Lookup counters start at zero on the copy.
 func (c *Classifier) Clone() *Classifier {
 	cp := &Classifier{
 		cfg:          c.cfg,
 		rules:        append([]fivetuple.Rule(nil), c.rules...),
+		ar:           c.ar.Clone(),
+		bump:         c.bump,
+		limit:        c.limit,
 		nodeCount:    c.nodeCount,
 		leafCount:    c.leafCount,
 		rulePtrs:     c.rulePtrs,
@@ -40,34 +45,15 @@ func (c *Classifier) Clone() *Classifier {
 		deltas:       c.deltas,
 		deltaWrites:  c.deltaWrites,
 	}
-	cp.root = cloneNode(c.root)
-	return cp
-}
-
-func cloneNode(n *node) *node {
-	if n == nil {
-		return nil
-	}
-	cp := &node{
-		leafRules: append([]int(nil), n.leafRules...),
-		cutDims:   n.cutDims,
-		cutsPer:   n.cutsPer,
-		region:    n.region,
-	}
-	if n.children != nil {
-		cp.children = make([]*node, len(n.children))
-		for i, ch := range n.children {
-			cp.children[i] = cloneNode(ch)
-		}
-	}
+	cp.words = cp.ar.Words(0, cp.ar.WordLen())
 	return cp
 }
 
 // InsertAt splices rule r into the classifier's best-first rule order at
 // index idx and adds it to every leaf whose region the rule overlaps — the
 // leaf-local delta update. Stored leaf indices at or above idx shift up by
-// one during the same traversal, so the tree stays consistent with the new
-// rule order without a rebuild.
+// one during the same sweep, so the tree stays consistent with the new rule
+// order without a rebuild.
 func (c *Classifier) InsertAt(r fivetuple.Rule, idx int) error {
 	if idx < 0 || idx > len(c.rules) {
 		return fmt.Errorf("hypercuts: insert index %d out of range [0,%d]", idx, len(c.rules))
@@ -75,40 +61,54 @@ func (c *Classifier) InsertAt(r fivetuple.Rule, idx int) error {
 	c.rules = append(c.rules, fivetuple.Rule{})
 	copy(c.rules[idx+1:], c.rules[idx:])
 	c.rules[idx] = r
-	c.insertWalk(c.root, r, idx)
-	c.deltas++
-	return nil
-}
-
-func (c *Classifier) insertWalk(n *node, r fivetuple.Rule, idx int) {
-	if n.isLeaf() {
+	for ni := 0; ni < c.nodeCount; ni++ {
+		base := ni * nodeWords
+		w := c.words
+		if w[base+nwFlags]&leafFlag == 0 {
+			continue
+		}
+		off := int(w[base+nwA])
+		n := int(w[base+nwB])
 		// Renumbering adds one to every index >= idx, which preserves the
 		// ascending (best-first) order, so idx then lands at its search
 		// position.
-		for i, ri := range n.leafRules {
-			if ri >= idx {
-				n.leafRules[i] = ri + 1
+		for j := 0; j < n; j++ {
+			if int(w[off+j]) >= idx {
+				w[off+j]++
 			}
 		}
-		if ruleOverlapsRegion(r, n.region) {
-			pos := sort.SearchInts(n.leafRules, idx)
-			n.leafRules = append(n.leafRules, 0)
-			copy(n.leafRules[pos+1:], n.leafRules[pos:])
-			n.leafRules[pos] = idx
-			c.rulePtrs++
-			c.deltaWrites++
-			if occ := len(n.leafRules); occ > c.maxLeaf {
-				c.maxLeaf = occ
-			}
-			if len(n.leafRules) > c.cfg.Binth {
-				c.overflowPtrs++
-			}
+		if !ruleOverlapsNode(r, w[base:base+nodeWords]) {
+			continue
 		}
-		return
+		if spanCap := int(w[base+nwC]); n == spanCap {
+			// The span is full: relocate it into the spare region with
+			// doubled slack, leaking the old span until the next rebuild.
+			newCap := 2*spanCap + 2
+			noff := c.spareAlloc(newCap)
+			w = c.words // spareAlloc may have grown the arena
+			copy(w[noff:noff+n], w[off:off+n])
+			off = noff
+			w[base+nwA] = uint32(noff)
+			w[base+nwC] = uint32(newCap)
+		}
+		span := w[off : off+n]
+		pos := sort.Search(n, func(i int) bool { return int(span[i]) >= idx })
+		w[off+n] = 0
+		copy(w[off+pos+1:off+n+1], w[off+pos:off+n])
+		w[off+pos] = uint32(idx)
+		n++
+		w[base+nwB] = uint32(n)
+		c.rulePtrs++
+		c.deltaWrites++
+		if n > c.maxLeaf {
+			c.maxLeaf = n
+		}
+		if n > c.cfg.Binth {
+			c.overflowPtrs++
+		}
 	}
-	for _, ch := range n.children {
-		c.insertWalk(ch, r, idx)
-	}
+	c.deltas++
+	return nil
 }
 
 // DeleteAt removes the rule at index idx of the best-first order from every
@@ -120,33 +120,35 @@ func (c *Classifier) DeleteAt(idx int) error {
 	if idx < 0 || idx >= len(c.rules) {
 		return fmt.Errorf("hypercuts: delete index %d out of range [0,%d)", idx, len(c.rules))
 	}
-	c.deleteWalk(c.root, idx)
-	c.rules = append(c.rules[:idx], c.rules[idx+1:]...)
-	c.deltas++
-	return nil
-}
-
-func (c *Classifier) deleteWalk(n *node, idx int) {
-	if n.isLeaf() {
-		pos := sort.SearchInts(n.leafRules, idx)
-		if pos < len(n.leafRules) && n.leafRules[pos] == idx {
-			if len(n.leafRules) > c.cfg.Binth {
+	w := c.words
+	for ni := 0; ni < c.nodeCount; ni++ {
+		base := ni * nodeWords
+		if w[base+nwFlags]&leafFlag == 0 {
+			continue
+		}
+		off := int(w[base+nwA])
+		n := int(w[base+nwB])
+		span := w[off : off+n]
+		pos := sort.Search(n, func(i int) bool { return int(span[i]) >= idx })
+		if pos < n && int(span[pos]) == idx {
+			if n > c.cfg.Binth {
 				c.overflowPtrs--
 			}
-			n.leafRules = append(n.leafRules[:pos], n.leafRules[pos+1:]...)
+			copy(span[pos:], span[pos+1:])
+			n--
+			w[base+nwB] = uint32(n)
 			c.rulePtrs--
 			c.deltaWrites++
 		}
-		for i, ri := range n.leafRules {
-			if ri > idx {
-				n.leafRules[i] = ri - 1
+		for j := 0; j < n; j++ {
+			if int(w[off+j]) > idx {
+				w[off+j]--
 			}
 		}
-		return
 	}
-	for _, ch := range n.children {
-		c.deleteWalk(ch, idx)
-	}
+	c.rules = append(c.rules[:idx], c.rules[idx+1:]...)
+	c.deltas++
+	return nil
 }
 
 // DeltaStats reports the delta debt accumulated since the tree was built.
@@ -193,25 +195,24 @@ func (c *Classifier) Degradation() float64 {
 func (c *Classifier) MaxLeafOccupancy() int { return c.maxLeaf }
 
 // initLeafMetrics derives the leaf-occupancy counters of a freshly built
-// tree — the zero point the delta accounting measures drift from.
+// tree — the zero point the delta accounting measures drift from — with one
+// linear sweep of the node records.
 func (c *Classifier) initLeafMetrics() {
 	c.overflowPtrs, c.maxLeaf = 0, 0
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n.isLeaf() {
-			if l := len(n.leafRules); l > c.maxLeaf {
-				c.maxLeaf = l
-			}
-			if over := len(n.leafRules) - c.cfg.Binth; over > 0 {
-				c.overflowPtrs += over
-			}
-			return
+	w := c.words
+	for ni := 0; ni < c.nodeCount; ni++ {
+		base := ni * nodeWords
+		if w[base+nwFlags]&leafFlag == 0 {
+			continue
 		}
-		for _, ch := range n.children {
-			walk(ch)
+		n := int(w[base+nwB])
+		if n > c.maxLeaf {
+			c.maxLeaf = n
+		}
+		if over := n - c.cfg.Binth; over > 0 {
+			c.overflowPtrs += over
 		}
 	}
-	walk(c.root)
 	c.baseOverflow = c.overflowPtrs
 	c.deltas, c.deltaWrites = 0, 0
 }

@@ -8,6 +8,13 @@
 // Lookup walks one child per level and finishes with the leaf's linear scan;
 // the number of memory accesses is the path length plus the leaf occupancy —
 // the quantity behind HyperCuts' Table I row.
+//
+// The built tree is flat: Build lays every node out as a fixed 14-word
+// record in one contiguous arena, children linked by node index instead of
+// pointer, leaf rule lists as index spans with slack capacity for in-place
+// delta inserts. The published structure is two pointer-free allocations
+// (the arena and the rule table), which the collector scans in O(1), and
+// Classify allocates nothing.
 package hypercuts
 
 import (
@@ -16,6 +23,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"sdnpc/internal/arena"
 	"sdnpc/internal/fivetuple"
 )
 
@@ -57,7 +65,10 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// region is a hyper-rectangle of the 5-dimensional header space.
+// region is a hyper-rectangle of the 5-dimensional header space. Every
+// dimension is at most 32 bits wide, so the bounds fit uint32 in the flat
+// node records; the build keeps them as uint64 for overflow-free width
+// arithmetic.
 type region struct {
 	lo [fivetuple.NumFields]uint64
 	hi [fivetuple.NumFields]uint64
@@ -121,7 +132,8 @@ func headerValue(h fivetuple.Header, f fivetuple.Field) uint64 {
 	}
 }
 
-// node is one decision-tree node.
+// node is one decision-tree node of the transient build form; flatten
+// converts the pointer tree into arena records and drops it.
 type node struct {
 	// Leaf nodes hold rule indices; internal nodes hold the cut description
 	// and children.
@@ -135,11 +147,44 @@ type node struct {
 
 func (n *node) isLeaf() bool { return n.children == nil }
 
+// Flat node record layout. Every node is nodeWords consecutive words:
+//
+//	word 0        flags — leafFlag for a leaf, else the cut count (1 or 2)
+//	word 1        leaf: word offset of the rule-index span
+//	              internal: node index of the first child (children of one
+//	              node are laid out contiguously, so one base serves all)
+//	word 2        leaf: live entry count     internal: dim0<<16 | cuts0
+//	word 3        leaf: span capacity        internal: dim1<<16 | cuts1
+//	words 4..8    region lo, one word per dimension
+//	words 9..13   region hi, one word per dimension
+//
+// Leaf spans carry slack capacity so delta inserts edit in place; a span
+// that outgrows its capacity relocates into the spare region at the arena
+// tail (growing the arena when even that is exhausted), leaking the old
+// span as tracked garbage until the next rebuild re-compacts.
+const (
+	nodeWords = 14
+	nwFlags   = 0
+	nwA       = 1
+	nwB       = 2
+	nwC       = 3
+	nwLo      = 4
+	nwHi      = 9
+
+	leafFlag = 1 << 31
+)
+
 // Classifier is a HyperCuts decision tree built from a rule set.
 type Classifier struct {
 	cfg   Config
 	rules []fivetuple.Rule
-	root  *node
+
+	// The flat tree: node records first, then the leaf spans, then the
+	// spare region [bump, limit) feeding span relocations.
+	ar    *arena.Arena
+	words []uint32 // the arena word space; refreshed after Grow
+	bump  int
+	limit int
 
 	nodeCount int
 	leafCount int
@@ -160,7 +205,7 @@ type Classifier struct {
 	lookupAccesses atomic.Uint64
 }
 
-// Build constructs a HyperCuts tree for the rule set.
+// Build constructs a HyperCuts tree for the rule set and flattens it.
 func Build(rs *fivetuple.RuleSet, cfg Config) (*Classifier, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -173,7 +218,8 @@ func Build(rs *fivetuple.RuleSet, cfg Config) (*Classifier, error) {
 	for i := range all {
 		all[i] = i
 	}
-	c.root = c.build(all, fullRegion(), 0)
+	root := c.build(all, fullRegion(), 0)
+	c.flatten(root)
 	c.initLeafMetrics()
 	return c, nil
 }
@@ -230,6 +276,77 @@ func (c *Classifier) build(ruleIdx []int, reg region, depth int) *node {
 		n.children[child] = c.build(childRules, childReg, depth+1)
 	}
 	return n
+}
+
+// flatten lays the pointer tree out as arena records: a breadth-first
+// numbering keeps every node's children contiguous so one child-base index
+// replaces the child pointer array, then each leaf's rule list becomes an
+// index span with slack. The pointer tree is garbage once this returns.
+func (c *Classifier) flatten(root *node) {
+	order := []*node{root}
+	childBase := make([]int, 1, c.nodeCount)
+	for i := 0; i < len(order); i++ {
+		n := order[i]
+		childBase = childBase[:len(order)]
+		if !n.isLeaf() {
+			childBase[i] = len(order)
+			order = append(order, n.children...)
+		}
+	}
+	b := arena.NewBuilder()
+	_, nodes := b.Words(nodeWords * len(order))
+	slack := c.cfg.Binth/2 + 2
+	totalSpan := 0
+	for i, n := range order {
+		rec := nodes[i*nodeWords : (i+1)*nodeWords]
+		for d := 0; d < fivetuple.NumFields; d++ {
+			rec[nwLo+d] = uint32(n.region.lo[d])
+			rec[nwHi+d] = uint32(n.region.hi[d])
+		}
+		if n.isLeaf() {
+			spanCap := len(n.leafRules) + slack
+			h, span := b.Words(spanCap)
+			for j, ri := range n.leafRules {
+				span[j] = uint32(ri)
+			}
+			rec[nwFlags] = leafFlag
+			rec[nwA] = uint32(h)
+			rec[nwB] = uint32(len(n.leafRules))
+			rec[nwC] = uint32(spanCap)
+			totalSpan += spanCap
+			continue
+		}
+		rec[nwFlags] = uint32(len(n.cutDims))
+		rec[nwA] = uint32(childBase[i])
+		rec[nwB] = uint32(n.cutDims[0])<<16 | uint32(n.cutsPer[0])
+		if len(n.cutDims) == 2 {
+			rec[nwC] = uint32(n.cutDims[1])<<16 | uint32(n.cutsPer[1])
+		}
+	}
+	spare := totalSpan/2 + 64
+	b.Words(spare)
+	c.ar = b.Finish()
+	c.words = c.ar.Words(0, c.ar.WordLen())
+	c.limit = c.ar.WordLen()
+	c.bump = c.limit - spare
+}
+
+// spareAlloc carves n words out of the spare region for a relocated leaf
+// span, growing the arena when the region is exhausted. Grow reallocates
+// the word space, so callers must refresh any local view afterwards.
+func (c *Classifier) spareAlloc(n int) int {
+	if c.bump+n > c.limit {
+		extra := c.limit/2 + 64
+		if extra < 2*n {
+			extra = 2 * n
+		}
+		c.ar.Grow(extra)
+		c.words = c.ar.Words(0, c.ar.WordLen())
+		c.limit = c.ar.WordLen()
+	}
+	off := c.bump
+	c.bump += n
+	return off
 }
 
 // chooseCuts picks the dimensions to cut (those with the most distinct rule
@@ -317,40 +434,62 @@ func ruleOverlapsRegion(r fivetuple.Rule, reg region) bool {
 	return true
 }
 
+// ruleOverlapsNode is the flat-record form of ruleOverlapsRegion: the node's
+// region bounds are read straight from its arena record.
+func ruleOverlapsNode(r fivetuple.Rule, rec []uint32) bool {
+	for di, f := range fivetuple.Fields() {
+		lo, hi := ruleRange(r, f)
+		if hi < uint64(rec[nwLo+di]) || lo > uint64(rec[nwHi+di]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Classify returns the index of the highest-priority matching rule, whether
 // any rule matched and the number of memory accesses (tree nodes visited plus
-// leaf rules scanned).
+// leaf rules scanned). The walk touches only the flat arena and the rule
+// table; it allocates nothing.
 func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, accesses int) {
 	c.lookups.Add(1)
-	n := c.root
-	for !n.isLeaf() {
+	w := c.words
+	fields := fivetuple.Fields()
+	base := 0
+	for w[base+nwFlags]&leafFlag == 0 {
 		accesses++
+		cutCount := int(w[base+nwFlags])
 		child := 0
 		mult := 1
-		for i, di := range n.cutDims {
-			k := n.cutsPer[i]
-			span := n.region.hi[di] - n.region.lo[di] + 1
+		for i := 0; i < cutCount; i++ {
+			dk := w[base+nwB+i]
+			di := int(dk >> 16)
+			k := int(dk & 0xFFFF)
+			lo := uint64(w[base+nwLo+di])
+			span := uint64(w[base+nwHi+di]) - lo + 1
 			width := span / uint64(k)
 			if width == 0 {
 				width = 1
 			}
-			v := headerValue(h, fivetuple.Fields()[di])
-			if v < n.region.lo[di] {
-				v = n.region.lo[di]
+			v := headerValue(h, fields[di])
+			if v < lo {
+				v = lo
 			}
-			slice := int((v - n.region.lo[di]) / width)
+			slice := int((v - lo) / width)
 			if slice >= k {
 				slice = k - 1
 			}
 			child += slice * mult
 			mult *= k
 		}
-		n = n.children[child]
+		base = (int(w[base+nwA]) + child) * nodeWords
 	}
 	accesses++ // reading the leaf header
 	best := -1
-	for _, ri := range n.leafRules {
+	off := int(w[base+nwA])
+	n := int(w[base+nwB])
+	for j := 0; j < n; j++ {
 		accesses++
+		ri := int(w[off+j])
 		if c.rules[ri].Matches(h) {
 			best = ri
 			break // leaf rules are sorted by priority
@@ -382,6 +521,10 @@ func (c *Classifier) MemoryBits() int {
 	const ruleBits = 144
 	return c.nodeCount*nodeBits + c.rulePtrs*rulePtrBits + len(c.rules)*ruleBits
 }
+
+// ArenaBytes returns the backing storage of the flattened tree — the one
+// allocation (plus the rule table) a published snapshot hands the collector.
+func (c *Classifier) ArenaBytes() int { return c.ar.SizeBytes() }
 
 // Stats summarises lookup counters.
 type Stats struct {

@@ -113,19 +113,26 @@ func (t *Table) RemoveWildcard() (writes int, err error) {
 // (always one: the table is read once; the wildcard register is combinational
 // logic).
 func (t *Table) Lookup(value uint8) (*label.List, int) {
+	result := &label.List{}
+	return result, t.LookupInto(value, result)
+}
+
+// LookupInto is the allocation-free variant of Lookup: it resets out, fills
+// it with the matching labels and returns the access count.
+func (t *Table) LookupInto(value uint8, out *label.List) int {
 	t.lookups.Add(1)
 	t.lookupAccesses.Add(1)
-	result := &label.List{}
+	out.Reset()
 	if t.exact[value].valid {
 		// The exact match takes the first position regardless of rule
 		// priority (§IV.C.1: "the priority label for Protocol lookup is
 		// determined by the exact matching value").
-		result.Insert(label.PriorityLabel{Label: t.exact[value].lbl, Priority: 0})
+		out.Insert(label.PriorityLabel{Label: t.exact[value].lbl, Priority: 0})
 	}
 	if t.wildcard.valid {
-		result.Insert(label.PriorityLabel{Label: t.wildcard.lbl, Priority: 1})
+		out.Insert(label.PriorityLabel{Label: t.wildcard.lbl, Priority: 1})
 	}
-	return result, 1
+	return 1
 }
 
 // EntryCount returns the number of valid exact entries (plus one if the

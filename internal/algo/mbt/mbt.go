@@ -302,6 +302,13 @@ func (e *Engine) chunk(value uint32, level int) int {
 // modify.
 func (e *Engine) Lookup(key uint32) (*label.List, int) {
 	result := &label.List{}
+	return result, e.LookupInto(key, result)
+}
+
+// LookupInto is the allocation-free variant of Lookup: it resets out, fills
+// it with the matching labels and returns the access count.
+func (e *Engine) LookupInto(key uint32, out *label.List) int {
+	out.Reset()
 	accesses := 0
 	n := e.root
 	for n != nil {
@@ -309,13 +316,13 @@ func (e *Engine) Lookup(key uint32) (*label.List, int) {
 		chunk := e.chunk(key, n.level)
 		en := n.entries[chunk]
 		if en.labels != nil {
-			result.Merge(en.labels)
+			out.Merge(en.labels)
 		}
 		n = en.child
 	}
 	e.lookups.Add(1)
 	e.lookupAccesses.Add(uint64(accesses))
-	return result, accesses
+	return accesses
 }
 
 // WorstCaseAccesses returns the maximum number of node accesses a lookup can

@@ -122,9 +122,16 @@ func (b *Bank) Remove(rng fivetuple.PortRange) (writes int, err error) {
 // Table IV priority rule), together with the number of register-bank
 // accesses (one: all registers are read in the same cycle).
 func (b *Bank) Lookup(port uint16) (*label.List, int) {
+	result := &label.List{}
+	return result, b.LookupInto(port, result)
+}
+
+// LookupInto is the allocation-free variant of Lookup: it resets out, fills
+// it with the matching labels and returns the access count.
+func (b *Bank) LookupInto(port uint16, out *label.List) int {
 	b.lookups.Add(1)
 	b.lookupAccesses.Add(1)
-	result := &label.List{}
+	out.Reset()
 	for _, e := range b.entries {
 		if !e.rng.Matches(port) {
 			continue
@@ -132,9 +139,9 @@ func (b *Bank) Lookup(port uint16) (*label.List, int) {
 		// Specificity ordering: the list priority is the range width, so an
 		// exact match (width 1) always precedes wider ranges and the
 		// wildcard comes last. Ties keep the earlier-inserted register.
-		result.Insert(label.PriorityLabel{Label: e.lbl, Priority: int(e.rng.Width())})
+		out.Insert(label.PriorityLabel{Label: e.lbl, Priority: int(e.rng.Width())})
 	}
-	return result, 1
+	return 1
 }
 
 // Ranges returns the stored ranges in register order.

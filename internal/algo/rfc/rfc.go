@@ -13,6 +13,12 @@
 // constant number of memory accesses) against very large precomputed tables;
 // the cross-product tables grow with the product of the equivalence-class
 // counts of their inputs.
+//
+// The built classifier is flat: every phase table lives in one contiguous
+// arena (the protocol chunk's class IDs always fit a byte, so its table uses
+// the arena's byte space), and the final phase resolves to a precomputed
+// best-rule-per-class array. The published structure is pointer-free — the
+// collector scans it in O(1) — and Classify allocates nothing.
 package rfc
 
 import (
@@ -20,6 +26,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"sdnpc/internal/arena"
 	"sdnpc/internal/fivetuple"
 )
 
@@ -37,22 +44,35 @@ const (
 	numChunks
 )
 
-// Classifier is an RFC classifier built from a rule set.
+// noRule is the finalBest sentinel for a class that matches no rule.
+const noRule = ^uint32(0)
+
+// Classifier is an RFC classifier built from a rule set. After Build it is
+// read-only: all tables are index-linked views into one arena.
 type Classifier struct {
 	rules []fivetuple.Rule
+	ar    *arena.Arena
 
-	// phase0 maps a chunk value to its equivalence-class ID.
-	phase0 [numChunks][]uint32
-	// classSets[c][id] is the sorted rule-index set of class id of chunk c.
-	classSets [numChunks][][]uint32
+	// phase0 maps a chunk value to its equivalence-class ID; the slices are
+	// views into the arena. The protocol chunk lives in the byte space
+	// (256 values, at most 256 classes) — its phase0 entry is nil.
+	phase0     [numChunks][]uint32
+	protoTable []byte
 
 	// Later phases: crossTable[t] is indexed by idA*width+idB.
-	srcTable   *crossTable // (srcHi, srcLo)
-	dstTable   *crossTable // (dstHi, dstLo)
-	portTable  *crossTable // (srcPort, dstPort)
-	l3Table    *crossTable // (src, dst)
-	l4Table    *crossTable // (port, proto)
-	finalTable *crossTable // (l3, l4); its class sets resolve to the HPMR
+	srcTable   crossTable // (srcHi, srcLo)
+	dstTable   crossTable // (dstHi, dstLo)
+	portTable  crossTable // (srcPort, dstPort)
+	l3Table    crossTable // (src, dst)
+	l4Table    crossTable // (port, proto)
+	finalTable crossTable // (l3, l4)
+
+	// finalBest[class] is the lowest (best-priority) rule index of the final
+	// class, or noRule — the precomputed resolution of the final class sets.
+	finalBest []uint32
+
+	classCounts [numChunks]int
+	memoryBits  int
 
 	// Atomic so that a built classifier can serve Classify from any number
 	// of goroutines concurrently (read-only after build).
@@ -60,14 +80,13 @@ type Classifier struct {
 	lookupAccesses atomic.Uint64
 }
 
-// crossTable combines two equivalence-class ID streams into one.
+// crossTable combines two equivalence-class ID streams into one. entries is
+// a view into the classifier's arena.
 type crossTable struct {
 	widthB  int
+	classes int
 	entries []uint32
-	sets    [][]uint32
 }
-
-func (t *crossTable) classes() int { return len(t.sets) }
 
 // index returns the combined class ID for the input pair.
 func (t *crossTable) index(a, b uint32) uint32 {
@@ -75,7 +94,7 @@ func (t *crossTable) index(a, b uint32) uint32 {
 }
 
 // entryBits returns the width of one stored entry.
-func (t *crossTable) entryBits() int { return ceilLog2(len(t.sets)) }
+func (t *crossTable) entryBits() int { return ceilLog2(t.classes) }
 
 // memoryBits returns the storage consumed by the table.
 func (t *crossTable) memoryBits() int { return len(t.entries) * t.entryBits() }
@@ -88,33 +107,111 @@ func ceilLog2(n int) int {
 	return bits
 }
 
-// Build constructs the RFC tables for a rule set.
+// buildTable is the transient (pointer-rich) form of a cross table: the
+// class sets exist only while later tables are derived from them, then the
+// entries are flattened into the arena and the sets dropped.
+type buildTable struct {
+	widthB  int
+	entries []uint32
+	sets    [][]uint32
+}
+
+// Build constructs the RFC tables for a rule set and flattens them into one
+// arena.
 func Build(rs *fivetuple.RuleSet) (*Classifier, error) {
 	if rs.Len() == 0 {
 		return nil, fmt.Errorf("rfc: empty rule set")
 	}
 	c := &Classifier{rules: rs.Rules()}
-	c.buildPhase0()
-	var err error
-	if c.srcTable, err = c.cross(c.classSets[chunkSrcHi], c.classSets[chunkSrcLo]); err != nil {
+	phase0, classSets := c.buildPhase0()
+	src, err := cross(classSets[chunkSrcHi], classSets[chunkSrcLo])
+	if err != nil {
 		return nil, err
 	}
-	if c.dstTable, err = c.cross(c.classSets[chunkDstHi], c.classSets[chunkDstLo]); err != nil {
+	dst, err := cross(classSets[chunkDstHi], classSets[chunkDstLo])
+	if err != nil {
 		return nil, err
 	}
-	if c.portTable, err = c.cross(c.classSets[chunkSrcPort], c.classSets[chunkDstPort]); err != nil {
+	port, err := cross(classSets[chunkSrcPort], classSets[chunkDstPort])
+	if err != nil {
 		return nil, err
 	}
-	if c.l3Table, err = c.cross(c.srcTable.sets, c.dstTable.sets); err != nil {
+	l3, err := cross(src.sets, dst.sets)
+	if err != nil {
 		return nil, err
 	}
-	if c.l4Table, err = c.cross(c.portTable.sets, c.classSets[chunkProto]); err != nil {
+	l4, err := cross(port.sets, classSets[chunkProto])
+	if err != nil {
 		return nil, err
 	}
-	if c.finalTable, err = c.cross(c.l3Table.sets, c.l4Table.sets); err != nil {
+	final, err := cross(l3.sets, l4.sets)
+	if err != nil {
 		return nil, err
 	}
+	for ch := chunk(0); ch < numChunks; ch++ {
+		c.classCounts[ch] = len(classSets[ch])
+	}
+	c.flatten(phase0, []*buildTable{src, dst, port, l3, l4, final})
 	return c, nil
+}
+
+// flatten copies the phase tables into one contiguous arena and precomputes
+// the final best-rule array, dropping every transient build structure.
+func (c *Classifier) flatten(phase0 [numChunks][]uint32, tables []*buildTable) {
+	b := arena.NewBuilder()
+	var p0 [numChunks]arena.Handle
+	for ch := chunk(0); ch < numChunks; ch++ {
+		if ch == chunkProto {
+			continue
+		}
+		h, w := b.Words(len(phase0[ch]))
+		copy(w, phase0[ch])
+		p0[ch] = h
+	}
+	protoH, pb := b.Bytes(chunkDomain(chunkProto), 1)
+	for v, id := range phase0[chunkProto] {
+		pb[v] = byte(id)
+	}
+	flat := make([]crossTable, len(tables))
+	handles := make([]arena.Handle, len(tables))
+	for i, t := range tables {
+		h, w := b.Words(len(t.entries))
+		copy(w, t.entries)
+		handles[i] = h
+		flat[i] = crossTable{widthB: t.widthB, classes: len(t.sets)}
+	}
+	final := tables[len(tables)-1]
+	bestH, bw := b.Words(len(final.sets))
+	for id, set := range final.sets {
+		if len(set) == 0 {
+			bw[id] = noRule
+		} else {
+			bw[id] = set[0]
+		}
+	}
+	c.ar = b.Finish()
+	for ch := chunk(0); ch < numChunks; ch++ {
+		if ch == chunkProto {
+			continue
+		}
+		c.phase0[ch] = c.ar.Words(p0[ch], chunkDomain(ch))
+	}
+	c.protoTable = c.ar.Bytes(protoH, chunkDomain(chunkProto))
+	for i, t := range tables {
+		flat[i].entries = c.ar.Words(handles[i], len(t.entries))
+	}
+	c.srcTable, c.dstTable, c.portTable = flat[0], flat[1], flat[2]
+	c.l3Table, c.l4Table, c.finalTable = flat[3], flat[4], flat[5]
+	c.finalBest = c.ar.Words(bestH, len(final.sets))
+
+	total := 0
+	for ch := chunk(0); ch < numChunks; ch++ {
+		total += chunkDomain(ch) * ceilLog2(c.classCounts[ch])
+	}
+	for i := range flat {
+		total += flat[i].memoryBits()
+	}
+	c.memoryBits = total
 }
 
 // chunkRange returns the inclusive range of chunk values matched by the rule
@@ -160,7 +257,7 @@ func chunkDomain(c chunk) int {
 
 // buildPhase0 computes, for every chunk, the value→class table and the class
 // rule sets using a boundary sweep.
-func (c *Classifier) buildPhase0() {
+func (c *Classifier) buildPhase0() (phase0 [numChunks][]uint32, classSets [numChunks][][]uint32) {
 	for ch := chunk(0); ch < numChunks; ch++ {
 		domain := chunkDomain(ch)
 		// Event lists: rules starting and ending at each value.
@@ -213,9 +310,10 @@ func (c *Classifier) buildPhase0() {
 				delete(active, idx)
 			}
 		}
-		c.phase0[ch] = table
-		c.classSets[ch] = sets
+		phase0[ch] = table
+		classSets[ch] = sets
 	}
+	return phase0, classSets
 }
 
 func setFromMap(m map[uint32]struct{}) []uint32 {
@@ -241,13 +339,13 @@ func setKey(set []uint32) string {
 const maxCrossEntries = 64 << 20
 
 // cross builds the cross-product table of two class-set families.
-func (c *Classifier) cross(a, b [][]uint32) (*crossTable, error) {
+func cross(a, b [][]uint32) (*buildTable, error) {
 	entries := len(a) * len(b)
 	if entries > maxCrossEntries {
 		return nil, fmt.Errorf("rfc: cross-product table of %d x %d classes exceeds the %d-entry limit",
 			len(a), len(b), maxCrossEntries)
 	}
-	t := &crossTable{widthB: len(b), entries: make([]uint32, entries)}
+	t := &buildTable{widthB: len(b), entries: make([]uint32, entries)}
 	classIndex := make(map[string]uint32)
 	for i, sa := range a {
 		for j, sb := range b {
@@ -285,7 +383,8 @@ func intersect(a, b []uint32) []uint32 {
 }
 
 // Classify returns the index of the highest-priority matching rule and the
-// number of table accesses performed.
+// number of table accesses performed. It allocates nothing: thirteen
+// indexings of the flat arena resolve the header.
 func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, accesses int) {
 	c.lookups.Add(1)
 	// Phase 0: seven chunk tables.
@@ -295,7 +394,7 @@ func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, 
 	dstLo := c.phase0[chunkDstLo][h.DstIP.Low16()]
 	srcPort := c.phase0[chunkSrcPort][h.SrcPort]
 	dstPort := c.phase0[chunkDstPort][h.DstPort]
-	proto := c.phase0[chunkProto][h.Protocol]
+	proto := uint32(c.protoTable[h.Protocol])
 	accesses = 7
 	// Phase 1.
 	src := c.srcTable.index(srcHi, srcLo)
@@ -311,11 +410,11 @@ func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, 
 	accesses++
 	c.lookupAccesses.Add(uint64(accesses))
 
-	set := c.finalTable.sets[final]
-	if len(set) == 0 {
+	best := c.finalBest[final]
+	if best == noRule {
 		return 0, false, accesses
 	}
-	return int(set[0]), true, accesses
+	return int(best), true, accesses
 }
 
 // AccessesPerLookup returns the constant number of table indexings RFC
@@ -323,17 +422,11 @@ func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, 
 func (c *Classifier) AccessesPerLookup() int { return 13 }
 
 // MemoryBits returns the storage consumed by all phase tables.
-func (c *Classifier) MemoryBits() int {
-	total := 0
-	for ch := chunk(0); ch < numChunks; ch++ {
-		width := ceilLog2(len(c.classSets[ch]))
-		total += chunkDomain(ch) * width
-	}
-	for _, t := range []*crossTable{c.srcTable, c.dstTable, c.portTable, c.l3Table, c.l4Table, c.finalTable} {
-		total += t.memoryBits()
-	}
-	return total
-}
+func (c *Classifier) MemoryBits() int { return c.memoryBits }
+
+// ArenaBytes returns the backing storage of the flattened tables — the one
+// allocation a published snapshot hands the collector.
+func (c *Classifier) ArenaBytes() int { return c.ar.SizeBytes() }
 
 // Stats summarises lookup counters.
 type Stats struct {

@@ -203,17 +203,25 @@ func classKey(l *label.List) string {
 // matching the key and the number of memory accesses: one, the direct table
 // index. The returned list is freshly allocated.
 func (t *SegmentTable) Lookup(key uint32) (*label.List, int) {
+	result := &label.List{}
+	return result, t.LookupInto(key, result)
+}
+
+// LookupInto is the allocation-free variant of Lookup: it resets out, fills
+// it with the matching labels and returns the access count. The table must
+// be clean (Prepare) for the call to be allocation-free.
+func (t *SegmentTable) LookupInto(key uint32, out *label.List) int {
 	if t.dirty {
 		t.rebuild()
 	}
 	t.lookups.Add(1)
 	t.lookupAccesses.Add(1)
-	result := &label.List{}
+	out.Reset()
 	if len(t.table) == 0 || key >= uint32(t.domain()) {
-		return result, 1
+		return 1
 	}
-	result.Merge(t.classes[t.table[key]])
-	return result, 1
+	out.Merge(t.classes[t.table[key]])
+	return 1
 }
 
 // ClassCount returns the number of equivalence classes.

@@ -149,6 +149,12 @@ func (e *Engine) Lookup(port uint16) (*label.List, int) {
 	return e.trie.Lookup(uint32(port))
 }
 
+// LookupInto is the allocation-free variant of Lookup: it resets out, fills
+// it with the matching labels and returns the access count.
+func (e *Engine) LookupInto(port uint16, out *label.List) int {
+	return e.trie.LookupInto(uint32(port), out)
+}
+
 // WorstCaseAccesses returns the maximum trie-node accesses per lookup (the
 // level count).
 func (e *Engine) WorstCaseAccesses() int { return e.levels }

@@ -1,0 +1,259 @@
+// Package arena provides the flat-memory backing store of the packet-tier
+// lookup structures: a bump allocator that lays records out in contiguous
+// []uint32 / []byte spaces addressed by integer handles instead of pointers.
+//
+// The point is the garbage collector. A pointer-rich decision tree or hash
+// table is O(nodes) of GC scan work on every cycle; the same structure
+// flattened into an arena is at most two allocations of pointer-free memory,
+// which the collector classifies as noscan and skips entirely. A published
+// snapshot therefore costs O(1) scan time no matter how many rules it holds,
+// and cloning it for the copy-on-write update plane is a pair of memcpys.
+//
+// Usage is two-phase. A Builder accumulates allocations during a structure
+// build; every allocation returns a Handle (a stable global offset) plus a
+// writable view of the new record. Finish compacts the accumulated blocks
+// into one contiguous Arena; handles issued by the Builder remain valid —
+// they index the same logical offsets in the finished arena.
+//
+//	b := arena.NewBuilder()
+//	h, node := b.Words(14)     // writable until Finish
+//	node[0] = flags
+//	a := b.Finish()
+//	a.Word(h) == flags         // same offset, now contiguous storage
+//
+// All accessors are bounds-checked and panic on out-of-range handles: a bad
+// index in a flattened structure is a builder bug, not a recoverable
+// condition, and silently reading a neighbouring record would be far worse.
+package arena
+
+import "fmt"
+
+// Handle addresses one word-space allocation: the index of its first uint32
+// in the finished arena. Handles are issued by Builder.Words and remain valid
+// across Finish.
+type Handle uint32
+
+// ByteHandle addresses one byte-space allocation: the index of its first byte
+// in the finished arena.
+type ByteHandle uint32
+
+// blockWords is the default capacity of one builder block. Blocks are never
+// reallocated, so views handed out by Words/Bytes stay valid until Finish;
+// an allocation that does not fit the current block's remainder closes it
+// and opens a fresh one (oversized requests get a dedicated block).
+const blockWords = 16 * 1024
+
+// Builder accumulates arena allocations during a structure build.
+type Builder struct {
+	blocks [][]uint32 // closed word blocks; lengths sum to nWords
+	cur    []uint32   // open word block, len = fill, cap = capacity
+	nWords int        // total words allocated across closed blocks + cur
+
+	bblocks [][]byte
+	bcur    []byte
+	nBytes  int
+
+	finished bool
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// WordLen returns the number of words allocated so far — the handle the next
+// Words call will return.
+func (b *Builder) WordLen() int { return b.nWords }
+
+// ByteLen returns the number of bytes allocated so far.
+func (b *Builder) ByteLen() int { return b.nBytes }
+
+// Words allocates n words and returns their handle plus a writable view of
+// the zeroed record. The view stays valid until Finish. n must be positive.
+func (b *Builder) Words(n int) (Handle, []uint32) {
+	if b.finished {
+		panic("arena: Words on finished builder")
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("arena: word allocation of %d words", n))
+	}
+	if len(b.cur)+n > cap(b.cur) {
+		// Close the open block at its fill; the remainder is never used, so
+		// global offsets stay the sum of block lengths.
+		if b.cur != nil {
+			b.blocks = append(b.blocks, b.cur)
+		}
+		size := blockWords
+		if n > size {
+			size = n
+		}
+		b.cur = make([]uint32, 0, size)
+	}
+	h := Handle(b.nWords)
+	start := len(b.cur)
+	b.cur = b.cur[: start+n : cap(b.cur)]
+	b.nWords += n
+	return h, b.cur[start : start+n]
+}
+
+// Bytes allocates n bytes aligned to align (which must be a power of two)
+// and returns their handle plus a writable view of the zeroed record. The
+// alignment is of the global byte offset, so mixed u8/u32 records laid out
+// in the byte space keep their natural alignment in the finished arena. The
+// view stays valid until Finish.
+func (b *Builder) Bytes(n, align int) (ByteHandle, []byte) {
+	if b.finished {
+		panic("arena: Bytes on finished builder")
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("arena: byte allocation of %d bytes", n))
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("arena: alignment %d is not a power of two", align))
+	}
+	if pad := (align - b.nBytes&(align-1)) & (align - 1); pad > 0 {
+		b.byteAlloc(pad)
+		b.nBytes += pad
+	}
+	h := ByteHandle(b.nBytes)
+	out := b.byteAlloc(n)
+	b.nBytes += n
+	return h, out
+}
+
+// byteAlloc carves n zeroed bytes out of the open byte block, opening a new
+// block when the remainder is too small.
+func (b *Builder) byteAlloc(n int) []byte {
+	if len(b.bcur)+n > cap(b.bcur) {
+		if b.bcur != nil {
+			b.bblocks = append(b.bblocks, b.bcur)
+		}
+		size := 4 * blockWords
+		if n > size {
+			size = n
+		}
+		b.bcur = make([]byte, 0, size)
+	}
+	start := len(b.bcur)
+	b.bcur = b.bcur[: start+n : cap(b.bcur)]
+	return b.bcur[start : start+n]
+}
+
+// Finish compacts the accumulated blocks into one contiguous Arena. Handles
+// issued by the builder address the same offsets in the result. The builder
+// is dead afterwards; further allocation panics.
+func (b *Builder) Finish() *Arena {
+	if b.finished {
+		panic("arena: Finish called twice")
+	}
+	b.finished = true
+	a := &Arena{
+		words: make([]uint32, 0, b.nWords),
+		bytes: make([]byte, 0, b.nBytes),
+	}
+	for _, blk := range b.blocks {
+		a.words = append(a.words, blk...)
+	}
+	a.words = append(a.words, b.cur...)
+	for _, blk := range b.bblocks {
+		a.bytes = append(a.bytes, blk...)
+	}
+	a.bytes = append(a.bytes, b.bcur...)
+	b.blocks, b.cur, b.bblocks, b.bcur = nil, nil, nil, nil
+	return a
+}
+
+// Arena is the finished flat store: one contiguous word space and one
+// contiguous byte space, both pointer-free (noscan to the collector).
+type Arena struct {
+	words []uint32
+	bytes []byte
+}
+
+// WordLen returns the size of the word space.
+func (a *Arena) WordLen() int { return len(a.words) }
+
+// ByteLen returns the size of the byte space.
+func (a *Arena) ByteLen() int { return len(a.bytes) }
+
+// SizeBytes returns the total backing storage of both spaces.
+func (a *Arena) SizeBytes() int { return 4*len(a.words) + len(a.bytes) }
+
+// Word reads the word at h.
+func (a *Arena) Word(h Handle) uint32 {
+	a.checkWords(h, 1)
+	return a.words[h]
+}
+
+// SetWord writes the word at h.
+func (a *Arena) SetWord(h Handle, v uint32) {
+	a.checkWords(h, 1)
+	a.words[h] = v
+}
+
+// Words returns the n-word record starting at h. The returned slice aliases
+// the arena (writes through it are visible) and must not be retained across
+// Grow.
+func (a *Arena) Words(h Handle, n int) []uint32 {
+	a.checkWords(h, n)
+	return a.words[h : int(h)+n : int(h)+n]
+}
+
+// Byte reads the byte at h.
+func (a *Arena) Byte(h ByteHandle) byte {
+	a.checkBytes(h, 1)
+	return a.bytes[h]
+}
+
+// SetByte writes the byte at h.
+func (a *Arena) SetByte(h ByteHandle, v byte) {
+	a.checkBytes(h, 1)
+	a.bytes[h] = v
+}
+
+// Bytes returns the n-byte record starting at h, aliasing the arena.
+func (a *Arena) Bytes(h ByteHandle, n int) []byte {
+	a.checkBytes(h, n)
+	return a.bytes[h : int(h)+n : int(h)+n]
+}
+
+func (a *Arena) checkWords(h Handle, n int) {
+	if n <= 0 || int(h) > len(a.words)-n {
+		panic(fmt.Sprintf("arena: word access [%d,%d) out of range [0,%d)", h, int(h)+n, len(a.words)))
+	}
+}
+
+func (a *Arena) checkBytes(h ByteHandle, n int) {
+	if n <= 0 || int(h) > len(a.bytes)-n {
+		panic(fmt.Sprintf("arena: byte access [%d,%d) out of range [0,%d)", h, int(h)+n, len(a.bytes)))
+	}
+}
+
+// Grow extends the word space by extra zeroed words and returns the handle
+// of the first new word. It is the update plane's escape hatch: a delta
+// apply that outgrows the spare region the builder reserved extends the
+// arena instead of failing, at the cost of one reallocation (the next full
+// rebuild re-compacts). Views returned before Grow are invalidated.
+func (a *Arena) Grow(extra int) Handle {
+	if extra <= 0 {
+		panic(fmt.Sprintf("arena: grow by %d words", extra))
+	}
+	h := Handle(len(a.words))
+	grown := make([]uint32, len(a.words)+extra)
+	copy(grown, a.words)
+	a.words = grown
+	return h
+}
+
+// Clone returns an independent copy of the arena — the flat structures'
+// whole copy-on-write story is this pair of memcpys.
+func (a *Arena) Clone() *Arena {
+	c := &Arena{}
+	if len(a.words) > 0 {
+		c.words = make([]uint32, len(a.words))
+		copy(c.words, a.words)
+	}
+	if len(a.bytes) > 0 {
+		c.bytes = make([]byte, len(a.bytes))
+		copy(c.bytes, a.bytes)
+	}
+	return c
+}

@@ -1,0 +1,253 @@
+package arena
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGrowthAcrossBlockBoundaries allocates far more than one builder block
+// and checks every record survives Finish at its handle, including the
+// allocation that straddles a block boundary (which must close the old block
+// and keep global offsets contiguous).
+func TestGrowthAcrossBlockBoundaries(t *testing.T) {
+	b := NewBuilder()
+	type rec struct {
+		h Handle
+		n int
+	}
+	var recs []rec
+	total := 0
+	// Mixed sizes chosen so allocations repeatedly hit a block remainder
+	// they don't fit: primes around 1/3 of the block size plus tiny records.
+	sizes := []int{3, 5413, 7, 6007, 11, blockWords - 1, 2, blockWords + 17}
+	for round := 0; round < 12; round++ {
+		for _, n := range sizes {
+			h, view := b.Words(n)
+			if int(h) != total {
+				t.Fatalf("handle %d, want global offset %d", h, total)
+			}
+			if len(view) != n {
+				t.Fatalf("view length %d, want %d", len(view), n)
+			}
+			for i := range view {
+				view[i] = uint32(int(h) + i)
+			}
+			recs = append(recs, rec{h, n})
+			total += n
+		}
+	}
+	if b.WordLen() != total {
+		t.Fatalf("builder WordLen %d, want %d", b.WordLen(), total)
+	}
+	a := b.Finish()
+	if a.WordLen() != total {
+		t.Fatalf("arena WordLen %d, want %d", a.WordLen(), total)
+	}
+	for _, r := range recs {
+		view := a.Words(r.h, r.n)
+		for i, v := range view {
+			if v != uint32(int(r.h)+i) {
+				t.Fatalf("word %d of record at %d: got %d, want %d", i, r.h, v, int(r.h)+i)
+			}
+		}
+	}
+}
+
+// TestMixedByteAlignment interleaves u8 and u32-aligned byte records and
+// checks the returned offsets honour the requested alignment with minimal
+// padding, across block boundaries.
+func TestMixedByteAlignment(t *testing.T) {
+	b := NewBuilder()
+	type rec struct {
+		h     ByteHandle
+		n     int
+		align int
+		fill  byte
+	}
+	var recs []rec
+	layout := []struct{ n, align int }{
+		{1, 1}, {4, 4}, {3, 1}, {8, 8}, {1, 1}, {4, 4},
+		{4*blockWords - 5, 1}, {4, 4}, {2, 2}, {4, 4},
+	}
+	for i, l := range layout {
+		h, view := b.Bytes(l.n, l.align)
+		if int(h)%l.align != 0 {
+			t.Fatalf("record %d: offset %d not %d-aligned", i, h, l.align)
+		}
+		fill := byte(i + 1)
+		for j := range view {
+			view[j] = fill
+		}
+		recs = append(recs, rec{h, l.n, l.align, fill})
+	}
+	// Padding may separate records but never more than align-1 bytes.
+	for i := 1; i < len(recs); i++ {
+		gap := int(recs[i].h) - (int(recs[i-1].h) + recs[i-1].n)
+		if gap < 0 || gap >= recs[i].align {
+			t.Fatalf("record %d: gap %d before %d-aligned record", i, gap, recs[i].align)
+		}
+	}
+	a := b.Finish()
+	for i, r := range recs {
+		for j, v := range a.Bytes(r.h, r.n) {
+			if v != r.fill {
+				t.Fatalf("record %d byte %d: got %d, want %d", i, j, v, r.fill)
+			}
+		}
+	}
+}
+
+// TestBadAlignmentPanics checks non-power-of-two alignments are rejected.
+func TestBadAlignmentPanics(t *testing.T) {
+	for _, align := range []int{0, -1, 3, 6, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Bytes(1, %d) did not panic", align)
+				}
+			}()
+			NewBuilder().Bytes(1, align)
+		}()
+	}
+}
+
+// TestHandleStabilityAfterFinish writes through builder views, finishes, and
+// checks the handles address identical content in the compacted arena — the
+// contract that lets structure builders link records by index while the
+// final layout is still unknown.
+func TestHandleStabilityAfterFinish(t *testing.T) {
+	b := NewBuilder()
+	h1, w1 := b.Words(4)
+	h2, w2 := b.Words(blockWords) // forces a fresh block
+	h3, w3 := b.Words(2)
+	bh, bb := b.Bytes(5, 4)
+	copy(w1, []uint32{10, 11, 12, 13})
+	w2[0], w2[blockWords-1] = 99, 98
+	copy(w3, []uint32{7, 8})
+	copy(bb, []byte{1, 2, 3, 4, 5})
+	// Cross-record links by handle, resolved only after Finish.
+	w1[3] = uint32(h3)
+	a := b.Finish()
+	if got := a.Words(h1, 4); got[0] != 10 || got[3] != uint32(h3) {
+		t.Fatalf("record 1 corrupted: %v", got)
+	}
+	if a.Word(h2) != 99 || a.Word(h2+blockWords-1) != 98 {
+		t.Fatalf("record 2 corrupted")
+	}
+	if link := a.Word(h1 + 3); a.Word(Handle(link)) != 7 {
+		t.Fatalf("handle link through record 1 resolved to %d", a.Word(Handle(link)))
+	}
+	if got := a.Bytes(bh, 5); got[4] != 5 {
+		t.Fatalf("byte record corrupted: %v", got)
+	}
+	// The builder is dead after Finish.
+	for _, f := range []func(){func() { b.Words(1) }, func() { b.Bytes(1, 1) }, func() { b.Finish() }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("use after Finish did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestOutOfRangePanics checks every accessor rejects indices outside the
+// arena, including length overruns from valid handles.
+func TestOutOfRangePanics(t *testing.T) {
+	b := NewBuilder()
+	b.Words(8)
+	b.Bytes(8, 1)
+	a := b.Finish()
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Word past end", func() { a.Word(8) }},
+		{"SetWord past end", func() { a.SetWord(100, 1) }},
+		{"Words overrun", func() { a.Words(4, 5) }},
+		{"Words zero length", func() { a.Words(0, 0) }},
+		{"Byte past end", func() { a.Byte(8) }},
+		{"SetByte past end", func() { a.SetByte(8, 1) }},
+		{"Bytes overrun", func() { a.Bytes(7, 2) }},
+		{"builder zero words", func() { NewBuilder().Words(0) }},
+		{"builder negative bytes", func() { NewBuilder().Bytes(-1, 1) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}
+
+// TestGrowPreservesContentAndExtends checks the update plane's escape hatch:
+// existing words survive, the new region is zeroed and addressable, and the
+// returned handle is the old length.
+func TestGrowPreservesContentAndExtends(t *testing.T) {
+	b := NewBuilder()
+	h, w := b.Words(3)
+	copy(w, []uint32{5, 6, 7})
+	a := b.Finish()
+	nh := a.Grow(10)
+	if nh != 3 || a.WordLen() != 13 {
+		t.Fatalf("Grow handle %d len %d, want 3 and 13", nh, a.WordLen())
+	}
+	if got := a.Words(h, 3); got[2] != 7 {
+		t.Fatalf("content lost across Grow: %v", got)
+	}
+	for i := 0; i < 10; i++ {
+		if a.Word(nh+Handle(i)) != 0 {
+			t.Fatalf("grown region not zeroed at %d", i)
+		}
+	}
+	a.SetWord(12, 42)
+	if a.Word(12) != 42 {
+		t.Fatal("grown region not writable")
+	}
+}
+
+// TestClone checks clones are deep: writes to one side are invisible to the
+// other.
+func TestClone(t *testing.T) {
+	b := NewBuilder()
+	_, w := b.Words(2)
+	_, bb := b.Bytes(2, 1)
+	w[0], bb[0] = 1, 1
+	a := b.Finish()
+	c := a.Clone()
+	a.SetWord(0, 99)
+	a.SetByte(0, 99)
+	if c.Word(0) != 1 || c.Byte(0) != 1 {
+		t.Fatalf("clone shares storage: word %d byte %d", c.Word(0), c.Byte(0))
+	}
+	if c.SizeBytes() != a.SizeBytes() {
+		t.Fatalf("clone size %d, want %d", c.SizeBytes(), a.SizeBytes())
+	}
+}
+
+// TestFinishEmptyBuilder checks a build that allocated nothing still yields
+// a usable (empty) arena.
+func TestFinishEmptyBuilder(t *testing.T) {
+	a := NewBuilder().Finish()
+	if a.WordLen() != 0 || a.ByteLen() != 0 || a.SizeBytes() != 0 {
+		t.Fatalf("empty arena has size: %d words %d bytes", a.WordLen(), a.ByteLen())
+	}
+}
+
+// Example of the two-phase protocol, for the package docs.
+func ExampleBuilder() {
+	b := NewBuilder()
+	hdr, w := b.Words(2)
+	leaf, lw := b.Words(1)
+	w[0] = uint32(leaf) // index-based link, no pointer
+	lw[0] = 42
+	a := b.Finish()
+	fmt.Println(a.Word(Handle(a.Word(hdr))))
+	// Output: 42
+}

@@ -91,8 +91,9 @@ func EngineSweep(w Workload, only string) ([]EngineRow, error) {
 				mismatches++
 			}
 		}
-		stats := c.Stats()
-		report := c.MemoryReport()
+		rep := c.Report()
+		stats := rep.Stats
+		report := rep.Memory
 		row := EngineRow{
 			Engine:             name,
 			Tier:               "field",

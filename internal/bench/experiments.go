@@ -406,7 +406,7 @@ func Table6(w Workload) ([]Table6Row, error) {
 			// them at 1 access each); subtract to isolate the IP engines.
 			ipAccesses += uint64(res.FieldAccesses - 3)
 		}
-		report := c.MemoryReport()
+		report := c.Report().Memory
 		row := Table6Row{
 			Algorithm:             alg,
 			AccessesPerPacket:     c.Pipeline().BottleneckInterval(),
@@ -462,7 +462,7 @@ func Table7() ([]Table7Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		report := c.MemoryReport()
+		report := c.Report().Memory
 		rows = append(rows, Table7Row{
 			Algorithm:      "Our system with " + alg.String(),
 			MemorySpaceMb:  Mbit(report.TotalProvisionedBits()),
@@ -560,8 +560,8 @@ func Fig5() Fig5Result {
 	return Fig5Result{
 		SharedBlockBits:     4 * cfg.MBTLevel2Entries * core.DefaultMBTEntryBits,
 		FreedMBTBits:        4 * (core.DefaultMBTLevel1Entries + cfg.MBTLevel3Entries) * core.DefaultMBTEntryBits,
-		RuleCapacityMBT:     cfg.RuleCapacity(memory.SelectMBT),
-		RuleCapacityBST:     cfg.RuleCapacity(memory.SelectBST),
+		RuleCapacityMBT:     cfg.RuleCapacityFor("mbt"),
+		RuleCapacityBST:     cfg.RuleCapacityFor("bst"),
 		ExtraRulesFromShare: cfg.ExtraRuleCapacityBST(),
 	}
 }
@@ -670,9 +670,10 @@ func HPMLAccuracy(w Workload) (HPMLAccuracyResult, error) {
 		}
 	}
 	result.Agreement = float64(agree) / float64(len(w.Trace))
-	result.HPMLMatchRate = hpml.Stats().MatchRate()
-	result.ExactMatchRate = exact.Stats().MatchRate()
-	result.AvgProbesExact = exact.Stats().AverageCombinations()
+	hpmlStats, exactStats := hpml.Report().Stats, exact.Report().Stats
+	result.HPMLMatchRate = hpmlStats.MatchRate()
+	result.ExactMatchRate = exactStats.MatchRate()
+	result.AvgProbesExact = exactStats.AverageCombinations()
 	return result, nil
 }
 

@@ -118,9 +118,9 @@ func ThroughputSweep(w Workload, opts ThroughputOptions) ([]ThroughputRow, error
 					return nil, fmt.Errorf("bench: throughput %s: %w", name, err)
 				}
 				row := runThroughput(c, w.Trace, name, n, batch, perWorker)
-				if stats, ok := c.CacheStats(); ok {
+				if rep := c.Report(); rep.CacheEnabled {
 					row.Cached = true
-					row.CacheHitRate = stats.HitRate()
+					row.CacheHitRate = rep.Cache.HitRate()
 				}
 				engineRows = append(engineRows, row)
 			}

@@ -205,7 +205,7 @@ func runUpdateCell(cfg core.Config, name, mode string, w Workload, trace []class
 		}
 		return latencies[int(q*float64(len(latencies)-1))]
 	}
-	stats := c.UpdateStats()
+	stats := c.Report().Updates
 	row := UpdateSweepRow{
 		Engine:        name,
 		Mode:          mode,

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"sdnpc/internal/classbench"
+	"sdnpc/internal/engine"
+	"sdnpc/internal/fivetuple"
+)
+
+// The flat-memory hot path's headline contract: serving a packet allocates
+// nothing, on every selectable engine of either tier, with and without the
+// microflow cache in front. These tests back the scripts/check_allocs.sh CI
+// gate, so their names are part of the gate's -run expression.
+
+// allocTrace builds a rule set and a replay trace shared by the allocation
+// tests.
+func allocTrace(t *testing.T) (*fivetuple.RuleSet, []fivetuple.Header) {
+	t.Helper()
+	rs := classbench.Generate(classbench.StandardConfig(classbench.ACL, classbench.Size1K))
+	trace := classbench.GenerateTrace(rs, classbench.TraceConfig{
+		Packets: 256, Seed: 11, MatchFraction: 0.9, Locality: 0.3,
+	})
+	return rs, trace
+}
+
+// newAllocClassifier builds a classifier serving the named engine, with or
+// without the microflow cache.
+func newAllocClassifier(t *testing.T, engineName string, cached bool) (*Classifier, []fivetuple.Header) {
+	t.Helper()
+	rs, trace := allocTrace(t)
+	cfg := DefaultConfig()
+	if cached {
+		cfg.CacheCapacity = 4096
+	} else {
+		cfg.CacheCapacity = 0
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.SelectEngine(engineName); err != nil {
+		t.Fatalf("SelectEngine(%q): %v", engineName, err)
+	}
+	if _, err := c.InstallRuleSet(rs); err != nil {
+		t.Fatalf("InstallRuleSet: %v", err)
+	}
+	return c, trace
+}
+
+// TestLookupZeroAllocs asserts 0 allocs/op for single-header Lookup on every
+// selectable engine, cached and uncached. The warm-up pass grows the pooled
+// scratch lists and fills the cache; steady state must then stay off the
+// heap entirely.
+func TestLookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector (sync.Pool drops puts)")
+	}
+	for _, name := range engine.SelectableNames() {
+		for _, cached := range []bool{false, true} {
+			mode := "uncached"
+			if cached {
+				mode = "cached"
+			}
+			t.Run(name+"/"+mode, func(t *testing.T) {
+				c, trace := newAllocClassifier(t, name, cached)
+				for _, h := range trace {
+					c.Lookup(h)
+				}
+				i := 0
+				avg := testing.AllocsPerRun(400, func() {
+					c.Lookup(trace[i%len(trace)])
+					i++
+				})
+				if avg != 0 {
+					t.Fatalf("Lookup on %s (%s) allocates %.2f allocs/op, want 0", name, mode, avg)
+				}
+			})
+		}
+	}
+}
+
+// TestLookupBatchZeroAllocs asserts 0 allocs/op for LookupBatchInto with a
+// recycled result slice on every selectable engine, cached and uncached.
+func TestLookupBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector (sync.Pool drops puts)")
+	}
+	for _, name := range engine.SelectableNames() {
+		for _, cached := range []bool{false, true} {
+			mode := "uncached"
+			if cached {
+				mode = "cached"
+			}
+			t.Run(name+"/"+mode, func(t *testing.T) {
+				c, trace := newAllocClassifier(t, name, cached)
+				results := c.LookupBatchInto(nil, trace)
+				avg := testing.AllocsPerRun(40, func() {
+					results = c.LookupBatchInto(results, trace)
+				})
+				if avg != 0 {
+					t.Fatalf("LookupBatchInto on %s (%s) allocates %.2f allocs/op, want 0", name, mode, avg)
+				}
+			})
+		}
+	}
+}
+
+// TestLookupZeroAllocsCrossProduct pins the combination mode that probes the
+// Rule Filter hardest: the odometer enumeration must stay allocation-free
+// too, not just the single-probe HPML path.
+func TestLookupZeroAllocsCrossProduct(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector (sync.Pool drops puts)")
+	}
+	rs, trace := allocTrace(t)
+	cfg := DefaultConfig()
+	cfg.CacheCapacity = 0
+	cfg.CombineMode = CombineCrossProduct
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := c.InstallRuleSet(rs); err != nil {
+		t.Fatalf("InstallRuleSet: %v", err)
+	}
+	for _, h := range trace {
+		c.Lookup(h)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(400, func() {
+		c.Lookup(trace[i%len(trace)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("cross-product Lookup allocates %.2f allocs/op, want 0", avg)
+	}
+}

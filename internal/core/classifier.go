@@ -8,7 +8,6 @@ import (
 	"sdnpc/internal/cache"
 	"sdnpc/internal/engine"
 	"sdnpc/internal/fivetuple"
-	"sdnpc/internal/hw/memory"
 	"sdnpc/internal/label"
 )
 
@@ -186,6 +185,9 @@ func (c *Classifier) CacheEnabled() bool { return c.microflow != nil }
 
 // CacheStats returns the microflow cache counters; ok is false when the
 // cache is disabled.
+//
+// Deprecated: use Report, which returns these counters in its Cache field
+// (with CacheEnabled) alongside every other observability surface.
 func (c *Classifier) CacheStats() (stats cache.Stats, ok bool) {
 	if c.microflow == nil {
 		return cache.Stats{}, false
@@ -214,13 +216,6 @@ func (c *Classifier) ActiveEngineName() string {
 	}
 	return s.engineName
 }
-
-// IPAlgorithm returns the current setting of the legacy IPalg_s signal: the
-// selection value of the active IP engine, or 0 when the engine has no
-// legacy selection value.
-//
-// Deprecated: use IPEngineName.
-func (c *Classifier) IPAlgorithm() memory.AlgSelect { return c.view().alg }
 
 // RuleCount returns the number of installed rules.
 func (c *Classifier) RuleCount() int { return len(c.view().installed) }
@@ -369,17 +364,6 @@ func (c *Classifier) SelectEngine(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.selectIPEngineLocked(name, def, true)
-}
-
-// SelectIPAlgorithm drives the legacy two-valued IPalg_s signal.
-//
-// Deprecated: use SelectIPEngine with a registered engine name.
-func (c *Classifier) SelectIPAlgorithm(alg memory.AlgSelect) error {
-	name, ok := engine.LegacyName(alg)
-	if !ok {
-		return fmt.Errorf("core: unknown IP algorithm selection %v", alg)
-	}
-	return c.SelectIPEngine(name)
 }
 
 // segmentValues returns the four IP-segment slices of a rule.

@@ -359,14 +359,3 @@ func (c Config) RuleCapacityFor(name string) int {
 	}
 	return c.RuleFilterSlots()
 }
-
-// RuleCapacity returns the rule capacity under the given legacy IP algorithm
-// selection.
-//
-// Deprecated: use RuleCapacityFor with a registered engine name.
-func (c Config) RuleCapacity(alg memory.AlgSelect) int {
-	if name, ok := engine.LegacyName(alg); ok {
-		return c.RuleCapacityFor(name)
-	}
-	return c.RuleFilterSlots()
-}

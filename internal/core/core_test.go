@@ -96,10 +96,10 @@ func TestRuleCapacityMatchesTableVI(t *testing.T) {
 	cfg := DefaultConfig()
 	// Table VI: 8K rules with the MBT, ~12K with the BST (freed MBT blocks
 	// hold the extra rules, Fig. 5).
-	if got := cfg.RuleCapacity(memory.SelectMBT); got != 8192 {
+	if got := cfg.RuleCapacityFor("mbt"); got != 8192 {
 		t.Errorf("MBT rule capacity = %d, want 8192", got)
 	}
-	bstCap := cfg.RuleCapacity(memory.SelectBST)
+	bstCap := cfg.RuleCapacityFor("bst")
 	if bstCap < 11000 || bstCap > 13000 {
 		t.Errorf("BST rule capacity = %d, want ~12K", bstCap)
 	}
@@ -371,22 +371,22 @@ func TestLookupNoMatchWhenDimensionEmpty(t *testing.T) {
 	}
 }
 
-func TestSelectIPAlgorithmSwitchesAndReprogrammes(t *testing.T) {
+func TestSelectIPEngineSwitchesAndReprogrammes(t *testing.T) {
 	c := MustNew(DefaultConfig())
 	rs := smallRuleSet()
 	if _, err := c.InstallRuleSet(rs); err != nil {
 		t.Fatal(err)
 	}
-	if c.IPAlgorithm() != memory.SelectMBT {
-		t.Fatalf("initial algorithm = %v, want MBT", c.IPAlgorithm())
+	if c.IPEngineName() != "mbt" {
+		t.Fatalf("initial engine = %q, want mbt", c.IPEngineName())
 	}
 	capMBT := c.RuleCapacity()
 
-	if err := c.SelectIPAlgorithm(memory.SelectBST); err != nil {
-		t.Fatalf("SelectIPAlgorithm(BST): %v", err)
+	if err := c.SelectIPEngine("bst"); err != nil {
+		t.Fatalf("SelectIPEngine(bst): %v", err)
 	}
-	if c.IPAlgorithm() != memory.SelectBST {
-		t.Fatalf("algorithm after switch = %v, want BST", c.IPAlgorithm())
+	if c.IPEngineName() != "bst" {
+		t.Fatalf("engine after switch = %q, want bst", c.IPEngineName())
 	}
 	if c.RuleCapacity() <= capMBT {
 		t.Errorf("BST capacity %d should exceed MBT capacity %d (Fig. 5 sharing)", c.RuleCapacity(), capMBT)
@@ -404,14 +404,14 @@ func TestSelectIPAlgorithmSwitchesAndReprogrammes(t *testing.T) {
 		}
 	}
 	// Switching back also works, and re-selecting is a no-op.
-	if err := c.SelectIPAlgorithm(memory.SelectMBT); err != nil {
-		t.Fatalf("SelectIPAlgorithm(MBT): %v", err)
+	if err := c.SelectIPEngine("mbt"); err != nil {
+		t.Fatalf("SelectIPEngine(mbt): %v", err)
 	}
-	if err := c.SelectIPAlgorithm(memory.SelectMBT); err != nil {
-		t.Fatalf("re-selecting the active algorithm: %v", err)
+	if err := c.SelectIPEngine("mbt"); err != nil {
+		t.Fatalf("re-selecting the active engine: %v", err)
 	}
-	if err := c.SelectIPAlgorithm(memory.AlgSelect(9)); err == nil {
-		t.Error("selecting an unknown algorithm should fail")
+	if err := c.SelectIPEngine("no-such-engine"); err == nil {
+		t.Error("selecting an unknown engine should fail")
 	}
 }
 
@@ -454,14 +454,14 @@ func TestThroughputMatchesTableVII(t *testing.T) {
 	if got := c.LookupsPerSecond(); got < 133e6 || got > 134e6 {
 		t.Errorf("MBT lookup rate = %.0f /s, want ~133.51M", got)
 	}
-	if err := c.SelectIPAlgorithm(memory.SelectBST); err != nil {
+	if err := c.SelectIPEngine("bst"); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.ThroughputGbps(40); got < 2.6 || got > 2.75 {
 		t.Errorf("BST throughput = %.2f Gbps, want ~2.67", got)
 	}
 	// The conclusion's claim: >100 Gbps at 100-byte packets with the MBT.
-	if err := c.SelectIPAlgorithm(memory.SelectMBT); err != nil {
+	if err := c.SelectIPEngine("mbt"); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.ThroughputGbps(100); got < 100 {
@@ -503,7 +503,7 @@ func TestMemoryReportBudget(t *testing.T) {
 
 	// Switching to the BST shrinks the used IP-algorithm storage (Table VI:
 	// 543 Kbit vs 49 Kbit on the paper's workload).
-	if err := c.SelectIPAlgorithm(memory.SelectBST); err != nil {
+	if err := c.SelectIPEngine("bst"); err != nil {
 		t.Fatal(err)
 	}
 	bstReport := c.MemoryReport()
@@ -544,7 +544,7 @@ func TestCapacityEnforcement(t *testing.T) {
 		t.Errorf("RuleCount() = %d after failed insert, want 16", c.RuleCount())
 	}
 	// Switching to BST raises the capacity and the next insert succeeds.
-	if err := c.SelectIPAlgorithm(memory.SelectBST); err != nil {
+	if err := c.SelectIPEngine("bst"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.InsertRule(rs.Rule(20)); err != nil {

@@ -123,26 +123,7 @@ func TestConfigIPEngineValidation(t *testing.T) {
 	if c.IPEngineName() != "segtrie" {
 		t.Errorf("IPEngineName = %q, want the explicit %q", c.IPEngineName(), "segtrie")
 	}
-	if c.IPAlgorithm() != 0 {
-		t.Errorf("IPAlgorithm = %v, want 0 for an engine with no legacy value", c.IPAlgorithm())
-	}
-}
-
-// TestLegacyAlgorithmAPIAgreesWithEngineAPI checks the deprecated wrappers
-// stay consistent with the name-based API.
-func TestLegacyAlgorithmAPIAgreesWithEngineAPI(t *testing.T) {
-	cfg := DefaultConfig()
-	if cfg.RuleCapacity(memory.SelectMBT) != cfg.RuleCapacityFor("mbt") {
-		t.Error("RuleCapacity(MBT) disagrees with RuleCapacityFor(mbt)")
-	}
-	if cfg.RuleCapacity(memory.SelectBST) != cfg.RuleCapacityFor("bst") {
-		t.Error("RuleCapacity(BST) disagrees with RuleCapacityFor(bst)")
-	}
-	c := MustNew(cfg)
-	if err := c.SelectIPAlgorithm(memory.SelectBST); err != nil {
-		t.Fatalf("SelectIPAlgorithm(BST): %v", err)
-	}
-	if c.IPEngineName() != "bst" || c.IPAlgorithm() != memory.SelectBST {
-		t.Errorf("after legacy switch: engine %q, alg %v", c.IPEngineName(), c.IPAlgorithm())
+	if c.MemoryReport().Algorithm != 0 {
+		t.Errorf("report algorithm = %v, want 0 for an engine with no legacy value", c.MemoryReport().Algorithm)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -42,6 +43,26 @@ type fieldLookup struct {
 	accesses int
 	cycles   int
 }
+
+// lookupScratch is the reusable per-lookup working set of the field-tier
+// pipeline: one fieldLookup and one label list per dimension, wired together
+// once at construction so a pooled scratch never re-points or reallocates.
+// Together with the engines' LookupInto this makes the serving path free of
+// per-packet heap allocation — the lists grow to the hot rule set's label
+// fan-out during warm-up and are recycled through lookupScratchPool
+// thereafter.
+type lookupScratch struct {
+	fields [label.NumDimensions]fieldLookup
+	lists  [label.NumDimensions]label.List
+}
+
+var lookupScratchPool = sync.Pool{New: func() any {
+	sc := &lookupScratch{}
+	for i := range sc.fields {
+		sc.fields[i].list = &sc.lists[i]
+	}
+	return sc
+}}
 
 // Lookup classifies one packet header through the four pipelined phases of
 // Fig. 3 and returns the Highest Priority Matching Rule found by the
@@ -90,16 +111,28 @@ func (c *Classifier) serve(s *snapshot, h fivetuple.Header) Result {
 // The returned slice has one Result per header, in order. Use
 // SummarizeBatch to aggregate the batch's accounting fields.
 func (c *Classifier) LookupBatch(hs []fivetuple.Header) []Result {
+	return c.LookupBatchInto(nil, hs)
+}
+
+// LookupBatchInto is the allocation-free variant of LookupBatch: it reuses
+// dst's backing array when its capacity covers the batch (growing it
+// otherwise) and returns it resized to one Result per header. A serving
+// loop that recycles its result slice across batches performs no per-batch
+// heap allocation.
+func (c *Classifier) LookupBatchInto(dst []Result, hs []fivetuple.Header) []Result {
 	if len(hs) == 0 {
-		return nil
+		return dst[:0]
 	}
+	if cap(dst) < len(hs) {
+		dst = make([]Result, len(hs))
+	}
+	dst = dst[:len(hs)]
 	s := c.view()
-	results := make([]Result, len(hs))
 	for i, h := range hs {
-		results[i] = c.serve(s, h)
+		dst[i] = c.serve(s, h)
 	}
-	c.stats.recordBatch(SummarizeBatch(results))
-	return results
+	c.stats.recordBatch(SummarizeBatch(dst))
+	return dst
 }
 
 // BatchReport aggregates the accounting fields of one batch of lookups —
@@ -170,8 +203,12 @@ func (s *snapshot) lookup(cfg *Config, h fivetuple.Header) Result {
 
 	// Phase 1: split the header into per-dimension segments and dispatch to
 	// the engines selected by IPalg_s (the dispatch itself costs one cycle).
-	// Phase 2: parallel single-field lookups.
-	fields := s.lookupFields(h)
+	// Phase 2: parallel single-field lookups, into a pooled scratch so the
+	// serving path performs no per-packet heap allocation.
+	sc := lookupScratchPool.Get().(*lookupScratch)
+	defer lookupScratchPool.Put(sc)
+	fields := sc.fields[:]
+	s.lookupFieldsInto(h, fields)
 
 	result := Result{}
 	maxFieldCycles := 0
@@ -241,17 +278,18 @@ func headerKeys(h fivetuple.Header) [label.NumDimensions + 1]uint32 {
 	return keys
 }
 
-// lookupFields performs the parallel phase-2 lookups: every dimension's key
-// is handed to that dimension's engine through the FieldEngine interface.
-func (s *snapshot) lookupFields(h fivetuple.Header) []fieldLookup {
+// lookupFieldsInto performs the parallel phase-2 lookups: every dimension's
+// key is handed to that dimension's engine through the FieldEngine
+// interface, filling the caller's per-dimension slots (one per entry of
+// label.Dimensions(), whose lists must be non-nil) without allocating.
+func (s *snapshot) lookupFieldsInto(h fivetuple.Header, out []fieldLookup) {
 	keys := headerKeys(h)
-	out := make([]fieldLookup, 0, label.NumDimensions)
-	for _, d := range label.Dimensions() {
+	for i, d := range label.Dimensions() {
 		eng := s.engines[d]
-		list, accesses := eng.Lookup(keys[d])
-		out = append(out, fieldLookup{dim: d, list: list, accesses: accesses, cycles: eng.Cost().LookupCycles})
+		out[i].dim = d
+		out[i].accesses = eng.LookupInto(keys[d], out[i].list)
+		out[i].cycles = eng.Cost().LookupCycles
 	}
-	return out
 }
 
 // mbtLookupCycles returns the phase-2 latency of the MBT engines (§V.B: the
@@ -264,13 +302,13 @@ func mbtLookupCycles() int { return 3 * CyclesPerMBTLevel }
 // priority) label of each list is concatenated into the 68-bit key and the
 // Rule Filter is probed once.
 func (s *snapshot) combineHPML(fields []fieldLookup, result Result) Result {
-	labels := make(map[label.Dimension]label.Label, label.NumDimensions)
-	for _, f := range fields {
-		hpml, _ := f.list.HPML()
-		labels[f.dim] = hpml.Label
+	var labels [label.NumDimensions + 1]label.Label
+	for i := range fields {
+		hpml, _ := fields[i].list.HPML()
+		labels[fields[i].dim] = hpml.Label
 	}
 	result.Combinations = 1
-	entry, found, probes := s.filter.lookup(label.PackKey(labels))
+	entry, found, probes := s.filter.lookup(label.PackKeyDims(&labels))
 	result.RuleFilterProbes = probes
 	if found {
 		result.Matched = true
@@ -285,40 +323,42 @@ func (s *snapshot) combineHPML(fields []fieldLookup, result Result) Result {
 // the best-priority hit; it terminates early once the probe budget is
 // exhausted.
 func (s *snapshot) combineCrossProduct(cfg *Config, fields []fieldLookup, result Result) Result {
-	items := make([][]label.PriorityLabel, len(fields))
-	for i, f := range fields {
-		items[i] = f.list.Items()
-	}
-	current := make(map[label.Dimension]label.Label, label.NumDimensions)
+	// Iterative odometer over the per-dimension label lists: the last
+	// dimension advances fastest, which enumerates exactly the combinations
+	// (and in the order) the natural nested loop would — without the
+	// per-packet slices, map and recursive closure that loop used to cost.
+	// Every list is non-empty here; lookup returned early otherwise.
+	var idx [label.NumDimensions]int
+	var labels [label.NumDimensions + 1]label.Label
+	n := len(fields)
 	best := Result{}
 	foundAny := false
 
-	var walk func(depth int) bool
-	walk = func(depth int) bool {
-		if result.Combinations >= cfg.MaxCrossProductProbes {
-			return true // budget exhausted
+	for result.Combinations < cfg.MaxCrossProductProbes {
+		for i := 0; i < n; i++ {
+			labels[fields[i].dim] = fields[i].list.At(idx[i]).Label
 		}
-		if depth == len(fields) {
-			result.Combinations++
-			entry, found, probes := s.filter.lookup(label.PackKey(current))
-			result.RuleFilterProbes += probes
-			if found && (!foundAny || entry.priority < best.Priority) {
-				foundAny = true
-				best.Priority = entry.priority
-				best.Action = entry.action
-				best.ActionArg = entry.actionArg
+		result.Combinations++
+		entry, found, probes := s.filter.lookup(label.PackKeyDims(&labels))
+		result.RuleFilterProbes += probes
+		if found && (!foundAny || entry.priority < best.Priority) {
+			foundAny = true
+			best.Priority = entry.priority
+			best.Action = entry.action
+			best.ActionArg = entry.actionArg
+		}
+		k := n - 1
+		for ; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < fields[k].list.Len() {
+				break
 			}
-			return false
+			idx[k] = 0
 		}
-		for _, item := range items[depth] {
-			current[fields[depth].dim] = item.Label
-			if walk(depth + 1) {
-				return true
-			}
+		if k < 0 {
+			break
 		}
-		return false
 	}
-	walk(0)
 
 	if foundAny {
 		result.Matched = true
@@ -498,6 +538,9 @@ func (sc *statsCollector) reset() {
 // concurrently with lookups and updates; the individual counters are read
 // atomically (the struct as a whole is not one consistent cut, which is
 // inherent to concurrent collection).
+//
+// Deprecated: use Report, which returns these counters in its Stats field
+// alongside every other observability surface, from one snapshot read.
 func (c *Classifier) Stats() Stats { return c.stats.snapshot() }
 
 // LookupCounters is the served-request summary of one classifier: how many
@@ -523,6 +566,9 @@ func (lc LookupCounters) MatchRate() float64 {
 // LookupCounters returns the served-request counters. It reads exactly two
 // atomics, so per-request stats endpoints can call it without paying for a
 // full Stats snapshot.
+//
+// Deprecated: use Report, which returns these counters in its Lookups field
+// alongside every other observability surface, from one snapshot read.
 func (c *Classifier) LookupCounters() LookupCounters {
 	return LookupCounters{Lookups: c.stats.lookups.Load(), Matches: c.stats.matches.Load()}
 }

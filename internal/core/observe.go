@@ -1,0 +1,70 @@
+package core
+
+import "sdnpc/internal/cache"
+
+// Report is the one-call observability snapshot of a classifier: everything
+// the five historical accessors (Stats, LookupCounters, UpdateStats,
+// CacheStats, MemoryReport) returned, assembled against a single published
+// snapshot. Serving layers that used to stitch those five calls together —
+// and could observe each against a different snapshot when updates raced the
+// reads — get one struct whose engine names, rule counts, memory breakdown
+// and update-plane view are mutually consistent. (The atomic counters inside
+// Stats, Lookups and Updates remain individually atomic reads, which is
+// inherent to concurrent collection.)
+type Report struct {
+	// ActiveEngine is the registry name of the engine answering lookups;
+	// IPEngine and PacketEngine name the programmed engine of each tier
+	// (PacketEngine is "" when the field tier serves).
+	ActiveEngine string
+	IPEngine     string
+	PacketEngine string
+
+	// RulesInstalled and RuleCapacity describe the rule table under the
+	// current engine selection.
+	RulesInstalled int
+	RuleCapacity   int
+
+	// Lookups is the cheap served-request summary (lookups answered,
+	// matches returned); Stats is the full data-plane counter snapshot.
+	Lookups LookupCounters
+	Stats   Stats
+
+	// Updates is the update-plane view: delta-vs-rebuild publish counters,
+	// current delta debt and the publish-latency histogram.
+	Updates UpdateStats
+
+	// Memory is the block-memory breakdown of §III.D.
+	Memory MemoryReport
+
+	// CacheEnabled reports whether the microflow cache is configured; Cache
+	// holds its counters (zero when disabled).
+	CacheEnabled bool
+	Cache        cache.Stats
+}
+
+// Report assembles the full observability snapshot. It loads the published
+// snapshot once, so the structural fields (engine names, rule counts, memory
+// breakdown, delta debt) are one consistent cut even while updates are in
+// flight. It is safe to call from any goroutine.
+func (c *Classifier) Report() Report {
+	s := c.view()
+	r := Report{
+		ActiveEngine:   s.engineName,
+		IPEngine:       s.engineName,
+		PacketEngine:   s.packetName,
+		RulesInstalled: len(s.installed),
+		RuleCapacity:   c.cfg.RuleCapacityFor(s.engineName),
+		Stats:          c.stats.snapshot(),
+		Updates:        c.updateStats(s),
+		Memory:         c.memoryReport(s),
+	}
+	if s.packetName != "" {
+		r.ActiveEngine = s.packetName
+	}
+	r.Lookups = LookupCounters{Lookups: r.Stats.Lookups, Matches: r.Stats.Matches}
+	if c.microflow != nil {
+		r.CacheEnabled = true
+		r.Cache = c.microflow.Stats()
+	}
+	return r
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"sdnpc/internal/classbench"
+)
+
+// TestReportMatchesPerSurfaceAccessors pins the consolidation contract: the
+// one-call Report must agree field-for-field with the five per-surface
+// accessors it supersedes, on both tiers, with the cache on.
+func TestReportMatchesPerSurfaceAccessors(t *testing.T) {
+	rs := classbench.Generate(classbench.StandardConfig(classbench.ACL, classbench.Size1K))
+	trace := classbench.GenerateTrace(rs, classbench.TraceConfig{
+		Packets: 500, Seed: 3, MatchFraction: 0.9, Locality: 0.3,
+	})
+	for _, name := range []string{"mbt", "hypercuts"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.CacheCapacity = 1024
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			if err := c.SelectEngine(name); err != nil {
+				t.Fatalf("SelectEngine: %v", err)
+			}
+			if _, err := c.InstallRuleSet(rs); err != nil {
+				t.Fatalf("InstallRuleSet: %v", err)
+			}
+			for _, h := range trace {
+				c.Lookup(h)
+			}
+			if _, err := c.DeleteRule(rs.Rule(0)); err != nil {
+				t.Fatalf("DeleteRule: %v", err)
+			}
+
+			rep := c.Report()
+			if rep.ActiveEngine != c.ActiveEngineName() {
+				t.Errorf("ActiveEngine = %q, want %q", rep.ActiveEngine, c.ActiveEngineName())
+			}
+			if rep.IPEngine != c.IPEngineName() || rep.PacketEngine != c.PacketEngineName() {
+				t.Errorf("engines = (%q, %q), want (%q, %q)",
+					rep.IPEngine, rep.PacketEngine, c.IPEngineName(), c.PacketEngineName())
+			}
+			if rep.RulesInstalled != c.RuleCount() || rep.RuleCapacity != c.RuleCapacity() {
+				t.Errorf("rules = (%d, %d), want (%d, %d)",
+					rep.RulesInstalled, rep.RuleCapacity, c.RuleCount(), c.RuleCapacity())
+			}
+			if rep.Stats != c.Stats() {
+				t.Errorf("Stats = %+v, want %+v", rep.Stats, c.Stats())
+			}
+			if rep.Lookups != c.LookupCounters() {
+				t.Errorf("Lookups = %+v, want %+v", rep.Lookups, c.LookupCounters())
+			}
+			if rep.Updates != c.UpdateStats() {
+				t.Errorf("Updates = %+v, want %+v", rep.Updates, c.UpdateStats())
+			}
+			if rep.Memory != c.MemoryReport() {
+				t.Errorf("Memory = %+v, want %+v", rep.Memory, c.MemoryReport())
+			}
+			cs, ok := c.CacheStats()
+			if rep.CacheEnabled != ok || rep.Cache != cs {
+				t.Errorf("Cache = (%v, %+v), want (%v, %+v)", rep.CacheEnabled, rep.Cache, ok, cs)
+			}
+			if rep.Lookups.Lookups == 0 || rep.Stats.Deletes == 0 {
+				t.Errorf("report shows no traffic or no update: %+v", rep.Lookups)
+			}
+		})
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-allocation tests skip under it: race instrumentation makes sync.Pool
+// drop puts at random, so testing.AllocsPerRun measures the instrumentation,
+// not the serving path. The CI allocation gate (scripts/check_allocs.sh)
+// runs without -race.
+const raceEnabled = true

@@ -94,8 +94,16 @@ func (m MemoryReport) TotalUsedBits() int {
 
 // MemoryReport computes the current memory breakdown. Like Lookup, it reads
 // one published snapshot, so it is safe to call while updates are in flight.
+//
+// Deprecated: use Report, which returns this breakdown in its Memory field
+// alongside every other observability surface, from one snapshot read.
 func (c *Classifier) MemoryReport() MemoryReport {
-	s := c.view()
+	return c.memoryReport(c.view())
+}
+
+// memoryReport computes the memory breakdown of one snapshot — the shared
+// implementation behind Report and the deprecated MemoryReport.
+func (c *Classifier) memoryReport(s *snapshot) MemoryReport {
 	report := MemoryReport{
 		IPEngine:           s.engineName,
 		Algorithm:          s.alg,

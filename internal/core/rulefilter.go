@@ -113,10 +113,6 @@ func (rf *ruleFilter) remove(key label.CombinationKey, priority int) (found bool
 // holding it. probes is the number of slots read.
 func (rf *ruleFilter) lookup(key label.CombinationKey) (entry ruleEntry, found bool, probes int) {
 	best := ruleEntry{}
-	// The read counter is bumped once per call rather than per probed slot:
-	// concurrent lookups all share this one atomic, and cross-product mode
-	// can probe hundreds of slots per packet.
-	defer func() { rf.reads.Add(uint64(probes)) }()
 	for probe := 0; probe < len(rf.entries); probe++ {
 		idx := rf.slotFor(key, probe)
 		probes = probe + 1
@@ -131,6 +127,10 @@ func (rf *ruleFilter) lookup(key label.CombinationKey) (entry ruleEntry, found b
 			}
 		}
 	}
+	// The read counter is bumped once per call rather than per probed slot:
+	// concurrent lookups all share this one atomic, and cross-product mode
+	// can probe hundreds of slots per packet.
+	rf.reads.Add(uint64(probes))
 	return best, found, probes
 }
 

@@ -172,6 +172,13 @@ type FieldEngine interface {
 	// condition matching the key and the number of memory accesses
 	// performed. The returned list is freshly allocated.
 	Lookup(key uint32) (*label.List, int)
+	// LookupInto is the allocation-free variant of Lookup: it resets out,
+	// fills it with the priority-ordered labels of every stored condition
+	// matching the key and returns the number of memory accesses. Once out
+	// has grown to the engine's result size, repeated calls perform no heap
+	// allocation — the contract the classifier's pooled serving path and the
+	// 0 allocs/op CI gate depend on.
+	LookupInto(key uint32, out *label.List) int
 	// Cost returns the engine's clock-cycle model.
 	Cost() CostModel
 	// Footprint returns the engine's current memory consumption.

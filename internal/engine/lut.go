@@ -63,6 +63,10 @@ func (a *lutEngine) Lookup(key uint32) (*label.List, int) {
 	return a.t.Lookup(uint8(key))
 }
 
+func (a *lutEngine) LookupInto(key uint32, out *label.List) int {
+	return a.t.LookupInto(uint8(key), out)
+}
+
 func (a *lutEngine) Cost() CostModel {
 	return CostModel{
 		LookupCycles:       CyclesDirectLookup,

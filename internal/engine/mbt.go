@@ -64,6 +64,8 @@ func (a *mbtEngine) Reprioritise(v Value, lbl label.Label, priority int) (int, e
 
 func (a *mbtEngine) Lookup(key uint32) (*label.List, int) { return a.e.Lookup(key) }
 
+func (a *mbtEngine) LookupInto(key uint32, out *label.List) int { return a.e.LookupInto(key, out) }
+
 func (a *mbtEngine) Cost() CostModel {
 	levels := a.e.Config().Levels()
 	return CostModel{

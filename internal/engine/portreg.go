@@ -76,6 +76,10 @@ func (a *portregEngine) Lookup(key uint32) (*label.List, int) {
 	return a.b.Lookup(uint16(key))
 }
 
+func (a *portregEngine) LookupInto(key uint32, out *label.List) int {
+	return a.b.LookupInto(uint16(key), out)
+}
+
 func (a *portregEngine) Cost() CostModel {
 	return CostModel{
 		LookupCycles:       CyclesPortLookup,

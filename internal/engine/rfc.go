@@ -58,6 +58,8 @@ func (a *rfcEngine) Reprioritise(v Value, lbl label.Label, priority int) (int, e
 
 func (a *rfcEngine) Lookup(key uint32) (*label.List, int) { return a.t.Lookup(key) }
 
+func (a *rfcEngine) LookupInto(key uint32, out *label.List) int { return a.t.LookupInto(key, out) }
+
 func (a *rfcEngine) Cost() CostModel {
 	return CostModel{
 		LookupCycles:       CyclesDirectLookup,

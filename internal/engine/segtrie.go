@@ -84,6 +84,10 @@ func (a *segtrieEngine) Lookup(key uint32) (*label.List, int) {
 	return a.e.Lookup(uint16(key))
 }
 
+func (a *segtrieEngine) LookupInto(key uint32, out *label.List) int {
+	return a.e.LookupInto(uint16(key), out)
+}
+
 func (a *segtrieEngine) Cost() CostModel {
 	return CostModel{
 		LookupCycles:       a.e.Levels() * CyclesPerTrieLevel,

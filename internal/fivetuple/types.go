@@ -332,9 +332,11 @@ const (
 const NumFields = 5
 
 // Fields lists all dimensions in canonical order.
-func Fields() []Field {
-	return []Field{FieldSrcIP, FieldDstIP, FieldSrcPort, FieldDstPort, FieldProtocol}
-}
+func Fields() []Field { return allFields[:] }
+
+// allFields backs Fields so the hot paths iterating the dimensions do not
+// allocate a fresh slice per packet. Callers must not mutate the result.
+var allFields = [...]Field{FieldSrcIP, FieldDstIP, FieldSrcPort, FieldDstPort, FieldProtocol}
 
 // String names the field.
 func (f Field) String() string {

@@ -34,6 +34,22 @@ func PackKey(labels map[Dimension]Label) CombinationKey {
 	return k
 }
 
+// PackKeyDims builds the combination key from a dimension-indexed label
+// array (index 0 unused — Dimension is a dense 1-based enum). It is the
+// allocation-free variant of PackKey for the per-packet combination path,
+// which cannot afford a map per header.
+func PackKeyDims(labels *[NumDimensions + 1]Label) CombinationKey {
+	var k CombinationKey
+	for _, d := range Dimensions() {
+		lbl := labels[d]
+		if int(lbl) >= d.Capacity() {
+			panic(fmt.Sprintf("label: label %d exceeds %d-bit dimension %s", lbl, d.Bits(), d))
+		}
+		k = k.shiftIn(uint64(lbl), uint(d.Bits()))
+	}
+	return k
+}
+
 // shiftIn appends width bits of value to the least-significant end of the
 // key.
 func (k CombinationKey) shiftIn(value uint64, width uint) CombinationKey {

@@ -46,12 +46,14 @@ const (
 // NumDimensions is the number of label dimensions.
 const NumDimensions = 7
 
-// Dimensions lists every dimension in key-packing order.
-func Dimensions() []Dimension {
-	return []Dimension{
-		DimSrcIPHigh, DimSrcIPLow, DimDstIPHigh, DimDstIPLow,
-		DimSrcPort, DimDstPort, DimProtocol,
-	}
+// Dimensions lists every dimension in key-packing order. The result is
+// backed by a package variable so per-packet iteration does not allocate;
+// callers must not mutate it.
+func Dimensions() []Dimension { return allDimensions[:] }
+
+var allDimensions = [...]Dimension{
+	DimSrcIPHigh, DimSrcIPLow, DimDstIPHigh, DimDstIPLow,
+	DimSrcPort, DimDstPort, DimProtocol,
 }
 
 // Bits returns the label width of the dimension in bits, as specified in

@@ -33,6 +33,10 @@ func NewList(items ...PriorityLabel) *List {
 // Len returns the number of labels in the list.
 func (l *List) Len() int { return len(l.items) }
 
+// Reset empties the list keeping its capacity, so engines can reuse one
+// caller-owned list per lookup without allocating.
+func (l *List) Reset() { l.items = l.items[:0] }
+
 // Insert adds a label keeping the list sorted by ascending priority. If the
 // label is already present its priority is updated to the better (smaller)
 // of the two, mirroring the controller's behaviour when a higher-priority

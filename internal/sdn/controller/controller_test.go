@@ -86,8 +86,8 @@ func TestControllerDownloadsRuleSetOnConnect(t *testing.T) {
 	if got := sw.Classifier().RuleCount(); got != rs.Len() {
 		t.Fatalf("classifier holds %d rules, want %d", got, rs.Len())
 	}
-	if sw.Classifier().IPAlgorithm() != memory.SelectMBT {
-		t.Errorf("algorithm = %v, want MBT for the throughput profile", sw.Classifier().IPAlgorithm())
+	if sw.Classifier().IPEngineName() != "mbt" {
+		t.Errorf("engine = %q, want mbt for the throughput profile", sw.Classifier().IPEngineName())
 	}
 	if len(ctrl.Switches()) != 1 {
 		t.Errorf("controller sees %d switches, want 1", len(ctrl.Switches()))
@@ -112,7 +112,7 @@ func TestCapacityProfileSelectsBST(t *testing.T) {
 	_, addr := startController(t, rs, controller.ProfileCapacity, nil)
 	sw := startSwitch(t, addr)
 	waitFor(t, "algorithm selection", func() bool {
-		return sw.Classifier().IPAlgorithm() == memory.SelectBST
+		return sw.Classifier().IPEngineName() == "bst"
 	})
 	waitFor(t, "rule download", func() bool {
 		return sw.Counters().FlowAdds == uint64(rs.Len())
@@ -176,7 +176,7 @@ func TestIncrementalAddRemoveAndAlgorithmSwitch(t *testing.T) {
 		t.Fatalf("SelectAlgorithm: %v", err)
 	}
 	waitFor(t, "algorithm switch", func() bool {
-		return sw.Classifier().IPAlgorithm() == memory.SelectBST
+		return sw.Classifier().IPEngineName() == "bst"
 	})
 	if ctrl.Algorithm() != memory.SelectBST {
 		t.Error("controller did not record the new algorithm")

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"sdnpc/internal/core"
+	"sdnpc/internal/engine"
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/sdn/openflow"
 )
@@ -207,10 +208,15 @@ func (s *Switch) controlLoop(conn net.Conn) {
 				continue
 			}
 			s.flushMods()
+			name, ok := engine.LegacyName(alg)
+			if !ok {
+				s.sendError(conn, msg.Xid, fmt.Errorf("dataplane: unknown IP algorithm selection %v", alg))
+				continue
+			}
 			// The classifier synchronises its own writers; holding s.mu
 			// across the rule replay would stall every serving worker at
 			// the counter fold for the whole re-programming.
-			if err = s.classifier.SelectIPAlgorithm(alg); err != nil {
+			if err = s.classifier.SelectIPEngine(name); err != nil {
 				s.sendError(conn, msg.Xid, err)
 				continue
 			}

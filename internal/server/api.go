@@ -236,57 +236,53 @@ func (a *api) tenant(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
 }
 
 func wireTenant(t *Tenant) WireTenant {
-	c := t.Classifier
-	_, cached := c.CacheStats()
+	rep := t.Classifier.Report()
 	return WireTenant{
 		ID:           t.ID,
-		Engine:       c.Engine(),
-		Rules:        c.RuleCount(),
-		RuleCapacity: c.RuleCapacity(),
-		CacheEnabled: cached,
+		Engine:       rep.ActiveEngine,
+		Rules:        rep.RulesInstalled,
+		RuleCapacity: rep.RuleCapacity,
+		CacheEnabled: rep.CacheEnabled,
 		Created:      t.Created,
 	}
 }
 
-// wireTenantStats assembles one tenant's stats payload from facade calls
-// only: LookupCounters for the served-request counters, Stats for the
-// update totals, UpdateStats for the update plane and MemoryReport for the
-// memory accounting.
+// wireTenantStats assembles one tenant's stats payload from a single
+// Report call: every surface (served-request counters, update totals,
+// update plane, cache, memory accounting) comes from one snapshot, so the
+// payload can never mix pre- and post-update views of the same tenant.
 func wireTenantStats(t *Tenant) WireTenantStats {
 	c := t.Classifier
-	lc := c.LookupCounters()
-	stats := c.Stats()
-	us := c.UpdateStats()
-	mem := c.MemoryReport()
+	rep := c.Report()
 	ws := WireTenantStats{
 		ID:                 t.ID,
-		Engine:             c.Engine(),
-		Rules:              c.RuleCount(),
-		RuleCapacity:       c.RuleCapacity(),
-		Lookups:            lc.Lookups,
-		Matched:            lc.Matches,
-		MatchRate:          lc.MatchRate(),
+		Engine:             rep.ActiveEngine,
+		Rules:              rep.RulesInstalled,
+		RuleCapacity:       rep.RuleCapacity,
+		Lookups:            rep.Lookups.Lookups,
+		Matched:            rep.Lookups.Matches,
+		MatchRate:          rep.Lookups.MatchRate(),
 		ModelLookupsPerSec: c.LookupsPerSecond(),
-		MemoryBits:         mem.TotalUsedBits(),
+		MemoryBits:         rep.Memory.TotalUsedBits(),
 		Update: WireUpdateStats{
-			Inserts:        stats.Inserts,
-			Deletes:        stats.Deletes,
-			DeltaPublishes: us.DeltaPublishes,
-			DeltasApplied:  us.DeltasApplied,
-			Rebuilds:       us.Rebuilds,
-			DeltaDebt:      us.DeltasSinceRebuild,
-			PublishP50Ns:   us.PublishLatency.P50().Nanoseconds(),
-			PublishP99Ns:   us.PublishLatency.P99().Nanoseconds(),
+			Inserts:        rep.Stats.Inserts,
+			Deletes:        rep.Stats.Deletes,
+			DeltaPublishes: rep.Updates.DeltaPublishes,
+			DeltasApplied:  rep.Updates.DeltasApplied,
+			Rebuilds:       rep.Updates.Rebuilds,
+			DeltaDebt:      rep.Updates.DeltasSinceRebuild,
+			PublishP50Ns:   rep.Updates.PublishLatency.P50().Nanoseconds(),
+			PublishP99Ns:   rep.Updates.PublishLatency.P99().Nanoseconds(),
 		},
 	}
-	if cs, ok := c.CacheStats(); ok {
+	if rep.CacheEnabled {
 		ws.Cache = &WireCacheStats{
-			Hits:      cs.Hits,
-			Misses:    cs.Misses,
-			Evictions: cs.Evictions,
-			HitRate:   cs.HitRate(),
-			Entries:   mem.CacheEntries,
-			Bits:      mem.CacheBits,
+			Hits:      rep.Cache.Hits,
+			Misses:    rep.Cache.Misses,
+			Evictions: rep.Cache.Evictions,
+			HitRate:   rep.Cache.HitRate(),
+			Entries:   rep.Memory.CacheEntries,
+			Bits:      rep.Memory.CacheBits,
 		}
 	}
 	return ws

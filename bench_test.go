@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sdnpc/internal/algo/bst"
 	"sdnpc/internal/algo/mbt"
@@ -179,6 +180,66 @@ func BenchmarkIPEngines(b *testing.B) {
 // Concurrent serving throughput — the snapshot-swap path under load
 // ---------------------------------------------------------------------------
 
+// runThroughputWorkers splits b.N packets over the workers, replays the
+// trace in batches through the given lookup callback and reports pkts/s plus
+// the slowest and fastest individual worker's rate — the spread that makes
+// worker (and replica) imbalance visible in the benchstat output.
+func runThroughputWorkers(b *testing.B, workers, batch int, trace []fivetuple.Header, lookup func(worker int, hs []fivetuple.Header)) {
+	b.Helper()
+	busy := make([]time.Duration, workers)
+	counts := make([]int, workers)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		count := b.N / workers
+		if w == 0 {
+			count += b.N % workers
+		}
+		wg.Add(1)
+		go func(w, count, pos int) {
+			defer wg.Done()
+			counts[w] = count
+			hs := make([]fivetuple.Header, batch)
+			start := time.Now()
+			for count > 0 {
+				n := batch
+				if n > count {
+					n = count
+				}
+				for i := 0; i < n; i++ {
+					hs[i] = trace[pos%len(trace)]
+					pos++
+				}
+				lookup(w, hs[:n])
+				count -= n
+			}
+			busy[w] = time.Since(start)
+		}(w, count, w*len(trace)/workers)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "pkts/s")
+	}
+	minPPS, maxPPS := 0.0, 0.0
+	for w := 0; w < workers; w++ {
+		if busy[w] <= 0 || counts[w] == 0 {
+			continue
+		}
+		pps := float64(counts[w]) / busy[w].Seconds()
+		if minPPS == 0 || pps < minPPS {
+			minPPS = pps
+		}
+		if pps > maxPPS {
+			maxPPS = pps
+		}
+	}
+	if maxPPS > 0 {
+		b.ReportMetric(minPPS, "min_wkr_pkts/s")
+		b.ReportMetric(maxPPS, "max_wkr_pkts/s")
+	}
+}
+
 // BenchmarkThroughput measures the real serving rate of the concurrent
 // lookup path: batched lookups driven from N goroutines against one shared
 // classifier, for every selectable engine of both tiers (field engines and
@@ -196,36 +257,43 @@ func BenchmarkThroughput(b *testing.B) {
 		trace := benchSmallWorkload.Trace
 		for _, workers := range []int{1, 2, 4} {
 			b.Run(fmt.Sprintf("%s/workers_%d", name, workers), func(b *testing.B) {
-				b.ResetTimer()
-				var wg sync.WaitGroup
-				for w := 0; w < workers; w++ {
-					count := b.N / workers
-					if w == 0 {
-						count += b.N % workers
-					}
-					wg.Add(1)
-					go func(count, pos int) {
-						defer wg.Done()
-						hs := make([]fivetuple.Header, batch)
-						for count > 0 {
-							n := batch
-							if n > count {
-								n = count
-							}
-							for i := 0; i < n; i++ {
-								hs[i] = trace[pos%len(trace)]
-								pos++
-							}
-							c.LookupBatch(hs[:n])
-							count -= n
-						}
-					}(count, w*len(trace)/workers)
+				runThroughputWorkers(b, workers, batch, trace, func(_ int, hs []fivetuple.Header) {
+					c.LookupBatch(hs)
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkThroughputReplicated is BenchmarkThroughput in replicated-fleet
+// mode: one snapshot replica per worker (at least two, so the worker_1
+// baseline pays the same fleet serving path) and every worker pinned to its
+// replica through a Reader. Comparing its worker_4 rows against
+// BenchmarkThroughput's measures what replica-private snapshots buy over the
+// shared-pointer path; the min/max worker metrics expose replica imbalance.
+func BenchmarkThroughputReplicated(b *testing.B) {
+	const batch = 64
+	for _, name := range engine.SelectableNames() {
+		trace := benchSmallWorkload.Trace
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers_%d", name, workers), func(b *testing.B) {
+				cfg := bench.EngineConfig(name)
+				cfg.Replicas = workers
+				if cfg.Replicas < 2 {
+					cfg.Replicas = 2
 				}
-				wg.Wait()
-				b.StopTimer()
-				if sec := b.Elapsed().Seconds(); sec > 0 {
-					b.ReportMetric(float64(b.N)/sec, "pkts/s")
+				c := core.MustNew(cfg)
+				if _, err := c.InstallRuleSet(benchSmallWorkload.RuleSet); err != nil {
+					b.Fatal(err)
 				}
+				readers := make([]*core.Reader, workers)
+				outs := make([][]core.Result, workers)
+				for w := range readers {
+					readers[w] = c.Reader(w)
+				}
+				runThroughputWorkers(b, workers, batch, trace, func(w int, hs []fivetuple.Header) {
+					outs[w] = readers[w].LookupBatchInto(outs[w], hs)
+				})
 			})
 		}
 	}
@@ -255,36 +323,9 @@ func BenchmarkThroughputZipf(b *testing.B) {
 			trace := w.Trace
 			b.Run(fmt.Sprintf("%s/%s", name, label), func(b *testing.B) {
 				c.ResetStats()
-				b.ResetTimer()
-				var wg sync.WaitGroup
-				for wi := 0; wi < workers; wi++ {
-					count := b.N / workers
-					if wi == 0 {
-						count += b.N % workers
-					}
-					wg.Add(1)
-					go func(count, pos int) {
-						defer wg.Done()
-						hs := make([]fivetuple.Header, batch)
-						for count > 0 {
-							n := batch
-							if n > count {
-								n = count
-							}
-							for i := 0; i < n; i++ {
-								hs[i] = trace[pos%len(trace)]
-								pos++
-							}
-							c.LookupBatch(hs[:n])
-							count -= n
-						}
-					}(count, wi*len(trace)/workers)
-				}
-				wg.Wait()
-				b.StopTimer()
-				if sec := b.Elapsed().Seconds(); sec > 0 {
-					b.ReportMetric(float64(b.N)/sec, "pkts/s")
-				}
+				runThroughputWorkers(b, workers, batch, trace, func(_ int, hs []fivetuple.Header) {
+					c.LookupBatch(hs)
+				})
 				if stats, ok := c.CacheStats(); ok {
 					b.ReportMetric(100*stats.HitRate(), "hit%")
 				}

@@ -338,3 +338,162 @@ func TestConcurrentCacheCoherenceDuringUpdates(t *testing.T) {
 		t.Errorf("RuleCount after the hammer = %d, want 1 (the stable rule)", got)
 	}
 }
+
+// The replica-coherence hammer: the update storm, engine-tier hops and
+// tenant churn run against a replicated serving fleet over a sharded, cached
+// table. Every publish fans out to R per-worker snapshot/cache replicas;
+// worker-pinned readers hammer their own replica and assert that every
+// observed verdict is a single consistent cut — old rule set or new, never a
+// mix inside one batch — and that a replica's generation never moves
+// backwards. Stale verdicts cannot be served by construction (each replica's
+// private cache is generation-keyed against that replica's own snapshot),
+// which the quiesced flip-rule probes pin down. After the storm quiesces,
+// every replica must have converged to the fleet generation. Run with -race.
+func TestConcurrentReplicaCoherence(t *testing.T) {
+	const replicas = 4
+	c := MustNew(WithEngine("hypercuts"), WithCache(4, 512),
+		WithReplicas(replicas), WithShards(4, "protocol"))
+
+	stable := NewRule(5).From("10.1.0.0/16").To("192.168.0.0/16").DstPort(443).Proto(TCP).Forward(42).MustBuild()
+	if _, err := c.Insert(stable); err != nil {
+		t.Fatalf("installing stable rule: %v", err)
+	}
+	flip := NewRule(9).From("10.2.0.0/16").To("192.168.0.0/16").DstPort(80).Proto(TCP).Drop().MustBuild()
+
+	headerStable := MustParseHeader("10.1.2.3", 1234, "192.168.1.1", 443, TCP)
+	headerFlip := MustParseHeader("10.2.9.9", 5555, "192.168.3.4", 80, TCP)
+	headerMiss := MustParseHeader("172.16.0.1", 9, "172.16.0.2", 9, UDP)
+
+	checkStable := func(r Result) {
+		if !r.Matched || r.Priority != 5 || r.Action != Forward || r.ActionArg != 42 {
+			t.Errorf("stable rule lookup = %+v, want priority-5 forward to 42 in every snapshot", r)
+		}
+	}
+	checkFlip := func(r Result) {
+		if r.Matched && (r.Priority != 9 || r.Action != Drop) {
+			t.Errorf("flip rule lookup = %+v, want either a miss or the priority-9 drop", r)
+		}
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	// Two worker-pinned readers per replica: distinct worker ids that map to
+	// the same replica must still each see a consistent cut.
+	const readers = 2 * replicas
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			reader := c.Reader(worker)
+			lastGen := reader.Generation()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				checkStable(reader.Lookup(headerStable))
+				checkFlip(reader.Lookup(headerFlip))
+				if r := reader.Lookup(headerMiss); r.Matched {
+					t.Errorf("miss header matched %+v; no installed rule ever covers it", r)
+				}
+				// One batch is served by one replica snapshot: the two flip
+				// lookups must agree — old or new, never mixed — even while
+				// the writer's fan-out is mid-flight across the fleet.
+				batch := reader.LookupBatch([]Header{headerFlip, headerStable, headerFlip})
+				if batch[0].Matched != batch[2].Matched {
+					t.Errorf("one batch saw the flip rule both installed and absent: %+v vs %+v", batch[0], batch[2])
+				}
+				checkStable(batch[1])
+				// A replica's generation is monotonic: fan-out replaces its
+				// snapshot with successors only.
+				if g := reader.Generation(); g < lastGen {
+					t.Errorf("replica generation moved backwards: %d after %d", g, lastGen)
+				} else {
+					lastGen = g
+				}
+			}
+		}(i)
+	}
+
+	// Tenant churn rides along: short-lived replicated classifiers are built,
+	// served and dropped while the long-lived fleet is under storm, so replica
+	// construction and teardown race against steady-state serving.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			tc := MustNew(WithReplicas(2), WithCache(2, 128), WithShards(2, "src-byte"))
+			if _, err := tc.Insert(stable); err != nil {
+				t.Errorf("churn tenant insert: %v", err)
+				return
+			}
+			checkStable(tc.Reader(0).Lookup(headerStable))
+			checkStable(tc.Reader(1).Lookup(headerStable))
+		}
+	}()
+
+	// Fewer writer iterations than the single-snapshot hammers: every publish
+	// here pays a full fan-out (replicas × shards snapshot clones), so 40
+	// round trips already retire hundreds of per-replica generations.
+	engines := Engines()
+	const writerIterations = 40
+	for i := 0; i < writerIterations; i++ {
+		if _, err := c.Insert(flip); err != nil {
+			t.Errorf("insert flip: %v", err)
+			break
+		}
+		if i%14 == 7 {
+			if err := c.SelectEngine(engines[(i/14)%len(engines)]); err != nil {
+				t.Errorf("engine switch: %v", err)
+				break
+			}
+		}
+		if _, err := c.Delete(flip); err != nil {
+			t.Errorf("delete flip: %v", err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// Quiesced convergence: the final publish's fan-out is complete, so the
+	// fleet generation equals the publish generation and every replica has
+	// reached it.
+	rep := c.Report()
+	if rep.FleetGeneration != rep.Generation {
+		t.Errorf("fleet generation %d has not converged to publish generation %d", rep.FleetGeneration, rep.Generation)
+	}
+	if len(rep.Replicas) != replicas {
+		t.Fatalf("Report().Replicas has %d entries, want %d", len(rep.Replicas), replicas)
+	}
+	for i, rr := range rep.Replicas {
+		if rr.Generation != rep.Generation {
+			t.Errorf("replica %d stuck at generation %d, publish generation is %d", i, rr.Generation, rep.Generation)
+		}
+		if !rr.CacheEnabled {
+			t.Errorf("replica %d lost its private cache", i)
+		}
+	}
+	if rep.Cache.Hits == 0 {
+		t.Errorf("the hammer never hit a replica cache: %+v", rep.Cache)
+	}
+
+	// The flip rule ended deleted; any cached verdict for it belongs to a
+	// retired generation on some replica and must not surface from any of
+	// them — the stale-hits-stay-zero guarantee, observed by verdict.
+	for worker := 0; worker < readers; worker++ {
+		if r := c.Reader(worker).Lookup(headerFlip); r.Matched {
+			t.Fatalf("worker %d served the flip rule after its final delete (stale replica cache hit): %+v", worker, r)
+		}
+		checkStable(c.Reader(worker).Lookup(headerStable))
+	}
+	if got := c.RuleCount(); got != 1 {
+		t.Errorf("RuleCount after the hammer = %d, want 1 (the stable rule)", got)
+	}
+}

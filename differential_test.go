@@ -105,10 +105,49 @@ func decodeFuzzHeader(b []byte) fivetuple.Header {
 	}
 }
 
+// fuzzTopology is the replicated/sharded serving topology a differential run
+// drives beside the plain paths: replica count of the serving fleet and the
+// rule-space shard geometry.
+type fuzzTopology struct {
+	replicas    int
+	shards      int
+	partitionBy string
+}
+
+// defaultTopology is the deterministic topology the non-fuzz runners use.
+func defaultTopology() fuzzTopology {
+	return fuzzTopology{replicas: 3, shards: 4, partitionBy: "protocol"}
+}
+
+// decodeFuzzTopology derives a random-but-valid topology from the fuzz input,
+// so the fuzzer explores replica counts in [2,5], shard counts in [2,9] and
+// both partition strategies.
+func decodeFuzzTopology(data []byte) fuzzTopology {
+	var a, b, c byte
+	for i, v := range data {
+		switch i % 3 {
+		case 0:
+			a ^= v
+		case 1:
+			b ^= v
+		default:
+			c ^= v
+		}
+	}
+	topo := fuzzTopology{replicas: 2 + int(a)%4, shards: 2 + int(b)%8, partitionBy: "protocol"}
+	if c&1 == 1 {
+		topo.partitionBy = "src-byte"
+	}
+	return topo
+}
+
 // differentialPaths builds one classifier per selectable engine of both
 // tiers plus one cache-enabled classifier per tier, all in exact
-// (cross-product) combination mode, with the rule set installed.
-func differentialPaths(t testing.TB, rs *fivetuple.RuleSet) map[string]*core.Classifier {
+// (cross-product) combination mode, with the rule set installed — and, on
+// top, the replicated-fleet and rule-space-sharded serving paths of the given
+// topology (separately and combined), which must stay bit-identical to the
+// unsharded single-snapshot classifier.
+func differentialPaths(t testing.TB, rs *fivetuple.RuleSet, topo fuzzTopology) map[string]*core.Classifier {
 	t.Helper()
 	paths := make(map[string]*core.Classifier)
 	build := func(label string, cfg core.Config) {
@@ -128,33 +167,75 @@ func differentialPaths(t testing.TB, rs *fivetuple.RuleSet) map[string]*core.Cla
 	// pass below is served from the cache.
 	build("mbt+cache", bench.CachedEngineConfig("mbt", 4, 4096))
 	build("hypercuts+cache", bench.CachedEngineConfig("hypercuts", 4, 4096))
+
+	// Replicated fleet: every publish fans out to per-worker replicas with
+	// private caches; lookups rotate over replicas, so both passes cross
+	// replica boundaries.
+	repl := bench.CachedEngineConfig("mbt", 4, 4096)
+	repl.Replicas = topo.replicas
+	build(fmt.Sprintf("mbt+replicas=%d", topo.replicas), repl)
+
+	// Rule-space partitioning on both tiers: the steered shard's first match
+	// must be the global first match.
+	shardedField := bench.EngineConfig("mbt")
+	shardedField.Shards = topo.shards
+	shardedField.PartitionBy = topo.partitionBy
+	build(fmt.Sprintf("mbt+shards=%d/%s", topo.shards, topo.partitionBy), shardedField)
+	shardedPacket := bench.EngineConfig("hypercuts")
+	shardedPacket.Shards = topo.shards
+	shardedPacket.PartitionBy = topo.partitionBy
+	build(fmt.Sprintf("hypercuts+shards=%d/%s", topo.shards, topo.partitionBy), shardedPacket)
+
+	// Everything at once: replicated fleet over a sharded, cached table.
+	combined := bench.CachedEngineConfig("hypercuts", 4, 4096)
+	combined.Replicas = topo.replicas
+	combined.Shards = topo.shards
+	combined.PartitionBy = topo.partitionBy
+	build(fmt.Sprintf("hypercuts+replicas=%d+shards=%d/%s", topo.replicas, topo.shards, topo.partitionBy), combined)
 	return paths
 }
 
 // runDifferential asserts that every path agrees with the linear oracle on
 // every header — match flag, rule priority, action and action argument — on
-// a cold pass and on a warm (cache-hitting) pass.
+// a cold pass and on a warm (cache-hitting) pass, using the default
+// replicated/sharded topology.
 func runDifferential(t testing.TB, rules []fivetuple.Rule, headers []fivetuple.Header) {
 	t.Helper()
+	runDifferentialTopo(t, rules, headers, defaultTopology())
+}
+
+// runDifferentialTopo is runDifferential with an explicit serving topology.
+// Besides the anonymous Lookup path (which rotates over fleet replicas), each
+// pass also serves every header through a worker-pinned Reader, so replica
+// selection by worker id is certified against the oracle too.
+func runDifferentialTopo(t testing.TB, rules []fivetuple.Rule, headers []fivetuple.Header, topo fuzzTopology) {
+	t.Helper()
 	rs := fivetuple.NewRuleSet("differential", rules)
-	paths := differentialPaths(t, rs)
+	paths := differentialPaths(t, rs, topo)
 	for label, c := range paths {
 		for pass := 0; pass < 2; pass++ {
+			reader := c.Reader(pass)
 			for i, h := range headers {
 				wantIdx, wantOK := rs.Classify(h)
 				got := c.Lookup(h)
-				if got.Matched != wantOK {
-					t.Fatalf("%s pass %d header %d (%s): matched = %v, oracle says %v",
-						label, pass, i, h, got.Matched, wantOK)
-				}
-				if !wantOK {
-					continue
-				}
-				want := rs.Rule(wantIdx)
-				if got.Priority != wantIdx || got.Action != want.Action || got.ActionArg != want.ActionArg {
-					t.Fatalf("%s pass %d header %d (%s): got priority %d action %v/%d, oracle rule %d (%s) action %v/%d",
-						label, pass, i, h, got.Priority, got.Action, got.ActionArg,
-						wantIdx, want, want.Action, want.ActionArg)
+				gotReader := reader.Lookup(h)
+				for _, res := range []struct {
+					path string
+					got  core.Result
+				}{{"lookup", got}, {"reader", gotReader}} {
+					if res.got.Matched != wantOK {
+						t.Fatalf("%s %s pass %d header %d (%s): matched = %v, oracle says %v",
+							label, res.path, pass, i, h, res.got.Matched, wantOK)
+					}
+					if !wantOK {
+						continue
+					}
+					want := rs.Rule(wantIdx)
+					if res.got.Priority != wantIdx || res.got.Action != want.Action || res.got.ActionArg != want.ActionArg {
+						t.Fatalf("%s %s pass %d header %d (%s): got priority %d action %v/%d, oracle rule %d (%s) action %v/%d",
+							label, res.path, pass, i, h, res.got.Priority, res.got.Action, res.got.ActionArg,
+							wantIdx, want, want.Action, want.ActionArg)
+					}
 				}
 			}
 		}
@@ -186,7 +267,10 @@ func FuzzDifferentialLookup(f *testing.F) {
 		if len(rules) == 0 || len(headers) == 0 {
 			t.Skip("input too short to decode a workload")
 		}
-		runDifferential(t, rules, headers)
+		// The serving topology (replica count, shard count, partition
+		// strategy) is fuzz-driven too, so random topologies are explored
+		// alongside random workloads.
+		runDifferentialTopo(t, rules, headers, decodeFuzzTopology(data))
 	})
 }
 
@@ -300,6 +384,52 @@ func TestDifferentialEngines(t *testing.T) {
 			runDifferential(t, tc.rules, tc.headers)
 		})
 	}
+
+	// Shard-boundary corpus: rules built to stress the rule-space partitioner
+	// — wildcard protocols (replicate into every shard), prefixes straddling
+	// the partition byte (/7 and /9 around a top-byte boundary) and identical
+	// match conditions at distinct priorities that replicate across shards.
+	// Checked under both partition strategies.
+	t.Run("shard-boundary", func(t *testing.T) {
+		boundaryRules := []fivetuple.Rule{
+			// Wildcard protocol + /7 source: covers every protocol shard and
+			// two src-byte shards (top bytes 12 and 13).
+			rule("12.0.0.0/7", "0.0.0.0/0", wildPorts, wildPorts, wild, 0),
+			// /9 source: fully inside one top byte, exact protocol.
+			rule("13.128.0.0/9", "0.0.0.0/0", wildPorts, wildPorts, tcp, 1),
+			// Same match condition again at a lower priority: the duplicate
+			// replicates into the same shard set and must lose on priority.
+			rule("13.128.0.0/9", "0.0.0.0/0", wildPorts, wildPorts, tcp, 2),
+			// /8 exactly on the partition byte.
+			rule("14.0.0.0/8", "0.0.0.0/0", wildPorts, exact(53), fivetuple.ExactProtocol(fivetuple.ProtoUDP), 3),
+			// Short /4 spanning sixteen top bytes with a wildcard protocol:
+			// replicates into sixteen src-byte shards and every protocol
+			// shard at once.
+			rule("16.0.0.0/4", "0.0.0.0/0", wildPorts, wildPorts, wild, 4),
+			// Default wildcard rule: replicates into every shard of either
+			// strategy.
+			rule("0.0.0.0/0", "0.0.0.0/0", wildPorts, wildPorts, wild, 5),
+		}
+		boundaryHeaders := []fivetuple.Header{
+			{SrcIP: fivetuple.MustParseIPv4("12.0.0.1"), Protocol: fivetuple.ProtoTCP},
+			{SrcIP: fivetuple.MustParseIPv4("13.255.0.1"), Protocol: fivetuple.ProtoTCP},
+			{SrcIP: fivetuple.MustParseIPv4("13.127.255.255"), Protocol: fivetuple.ProtoTCP},
+			{SrcIP: fivetuple.MustParseIPv4("13.128.0.0"), Protocol: fivetuple.ProtoTCP},
+			{SrcIP: fivetuple.MustParseIPv4("14.0.0.1"), DstPort: 53, Protocol: fivetuple.ProtoUDP},
+			{SrcIP: fivetuple.MustParseIPv4("14.0.0.1"), DstPort: 54, Protocol: fivetuple.ProtoUDP},
+			{SrcIP: fivetuple.MustParseIPv4("17.0.0.1"), Protocol: 7},
+			{SrcIP: fivetuple.MustParseIPv4("31.255.255.255"), Protocol: 6},
+			{SrcIP: fivetuple.MustParseIPv4("32.0.0.0"), Protocol: 6},
+			{SrcIP: fivetuple.MustParseIPv4("200.1.2.3"), Protocol: 255},
+		}
+		for _, topo := range []fuzzTopology{
+			{replicas: 2, shards: 4, partitionBy: "protocol"},
+			{replicas: 3, shards: 5, partitionBy: "src-byte"},
+			{replicas: 2, shards: 256, partitionBy: "src-byte"},
+		} {
+			runDifferentialTopo(t, boundaryRules, boundaryHeaders, topo)
+		}
+	})
 
 	// Fuzz-decoder determinism: the corpus runner also pushes the seed
 	// inputs through the byte decoder so the fuzz entry point itself is

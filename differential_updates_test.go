@@ -1,6 +1,7 @@
 package sdnpc
 
 import (
+	"fmt"
 	"sort"
 	"testing"
 
@@ -133,8 +134,19 @@ func removeFirstMatch(live []fivetuple.Rule, r fivetuple.Rule) []fivetuple.Rule 
 // engine's incremental publish path (delta-friendly policy, plus a cached
 // variant for one engine), checking every intermediate state against the
 // best-first oracle and the final state against a freshly rebuilt
-// classifier pinned to rebuild-on-every-publish.
+// classifier pinned to rebuild-on-every-publish, using the default
+// replicated/sharded topology for the fleet variants.
 func runDifferentialUpdates(t testing.TB, init []fivetuple.Rule, ops []fuzzUpdateOp, headers []fivetuple.Header) {
+	t.Helper()
+	runDifferentialUpdatesTopo(t, init, ops, headers, defaultTopology())
+}
+
+// runDifferentialUpdatesTopo is runDifferentialUpdates with an explicit
+// serving topology: beside the plain engines it drives the same mutation
+// sequence through a replicated fleet (every publish fans out to per-worker
+// replicas), a rule-space-sharded table (every update propagates to the
+// shards the rule covers) and the combination of both.
+func runDifferentialUpdatesTopo(t testing.TB, init []fivetuple.Rule, ops []fuzzUpdateOp, headers []fivetuple.Header, topo fuzzTopology) {
 	t.Helper()
 	selectable := engine.SelectableNames()
 	variants := make(map[string]core.Config)
@@ -151,6 +163,25 @@ func runDifferentialUpdates(t testing.TB, init []fivetuple.Rule, ops []fuzzUpdat
 		cfg.RebuildAfterDeltas = 1 << 20
 		cfg.DegradationThreshold = 1.01
 		variants["hypercuts+cache"] = cfg
+	}
+	{
+		cfg := variants["hypercuts+cache"]
+		cfg.Replicas = topo.replicas
+		variants[fmt.Sprintf("hypercuts+cache+replicas=%d", topo.replicas)] = cfg
+	}
+	{
+		cfg := variants["hypercuts"]
+		cfg.Shards = topo.shards
+		cfg.PartitionBy = topo.partitionBy
+		variants[fmt.Sprintf("hypercuts+shards=%d/%s", topo.shards, topo.partitionBy)] = cfg
+	}
+	{
+		cfg := variants["hypercuts+cache"]
+		cfg.Replicas = topo.replicas
+		cfg.Shards = topo.shards
+		cfg.PartitionBy = topo.partitionBy
+		variants[fmt.Sprintf("hypercuts+cache+replicas=%d+shards=%d/%s",
+			topo.replicas, topo.shards, topo.partitionBy)] = cfg
 	}
 
 	for label, cfg := range variants {
@@ -252,7 +283,9 @@ func FuzzDifferentialUpdates(f *testing.F) {
 		if len(init) == 0 || len(ops) == 0 || len(headers) == 0 {
 			t.Skip("input too short to decode a mutation workload")
 		}
-		runDifferentialUpdates(t, init, ops, headers)
+		// Replica/shard counts ride on the same fuzz input, so update storms
+		// are exercised over random serving topologies too.
+		runDifferentialUpdatesTopo(t, init, ops, headers, decodeFuzzTopology(data))
 	})
 }
 

@@ -33,6 +33,15 @@ type ThroughputOptions struct {
 	// CacheShards is the cache shard count for the cached cells; <= 0
 	// selects the cache's default.
 	CacheShards int
+	// Replicated, when set, measures every (engine, workers) cell an
+	// additional time in replicated-fleet mode with one replica per worker
+	// (and the cache, when enabled, private per replica) — the scaling curve
+	// the shared-pointer rows are the baseline for.
+	Replicated bool
+	// Shards and PartitionBy, when Shards > 1, run every cell with the rule
+	// table partitioned into that many shards by the named strategy.
+	Shards      int
+	PartitionBy string
 }
 
 // ThroughputRow is the measured serving throughput of one (engine, workers)
@@ -58,6 +67,14 @@ type ThroughputRow struct {
 	// CacheHitRate is the fraction of lookups the cache answered (cached
 	// rows only).
 	CacheHitRate float64
+	// Replicas is the serving-fleet replica count the row was measured with
+	// (0 for shared-pointer rows).
+	Replicas int
+	// MinWorkerPPS and MaxWorkerPPS are the slowest and fastest individual
+	// worker's packets/second — the spread that makes replica imbalance
+	// visible.
+	MinWorkerPPS float64
+	MaxWorkerPPS float64
 }
 
 // defaultWorkerCounts doubles from 1 up to the CPU count, always including
@@ -98,18 +115,46 @@ func ThroughputSweep(w Workload, opts ThroughputOptions) ([]ThroughputRow, error
 		perWorker = 50000
 	}
 
+	// Each variant is its own speedup-normalisation group: the replicated
+	// rows are normalised against the replicated 1-worker row, so their
+	// SpeedupVs1 is the scaling curve the gate compares against the
+	// shared-pointer baseline's.
+	type variant struct {
+		cfg        core.Config
+		replicated bool
+	}
 	rows := make([]ThroughputRow, 0, len(engines)*len(workers))
 	for _, name := range engines {
-		cfgs := []core.Config{EngineConfig(name)}
+		variants := []variant{{cfg: EngineConfig(name)}}
 		if opts.CacheCapacity > 0 {
-			cfgs = append(cfgs, CachedEngineConfig(name, opts.CacheShards, opts.CacheCapacity))
+			variants = append(variants, variant{cfg: CachedEngineConfig(name, opts.CacheShards, opts.CacheCapacity)})
 		}
-		for _, cfg := range cfgs {
+		if opts.Replicated {
+			base := EngineConfig(name)
+			if opts.CacheCapacity > 0 {
+				base = CachedEngineConfig(name, opts.CacheShards, opts.CacheCapacity)
+			}
+			variants = append(variants, variant{cfg: base, replicated: true})
+		}
+		for _, v := range variants {
+			if opts.Shards > 1 {
+				v.cfg.Shards = opts.Shards
+				v.cfg.PartitionBy = opts.PartitionBy
+			}
 			engineRows := make([]ThroughputRow, 0, len(workers))
 			for _, n := range workers {
 				// Each cell gets a freshly built classifier: a shared one
 				// would hand later worker counts a pre-warmed cache, making
 				// hit rates and speedups depend on sweep order.
+				cfg := v.cfg
+				if v.replicated {
+					cfg.Replicas = n
+					if cfg.Replicas < 2 {
+						// One worker still goes through the fleet path, so the
+						// 1-worker baseline pays the same serving code.
+						cfg.Replicas = 2
+					}
+				}
 				c, err := core.New(cfg)
 				if err != nil {
 					return nil, fmt.Errorf("bench: throughput %s: %w", name, err)
@@ -118,6 +163,7 @@ func ThroughputSweep(w Workload, opts ThroughputOptions) ([]ThroughputRow, error
 					return nil, fmt.Errorf("bench: throughput %s: %w", name, err)
 				}
 				row := runThroughput(c, w.Trace, name, n, batch, perWorker)
+				row.Replicas = cfg.Replicas
 				if rep := c.Report(); rep.CacheEnabled {
 					row.Cached = true
 					row.CacheHitRate = rep.Cache.HitRate()
@@ -145,9 +191,11 @@ func ThroughputSweep(w Workload, opts ThroughputOptions) ([]ThroughputRow, error
 }
 
 // runThroughput drives one (engine, workers) cell. Each worker replays its
-// own offset of the shared trace in batches, recording the wall-clock time
-// of every LookupBatch call; the per-packet latency quantiles are taken
-// over all batch timings of all workers.
+// own offset of the shared trace in batches through a worker-pinned Reader
+// (its replica's snapshot and cache under the fleet, the shared path
+// otherwise), recording the wall-clock time of every LookupBatch call; the
+// per-packet latency quantiles are taken over all batch timings of all
+// workers.
 func runThroughput(c *core.Classifier, trace []fivetuple.Header, name string, workers, batch, perWorker int) ThroughputRow {
 	type batchTiming struct {
 		elapsed time.Duration
@@ -166,6 +214,8 @@ func runThroughput(c *core.Classifier, trace []fivetuple.Header, name string, wo
 			defer wg.Done()
 			res := workerResult{batchTimes: make([]batchTiming, 0, perWorker/batch+1)}
 			hs := make([]fivetuple.Header, 0, batch)
+			reader := c.Reader(wi)
+			var out []core.Result
 			// Offset each worker into the trace so workers exercise
 			// different flows concurrently.
 			pos := (wi * len(trace)) / workers
@@ -176,9 +226,9 @@ func runThroughput(c *core.Classifier, trace []fivetuple.Header, name string, wo
 					pos++
 				}
 				t0 := time.Now()
-				batchResults := c.LookupBatch(hs)
+				out = reader.LookupBatchInto(out, hs)
 				res.batchTimes = append(res.batchTimes, batchTiming{elapsed: time.Since(t0), packets: len(hs)})
-				for _, r := range batchResults {
+				for _, r := range out {
 					if r.Matched {
 						res.matched++
 					}
@@ -196,13 +246,27 @@ func runThroughput(c *core.Classifier, trace []fivetuple.Header, name string, wo
 	// configured batch size.
 	var all []time.Duration
 	matched := 0
-	for _, res := range results {
+	minPPS, maxPPS := 0.0, 0.0
+	for i, res := range results {
+		var busy time.Duration
+		packets := 0
 		for _, bt := range res.batchTimes {
 			if bt.packets > 0 {
 				all = append(all, bt.elapsed/time.Duration(bt.packets))
 			}
+			busy += bt.elapsed
+			packets += bt.packets
 		}
 		matched += res.matched
+		if busy > 0 {
+			pps := float64(packets) / busy.Seconds()
+			if i == 0 || pps < minPPS {
+				minPPS = pps
+			}
+			if pps > maxPPS {
+				maxPPS = pps
+			}
+		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	quantile := func(q float64) time.Duration {
@@ -225,6 +289,8 @@ func runThroughput(c *core.Classifier, trace []fivetuple.Header, name string, wo
 	if elapsed > 0 {
 		row.PacketsPerSec = float64(total) / elapsed.Seconds()
 	}
+	row.MinWorkerPPS = minPPS
+	row.MaxWorkerPPS = maxPPS
 	return row
 }
 
@@ -232,17 +298,25 @@ func runThroughput(c *core.Classifier, trace []fivetuple.Header, name string, wo
 func RenderThroughput(rows []ThroughputRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Concurrent serving throughput — snapshot-swap classifier, batched lookups\n")
-	fmt.Fprintf(&b, "%-10s %6s %8s %7s %14s %10s %12s %12s %8s %6s\n",
-		"engine", "cache", "workers", "batch", "packets/sec", "speedup", "p50/pkt", "p99/pkt", "match%", "hit%")
+	fmt.Fprintf(&b, "%-10s %6s %5s %8s %7s %14s %10s %12s %12s %8s %6s %13s\n",
+		"engine", "cache", "repl", "workers", "batch", "packets/sec", "speedup", "p50/pkt", "p99/pkt", "match%", "hit%", "min/max wkr")
 	for _, r := range rows {
 		cacheCol, hitCol := "off", "-"
 		if r.Cached {
 			cacheCol = "on"
 			hitCol = fmt.Sprintf("%.1f", 100*r.CacheHitRate)
 		}
-		fmt.Fprintf(&b, "%-10s %6s %8d %7d %14.0f %9.2fx %12s %12s %7.1f%% %6s\n",
-			r.Engine, cacheCol, r.Workers, r.BatchSize, r.PacketsPerSec, r.SpeedupVs1,
-			r.P50PerPacket, r.P99PerPacket, 100*r.MatchedFraction, hitCol)
+		replCol := "-"
+		if r.Replicas > 0 {
+			replCol = fmt.Sprintf("%d", r.Replicas)
+		}
+		spread := "-"
+		if r.MaxWorkerPPS > 0 {
+			spread = fmt.Sprintf("%.2f", r.MinWorkerPPS/r.MaxWorkerPPS)
+		}
+		fmt.Fprintf(&b, "%-10s %6s %5s %8d %7d %14.0f %9.2fx %12s %12s %7.1f%% %6s %13s\n",
+			r.Engine, cacheCol, replCol, r.Workers, r.BatchSize, r.PacketsPerSec, r.SpeedupVs1,
+			r.P50PerPacket, r.P99PerPacket, 100*r.MatchedFraction, hitCol, spread)
 	}
 	return b.String()
 }

@@ -124,6 +124,11 @@ type Classifier struct {
 	// snapshots; generation matching keeps it coherent through swaps.
 	microflow *cache.Cache[Result]
 
+	// fleet is the replicated serving layer (nil when Config.Replicas <= 1):
+	// per-worker snapshot clones plus private caches that publish fans out
+	// to. When it is set, readers serve from a replica instead of snap.
+	fleet *fleet
+
 	stats statsCollector
 }
 
@@ -138,7 +143,12 @@ func New(cfg Config) (*Classifier, error) {
 		return nil, fmt.Errorf("core: unknown field engine %q", name)
 	}
 	c := &Classifier{cfg: cfg}
-	if cfg.CacheCapacity > 0 {
+	if cfg.Replicas > 1 {
+		// Replicated fleet: the cache budget lives inside the replicas (one
+		// private cache each), not in a shared front cache readers would
+		// contend on.
+		c.fleet = newFleet(&c.cfg)
+	} else if cfg.CacheCapacity > 0 {
 		c.microflow = cache.New[Result](cfg.CacheShards, cfg.CacheCapacity)
 	}
 	s, err := newSnapshot(&c.cfg, name, def.Legacy)
@@ -174,14 +184,37 @@ func (c *Classifier) view() *snapshot { return c.snap.Load() }
 // microflow-cache entry filled under predecessors: entries are only served
 // to readers of the generation that filled them, so the swap invalidates the
 // cache in O(1) with no flush.
+//
+// With a replicated fleet, the publish additionally fans the snapshot out to
+// every replica before returning; the fleet generation advances last, so a
+// publish is complete only when every replica serves it.
 func (c *Classifier) publish(s *snapshot) {
 	s.prepare()
 	s.gen = c.gen.Add(1)
 	c.snap.Store(s)
+	if c.fleet != nil {
+		c.fleet.fanOut(&c.cfg, s)
+	}
 }
 
-// CacheEnabled reports whether the microflow cache is configured.
-func (c *Classifier) CacheEnabled() bool { return c.microflow != nil }
+// Generation returns the generation of the published snapshot.
+func (c *Classifier) Generation() uint64 { return c.view().gen }
+
+// FleetGeneration returns the generation every serving replica has reached
+// (the publish generation when no fleet is configured). Equality with
+// Generation means the last publish's fan-out has completed on all replicas.
+func (c *Classifier) FleetGeneration() uint64 {
+	if c.fleet == nil {
+		return c.view().gen
+	}
+	return c.fleet.gen.Load()
+}
+
+// CacheEnabled reports whether the microflow cache is configured (shared or
+// per replica).
+func (c *Classifier) CacheEnabled() bool {
+	return c.microflow != nil || (c.fleet != nil && c.cfg.CacheCapacity > 0)
+}
 
 // CacheStats returns the microflow cache counters; ok is false when the
 // cache is disabled.

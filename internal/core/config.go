@@ -22,6 +22,7 @@ import (
 
 	"sdnpc/internal/engine"
 	"sdnpc/internal/hw/memory"
+	"sdnpc/internal/shard"
 )
 
 // Default architecture geometry. The constants reproduce the memory budget
@@ -186,6 +187,22 @@ type Config struct {
 	// consulted when CacheCapacity > 0.
 	CacheShards int
 
+	// Replicas, when greater than 1, enables the replicated serving fleet:
+	// every publish fans out to this many per-worker replicas, each holding
+	// its own snapshot clone and (when the cache is enabled) its own private
+	// microflow cache, so pinned workers serve from core-local memory. 0 and
+	// 1 keep the single shared snapshot pointer.
+	Replicas int
+	// Shards, when greater than 1, enables rule-space partitioning: the rule
+	// table is split into this many shards by the partition byte selected by
+	// PartitionBy, each shard installing only the rules it covers into its
+	// own (smaller) engine set, and a one-byte pre-classifier steers each
+	// lookup to its shard. 0 and 1 keep the unsharded table.
+	Shards int
+	// PartitionBy names the shard partition strategy ("protocol" or
+	// "src-byte"); empty selects "protocol". Only consulted when Shards > 1.
+	PartitionBy string
+
 	// RebuildAfterDeltas bounds the delta debt of an incremental whole-packet
 	// engine: once the structure has absorbed this many delta ops since its
 	// last full build, the next publish rebuilds instead of delta-applying.
@@ -294,7 +311,36 @@ func (c Config) Validate() error {
 	if math.IsNaN(c.DegradationThreshold) {
 		return fmt.Errorf("core: degradation threshold must not be NaN")
 	}
+	if c.Replicas < 0 || c.Replicas > 1024 {
+		return fmt.Errorf("core: replica count %d out of range [0,1024]", c.Replicas)
+	}
+	if c.Shards < 0 || c.Shards > 256 {
+		return fmt.Errorf("core: shard count %d out of range [0,256]", c.Shards)
+	}
+	if c.Shards > 1 {
+		if _, err := shard.ParseStrategy(c.PartitionBy); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
 	return nil
+}
+
+// partitioner resolves the configured rule-space partitioner, or nil when
+// sharding is off. Call after Validate: an invalid strategy name falls back
+// to nil (unsharded) rather than panicking.
+func (c Config) partitioner() *shard.Partitioner {
+	if c.Shards <= 1 {
+		return nil
+	}
+	strategy, err := shard.ParseStrategy(c.PartitionBy)
+	if err != nil {
+		return nil
+	}
+	p, err := shard.New(c.Shards, strategy)
+	if err != nil {
+		return nil
+	}
+	return p
 }
 
 // rebuildAfterDeltas resolves the configured delta-debt bound: the explicit

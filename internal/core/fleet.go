@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sdnpc/internal/cache"
+	"sdnpc/internal/fivetuple"
+)
+
+// fleet is the replicated serving layer behind Config.Replicas: every worker
+// serves from its own replica — a private clone of the published snapshot
+// plus a private microflow cache — so readers on different cores touch only
+// core-local memory instead of serialising on one shared snapshot pointer
+// and one shared cache.
+//
+// The single writer fans every publish out to all replicas synchronously,
+// under the classifier's update mutex, before advancing the fleet
+// generation: a publish is complete only when every replica has advanced, so
+// fleet.gen is monotonic and fleet.gen == snapshot.gen means every replica
+// serves that snapshot (or, mid-fan-out, an in-flight reader still drains the
+// predecessor — the same old-or-new cut the unreplicated path guarantees).
+type fleet struct {
+	replicas []*fleetReplica
+
+	// gen is the fleet generation: the generation of the last publish whose
+	// fan-out completed on every replica.
+	gen atomic.Uint64
+
+	// next round-robins replica indices onto pool slots as Ps first touch
+	// the pool, spreading workers across replicas.
+	next atomic.Uint64
+
+	// slots hands each goroutine a replica index with per-P locality:
+	// sync.Pool keeps returned slots in a per-P cache, so a worker pinned to
+	// a core keeps drawing the same replica index with no shared contended
+	// counter and no steady-state allocation.
+	slots sync.Pool
+}
+
+// fleetReplica is one worker-facing copy of the serving state. The hot
+// fields sit in their own heap allocation (one per replica), and the pads
+// keep the replica's snapshot pointer and cache pointer off any cache line
+// shared with another replica's.
+type fleetReplica struct {
+	_         [64]byte
+	snap      atomic.Pointer[snapshot]
+	gen       atomic.Uint64
+	microflow *cache.Cache[Result]
+	_         [64]byte
+}
+
+// replicaSlot is the pooled token carrying a replica index.
+type replicaSlot struct{ idx int }
+
+// newFleet builds the replica array (snapshots are fanned out by the first
+// publish). Each replica gets its own private microflow cache when the
+// configuration enables one.
+func newFleet(cfg *Config) *fleet {
+	f := &fleet{replicas: make([]*fleetReplica, cfg.Replicas)}
+	for i := range f.replicas {
+		rep := &fleetReplica{}
+		if cfg.CacheCapacity > 0 {
+			rep.microflow = cache.New[Result](cfg.CacheShards, cfg.CacheCapacity)
+		}
+		f.replicas[i] = rep
+	}
+	f.slots.New = func() any {
+		return &replicaSlot{idx: int(f.next.Add(1)-1) % len(f.replicas)}
+	}
+	return f
+}
+
+// fanOut publishes one prepared, generation-stamped snapshot to every
+// replica: each gets its own clone (its engines' structures and counters are
+// then core-local), falling back to sharing the primary snapshot pointer if
+// a clone fails — still correct, just shared memory for that replica. The
+// fleet generation advances only after the last replica has.
+func (f *fleet) fanOut(cfg *Config, s *snapshot) {
+	for _, rep := range f.replicas {
+		view := s
+		if cl, err := s.clone(cfg); err == nil {
+			cl.gen = s.gen // clone never copies the generation
+			cl.prepare()
+			view = cl
+		}
+		rep.snap.Store(view)
+		rep.gen.Store(s.gen)
+	}
+	f.gen.Store(s.gen)
+}
+
+// pick returns a replica for this goroutine together with the pool slot to
+// return via release. Zero allocation in steady state.
+func (f *fleet) pick() (*fleetReplica, *replicaSlot) {
+	sl := f.slots.Get().(*replicaSlot)
+	return f.replicas[sl.idx], sl
+}
+
+func (f *fleet) release(sl *replicaSlot) { f.slots.Put(sl) }
+
+// replica returns the replica a pinned worker id maps to.
+func (f *fleet) replica(worker int) *fleetReplica {
+	if worker < 0 {
+		worker = -worker
+	}
+	return f.replicas[worker%len(f.replicas)]
+}
+
+// Reader is a worker-pinned serving handle: lookups through a Reader always
+// hit the same replica's snapshot and cache, giving a serving loop pinned to
+// a core purely core-local reads. On a classifier without replicas the
+// Reader transparently serves the shared path, so callers can hold one per
+// worker unconditionally.
+type Reader struct {
+	c   *Classifier
+	rep *fleetReplica
+}
+
+// Reader returns the serving handle for the given worker id. Worker ids are
+// mapped onto replicas round-robin; any id is valid.
+func (c *Classifier) Reader(worker int) *Reader {
+	r := &Reader{c: c}
+	if c.fleet != nil {
+		r.rep = c.fleet.replica(worker)
+	}
+	return r
+}
+
+// Lookup classifies one header from this reader's replica.
+func (r *Reader) Lookup(h fivetuple.Header) Result {
+	var result Result
+	if r.rep != nil {
+		result = r.c.serveOn(r.rep.snap.Load(), r.rep.microflow, h)
+	} else {
+		result = r.c.serveOn(r.c.view(), r.c.microflow, h)
+	}
+	r.c.stats.recordLookup(result)
+	return result
+}
+
+// LookupBatchInto classifies a batch against one consistent replica
+// snapshot, reusing dst like Classifier.LookupBatchInto.
+func (r *Reader) LookupBatchInto(dst []Result, hs []fivetuple.Header) []Result {
+	if len(hs) == 0 {
+		return dst[:0]
+	}
+	if cap(dst) < len(hs) {
+		dst = make([]Result, len(hs))
+	}
+	dst = dst[:len(hs)]
+	s, mf := r.c.view(), r.c.microflow
+	if r.rep != nil {
+		s, mf = r.rep.snap.Load(), r.rep.microflow
+	}
+	for i, h := range hs {
+		dst[i] = r.c.serveOn(s, mf, h)
+	}
+	r.c.stats.recordBatch(SummarizeBatch(dst))
+	return dst
+}
+
+// LookupBatch classifies a batch against one consistent replica snapshot.
+func (r *Reader) LookupBatch(hs []fivetuple.Header) []Result {
+	return r.LookupBatchInto(nil, hs)
+}
+
+// Generation returns the published generation of this reader's replica (the
+// classifier generation when unreplicated).
+func (r *Reader) Generation() uint64 {
+	if r.rep != nil {
+		return r.rep.gen.Load()
+	}
+	return r.c.view().gen
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sdnpc/internal/cache"
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/label"
 )
@@ -78,27 +79,36 @@ var lookupScratchPool = sync.Pool{New: func() any {
 // a rule update still returns a result consistent with either the pre-update
 // or the post-update snapshot, never a cached leftover of a third.
 func (c *Classifier) Lookup(h fivetuple.Header) Result {
-	result := c.serve(c.view(), h)
+	var result Result
+	if c.fleet != nil {
+		rep, sl := c.fleet.pick()
+		result = c.serveOn(rep.snap.Load(), rep.microflow, h)
+		c.fleet.release(sl)
+	} else {
+		result = c.serveOn(c.view(), c.microflow, h)
+	}
 	c.stats.recordLookup(result)
 	return result
 }
 
-// serve answers one header from the given snapshot, through the microflow
-// cache when one is configured. A cache hit replays the memoised Result of
-// the first lookup of this five-tuple under this exact snapshot — including
-// its model cost counters, which are deterministic per (snapshot, header) —
-// so the cached path is byte-identical to the uncached one. This is what
-// makes the cache tier-agnostic: it fronts the field tier and the packet
-// tier with the same three lines.
-func (c *Classifier) serve(s *snapshot, h fivetuple.Header) Result {
-	if c.microflow == nil {
+// serveOn answers one header from the given snapshot, through the given
+// microflow cache when one is configured (nil skips the cache). A cache hit
+// replays the memoised Result of the first lookup of this five-tuple under
+// this exact snapshot — including its model cost counters, which are
+// deterministic per (snapshot, header) — so the cached path is
+// byte-identical to the uncached one. This is what makes the cache
+// tier-agnostic: it fronts the field tier and the packet tier with the same
+// three lines, and replica-agnostic: each fleet replica passes its own
+// private cache.
+func (c *Classifier) serveOn(s *snapshot, mf *cache.Cache[Result], h fivetuple.Header) Result {
+	if mf == nil {
 		return s.lookup(&c.cfg, h)
 	}
-	if r, ok := c.microflow.Get(s.gen, h); ok {
+	if r, ok := mf.Get(s.gen, h); ok {
 		return r
 	}
 	r := s.lookup(&c.cfg, h)
-	c.microflow.Put(s.gen, h, r)
+	mf.Put(s.gen, h, r)
 	return r
 }
 
@@ -127,9 +137,18 @@ func (c *Classifier) LookupBatchInto(dst []Result, hs []fivetuple.Header) []Resu
 		dst = make([]Result, len(hs))
 	}
 	dst = dst[:len(hs)]
-	s := c.view()
+	s, mf := c.view(), c.microflow
+	var sl *replicaSlot
+	if c.fleet != nil {
+		var rep *fleetReplica
+		rep, sl = c.fleet.pick()
+		s, mf = rep.snap.Load(), rep.microflow
+	}
 	for i, h := range hs {
-		dst[i] = c.serve(s, h)
+		dst[i] = c.serveOn(s, mf, h)
+	}
+	if sl != nil {
+		c.fleet.release(sl)
 	}
 	c.stats.recordBatch(SummarizeBatch(dst))
 	return dst
@@ -194,6 +213,14 @@ func SummarizeBatch(results []Result) BatchReport {
 // writes beyond the atomic access counters inside the engines and the rule
 // filter, which is what makes the concurrent serving path possible.
 func (s *snapshot) lookup(cfg *Config, h fivetuple.Header) Result {
+	// Sharded table: a one-byte pre-classification steers the header to the
+	// single shard holding every rule that could match it (the partitioner's
+	// covering invariant), and that shard's smaller engines answer alone —
+	// the per-shard first match is the global first match.
+	if s.part != nil {
+		return s.shards[s.part.Steer(h)].lookup(cfg, h)
+	}
+
 	// Whole-packet tier: one precomputed multi-field structure answers the
 	// five-tuple directly, bypassing the per-field engines, the label
 	// fetches and the Rule Filter.
@@ -574,18 +601,37 @@ func (c *Classifier) LookupCounters() LookupCounters {
 }
 
 // ResetStats zeroes the counters without touching installed rules. The
-// microflow cache's counters are reset too; its entries are kept.
+// microflow cache's counters are reset too (including every replica's
+// private cache); entries are kept.
 func (c *Classifier) ResetStats() {
 	c.stats.reset()
 	if c.microflow != nil {
 		c.microflow.ResetStats()
 	}
-	s := c.view()
+	c.view().resetCounters()
+	if c.fleet != nil {
+		for _, rep := range c.fleet.replicas {
+			if rep.microflow != nil {
+				rep.microflow.ResetStats()
+			}
+			if s := rep.snap.Load(); s != nil {
+				s.resetCounters()
+			}
+		}
+	}
+}
+
+// resetCounters zeroes the access counters of this snapshot's structures,
+// recursing into shards.
+func (s *snapshot) resetCounters() {
 	s.filter.resetCounters()
 	for _, eng := range s.engines {
 		eng.ResetStats()
 	}
 	if s.packet != nil {
 		s.packet.ResetStats()
+	}
+	for _, sh := range s.shards {
+		sh.resetCounters()
 	}
 }

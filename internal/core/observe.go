@@ -37,9 +37,50 @@ type Report struct {
 	Memory MemoryReport
 
 	// CacheEnabled reports whether the microflow cache is configured; Cache
-	// holds its counters (zero when disabled).
+	// holds its counters (zero when disabled). With a replicated fleet the
+	// counters are summed over every replica's private cache, so the
+	// aggregate hit rate stays meaningful.
 	CacheEnabled bool
 	Cache        cache.Stats
+
+	// Generation is the published snapshot's generation; FleetGeneration is
+	// the generation every serving replica has reached (equal to Generation
+	// when no fleet is configured, and after every complete publish).
+	Generation      uint64
+	FleetGeneration uint64
+
+	// Replicas describes each serving replica of the fleet, in replica
+	// order; empty when replication is off.
+	Replicas []ReplicaReport
+
+	// Shards describes each rule-space shard, in shard order; empty when
+	// partitioning is off.
+	Shards []ShardReport
+}
+
+// ReplicaReport is the per-replica slice of the observability snapshot.
+type ReplicaReport struct {
+	// Generation is the publish generation this replica currently serves.
+	Generation uint64
+	// CacheEnabled reports whether the replica holds a private microflow
+	// cache; Cache holds its counters.
+	CacheEnabled bool
+	Cache        cache.Stats
+}
+
+// ShardReport is the per-shard slice of the observability snapshot — the
+// numbers that show the paper's memory/accesses trade-off applying per
+// shard: each shard holds only its rule slice, so its structures are
+// super-linearly smaller than the unsharded table's.
+type ShardReport struct {
+	// Rules is the number of rules installed in this shard (spanning rules
+	// count once per shard they replicate into).
+	Rules int
+	// IPEngineUsedBits is the node storage of the shard's four IP-segment
+	// engines; PacketEngineUsedBits that of its whole-packet structure (0
+	// when the field tier serves).
+	IPEngineUsedBits     int
+	PacketEngineUsedBits int
 }
 
 // Report assembles the full observability snapshot. It loads the published
@@ -65,6 +106,34 @@ func (c *Classifier) Report() Report {
 	if c.microflow != nil {
 		r.CacheEnabled = true
 		r.Cache = c.microflow.Stats()
+	}
+	r.Generation = s.gen
+	r.FleetGeneration = c.FleetGeneration()
+	if c.fleet != nil {
+		r.Replicas = make([]ReplicaReport, len(c.fleet.replicas))
+		for i, rep := range c.fleet.replicas {
+			rr := ReplicaReport{Generation: rep.gen.Load()}
+			if rep.microflow != nil {
+				rr.CacheEnabled = true
+				rr.Cache = rep.microflow.Stats()
+				r.CacheEnabled = true
+				r.Cache.Hits += rr.Cache.Hits
+				r.Cache.Misses += rr.Cache.Misses
+				r.Cache.Evictions += rr.Cache.Evictions
+				r.Cache.StaleGenerations += rr.Cache.StaleGenerations
+			}
+			r.Replicas[i] = rr
+		}
+	}
+	for _, sh := range s.shards {
+		sr := ShardReport{Rules: len(sh.installed)}
+		for _, d := range ipSegmentDims {
+			sr.IPEngineUsedBits += sh.engines[d].Footprint().NodeBits
+		}
+		if sh.packet != nil {
+			sr.PacketEngineUsedBits = sh.packet.Footprint().NodeBits
+		}
+		r.Shards = append(r.Shards, sr)
 	}
 	return r
 }

@@ -8,6 +8,7 @@ import (
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/hw/memory"
 	"sdnpc/internal/label"
+	"sdnpc/internal/shard"
 )
 
 // snapshot is one complete state of the classifier's data path: the
@@ -71,6 +72,18 @@ type snapshot struct {
 	// carried across clones and reset by every rebuild.
 	packetPending []packetDelta
 	packetDeltas  int
+
+	// Rule-space partitioning (Config.Shards > 1). part steers each header to
+	// one of the shards — each a complete shardless snapshot holding only the
+	// rule slice its partition byte range covers, so its engines are smaller
+	// and faster. The spine (this snapshot) keeps the full rule set installed
+	// in its own field engines: it stays the single source of truth for
+	// bookkeeping, capacity and rollback, while lookups are answered entirely
+	// by the shards. Spanning rules (wildcard protocol, short prefixes)
+	// replicate into every shard they cover, which is what makes the
+	// steered shard's first match the global first match.
+	part   *shard.Partitioner
+	shards []*snapshot
 }
 
 // packetDelta is one pending rule mutation awaiting packet-tier sync.
@@ -79,10 +92,31 @@ type packetDelta struct {
 	rule   fivetuple.Rule
 }
 
-// newSnapshot builds an empty data path for the given engine selection:
-// every engine, label table and the rule filter, with fresh shared level-2
-// blocks.
+// newSnapshot builds an empty data path for the given engine selection.
+// When the configuration enables rule-space partitioning, the spine gets one
+// shardless sub-snapshot per shard alongside its own full data path.
 func newSnapshot(cfg *Config, engineName string, alg memory.AlgSelect) (*snapshot, error) {
+	s, err := newShardlessSnapshot(cfg, engineName, alg)
+	if err != nil {
+		return nil, err
+	}
+	if p := cfg.partitioner(); p != nil {
+		s.part = p
+		s.shards = make([]*snapshot, p.Shards())
+		for i := range s.shards {
+			sh, err := newShardlessSnapshot(cfg, engineName, alg)
+			if err != nil {
+				return nil, err
+			}
+			s.shards[i] = sh
+		}
+	}
+	return s, nil
+}
+
+// newShardlessSnapshot builds one complete unpartitioned data path: every
+// engine, label table and the rule filter, with fresh shared level-2 blocks.
+func newShardlessSnapshot(cfg *Config, engineName string, alg memory.AlgSelect) (*snapshot, error) {
 	s := &snapshot{
 		engineName: engineName,
 		alg:        alg,
@@ -193,6 +227,17 @@ func (s *snapshot) clone(cfg *Config) (*snapshot, error) {
 		// inside the engine — never the published one either way.
 		c.packet = s.packet.Clone()
 	}
+	c.part = s.part
+	if len(s.shards) > 0 {
+		c.shards = make([]*snapshot, len(s.shards))
+		for i, sh := range s.shards {
+			shc, err := sh.clone(cfg)
+			if err != nil {
+				return nil, err
+			}
+			c.shards[i] = shc
+		}
+	}
 	return c, nil
 }
 
@@ -214,6 +259,33 @@ type publishSync struct {
 // Config.DegradationThreshold. A build failure (e.g. an RFC cross-product
 // explosion) surfaces as the update's error and nothing is published.
 func (s *snapshot) syncPacket(cfg *Config) (publishSync, error) {
+	// Sharded table: the shards serve, so they — not the spine — hold the
+	// packet-tier structures. The spine's tier selection propagates to every
+	// shard (a name change is a structural invalidation forcing a full shard
+	// build), each shard syncs its own pending mutations, and the spine's
+	// packet state stays cleared: only packetName remains, as the record of
+	// the selected tier.
+	if s.part != nil {
+		var agg publishSync
+		for _, sh := range s.shards {
+			if sh.packetName != s.packetName {
+				sh.packetName = s.packetName
+				sh.packet = nil
+				sh.packetRules = nil
+				sh.packetPending = nil
+				sh.packetDeltas = 0
+			}
+			sync, err := sh.syncPacket(cfg)
+			if err != nil {
+				return publishSync{}, err
+			}
+			agg.deltas += sync.deltas
+			agg.rebuilt = agg.rebuilt || sync.rebuilt
+		}
+		s.packet, s.packetRules = nil, nil
+		s.packetPending, s.packetDeltas = nil, 0
+		return agg, nil
+	}
 	if s.packetName == "" {
 		s.packet, s.packetRules = nil, nil
 		s.packetPending, s.packetDeltas = nil, 0
@@ -353,6 +425,9 @@ func (s *snapshot) prepare() {
 		if p, ok := eng.(engine.Preparer); ok {
 			p.Prepare()
 		}
+	}
+	for _, sh := range s.shards {
+		sh.prepare()
 	}
 }
 

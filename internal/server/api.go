@@ -73,6 +73,9 @@ type CreateTenantRequest struct {
 	RebuildAfterDeltas   int     `json:"rebuild_after_deltas,omitempty"`
 	DegradationThreshold float64 `json:"degradation_threshold,omitempty"`
 	SingleProbe          bool    `json:"single_probe,omitempty"`
+	Replicas             int     `json:"replicas,omitempty"`
+	Shards               int     `json:"shards,omitempty"`
+	PartitionBy          string  `json:"partition_by,omitempty"`
 }
 
 // WireTenant describes one tenant in list/get/create responses.
@@ -307,6 +310,9 @@ func (a *api) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 		RebuildAfterDeltas:   req.RebuildAfterDeltas,
 		DegradationThreshold: req.DegradationThreshold,
 		SingleProbe:          req.SingleProbe,
+		Replicas:             req.Replicas,
+		Shards:               req.Shards,
+		PartitionBy:          req.PartitionBy,
 	})
 	if err != nil {
 		status := http.StatusBadRequest

@@ -52,6 +52,16 @@ type TenantConfig struct {
 	DegradationThreshold float64
 	// SingleProbe selects the paper's single-probe HPML combination mode.
 	SingleProbe bool
+	// Replicas enables the tenant's replicated serving fleet: every publish
+	// fans out to this many per-worker snapshot/cache replicas. <= 1 keeps
+	// the single shared snapshot.
+	Replicas int
+	// Shards and PartitionBy enable rule-space partitioning: the tenant's
+	// table is split into Shards shards by the named strategy ("protocol" or
+	// "src-byte"; empty selects protocol). Shards <= 1 keeps the table
+	// unsharded.
+	Shards      int
+	PartitionBy string
 }
 
 // Tenant is one isolated classifier table: its own rules, engine selection,
@@ -102,6 +112,12 @@ func (m *Manager) Create(id string, cfg TenantConfig) (*Tenant, error) {
 	}
 	if cfg.SingleProbe {
 		opts = append(opts, sdnpc.WithSingleProbe())
+	}
+	if cfg.Replicas > 1 {
+		opts = append(opts, sdnpc.WithReplicas(cfg.Replicas))
+	}
+	if cfg.Shards > 1 {
+		opts = append(opts, sdnpc.WithShards(cfg.Shards, cfg.PartitionBy))
 	}
 	c, err := sdnpc.New(opts...)
 	if err != nil {

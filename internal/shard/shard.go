@@ -1,0 +1,144 @@
+// Package shard implements rule-space partitioning for the classifier's
+// sharded serving mode: a Partitioner splits one five-tuple rule table into K
+// disjoint shards by a cheap header-derived key, so each shard's engine is
+// built over only its rule slice — a smaller, faster structure (the paper's
+// memory/accesses trade-off applies per shard).
+//
+// The contract that makes a sharded table answer bit-identically to the
+// unsharded one is the covering invariant: for every header h a rule r can
+// match, Steer(h) is an element of Assign(r). Rules whose match condition
+// spans several steering keys (a wildcard protocol, a short prefix) replicate
+// into every shard they cover, so the single shard Steer picks always holds
+// every rule that could match the header — the per-shard first match IS the
+// global first match, and no lookup-time re-merge across shards is needed.
+package shard
+
+import (
+	"fmt"
+
+	"sdnpc/internal/fivetuple"
+)
+
+// Strategy selects the header byte the rule space is partitioned by.
+type Strategy uint8
+
+// Partition strategies.
+const (
+	// ByProtocol steers by the IP protocol byte. Exact-protocol rules land
+	// in one shard; wildcard (and masked) protocol rules replicate into
+	// every shard their mask covers.
+	ByProtocol Strategy = iota + 1
+	// BySrcByte steers by the top byte of the source address. Rules with a
+	// source prefix of /8 or longer land in one shard; shorter prefixes
+	// replicate into the 2^(8-len) shards their covered top bytes map to.
+	BySrcByte
+)
+
+// String names the strategy with the spelling ParseStrategy accepts.
+func (s Strategy) String() string {
+	switch s {
+	case ByProtocol:
+		return "protocol"
+	case BySrcByte:
+		return "src-byte"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategy resolves a strategy name; the empty string selects the
+// default ByProtocol.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", "protocol":
+		return ByProtocol, nil
+	case "src-byte":
+		return BySrcByte, nil
+	default:
+		return 0, fmt.Errorf("shard: unknown partition strategy %q (want protocol or src-byte)", name)
+	}
+}
+
+// Partitioner maps rules to the shard set they must live in and headers to
+// the single shard that serves them. It is immutable after New and safe for
+// concurrent use.
+type Partitioner struct {
+	k        int
+	strategy Strategy
+}
+
+// New builds a partitioner over k shards. k must be at least 2 (one shard is
+// the unsharded classifier) and at most 256 (the steering key is one byte).
+func New(k int, strategy Strategy) (*Partitioner, error) {
+	if k < 2 || k > 256 {
+		return nil, fmt.Errorf("shard: shard count %d out of range [2,256]", k)
+	}
+	switch strategy {
+	case ByProtocol, BySrcByte:
+	default:
+		return nil, fmt.Errorf("shard: unknown strategy %v", strategy)
+	}
+	return &Partitioner{k: k, strategy: strategy}, nil
+}
+
+// Shards returns the shard count.
+func (p *Partitioner) Shards() int { return p.k }
+
+// Strategy returns the partition strategy.
+func (p *Partitioner) Strategy() Strategy { return p.strategy }
+
+// Steer returns the index of the single shard that serves the header — the
+// cheap pre-classification the serving path runs before walking any engine.
+func (p *Partitioner) Steer(h fivetuple.Header) int {
+	return int(p.steerByte(h)) % p.k
+}
+
+// steerByte extracts the partition byte of a header under the strategy.
+func (p *Partitioner) steerByte(h fivetuple.Header) uint8 {
+	if p.strategy == BySrcByte {
+		return uint8(uint32(h.SrcIP) >> 24)
+	}
+	return h.Protocol
+}
+
+// Assign returns the sorted set of shard indices the rule must be installed
+// into: exactly the shards Steer can pick for some header the rule matches.
+// The set is computed by enumerating the 256 values of the partition byte the
+// rule's match condition covers, which is exact for wildcard and partially
+// masked protocols and for prefixes of any length.
+func (p *Partitioner) Assign(r fivetuple.Rule) []int {
+	var covered [256]bool
+	switch p.strategy {
+	case BySrcByte:
+		pre := r.SrcPrefix.Canonical()
+		if pre.Len >= 8 {
+			covered[uint8(uint32(pre.Addr)>>24)] = true
+		} else {
+			// A /len prefix with len < 8 covers 2^(8-len) consecutive top
+			// bytes starting at the prefix's (masked) top byte.
+			start := int(uint32(pre.Addr) >> 24)
+			for b := 0; b < 1<<(8-pre.Len); b++ {
+				covered[start+b] = true
+			}
+		}
+	default: // ByProtocol
+		for v := 0; v < 256; v++ {
+			if r.Protocol.Matches(uint8(v)) {
+				covered[v] = true
+			}
+		}
+	}
+	var hit [256]bool
+	for v := 0; v < 256; v++ {
+		if covered[v] {
+			hit[v%p.k] = true
+		}
+	}
+	out := make([]int, 0, 1)
+	for s := 0; s < p.k; s++ {
+		if hit[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+package shard_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sdnpc/internal/core"
+	"sdnpc/internal/fivetuple"
+	"sdnpc/internal/shard"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		name string
+		want shard.Strategy
+		ok   bool
+	}{
+		{"", shard.ByProtocol, true},
+		{"protocol", shard.ByProtocol, true},
+		{"src-byte", shard.BySrcByte, true},
+		{"dst-byte", 0, false},
+		{"Protocol", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := shard.ParseStrategy(tc.name)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", tc.name, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseStrategy(%q) accepted; want error", tc.name)
+		}
+	}
+	// Every valid strategy round-trips through its String spelling.
+	for _, s := range []shard.Strategy{shard.ByProtocol, shard.BySrcByte} {
+		back, err := shard.ParseStrategy(s.String())
+		if err != nil || back != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", s.String(), back, err, s)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, k := range []int{-1, 0, 1, 257} {
+		if _, err := shard.New(k, shard.ByProtocol); err == nil {
+			t.Errorf("New(%d) accepted; want error", k)
+		}
+	}
+	if _, err := shard.New(4, shard.Strategy(0)); err == nil {
+		t.Error("New with zero strategy accepted; want error")
+	}
+	p, err := shard.New(7, shard.BySrcByte)
+	if err != nil {
+		t.Fatalf("New(7, BySrcByte): %v", err)
+	}
+	if p.Shards() != 7 || p.Strategy() != shard.BySrcByte {
+		t.Errorf("got k=%d strategy=%v; want 7, BySrcByte", p.Shards(), p.Strategy())
+	}
+}
+
+// protoRule builds a rule matching only the protocol condition; every other
+// field is a wildcard.
+func protoRule(m fivetuple.ProtocolMatch) fivetuple.Rule {
+	r := fivetuple.Wildcard(0, fivetuple.ActionForward)
+	r.Protocol = m
+	return r
+}
+
+// srcRule builds a rule matching only the source prefix; every other field is
+// a wildcard.
+func srcRule(prefix string) fivetuple.Rule {
+	r := fivetuple.Wildcard(0, fivetuple.ActionForward)
+	r.SrcPrefix = fivetuple.MustParsePrefix(prefix)
+	return r
+}
+
+// TestAssignByProtocol checks that every rule lands in exactly the shard set
+// its protocol match covers.
+func TestAssignByProtocol(t *testing.T) {
+	p, err := shard.New(4, shard.ByProtocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		m    fivetuple.ProtocolMatch
+		want []int
+	}{
+		{"exact TCP", fivetuple.ExactProtocol(fivetuple.ProtoTCP), []int{int(fivetuple.ProtoTCP) % 4}},
+		{"exact UDP", fivetuple.ExactProtocol(fivetuple.ProtoUDP), []int{int(fivetuple.ProtoUDP) % 4}},
+		{"wildcard", fivetuple.WildcardProtocol(), []int{0, 1, 2, 3}},
+		// Mask 0xFE covers values 6 and 7 -> shards 2 and 3 of 4.
+		{"masked pair", fivetuple.ProtocolMatch{Value: 6, Mask: 0xFE}, []int{2, 3}},
+		// Mask 0xFC covers 4..7 -> all four residues.
+		{"masked quad", fivetuple.ProtocolMatch{Value: 4, Mask: 0xFC}, []int{0, 1, 2, 3}},
+	}
+	for _, tc := range cases {
+		got := p.Assign(protoRule(tc.m))
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: Assign = %v; want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestAssignBySrcByte checks the prefix-to-shard cover sets, including
+// prefixes straddling the partition byte and non-canonical addresses.
+func TestAssignBySrcByte(t *testing.T) {
+	p, err := shard.New(4, shard.BySrcByte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := []int{0, 1, 2, 3}
+	cases := []struct {
+		name   string
+		prefix string
+		want   []int
+	}{
+		{"/32 exact", "10.1.2.3/32", []int{10 % 4}},
+		{"/8 boundary", "20.0.0.0/8", []int{20 % 4}},
+		{"/16 inside byte", "172.16.0.0/16", []int{172 % 4}},
+		// A /7 covers two consecutive top bytes (12 and 13).
+		{"/7 straddle", "12.0.0.0/7", []int{12 % 4, 13 % 4}},
+		// A /6 covers four top bytes 8..11 -> all residues of 4.
+		{"/6 straddle", "8.0.0.0/6", all},
+		{"/0 wildcard", "0.0.0.0/0", all},
+		// Host bits below the prefix length must not shift the cover set.
+		{"non-canonical /7", "13.9.9.9/7", []int{12 % 4, 13 % 4}},
+	}
+	for _, tc := range cases {
+		got := p.Assign(srcRule(tc.prefix))
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: Assign(%s) = %v; want %v", tc.name, tc.prefix, got, tc.want)
+		}
+	}
+}
+
+// TestAssignMatchesBruteForce cross-checks Assign against a brute-force
+// enumeration of all 256 partition-byte values for randomly generated rules:
+// the assigned shard set must be exactly the set {Steer(h) : r.Matches(h)}
+// restricted to the partition byte.
+func TestAssignMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, strategy := range []shard.Strategy{shard.ByProtocol, shard.BySrcByte} {
+		for _, k := range []int{2, 3, 5, 16, 256} {
+			p, err := shard.New(k, strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				r := randomRule(rng)
+				want := bruteForceCover(p, r, k, strategy)
+				got := p.Assign(r)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v k=%d rule %v: Assign = %v; want %v", strategy, k, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// bruteForceCover enumerates every partition-byte value, builds a header
+// carrying it that otherwise satisfies the rule, and collects the steered
+// shards of the values the rule matches.
+func bruteForceCover(p *shard.Partitioner, r fivetuple.Rule, k int, strategy shard.Strategy) []int {
+	hit := make([]bool, k)
+	for v := 0; v < 256; v++ {
+		h := fivetuple.Header{
+			SrcIP:    r.SrcPrefix.Canonical().Addr,
+			DstIP:    r.DstPrefix.Canonical().Addr,
+			SrcPort:  r.SrcPort.Lo,
+			DstPort:  r.DstPort.Lo,
+			Protocol: r.Protocol.Value & r.Protocol.Mask,
+		}
+		if strategy == shard.BySrcByte {
+			h.SrcIP = fivetuple.IPv4(uint32(v)<<24 | uint32(h.SrcIP)&0x00FFFFFF)
+		} else {
+			h.Protocol = uint8(v)
+		}
+		if r.Matches(h) {
+			hit[p.Steer(h)] = true
+		}
+	}
+	out := []int{}
+	for s := 0; s < k; s++ {
+		if hit[s] {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// randomRule generates rules with varied protocol and prefix shapes: exact,
+// masked and wildcard protocols; prefixes of every length including those
+// shorter than the partition byte.
+func randomRule(rng *rand.Rand) fivetuple.Rule {
+	r := fivetuple.Wildcard(rng.Intn(1000), fivetuple.ActionForward)
+	switch rng.Intn(3) {
+	case 0:
+		r.Protocol = fivetuple.ExactProtocol(uint8(rng.Intn(256)))
+	case 1:
+		r.Protocol = fivetuple.ProtocolMatch{Value: uint8(rng.Intn(256)), Mask: uint8(rng.Intn(256))}
+	}
+	r.SrcPrefix = fivetuple.Prefix{Addr: fivetuple.IPv4(rng.Uint32()), Len: uint8(rng.Intn(33))}
+	r.DstPrefix = fivetuple.Prefix{Addr: fivetuple.IPv4(rng.Uint32()), Len: uint8(rng.Intn(33))}
+	return r
+}
+
+// TestSteerAssignAgreement drives 100k generated headers against a pool of
+// generated rules: for every (header, rule) pair where the rule matches the
+// header, the shard Steer picks must be in the rule's assigned shard set —
+// the covering invariant the sharded serving path relies on.
+func TestSteerAssignAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rules := make([]fivetuple.Rule, 64)
+	for i := range rules {
+		rules[i] = randomRule(rng)
+	}
+	partitioners := []*shard.Partitioner{}
+	for _, strategy := range []shard.Strategy{shard.ByProtocol, shard.BySrcByte} {
+		for _, k := range []int{2, 5, 16} {
+			p, err := shard.New(k, strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			partitioners = append(partitioners, p)
+		}
+	}
+	assigned := make([][][]int, len(partitioners))
+	for pi, p := range partitioners {
+		assigned[pi] = make([][]int, len(rules))
+		for ri, r := range rules {
+			assigned[pi][ri] = p.Assign(r)
+		}
+	}
+	const headers = 100000
+	checked := 0
+	for i := 0; i < headers; i++ {
+		h := fivetuple.Header{
+			SrcIP:    fivetuple.IPv4(rng.Uint32()),
+			DstIP:    fivetuple.IPv4(rng.Uint32()),
+			SrcPort:  uint16(rng.Intn(65536)),
+			DstPort:  uint16(rng.Intn(65536)),
+			Protocol: uint8(rng.Intn(256)),
+		}
+		// Half the headers are derived from a rule so matches actually occur.
+		if i%2 == 1 {
+			r := rules[rng.Intn(len(rules))]
+			h.SrcIP = r.SrcPrefix.Canonical().Addr | fivetuple.IPv4(rng.Uint32()&^uint32(r.SrcPrefix.Mask()))
+			h.DstIP = r.DstPrefix.Canonical().Addr | fivetuple.IPv4(rng.Uint32()&^uint32(r.DstPrefix.Mask()))
+			h.SrcPort = r.SrcPort.Lo
+			h.DstPort = r.DstPort.Lo
+			h.Protocol = r.Protocol.Value&r.Protocol.Mask | uint8(rng.Intn(256))&^r.Protocol.Mask
+		}
+		for pi, p := range partitioners {
+			steered := p.Steer(h)
+			for ri, r := range rules {
+				if !r.Matches(h) {
+					continue
+				}
+				checked++
+				found := false
+				for _, s := range assigned[pi][ri] {
+					if s == steered {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%v k=%d: header %v steered to shard %d, but matching rule %v assigned to %v",
+						p.Strategy(), p.Shards(), h, steered, r, assigned[pi][ri])
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no (header, matching rule) pair was exercised")
+	}
+}
+
+// TestDegenerateShardServing covers the two degenerate table shapes: every
+// rule concentrated in one shard (the others empty) and a table whose only
+// traffic targets empty shards. Both must serve exactly like the unsharded
+// classifier.
+func TestDegenerateShardServing(t *testing.T) {
+	// All rules share one protocol, so under protocol partitioning every rule
+	// lands in the single shard TCP steers to and the rest stay empty.
+	rules := []fivetuple.Rule{}
+	for i := 0; i < 8; i++ {
+		r := fivetuple.Wildcard(i, fivetuple.ActionForward)
+		r.Protocol = fivetuple.ExactProtocol(fivetuple.ProtoTCP)
+		r.SrcPrefix = fivetuple.MustParsePrefix("10.0.0.0/8")
+		r.DstPrefix = fivetuple.Prefix{Addr: fivetuple.IPv4(uint32(i) << 24), Len: 8}
+		r.ActionArg = uint32(100 + i)
+		rules = append(rules, r)
+	}
+	rs := fivetuple.NewRuleSet("degenerate", rules)
+
+	shardedCfg := core.DefaultConfig()
+	shardedCfg.Shards = 4
+	shardedCfg.PartitionBy = "protocol"
+	sharded, err := core.New(shardedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sharded.InstallRuleSet(rs); err != nil {
+		t.Fatalf("sharded install: %v", err)
+	}
+	if _, err := plain.InstallRuleSet(rs); err != nil {
+		t.Fatalf("plain install: %v", err)
+	}
+
+	rep := sharded.Report()
+	if len(rep.Shards) != 4 {
+		t.Fatalf("Report().Shards has %d entries; want 4", len(rep.Shards))
+	}
+	populated := 0
+	for _, sr := range rep.Shards {
+		if sr.Rules > 0 {
+			populated++
+			if sr.Rules != len(rules) {
+				t.Errorf("populated shard holds %d rules; want %d", sr.Rules, len(rules))
+			}
+		}
+	}
+	if populated != 1 {
+		t.Errorf("%d shards populated; want exactly 1 (all rules share one protocol)", populated)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h := fivetuple.Header{
+			SrcIP:   fivetuple.IPv4(rng.Uint32()),
+			DstIP:   fivetuple.IPv4(rng.Uint32()),
+			SrcPort: uint16(rng.Intn(65536)),
+			DstPort: uint16(rng.Intn(65536)),
+			// Cycle protocols so every shard — the three empty ones included —
+			// serves a slice of the traffic.
+			Protocol: uint8(i % 256),
+		}
+		if i%3 == 0 {
+			h.SrcIP = fivetuple.MustParseIPv4("10.1.2.3")
+			h.Protocol = fivetuple.ProtoTCP
+		}
+		got := sharded.Lookup(h)
+		want := plain.Lookup(h)
+		if got.Matched != want.Matched || got.Priority != want.Priority ||
+			got.Action != want.Action || got.ActionArg != want.ActionArg {
+			t.Fatalf("header %v: sharded %+v != unsharded %+v", h, got, want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// The replicated-fleet scaling gate lives in the external test package so it
+// can drive internal/bench.ThroughputSweep directly (the same driver the
+// experiments binary uses).
+package sdnpc_test
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"sdnpc/internal/bench"
+	"sdnpc/internal/classbench"
+)
+
+// TestReplicatedScalingGate is the CI scaling gate behind
+// scripts/check_scaling.sh: it runs ThroughputSweep at 1 worker and at
+// NumCPU workers in replicated-fleet mode (one snapshot/cache replica per
+// worker) beside the shared-pointer baseline, and fails when the replicated
+// mode's NumCPU-worker speedup over its own 1-worker row falls below the
+// floor. The floor defaults to 1.2x and can be overridden with
+// SCALING_GATE_FLOOR for noisy or small runners.
+//
+// The gate is opt-in (SCALING_GATE=1): it is a timing assertion, so it
+// belongs beside the benchmark regression job, not in every `go test` run.
+func TestReplicatedScalingGate(t *testing.T) {
+	if os.Getenv("SCALING_GATE") == "" {
+		t.Skip("scaling gate is opt-in: set SCALING_GATE=1 (see scripts/check_scaling.sh)")
+	}
+	ncpu := runtime.NumCPU()
+	if ncpu < 2 {
+		t.Skip("replicated scaling needs more than one CPU")
+	}
+	floor := 1.2
+	if s := os.Getenv("SCALING_GATE_FLOOR"); s != "" {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f <= 0 {
+			t.Fatalf("invalid SCALING_GATE_FLOOR %q", s)
+		}
+		floor = f
+	}
+
+	w := bench.NewWorkload(classbench.ACL, classbench.Size1K, 20000)
+	rows, err := bench.ThroughputSweep(w, bench.ThroughputOptions{
+		Engines:          []string{"mbt"},
+		Workers:          []int{1, ncpu},
+		PacketsPerWorker: 30000,
+		Replicated:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sharedTop, replTop *bench.ThroughputRow
+	for i := range rows {
+		r := &rows[i]
+		if r.Workers != ncpu {
+			continue
+		}
+		if r.Replicas > 0 {
+			replTop = r
+		} else {
+			sharedTop = r
+		}
+	}
+	if replTop == nil || sharedTop == nil {
+		t.Fatalf("sweep did not produce both a shared and a replicated %d-worker row: %+v", ncpu, rows)
+	}
+
+	t.Logf("shared-pointer @%d workers: %.0f pkts/s (%.2fx vs 1 worker)",
+		ncpu, sharedTop.PacketsPerSec, sharedTop.SpeedupVs1)
+	t.Logf("replicated (%d replicas) @%d workers: %.0f pkts/s (%.2fx vs 1 worker, worker spread %.0f..%.0f pkts/s)",
+		replTop.Replicas, ncpu, replTop.PacketsPerSec, replTop.SpeedupVs1,
+		replTop.MinWorkerPPS, replTop.MaxWorkerPPS)
+
+	if replTop.SpeedupVs1 < floor {
+		t.Fatalf("replicated-fleet speedup at %d workers is %.2fx, below the %.2fx floor",
+			ncpu, replTop.SpeedupVs1, floor)
+	}
+}

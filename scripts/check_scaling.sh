@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# check_scaling.sh — fail when the replicated serving fleet stops scaling.
+#
+# Runs ThroughputSweep (via TestReplicatedScalingGate) at 1 worker and at
+# NumCPU workers in replicated-fleet mode beside the shared-pointer baseline,
+# and fails when the replicated NumCPU-worker speedup over its own 1-worker
+# row falls below the floor. The gate is opt-in behind SCALING_GATE=1 because
+# it is a timing assertion; SCALING_GATE_FLOOR overrides the default 1.2x
+# floor for noisy or small runners. Single-CPU machines skip (there is no
+# scaling to measure).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALING_GATE=1 go test -count=1 -v -run TestReplicatedScalingGate .

@@ -68,6 +68,10 @@ type (
 	// Classifier.Report: every counter and breakdown the five historical
 	// accessors returned, assembled against one published snapshot.
 	Report = core.Report
+	// ReplicaReport is the per-replica slice of Report (see WithReplicas).
+	ReplicaReport = core.ReplicaReport
+	// ShardReport is the per-shard slice of Report (see WithShards).
+	ShardReport = core.ShardReport
 	// Action is a rule's forwarding action.
 	Action = fivetuple.Action
 )
@@ -163,6 +167,30 @@ func WithUpdatePolicy(rebuildAfterDeltas int, degradationThreshold float64) Opti
 	}
 }
 
+// WithReplicas enables the replicated serving fleet: every publish fans out
+// to n per-worker replicas, each holding its own snapshot clone (and its own
+// private microflow cache when WithCache is set), so pinned serving loops
+// read only core-local memory instead of contending on one shared snapshot
+// pointer. A publish is complete only when every replica has advanced — see
+// Report().FleetGeneration. n <= 1 keeps the single shared snapshot.
+func WithReplicas(n int) Option {
+	return func(cfg *core.Config) { cfg.Replicas = n }
+}
+
+// WithShards enables rule-space partitioning: the rule table is split into n
+// shards by the named partition strategy ("protocol", "src-byte", or "" for
+// the default protocol byte), each shard installing only the rules it covers
+// into its own smaller engines, and a one-byte pre-classifier steers every
+// lookup to the single shard holding all rules that could match it —
+// first-match results are bit-identical to the unsharded table. n <= 1 keeps
+// the unsharded table.
+func WithShards(n int, strategy string) Option {
+	return func(cfg *core.Config) {
+		cfg.Shards = n
+		cfg.PartitionBy = strategy
+	}
+}
+
 // Classifier is a configurable five-tuple packet classifier.
 //
 // It is safe for concurrent use. Lookups are served lock-free from an
@@ -234,6 +262,15 @@ func (c *Classifier) LookupBatch(hs []Header) []Result { return c.inner.LookupBa
 // match rate, summed and worst-case modelled latency, and the summed memory
 // access counters.
 func SummarizeBatch(results []Result) BatchReport { return core.SummarizeBatch(results) }
+
+// Reader is a worker-pinned serving handle (see WithReplicas): all lookups
+// through one Reader hit the same replica's snapshot and cache. On a
+// classifier without replicas it transparently serves the shared path.
+type Reader = core.Reader
+
+// Reader returns the serving handle for the given worker id; ids map onto
+// replicas round-robin, so a serving loop should hold one Reader per worker.
+func (c *Classifier) Reader(worker int) *Reader { return c.inner.Reader(worker) }
 
 // SelectEngine switches the lookup engine at run time — the generalised
 // IPalg_s signal of the paper, extended across both tiers. The installed

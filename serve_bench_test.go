@@ -11,6 +11,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -76,11 +77,23 @@ func BenchmarkServe(b *testing.B) {
 		bodies[p] = buf
 	}
 
+	// Per-client request rates are collected so load imbalance across the
+	// parallel clients (and, with a replicated tenant, across replicas) shows
+	// up as a min/max spread beside the aggregate rate.
+	type clientRate struct {
+		requests int
+		busy     time.Duration
+	}
+	var mu sync.Mutex
+	var rates []clientRate
+
 	var rotation atomic.Uint64
 	start := time.Now()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		client := &http.Client{Timeout: 30 * time.Second}
+		requests := 0
+		clientStart := time.Now()
 		for pb.Next() {
 			body := bodies[rotation.Add(1)%payloads]
 			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
@@ -93,10 +106,32 @@ func BenchmarkServe(b *testing.B) {
 			}
 			_, _ = io.Copy(io.Discard, resp.Body)
 			_ = resp.Body.Close()
+			requests++
 		}
+		busy := time.Since(clientStart)
+		mu.Lock()
+		rates = append(rates, clientRate{requests: requests, busy: busy})
+		mu.Unlock()
 	})
 	b.StopTimer()
 	if elapsed := time.Since(start); elapsed > 0 {
 		b.ReportMetric(float64(b.N*batch)/elapsed.Seconds(), "lookups/s")
+	}
+	minRPS, maxRPS := 0.0, 0.0
+	for _, r := range rates {
+		if r.requests == 0 || r.busy <= 0 {
+			continue
+		}
+		rps := float64(r.requests) / r.busy.Seconds()
+		if minRPS == 0 || rps < minRPS {
+			minRPS = rps
+		}
+		if rps > maxRPS {
+			maxRPS = rps
+		}
+	}
+	if maxRPS > 0 {
+		b.ReportMetric(minRPS*batch, "min_wkr_lookups/s")
+		b.ReportMetric(maxRPS*batch, "max_wkr_lookups/s")
 	}
 }

@@ -1,0 +1,87 @@
+package sdnpc
+
+import (
+	"testing"
+	"time"
+)
+
+// adviseForTrace builds a cached, sampling classifier, replays the trace
+// through it so the advisor sees real cache and sampler signals, and returns
+// the engine its top engine recommendation names ("" when it recommends
+// keeping the active engine).
+func adviseForTrace(t *testing.T, rs *RuleSet, opts TraceOptions) string {
+	t.Helper()
+	c := MustNew(WithCache(0, 2048), WithSampling(4096))
+	defer c.Close()
+	if _, err := c.InsertAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range GenerateTrace(rs, opts) {
+		c.Lookup(h)
+	}
+	recs, err := c.Advise("mbt", "bst", "hypercuts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Kind == EngineRecommendation {
+			t.Logf("trace %+v → %s", opts, r)
+			return r.Engine
+		}
+	}
+	t.Logf("trace %+v → no engine recommendation (active engine already right)", opts)
+	return ""
+}
+
+// TestAdviseAdaptsToWorkload is the self-tuning acceptance pin: the advisor
+// must read the workload, not just the engines. A cache-unfriendly trace
+// (every flow distinct, the microflow cache useless) puts every packet on
+// the engine, so the advisor weighs raw speed and recommends the fast
+// whole-packet engine; a heavy-tailed Zipf trace is absorbed by the cache,
+// so the engine behind it is chosen for memory leanness instead. The two
+// workloads must yield different engine recommendations.
+func TestAdviseAdaptsToWorkload(t *testing.T) {
+	rs := MustGenerateRuleSet("acl", "1k")
+
+	// Unique-flow flood: MatchFraction 1 with no locality draws a fresh
+	// header per packet, so the cache hit rate collapses.
+	unfriendly := adviseForTrace(t, rs, TraceOptions{Packets: 4096, Seed: 1, MatchFraction: 1})
+
+	// Heavy-tailed flow replay: 64 flows under Zipf(1.3) keep the cache hot.
+	zipf := adviseForTrace(t, rs, TraceOptions{Packets: 4096, Seed: 2, ZipfSkew: 1.3, Flows: 64})
+
+	if unfriendly == "" {
+		t.Fatal("cache-unfriendly workload must recommend an engine switch away from the default")
+	}
+	if unfriendly == zipf {
+		t.Fatalf("advisor recommended %q for both workloads; cache-unfriendly and Zipf traffic must rank engines differently", unfriendly)
+	}
+}
+
+// TestAutoTuneLifecycle pins the facade wiring of the background tuner:
+// WithAutoTune starts it (implying sampling), AutoApplied exposes its log,
+// and Close stops it idempotently.
+func TestAutoTuneLifecycle(t *testing.T) {
+	c := MustNew(WithAutoTune(time.Hour))
+	defer c.Close()
+	if !c.AutoTuneEnabled() {
+		t.Fatal("WithAutoTune must enable the tuner")
+	}
+	if !c.inner.SamplingEnabled() {
+		t.Fatal("WithAutoTune must imply header sampling")
+	}
+	if got := c.AutoApplied(); len(got) != 0 {
+		t.Fatalf("fresh tuner AutoApplied() = %v, want empty", got)
+	}
+	c.Close()
+	c.Close() // idempotent
+
+	plain := MustNew()
+	defer plain.Close()
+	if plain.AutoTuneEnabled() {
+		t.Fatal("default classifier must not auto-tune")
+	}
+	if got := plain.AutoApplied(); got != nil {
+		t.Fatalf("AutoApplied() without a tuner = %v, want nil", got)
+	}
+}

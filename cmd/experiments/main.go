@@ -3,18 +3,25 @@
 //
 // Usage:
 //
-//	experiments [-experiment all|table1|table2|table3|table4|table5|table6|table7|fig3|fig5|update|hpml|labelmethod|engines|throughput|churn|serve]
+//	experiments [-experiment all|table1|table2|table3|table4|table5|table6|table7|fig3|fig5|update|hpml|labelmethod|engines|throughput|churn|serve|sweep]
 //	            [-class acl|fw|ipc] [-size 1k|5k|10k] [-packets N] [-ip-engine name]
 //	            [-workers list] [-batch N] [-cache-shards N] [-cache-capacity N] [-zipf s]
 //	            [-replicated] [-shards K] [-partition-by protocol|src-byte]
 //	            [-churn-ops N] [-churn-rate R] [-churn-locality L] [-churn-inserts F]
 //	            [-serve-addr host:port] [-serve-tenants T] [-serve-clients M] [-serve-requests N]
+//	            [-record-dir DIR]
 //
 // -experiment serve is the wire-API load generator: it provisions T tenants
 // (in-process unless -serve-addr targets a running sdnclassd daemon),
 // installs the generated filter set on each, and drives M concurrent
 // clients hammering classify-batch with Zipf-skewed traffic, reporting
 // lookups/s, p50/p99 wire latency and per-tenant match/cache-hit rates.
+//
+// -experiment sweep is the recording driver: it runs the engine, throughput
+// and churn sweeps on one workload and persists every measured cell as a
+// schema-versioned BENCH_<date>_<host>.json artifact under -record-dir —
+// the perf trajectory across PRs, the advisor's fallback engine ranking,
+// and the CI benchgate's input.
 //
 // The measured values are printed next to the values the paper reports, in
 // the same row/column structure, so the output can be pasted into
@@ -64,6 +71,7 @@ func run(args []string) error {
 	serveTenants := fs.Int("serve-tenants", 2, "tenant count for the serve experiment")
 	serveClients := fs.Int("serve-clients", 4, "concurrent load clients for the serve experiment")
 	serveRequests := fs.Int("serve-requests", 100, "classify-batch requests per client for the serve experiment")
+	recordDir := fs.String("record-dir", ".", "directory the sweep experiment writes its BENCH_<date>_<host>.json artifact into")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -250,6 +258,65 @@ func run(args []string) error {
 			return fmt.Errorf("serve: %w", err)
 		}
 		fmt.Println(loadgen.RenderServe(result))
+	}
+	// Sweep is opt-in (not part of "all"): it re-runs three sweeps and
+	// writes an artifact, which only makes sense when recording is the point.
+	if selected == "sweep" {
+		ranAny = true
+		w := getWorkload()
+		if *zipf > 1 {
+			w = bench.NewZipfWorkload(class, size, *packets, *zipf)
+		}
+		rec := bench.NewRecord(bench.RecordConfig{
+			Class:   strings.ToLower(*className),
+			Size:    strings.ToLower(*sizeName),
+			Rules:   w.RuleSet.Len(),
+			Packets: *packets,
+		})
+
+		engineRows, err := bench.EngineSweep(w, *ipEngine)
+		if err != nil {
+			return fmt.Errorf("sweep/engines: %w", err)
+		}
+		rec.AddEngineRows(engineRows)
+		fmt.Println(bench.RenderEngineSweep(engineRows))
+
+		topts := bench.ThroughputOptions{
+			Workers: workers, BatchSize: *batchSize, PacketsPerWorker: *packets,
+			CacheShards: *cacheShards, CacheCapacity: *cacheCapacity,
+			Replicated: *replicated, Shards: *shards, PartitionBy: *partitionBy,
+		}
+		if *ipEngine != "" {
+			topts.Engines = []string{*ipEngine}
+		}
+		throughputRows, err := bench.ThroughputSweep(w, topts)
+		if err != nil {
+			return fmt.Errorf("sweep/throughput: %w", err)
+		}
+		rec.AddThroughputRows(throughputRows)
+		fmt.Println(bench.RenderThroughput(throughputRows))
+
+		uopts := bench.UpdateSweepOptions{
+			Ops:            *churnOps,
+			OpsPerSecond:   *churnRate,
+			InsertFraction: *churnInserts,
+			Locality:       *churnLocality,
+		}
+		if *ipEngine != "" {
+			uopts.Engines = []string{*ipEngine}
+		}
+		updateRows, err := bench.UpdateSweep(w, uopts)
+		if err != nil {
+			return fmt.Errorf("sweep/churn: %w", err)
+		}
+		rec.AddUpdateRows(updateRows)
+		fmt.Println(bench.RenderUpdateSweep(updateRows))
+
+		path, err := rec.Write(*recordDir)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		fmt.Printf("recorded %d result cells → %s\n", len(rec.Results), path)
 	}
 	if !ranAny {
 		return fmt.Errorf("unknown experiment %q", *experiment)

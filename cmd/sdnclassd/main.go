@@ -18,11 +18,17 @@
 //	          [-profile throughput] [-ip-engine name] [-workers N] [-batch N]
 //	          [-cache-shards N] [-cache-capacity N] [-zipf s] [-churn-rate R]
 //	          [-replicas R] [-shards K] [-partition-by protocol|src-byte]
+//	          [-advise]
 //
 // With -churn-rate R > 0 a churn writer applies a generated flow-mod trace
 // to the switch at R updates/sec while the replay runs, exercising the
 // incremental update plane under live traffic; the update-plane statistics
 // (delta publishes, rebuilds, publish latency) are printed afterwards.
+//
+// With -advise the replay samples served headers into the advisor's ring
+// buffer and, after the summary, runs the self-tuning control plane once:
+// the ranked engine/policy recommendations for the observed traffic are
+// printed without being applied.
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"sdnpc/internal/advisor"
 	"sdnpc/internal/classbench"
 	"sdnpc/internal/core"
 	"sdnpc/internal/engine"
@@ -75,6 +82,7 @@ func run(args []string) error {
 	replicas := fs.Int("replicas", 0, "serving-fleet replica count: > 1 fans every publish out to per-worker snapshot/cache replicas")
 	shardCount := fs.Int("shards", 0, "rule-space shard count: > 1 partitions the table so each shard serves only its rule slice")
 	partitionBy := fs.String("partition-by", "", "shard partition strategy: protocol (default) or src-byte")
+	advise := fs.Bool("advise", false, "sample the replayed traffic and print the advisor's engine/policy recommendations after the summary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -131,10 +139,13 @@ func run(args []string) error {
 	swCfg.Replicas = *replicas
 	swCfg.Shards = *shardCount
 	swCfg.PartitionBy = *partitionBy
-	return runLoop(ln, rs, profile, *ipEngine, swCfg, *packets, *workers, *batch, *zipf, *churnRate)
+	if *advise {
+		swCfg.SampleHeaders = core.DefaultSampleHeaders
+	}
+	return runLoop(ln, rs, profile, *ipEngine, swCfg, *packets, *workers, *batch, *zipf, *churnRate, *advise)
 }
 
-func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.ApplicationProfile, ipEngine string, swCfg core.Config, packets, workers, batch int, zipf, churnRate float64) error {
+func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.ApplicationProfile, ipEngine string, swCfg core.Config, packets, workers, batch int, zipf, churnRate float64, advise bool) error {
 	ctrl := controller.New(rs, profile, nil)
 	if ipEngine != "" {
 		// Record the name-based selection before any switch connects so the
@@ -292,6 +303,22 @@ func runLoop(ln net.Listener, rs *fivetuple.RuleSet, profile controller.Applicat
 			us.Rebuilds, us.PublishLatency.P50(), us.PublishLatency.P99(), us.DeltasSinceRebuild)
 	}
 	fmt.Printf("controller observed %d packet-in messages\n", ctrl.PacketIns())
+
+	// One advisory pass of the self-tuning control plane: shadow-bench the
+	// candidate engines on the traffic the sampler captured during the
+	// replay, and print the ranked recommendations without applying them.
+	if advise {
+		recs, err := advisor.Advise(sw.Classifier(), advisor.Options{})
+		if err != nil {
+			return fmt.Errorf("advising: %w", err)
+		}
+		if len(recs) == 0 {
+			fmt.Println("advisor: current configuration already looks right for the observed traffic")
+		}
+		for _, r := range recs {
+			fmt.Printf("advisor: %s\n", r)
+		}
+	}
 	return nil
 }
 

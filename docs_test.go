@@ -175,6 +175,50 @@ func TestDocsCoverReplicationKnobs(t *testing.T) {
 	}
 }
 
+// TestDocsCoverSelfTuning keeps the self-tuning control plane documented:
+// the README must name the advisor surface (facade calls, flags, the BENCH
+// artifact), ARCHITECTURE.md must describe the signal → shadow-bench →
+// recommend/apply flow and its hysteresis, and SERVICE.md must explain the
+// advise endpoints' tenant knobs — so the advisor cannot drift from the
+// docs silently. (The advise routes themselves are covered both ways by
+// TestServiceDocCoversRoutes.)
+func TestDocsCoverSelfTuning(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	for _, want := range []string{
+		"Advise()", "ApplyRecommendation", "WithSampling", "WithAutoTune",
+		"-experiment sweep", "BENCH_", "check_bench_record.sh", "-advise",
+		"TestAdviseAdaptsToWorkload",
+	} {
+		if !strings.Contains(string(readme), want) {
+			t.Errorf("README.md does not mention %q", want)
+		}
+	}
+	arch, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("reading docs/ARCHITECTURE.md: %v", err)
+	}
+	for _, want := range []string{
+		"internal/advisor", "shadow-bench", "hysteresis", "Config.SampleHeaders",
+		"Config.AutoTune", "SetUpdatePolicy", "sdnpc-bench/v1", "bench.LatestRecord",
+	} {
+		if !strings.Contains(string(arch), want) {
+			t.Errorf("docs/ARCHITECTURE.md does not mention %q", want)
+		}
+	}
+	service, err := os.ReadFile("docs/SERVICE.md")
+	if err != nil {
+		t.Fatalf("reading docs/SERVICE.md: %v", err)
+	}
+	for _, want := range []string{"auto_tune", "sampling", "candidates", "auto_applied"} {
+		if !strings.Contains(string(service), want) {
+			t.Errorf("docs/SERVICE.md does not mention %q", want)
+		}
+	}
+}
+
 // TestServiceDocCoversRoutes keeps docs/SERVICE.md and the wire API in
 // lockstep, both ways: every route the server registers must appear in the
 // doc as a backticked `METHOD /path` pattern, and every such pattern the doc

@@ -1,0 +1,441 @@
+// Package advisor is the self-tuning control plane: it turns the live
+// signals a running Classifier already exposes (cache hit rate, publish
+// latency, delta debt, memory bits) plus a shadow bench of candidate
+// engines on sampled traffic into ranked, applicable Recommendations.
+//
+// The flow is signal → shadow-bench → recommend:
+//
+//  1. analyze reads one Classifier.Report() and derives the workload's
+//     pressure profile — how much raw engine speed matters versus memory
+//     footprint (a hot cache absorbs repeated flows, so the engine behind
+//     it should be chosen for leanness; a cold cache puts every packet on
+//     the engine, so speed dominates) — along with decision-table
+//     recommendations for the update policy and the cache.
+//  2. shadowBench replays a sampled slice of recent traffic (the
+//     ring-buffer sampler in internal/core, or a synthetic trace derived
+//     from the installed rules when sampling is off) against a fresh
+//     classifier per candidate engine, under a bounded CPU budget.
+//  3. rankEngines scores every candidate by the profile-weighted blend of
+//     measured speed and memory, and recommends a switch only when it beats
+//     the active engine by a clear margin.
+//
+// Recommendations are advisory; Apply routes one through the classifier's
+// already-atomic switch paths (SelectEngine, SetUpdatePolicy), and
+// AutoTuner does so periodically behind Config.AutoTune with hysteresis.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sdnpc/internal/bench"
+	"sdnpc/internal/core"
+	"sdnpc/internal/engine"
+	"sdnpc/internal/fivetuple"
+)
+
+// Kind classifies what a Recommendation asks to change.
+type Kind string
+
+// Recommendation kinds.
+const (
+	// KindEngine recommends switching the serving engine (either tier);
+	// apply through SelectEngine.
+	KindEngine Kind = "engine"
+	// KindUpdatePolicy recommends new delta-vs-rebuild policy bounds; apply
+	// through SetUpdatePolicy.
+	KindUpdatePolicy Kind = "update-policy"
+	// KindCache flags a cache configuration mismatch. Cache geometry is
+	// fixed at construction, so this kind is advisory only.
+	KindCache Kind = "cache"
+)
+
+// Recommendation is one ranked, self-describing tuning suggestion.
+type Recommendation struct {
+	// Kind selects which fields below are meaningful.
+	Kind Kind `json:"kind"`
+	// Engine is the target engine of a KindEngine recommendation.
+	Engine string `json:"engine,omitempty"`
+	// RebuildAfterDeltas and DegradationThreshold are the suggested policy
+	// bounds of a KindUpdatePolicy recommendation (Config conventions:
+	// 0 = default).
+	RebuildAfterDeltas   int     `json:"rebuild_after_deltas,omitempty"`
+	DegradationThreshold float64 `json:"degradation_threshold,omitempty"`
+	// Reason explains the signal that produced the recommendation.
+	Reason string `json:"reason"`
+	// Score orders recommendations (higher = stronger). For KindEngine it
+	// is the relative score improvement over the active engine.
+	Score float64 `json:"score"`
+	// NsPerLookup and MemoryBits carry the shadow-bench measurements behind
+	// a KindEngine recommendation (0 when estimated from a persisted bench
+	// record instead of measured).
+	NsPerLookup float64 `json:"ns_per_lookup,omitempty"`
+	MemoryBits  int     `json:"memory_bits,omitempty"`
+}
+
+// String renders the recommendation for logs.
+func (r Recommendation) String() string {
+	switch r.Kind {
+	case KindEngine:
+		return fmt.Sprintf("engine → %s (score %+.0f%%): %s", r.Engine, 100*r.Score, r.Reason)
+	case KindUpdatePolicy:
+		return fmt.Sprintf("update policy → rebuild-after-deltas %d, degradation %.2f: %s",
+			r.RebuildAfterDeltas, r.DegradationThreshold, r.Reason)
+	default:
+		return fmt.Sprintf("%s: %s", r.Kind, r.Reason)
+	}
+}
+
+// Decision-table thresholds. They are deliberately coarse: the advisor's
+// job is to notice unambiguous pressure, not to chase noise.
+const (
+	// minSignalLookups is the traffic floor below which the cache hit rate
+	// is considered unmeasured.
+	minSignalLookups = 256
+	// highDeltaDebt is the delta-debt depth that triggers a tighter
+	// RebuildAfterDeltas recommendation.
+	highDeltaDebt = 128
+	// worryingDegradation is the incremental-engine drift that triggers a
+	// tighter DegradationThreshold recommendation.
+	worryingDegradation = 0.4
+)
+
+// Options parameterise one Advise call. The zero value selects usable
+// defaults everywhere.
+type Options struct {
+	// Candidates restricts the shadow-benched engines; empty selects every
+	// selectable engine of both tiers.
+	Candidates []string
+	// MaxRules caps how many installed rules are replayed into each shadow
+	// classifier; <= 0 selects 2000.
+	MaxRules int
+	// MaxHeaders caps the sampled-traffic slice each candidate replays;
+	// <= 0 selects 1024.
+	MaxHeaders int
+	// Budget bounds the total shadow-bench CPU time, divided evenly across
+	// candidates; <= 0 selects 200ms.
+	Budget time.Duration
+	// MemoryBudgetBits, when > 0, marks the classifier's memory use as
+	// oversized once Report().Memory.TotalUsedBits() exceeds it, shifting
+	// the ranking toward lean engines.
+	MemoryBudgetBits int
+	// MinCacheHitRate is the hit rate below which the cache is flagged as
+	// ineffective; <= 0 selects 0.5.
+	MinCacheHitRate float64
+	// Margin is the minimum relative score improvement over the active
+	// engine before a switch is recommended; <= 0 selects 0.10.
+	Margin float64
+	// Record, when set, is a persisted BENCH_*.json artifact used to
+	// estimate the lookup cost of candidates whose shadow bench could not
+	// run (e.g. zero budget left). See bench.LatestRecord.
+	Record *bench.Record
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRules <= 0 {
+		o.MaxRules = 2000
+	}
+	if o.MaxHeaders <= 0 {
+		o.MaxHeaders = 1024
+	}
+	if o.Budget <= 0 {
+		o.Budget = 200 * time.Millisecond
+	}
+	if o.MinCacheHitRate <= 0 {
+		o.MinCacheHitRate = 0.5
+	}
+	if o.Margin <= 0 {
+		o.Margin = 0.10
+	}
+	return o
+}
+
+// signals is the analyzed pressure profile of one Report: how the engine
+// ranking should weigh measured speed against memory footprint, plus the
+// decision-table recommendations that don't need a shadow bench.
+type signals struct {
+	// speedWeight and memoryWeight blend the shadow-bench scores; they sum
+	// to 1.
+	speedWeight  float64
+	memoryWeight float64
+	// reasons collects the human-readable signal trail.
+	reasons []string
+	// extra holds the policy/cache recommendations from the decision table.
+	extra []Recommendation
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// analyze runs the decision table over one observability snapshot. It is a
+// pure function of the Report, which is what makes the table testable from
+// synthetic fixtures.
+func analyze(rep core.Report, opts Options) signals {
+	sig := signals{speedWeight: 0.5, memoryWeight: 0.5}
+
+	// Cache signal: a hot cache answers the repeated flows itself, so the
+	// engine behind it is consulted rarely and should be chosen for memory
+	// leanness; a cold (or absent) cache puts every packet on the engine.
+	cacheLookups := rep.Cache.Hits + rep.Cache.Misses
+	switch {
+	case !rep.CacheEnabled:
+		sig.speedWeight = 0.75
+		sig.reasons = append(sig.reasons, "no microflow cache: every packet pays the engine, speed dominates")
+	case cacheLookups >= minSignalLookups:
+		hit := float64(rep.Cache.Hits) / float64(cacheLookups)
+		sig.speedWeight = clamp(1-hit, 0.1, 0.9)
+		if hit < opts.MinCacheHitRate {
+			sig.reasons = append(sig.reasons,
+				fmt.Sprintf("cache hit rate %.0f%% below %.0f%%: traffic is cache-unfriendly, engine speed dominates",
+					100*hit, 100*opts.MinCacheHitRate))
+			sig.extra = append(sig.extra, Recommendation{
+				Kind:  KindCache,
+				Score: clamp(opts.MinCacheHitRate-hit, 0.05, 0.5),
+				Reason: fmt.Sprintf("microflow cache answers only %.0f%% of lookups; consider more capacity or disabling it to reclaim %d Kbit",
+					100*hit, rep.Memory.CacheBits/1024),
+			})
+		} else {
+			sig.reasons = append(sig.reasons,
+				fmt.Sprintf("cache hit rate %.0f%% absorbs the hot flows: engine memory matters more than raw speed", 100*hit))
+		}
+	default:
+		sig.reasons = append(sig.reasons,
+			fmt.Sprintf("only %d cached lookups observed (< %d): cache signal unmeasured", cacheLookups, minSignalLookups))
+	}
+
+	// Memory-budget signal overrides the blend: an oversized table must
+	// shrink regardless of traffic shape.
+	if opts.MemoryBudgetBits > 0 && rep.Memory.TotalUsedBits() > opts.MemoryBudgetBits {
+		sig.speedWeight = 0.15
+		sig.reasons = append(sig.reasons,
+			fmt.Sprintf("memory %d bits over the %d-bit budget: leanness dominates",
+				rep.Memory.TotalUsedBits(), opts.MemoryBudgetBits))
+	}
+	sig.memoryWeight = 1 - sig.speedWeight
+
+	// Update-plane signals: deep delta debt means the incremental structure
+	// has drifted far from a fresh build; worrying degradation means the
+	// engine itself is reporting the drift. Both call for tighter rebuild
+	// bounds, applied through SetUpdatePolicy.
+	if debt := rep.Updates.DeltasSinceRebuild; debt >= highDeltaDebt {
+		sig.extra = append(sig.extra, Recommendation{
+			Kind:               KindUpdatePolicy,
+			RebuildAfterDeltas: debt / 2,
+			Score:              clamp(float64(debt)/float64(4*highDeltaDebt), 0.2, 0.8),
+			Reason: fmt.Sprintf("delta debt %d deep (publish P99 %v): bound it at %d so rebuilds amortise the drift",
+				debt, rep.Updates.PublishLatency.P99(), debt/2),
+		})
+	}
+	if deg := rep.Memory.PacketEngineDegradation; deg >= worryingDegradation {
+		sig.extra = append(sig.extra, Recommendation{
+			Kind:                 KindUpdatePolicy,
+			RebuildAfterDeltas:   rep.Updates.DeltasSinceRebuild / 2,
+			DegradationThreshold: worryingDegradation / 2,
+			Score:                clamp(deg, 0.2, 0.9),
+			Reason: fmt.Sprintf("packet structure degradation %.2f: trip rebuilds at %.2f before lookup cost drifts further",
+				deg, worryingDegradation/2),
+		})
+	}
+	return sig
+}
+
+// Advise produces ranked recommendations for a live classifier: the
+// decision-table output of its current Report plus, when traffic and rules
+// are available, an engine recommendation from shadow-benching candidates
+// on sampled traffic. The strongest recommendation sorts first. An empty
+// slice means the current configuration already looks right.
+func Advise(c *core.Classifier, opts Options) ([]Recommendation, error) {
+	opts = opts.withDefaults()
+	rep := c.Report()
+	sig := analyze(rep, opts)
+	recs := append([]Recommendation(nil), sig.extra...)
+
+	rules := c.InstalledRules()
+	headers := c.SampledHeaders()
+	if len(headers) > opts.MaxHeaders {
+		headers = headers[len(headers)-opts.MaxHeaders:]
+	}
+	if len(headers) == 0 {
+		headers = syntheticTrace(rules, opts.MaxHeaders)
+	}
+	if len(rules) > 0 && len(headers) > 0 {
+		cfg := c.Config()
+		results := shadowBench(benchSet(rules, opts.MaxRules), headers, candidates(cfg, rep, opts), opts.Budget)
+		if eng, ok := rankEngines(results, sig, rep, opts); ok {
+			recs = append(recs, eng)
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Score > recs[j].Score })
+	return recs, nil
+}
+
+// benchSet caps the rule slice replayed into shadow classifiers.
+func benchSet(rules []fivetuple.Rule, maxRules int) []fivetuple.Rule {
+	if len(rules) > maxRules {
+		return rules[:maxRules]
+	}
+	return rules
+}
+
+// candidates resolves the engine candidate list: the configured names or
+// every selectable engine, minus any whose capacity cannot hold the full
+// installed rule set (SelectEngine would reject the switch anyway).
+func candidates(cfg core.Config, rep core.Report, opts Options) []string {
+	names := opts.Candidates
+	if len(names) == 0 {
+		names = engine.SelectableNames()
+	}
+	out := names[:0:0]
+	for _, name := range names {
+		if cfg.RuleCapacityFor(name) < rep.RulesInstalled {
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// rankEngines scores the shadow-bench results by the profile-weighted blend
+// of speed and memory and recommends the winner when it clearly beats the
+// active engine.
+func rankEngines(results []shadowResult, sig signals, rep core.Report, opts Options) (Recommendation, bool) {
+	// Normalisation bases: the best (lowest) measured cost on each axis.
+	minNs, minMem := 0.0, 0
+	for _, r := range results {
+		r = recordFallback(r, opts)
+		if r.Err != nil {
+			continue
+		}
+		if minNs == 0 || r.NsPerLookup < minNs {
+			minNs = r.NsPerLookup
+		}
+		if r.MemoryBits > 0 && (minMem == 0 || r.MemoryBits < minMem) {
+			minMem = r.MemoryBits
+		}
+	}
+	if minNs == 0 {
+		return Recommendation{}, false
+	}
+
+	score := func(r shadowResult) float64 {
+		s := sig.speedWeight * (minNs / r.NsPerLookup)
+		if r.MemoryBits > 0 && minMem > 0 {
+			s += sig.memoryWeight * (float64(minMem) / float64(r.MemoryBits))
+		}
+		return s
+	}
+
+	var best shadowResult
+	bestScore, activeScore := 0.0, 0.0
+	for _, r := range results {
+		r = recordFallback(r, opts)
+		if r.Err != nil {
+			continue
+		}
+		s := score(r)
+		if r.Engine == rep.ActiveEngine {
+			activeScore = s
+		}
+		if s > bestScore {
+			best, bestScore = r, s
+		}
+	}
+	if best.Engine == "" || best.Engine == rep.ActiveEngine {
+		return Recommendation{}, false
+	}
+	if activeScore > 0 && bestScore < activeScore*(1+opts.Margin) {
+		return Recommendation{}, false
+	}
+	improvement := 1.0
+	if activeScore > 0 {
+		improvement = bestScore/activeScore - 1
+	}
+	return Recommendation{
+		Kind:        KindEngine,
+		Engine:      best.Engine,
+		Score:       improvement,
+		NsPerLookup: best.NsPerLookup,
+		MemoryBits:  best.MemoryBits,
+		Reason: fmt.Sprintf("shadow bench replayed %d lookups over sampled traffic: %s scores %.2f vs %s %.2f (speed weight %.2f — %s)",
+			best.Lookups, best.Engine, bestScore, rep.ActiveEngine, activeScore,
+			sig.speedWeight, reasonSummary(sig)),
+	}, true
+}
+
+// recordFallback substitutes a persisted bench-record estimate for a
+// candidate whose shadow bench failed, when a record is available. The
+// memory axis stays unmeasured (0), so the candidate competes on the
+// recorded speed alone.
+func recordFallback(r shadowResult, opts Options) shadowResult {
+	if r.Err == nil || opts.Record == nil {
+		return r
+	}
+	if ns, ok := opts.Record.LookupNs(r.Engine); ok {
+		return shadowResult{Engine: r.Engine, NsPerLookup: ns}
+	}
+	return r
+}
+
+func reasonSummary(sig signals) string {
+	if len(sig.reasons) == 0 {
+		return "no dominant signal"
+	}
+	return sig.reasons[0]
+}
+
+// Apply routes one recommendation through the classifier's atomic
+// reconfiguration paths. Advisory-only kinds return an error rather than
+// guessing at an action.
+func Apply(c *core.Classifier, r Recommendation) error {
+	switch r.Kind {
+	case KindEngine:
+		return c.SelectEngine(r.Engine)
+	case KindUpdatePolicy:
+		return c.SetUpdatePolicy(r.RebuildAfterDeltas, r.DegradationThreshold)
+	default:
+		return fmt.Errorf("advisor: recommendation kind %q is advisory only", r.Kind)
+	}
+}
+
+// syntheticTrace derives a replayable header slice from the installed rules
+// when no live samples exist: one deterministic in-rule header per rule,
+// cycled up to maxHeaders. It exercises every engine on the actual rule
+// geometry, which is the best available stand-in for unknown traffic.
+func syntheticTrace(rules []fivetuple.Rule, maxHeaders int) []fivetuple.Header {
+	if len(rules) == 0 {
+		return nil
+	}
+	n := len(rules)
+	if n > maxHeaders {
+		n = maxHeaders
+	}
+	out := make([]fivetuple.Header, n)
+	for i := range out {
+		out[i] = syntheticHeader(rules[i])
+	}
+	return out
+}
+
+// syntheticHeader builds one header inside the rule's match region.
+func syntheticHeader(r fivetuple.Rule) fivetuple.Header {
+	h := fivetuple.Header{
+		SrcIP:   r.SrcPrefix.Addr & r.SrcPrefix.Mask(),
+		DstIP:   r.DstPrefix.Addr & r.DstPrefix.Mask(),
+		SrcPort: r.SrcPort.Lo,
+		DstPort: r.DstPort.Lo,
+	}
+	if r.Protocol.IsWildcard() {
+		h.Protocol = fivetuple.ProtoTCP
+	} else {
+		h.Protocol = r.Protocol.Value & r.Protocol.Mask
+	}
+	return h
+}

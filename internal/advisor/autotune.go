@@ -1,0 +1,187 @@
+package advisor
+
+import (
+	"sync"
+	"time"
+
+	"sdnpc/internal/core"
+)
+
+// AutoTunerOptions parameterise the background tuner.
+type AutoTunerOptions struct {
+	// Interval is the advise period; <= 0 selects
+	// core.DefaultAutoTuneInterval.
+	Interval time.Duration
+	// Stable is how many consecutive ticks must agree on the same top
+	// engine before it is applied; <= 0 selects 2. This is the hysteresis
+	// that keeps a flapping signal from flapping the engine.
+	Stable int
+	// Cooldown is the minimum time between applies; <= 0 selects
+	// 4×Interval. A recently abandoned engine additionally may not be
+	// switched back to within 4×Cooldown, so the tuner can never ping-pong
+	// between two engines even if the signal oscillates slowly.
+	Cooldown time.Duration
+	// Advisor configures the underlying Advise calls.
+	Advisor Options
+	// OnApply, when set, is called after each applied recommendation —
+	// the serving layer's log hook.
+	OnApply func(Recommendation)
+}
+
+// AutoTuner periodically runs the advisor against a live classifier and
+// auto-applies its recommendations through the atomic switch paths, with
+// hysteresis. It is the opt-in behind Config.AutoTune; construction does
+// not start it.
+type AutoTuner struct {
+	c    *core.Classifier
+	opts AutoTunerOptions
+
+	// advise is the decision source, injectable so the hysteresis logic is
+	// testable against a scripted signal.
+	advise func() ([]Recommendation, error)
+
+	mu          sync.Mutex
+	lastTop     string    // top engine of the previous tick
+	streak      int       // consecutive ticks agreeing on lastTop
+	lastApply   time.Time // last engine apply
+	abandoned   string    // engine we last switched away from
+	abandonedAt time.Time
+	lastPolicy  time.Time // last update-policy apply
+	applied     []Recommendation
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewAutoTuner builds a tuner for the classifier. Call Start to begin
+// ticking and Stop to halt it.
+func NewAutoTuner(c *core.Classifier, opts AutoTunerOptions) *AutoTuner {
+	if opts.Interval <= 0 {
+		opts.Interval = core.DefaultAutoTuneInterval
+	}
+	if opts.Stable <= 0 {
+		opts.Stable = 2
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 4 * opts.Interval
+	}
+	t := &AutoTuner{
+		c:    c,
+		opts: opts,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	t.advise = func() ([]Recommendation, error) { return Advise(c, opts.Advisor) }
+	return t
+}
+
+// Start launches the tuner goroutine. Calling Start twice is a no-op.
+func (t *AutoTuner) Start() {
+	t.startOnce.Do(func() {
+		go t.run()
+	})
+}
+
+// Stop halts the tuner and waits for the in-flight tick, if any, to finish.
+// Safe to call more than once, and before Start (the loop then exits on its
+// first wakeup).
+func (t *AutoTuner) Stop() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	t.startOnce.Do(func() { close(t.done) }) // never started: nothing to wait for
+	<-t.done
+}
+
+// Applied returns the recommendations the tuner has auto-applied so far.
+func (t *AutoTuner) Applied() []Recommendation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Recommendation(nil), t.applied...)
+}
+
+func (t *AutoTuner) run() {
+	defer close(t.done)
+	ticker := time.NewTicker(t.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+			t.tick(time.Now())
+		}
+	}
+}
+
+// tick runs one advise round and applies what the hysteresis allows. It is
+// the unit the tests drive directly with a scripted clock.
+func (t *AutoTuner) tick(now time.Time) {
+	recs, err := t.advise()
+	if err != nil {
+		return
+	}
+	var top *Recommendation
+	for i := range recs {
+		if recs[i].Kind == KindEngine {
+			top = &recs[i]
+			break
+		}
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// Update-policy recommendations carry no switch cost and cannot flap
+	// the serving engine; they still rate-limit on the cooldown so a noisy
+	// signal doesn't thrash the policy either.
+	for _, r := range recs {
+		if r.Kind != KindUpdatePolicy {
+			continue
+		}
+		if now.Sub(t.lastPolicy) < t.opts.Cooldown {
+			break
+		}
+		if Apply(t.c, r) == nil {
+			t.lastPolicy = now
+			t.applied = append(t.applied, r)
+			if t.opts.OnApply != nil {
+				t.opts.OnApply(r)
+			}
+		}
+		break
+	}
+
+	// Engine hysteresis: the same target must win Stable consecutive
+	// ticks, outside the cooldown window, and must not be the engine we
+	// just abandoned.
+	if top == nil {
+		t.lastTop, t.streak = "", 0
+		return
+	}
+	if top.Engine != t.lastTop {
+		t.lastTop, t.streak = top.Engine, 1
+		return
+	}
+	t.streak++
+	if t.streak < t.opts.Stable {
+		return
+	}
+	if now.Sub(t.lastApply) < t.opts.Cooldown {
+		return
+	}
+	if top.Engine == t.abandoned && now.Sub(t.abandonedAt) < 4*t.opts.Cooldown {
+		return
+	}
+	prev := t.c.ActiveEngineName()
+	if Apply(t.c, *top) != nil {
+		return
+	}
+	t.abandoned, t.abandonedAt = prev, now
+	t.lastApply = now
+	t.lastTop, t.streak = "", 0
+	t.applied = append(t.applied, *top)
+	if t.opts.OnApply != nil {
+		t.opts.OnApply(*top)
+	}
+}

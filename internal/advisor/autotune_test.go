@@ -1,0 +1,211 @@
+package advisor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sdnpc/internal/classbench"
+	"sdnpc/internal/core"
+)
+
+// scriptedTuner builds a tuner over a real classifier whose advise calls
+// replay a scripted recommendation sequence, and drives ticks with an
+// explicit clock — the hysteresis logic under a deterministic signal.
+func scriptedTuner(t *testing.T, opts AutoTunerOptions, script []string) (*AutoTuner, *core.Classifier) {
+	t.Helper()
+	c, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner := NewAutoTuner(c, opts)
+	i := 0
+	tuner.advise = func() ([]Recommendation, error) {
+		engine := script[i%len(script)]
+		i++
+		if engine == "" {
+			return nil, nil
+		}
+		return []Recommendation{{Kind: KindEngine, Engine: engine, Score: 0.5}}, nil
+	}
+	return tuner, c
+}
+
+// TestAutoTunerSuppressesFlapping is the hysteresis pin: a signal that
+// oscillates between two engines every tick must never trigger a switch.
+func TestAutoTunerSuppressesFlapping(t *testing.T) {
+	opts := AutoTunerOptions{Interval: time.Second, Stable: 2, Cooldown: 4 * time.Second}
+	tuner, c := scriptedTuner(t, opts, []string{"bst", "hypercuts"})
+	active := c.ActiveEngineName()
+
+	now := time.Unix(1000, 0)
+	for i := 0; i < 20; i++ {
+		tuner.tick(now.Add(time.Duration(i) * opts.Interval))
+	}
+	if got := c.ActiveEngineName(); got != active {
+		t.Fatalf("flapping signal switched the engine %q → %q", active, got)
+	}
+	if applied := tuner.Applied(); len(applied) != 0 {
+		t.Fatalf("flapping signal applied %d recommendations: %v", len(applied), applied)
+	}
+}
+
+// TestAutoTunerAppliesStableSignal verifies the positive path and the two
+// suppression windows around it: a stable signal applies after Stable
+// consecutive ticks; the cooldown blocks the next switch; and switching back
+// to the engine just abandoned is blocked for 4×Cooldown even when its
+// signal is otherwise stable.
+func TestAutoTunerAppliesStableSignal(t *testing.T) {
+	opts := AutoTunerOptions{Interval: time.Second, Stable: 2, Cooldown: 4 * time.Second}
+	tuner, c := scriptedTuner(t, opts, []string{"bst"})
+	prev := c.ActiveEngineName()
+
+	now := time.Unix(1000, 0)
+	tuner.tick(now)
+	if got := c.ActiveEngineName(); got != prev {
+		t.Fatalf("one tick must not satisfy Stable=2, but engine switched to %q", got)
+	}
+	tuner.tick(now.Add(opts.Interval))
+	if got := c.ActiveEngineName(); got != "bst" {
+		t.Fatalf("stable signal after %d ticks: engine = %q, want bst", opts.Stable, got)
+	}
+	if applied := tuner.Applied(); len(applied) != 1 || applied[0].Engine != "bst" {
+		t.Fatalf("Applied() = %v, want exactly the bst switch", applied)
+	}
+
+	// A new stable target inside the cooldown window must wait.
+	i := 0
+	tuner.advise = func() ([]Recommendation, error) {
+		i++
+		return []Recommendation{{Kind: KindEngine, Engine: "hypercuts", Score: 0.5}}, nil
+	}
+	tuner.tick(now.Add(2 * opts.Interval))
+	tuner.tick(now.Add(3 * opts.Interval))
+	if got := c.ActiveEngineName(); got != "bst" {
+		t.Fatalf("cooldown violated: engine switched to %q %v after the last apply", got, 2*opts.Interval)
+	}
+	// Outside the cooldown the same stable target applies.
+	after := now.Add(opts.Interval + opts.Cooldown)
+	tuner.tick(after)
+	tuner.tick(after.Add(opts.Interval))
+	if got := c.ActiveEngineName(); got != "hypercuts" {
+		t.Fatalf("stable post-cooldown signal: engine = %q, want hypercuts", got)
+	}
+
+	// bst was just abandoned: a stable bst signal inside 4×Cooldown must not
+	// ping-pong back.
+	tuner.advise = func() ([]Recommendation, error) {
+		return []Recommendation{{Kind: KindEngine, Engine: "bst", Score: 0.5}}, nil
+	}
+	base := after.Add(opts.Interval + opts.Cooldown) // past the apply cooldown
+	for i := 0; i < 3; i++ {
+		tuner.tick(base.Add(time.Duration(i) * opts.Interval))
+	}
+	if got := c.ActiveEngineName(); got != "hypercuts" {
+		t.Fatalf("switch-back suppression violated: engine ping-ponged to %q", got)
+	}
+	// After the switch-back window expires, bst may win again.
+	late := after.Add(opts.Interval + 4*opts.Cooldown)
+	tuner.tick(late)
+	tuner.tick(late.Add(opts.Interval))
+	if got := c.ActiveEngineName(); got != "bst" {
+		t.Fatalf("expired switch-back window: engine = %q, want bst", got)
+	}
+}
+
+// TestAutoTunerAppliesPolicy verifies update-policy recommendations apply
+// immediately (no Stable requirement) but rate-limit on the cooldown.
+func TestAutoTunerAppliesPolicy(t *testing.T) {
+	c, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := AutoTunerOptions{Interval: time.Second, Stable: 2, Cooldown: 4 * time.Second}
+	tuner := NewAutoTuner(c, opts)
+	tuner.advise = func() ([]Recommendation, error) {
+		return []Recommendation{{Kind: KindUpdatePolicy, RebuildAfterDeltas: 64, Score: 0.4}}, nil
+	}
+
+	now := time.Unix(2000, 0)
+	tuner.tick(now)
+	if got := c.Config().RebuildAfterDeltas; got != 64 {
+		t.Fatalf("RebuildAfterDeltas = %d, want 64 applied on the first tick", got)
+	}
+	tuner.tick(now.Add(opts.Interval)) // inside cooldown: must not re-apply
+	if applied := tuner.Applied(); len(applied) != 1 {
+		t.Fatalf("policy applies must rate-limit on cooldown, got %d", len(applied))
+	}
+}
+
+// TestAutoTunerLiveStorm runs a real tuner at a tiny interval against a
+// concurrent update storm and lookup flood — the -race pin that the control
+// plane's engine/policy switches are safe against live traffic.
+func TestAutoTunerLiveStorm(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SampleHeaders = 512
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := classbench.Generate(classbench.Config{Class: classbench.ACL, Rules: 300, Seed: 3})
+	if _, err := c.InstallRuleSet(rs); err != nil {
+		t.Fatal(err)
+	}
+	trace := classbench.GenerateTrace(rs, classbench.TraceConfig{Packets: 512, Seed: 3})
+	updates := classbench.GenerateUpdateTrace(rs, classbench.UpdateTraceConfig{Ops: 400, Seed: 4})
+
+	tuner := NewAutoTuner(c, AutoTunerOptions{
+		Interval: 2 * time.Millisecond,
+		Stable:   1,
+		Cooldown: time.Millisecond,
+		Advisor: Options{
+			Candidates: []string{"mbt", "bst", "hypercuts"},
+			Budget:     5 * time.Millisecond,
+			MaxRules:   300,
+			MaxHeaders: 128,
+		},
+	})
+	tuner.Start()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // update storm
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			op := updates[i%len(updates)]
+			if op.Delete {
+				c.DeleteRule(op.Rule)
+			} else {
+				c.InsertRule(op.Rule)
+			}
+		}
+	}()
+	go func() { // lookup flood
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Lookup(trace[i%len(trace)])
+		}
+	}()
+
+	time.Sleep(250 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	tuner.Stop()
+	tuner.Stop() // idempotent
+
+	// The classifier must still answer after the storm.
+	if res := c.Lookup(trace[0]); res.Matched && res.Priority < 0 {
+		t.Fatalf("implausible result after storm: %+v", res)
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixtureRecord() *Record {
+	r := NewRecord(RecordConfig{Class: "acl", Size: "1k", Rules: 916, Packets: 10000})
+	r.AddEngineRows([]EngineRow{{
+		Engine:            "mbt",
+		Tier:              "field",
+		AvgFieldAccesses:  10.5,
+		AvgLatencyCycles:  24,
+		LookupsPerSecMega: 2.5, // 400 ns/lookup
+		EngineMemoryKbit:  512,
+		RuleCapacity:      8192,
+		PacketsReplayed:   10000,
+	}})
+	return r
+}
+
+// TestRecordRoundTrip pins the BENCH_*.json artifact contract: Write emits a
+// schema-valid file under the canonical date-first name, ReadRecord loads it
+// back identically, and LatestRecord picks the lexically newest artifact.
+func TestRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := fixtureRecord()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("fixture record invalid: %v", err)
+	}
+	if name := r.FileName(); !strings.HasPrefix(name, "BENCH_"+r.Date+"_") || !strings.HasSuffix(name, ".json") {
+		t.Fatalf("FileName() = %q, want BENCH_<date>_<host>.json", name)
+	}
+
+	path, err := r.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != RecordSchema || got.Config != r.Config || len(got.Results) != len(r.Results) {
+		t.Fatalf("round-trip mismatch: got %+v, want %+v", got, r)
+	}
+	if got.Results[0].Metrics["mlookups_per_sec"] != 2.5 {
+		t.Fatalf("metrics lost in round trip: %+v", got.Results[0].Metrics)
+	}
+
+	// LatestRecord: an older artifact must lose to the fixture's date.
+	old := fixtureRecord()
+	old.Date = "2001-01-01"
+	if _, err := old.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	latest, latestPath, err := LatestRecord(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latestPath != path || latest.Date != r.Date {
+		t.Fatalf("LatestRecord picked %s (%s), want %s (%s)", latestPath, latest.Date, path, r.Date)
+	}
+
+	// LookupNs derives ns/packet from the engine-sweep cell.
+	if ns, ok := latest.LookupNs("mbt"); !ok || ns != 400 {
+		t.Fatalf("LookupNs(mbt) = (%v, %v), want (400, true)", ns, ok)
+	}
+	if _, ok := latest.LookupNs("nope"); ok {
+		t.Fatal("LookupNs must miss for an unrecorded engine")
+	}
+}
+
+// TestRecordValidateRejects enumerates the schema violations Validate must
+// catch before an artifact is persisted or consumed.
+func TestRecordValidateRejects(t *testing.T) {
+	mutations := map[string]func(*Record){
+		"wrong schema":   func(r *Record) { r.Schema = "sdnpc-bench/v0" },
+		"bad date":       func(r *Record) { r.Date = "08/08/2026" },
+		"no host":        func(r *Record) { r.Host = "" },
+		"no environment": func(r *Record) { r.Environment.GoVersion = "" },
+		"no results":     func(r *Record) { r.Results = nil },
+		"unnamed result": func(r *Record) { r.Results[0].Engine = "" },
+		"empty metrics":  func(r *Record) { r.Results[0].Metrics = nil },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			r := fixtureRecord()
+			mutate(r)
+			if err := r.Validate(); err == nil {
+				t.Fatalf("Validate accepted a record with %s", name)
+			}
+			if _, err := r.Write(t.TempDir()); err == nil {
+				t.Fatalf("Write persisted a record with %s", name)
+			}
+		})
+	}
+}
+
+// TestLatestRecordEmpty pins the no-artifact signal the advisor checks for.
+func TestLatestRecordEmpty(t *testing.T) {
+	if _, _, err := LatestRecord(t.TempDir()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("LatestRecord on an empty dir: err = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestRecordFileNameSanitised keeps hostile hostnames out of the file path.
+func TestRecordFileNameSanitised(t *testing.T) {
+	r := fixtureRecord()
+	r.Host = "web server/01"
+	name := r.FileName()
+	if strings.ContainsAny(name, "/ ") || name != filepath.Base(name) {
+		t.Fatalf("FileName() = %q leaks path or space characters", name)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -129,6 +130,11 @@ type Classifier struct {
 	// to. When it is set, readers serve from a replica instead of snap.
 	fleet *fleet
 
+	// sampler captures a ring of recently served headers for the advisor's
+	// shadow benches (nil when Config.SampleHeaders is 0 — a nil sampler is
+	// inert, so the serving path offers unconditionally).
+	sampler *headerSampler
+
 	stats statsCollector
 }
 
@@ -150,6 +156,9 @@ func New(cfg Config) (*Classifier, error) {
 		c.fleet = newFleet(&c.cfg)
 	} else if cfg.CacheCapacity > 0 {
 		c.microflow = cache.New[Result](cfg.CacheShards, cfg.CacheCapacity)
+	}
+	if cfg.SampleHeaders > 0 {
+		c.sampler = newHeaderSampler(cfg.SampleHeaders)
 	}
 	s, err := newSnapshot(&c.cfg, name, def.Legacy)
 	if err != nil {
@@ -228,8 +237,31 @@ func (c *Classifier) CacheStats() (stats cache.Stats, ok bool) {
 	return c.microflow.Stats(), true
 }
 
-// Config returns the classifier configuration.
-func (c *Classifier) Config() Config { return c.cfg }
+// Config returns the classifier configuration. It takes the writer mutex so
+// the copy is consistent with any concurrent SetUpdatePolicy.
+func (c *Classifier) Config() Config {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg
+}
+
+// SetUpdatePolicy adjusts the packet tier's delta-vs-rebuild policy at run
+// time — the WithUpdatePolicy knobs, applied to a live classifier. The new
+// bounds govern from the next publish; in-flight publishes complete under
+// the old policy. This is one of the two atomic apply paths the advisor's
+// recommendations go through (the other is SelectEngine). The zero/negative
+// conventions of Config.RebuildAfterDeltas and Config.DegradationThreshold
+// apply unchanged.
+func (c *Classifier) SetUpdatePolicy(rebuildAfterDeltas int, degradationThreshold float64) error {
+	if math.IsNaN(degradationThreshold) {
+		return fmt.Errorf("core: degradation threshold must not be NaN")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.RebuildAfterDeltas = rebuildAfterDeltas
+	c.cfg.DegradationThreshold = degradationThreshold
+	return nil
+}
 
 // IPEngineName returns the registry name of the engine currently serving the
 // IP-segment dimensions (programmed even while the packet tier serves).
@@ -243,18 +275,19 @@ func (c *Classifier) PacketEngineName() string { return c.view().packetName }
 // lookups: the whole-packet engine when one is selected, the IP-segment
 // field engine otherwise.
 func (c *Classifier) ActiveEngineName() string {
-	s := c.view()
-	if s.packetName != "" {
-		return s.packetName
-	}
-	return s.engineName
+	return c.view().activeEngineName()
 }
 
 // RuleCount returns the number of installed rules.
 func (c *Classifier) RuleCount() int { return len(c.view().installed) }
 
-// RuleCapacity returns the rule capacity under the current engine selection.
-func (c *Classifier) RuleCapacity() int { return c.cfg.RuleCapacityFor(c.view().engineName) }
+// RuleCapacity returns the rule capacity under the engine actually answering
+// lookups: capacity follows the serving tier, so a packet-tier selection
+// reports the packet engine's capacity even though the field tier stays
+// programmed underneath.
+func (c *Classifier) RuleCapacity() int {
+	return c.cfg.RuleCapacityFor(c.view().activeEngineName())
+}
 
 // InstalledRules returns a copy of the installed rules in installation
 // order.

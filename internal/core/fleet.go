@@ -48,6 +48,66 @@ type fleetReplica struct {
 	gen       atomic.Uint64
 	microflow *cache.Cache[Result]
 	_         [64]byte
+	stats     replicaStats
+	_         [64]byte
+}
+
+// replicaStats is the lookup-side slice of statsCollector, owned by one
+// replica: a worker pinned to a replica increments only its own replica's
+// counters, so the serving path never writes a cache line another core's
+// counters share. The update-plane counters stay in the classifier's shared
+// collector — updates are single-writer and don't need this.
+type replicaStats struct {
+	lookups          atomic.Uint64
+	matches          atomic.Uint64
+	fieldAccesses    atomic.Uint64
+	labelFetches     atomic.Uint64
+	ruleFilterProbes atomic.Uint64
+	combinations     atomic.Uint64
+	latencyCycles    atomic.Uint64
+}
+
+func (rs *replicaStats) recordLookup(r Result) {
+	rs.lookups.Add(1)
+	if r.Matched {
+		rs.matches.Add(1)
+	}
+	rs.fieldAccesses.Add(uint64(r.FieldAccesses))
+	rs.labelFetches.Add(uint64(r.LabelFetches))
+	rs.ruleFilterProbes.Add(uint64(r.RuleFilterProbes))
+	rs.combinations.Add(uint64(r.Combinations))
+	rs.latencyCycles.Add(uint64(r.LatencyCycles))
+}
+
+func (rs *replicaStats) recordBatch(rep BatchReport) {
+	rs.lookups.Add(uint64(rep.Packets))
+	rs.matches.Add(uint64(rep.Matched))
+	rs.fieldAccesses.Add(uint64(rep.FieldAccesses))
+	rs.labelFetches.Add(uint64(rep.LabelFetches))
+	rs.ruleFilterProbes.Add(uint64(rep.RuleFilterProbes))
+	rs.combinations.Add(uint64(rep.Combinations))
+	rs.latencyCycles.Add(uint64(rep.LatencyCycles))
+}
+
+// addTo folds this replica's counters into an aggregate Stats snapshot.
+func (rs *replicaStats) addTo(s *Stats) {
+	s.Lookups += rs.lookups.Load()
+	s.Matches += rs.matches.Load()
+	s.FieldAccesses += rs.fieldAccesses.Load()
+	s.LabelFetches += rs.labelFetches.Load()
+	s.RuleFilterProbes += rs.ruleFilterProbes.Load()
+	s.Combinations += rs.combinations.Load()
+	s.LatencyCycles += rs.latencyCycles.Load()
+}
+
+func (rs *replicaStats) reset() {
+	rs.lookups.Store(0)
+	rs.matches.Store(0)
+	rs.fieldAccesses.Store(0)
+	rs.labelFetches.Store(0)
+	rs.ruleFilterProbes.Store(0)
+	rs.combinations.Store(0)
+	rs.latencyCycles.Store(0)
 }
 
 // replicaSlot is the pooled token carrying a replica index.
@@ -127,15 +187,19 @@ func (c *Classifier) Reader(worker int) *Reader {
 	return r
 }
 
-// Lookup classifies one header from this reader's replica.
+// Lookup classifies one header from this reader's replica. Accounting goes
+// to the replica's private counters, never the shared collector: the pinned
+// path stays free of cross-core contended cache lines.
 func (r *Reader) Lookup(h fivetuple.Header) Result {
-	var result Result
 	if r.rep != nil {
-		result = r.c.serveOn(r.rep.snap.Load(), r.rep.microflow, h)
-	} else {
-		result = r.c.serveOn(r.c.view(), r.c.microflow, h)
+		result := r.c.serveOn(r.rep.snap.Load(), r.rep.microflow, h)
+		r.rep.stats.recordLookup(result)
+		r.c.sampler.offer(h)
+		return result
 	}
+	result := r.c.serveOn(r.c.view(), r.c.microflow, h)
 	r.c.stats.recordLookup(result)
+	r.c.sampler.offer(h)
 	return result
 }
 
@@ -156,7 +220,12 @@ func (r *Reader) LookupBatchInto(dst []Result, hs []fivetuple.Header) []Result {
 	for i, h := range hs {
 		dst[i] = r.c.serveOn(s, mf, h)
 	}
-	r.c.stats.recordBatch(SummarizeBatch(dst))
+	if r.rep != nil {
+		r.rep.stats.recordBatch(SummarizeBatch(dst))
+	} else {
+		r.c.stats.recordBatch(SummarizeBatch(dst))
+	}
+	r.c.sampler.offer(hs[0])
 	return dst
 }
 

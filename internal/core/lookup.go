@@ -83,11 +83,13 @@ func (c *Classifier) Lookup(h fivetuple.Header) Result {
 	if c.fleet != nil {
 		rep, sl := c.fleet.pick()
 		result = c.serveOn(rep.snap.Load(), rep.microflow, h)
+		rep.stats.recordLookup(result)
 		c.fleet.release(sl)
 	} else {
 		result = c.serveOn(c.view(), c.microflow, h)
+		c.stats.recordLookup(result)
 	}
-	c.stats.recordLookup(result)
+	c.sampler.offer(h)
 	return result
 }
 
@@ -138,19 +140,22 @@ func (c *Classifier) LookupBatchInto(dst []Result, hs []fivetuple.Header) []Resu
 	}
 	dst = dst[:len(hs)]
 	s, mf := c.view(), c.microflow
+	var rep *fleetReplica
 	var sl *replicaSlot
 	if c.fleet != nil {
-		var rep *fleetReplica
 		rep, sl = c.fleet.pick()
 		s, mf = rep.snap.Load(), rep.microflow
 	}
 	for i, h := range hs {
 		dst[i] = c.serveOn(s, mf, h)
 	}
-	if sl != nil {
+	if rep != nil {
+		rep.stats.recordBatch(SummarizeBatch(dst))
 		c.fleet.release(sl)
+	} else {
+		c.stats.recordBatch(SummarizeBatch(dst))
 	}
-	c.stats.recordBatch(SummarizeBatch(dst))
+	c.sampler.offer(hs[0])
 	return dst
 }
 
@@ -561,14 +566,28 @@ func (sc *statsCollector) reset() {
 	}
 }
 
-// Stats returns a snapshot of the accumulated counters. It is safe to call
-// concurrently with lookups and updates; the individual counters are read
-// atomically (the struct as a whole is not one consistent cut, which is
-// inherent to concurrent collection).
+// statsSnapshot folds the shared collector and every replica's private
+// lookup-side counters into one aggregate Stats. Replica counters live with
+// the replicas (see replicaStats); only observation pays for the walk.
+func (c *Classifier) statsSnapshot() Stats {
+	s := c.stats.snapshot()
+	if c.fleet != nil {
+		for _, rep := range c.fleet.replicas {
+			rep.stats.addTo(&s)
+		}
+	}
+	return s
+}
+
+// Stats returns a snapshot of the accumulated counters, aggregated across
+// the serving replicas. It is safe to call concurrently with lookups and
+// updates; the individual counters are read atomically (the struct as a
+// whole is not one consistent cut, which is inherent to concurrent
+// collection).
 //
 // Deprecated: use Report, which returns these counters in its Stats field
 // alongside every other observability surface, from one snapshot read.
-func (c *Classifier) Stats() Stats { return c.stats.snapshot() }
+func (c *Classifier) Stats() Stats { return c.statsSnapshot() }
 
 // LookupCounters is the served-request summary of one classifier: how many
 // lookups it answered and how many returned a rule. It is the cheap
@@ -590,14 +609,22 @@ func (lc LookupCounters) MatchRate() float64 {
 	return float64(lc.Matches) / float64(lc.Lookups)
 }
 
-// LookupCounters returns the served-request counters. It reads exactly two
-// atomics, so per-request stats endpoints can call it without paying for a
-// full Stats snapshot.
+// LookupCounters returns the served-request counters, aggregated across the
+// serving replicas. It reads two atomics per replica plus two shared ones,
+// so per-request stats endpoints can call it without paying for a full Stats
+// snapshot.
 //
 // Deprecated: use Report, which returns these counters in its Lookups field
 // alongside every other observability surface, from one snapshot read.
 func (c *Classifier) LookupCounters() LookupCounters {
-	return LookupCounters{Lookups: c.stats.lookups.Load(), Matches: c.stats.matches.Load()}
+	lc := LookupCounters{Lookups: c.stats.lookups.Load(), Matches: c.stats.matches.Load()}
+	if c.fleet != nil {
+		for _, rep := range c.fleet.replicas {
+			lc.Lookups += rep.stats.lookups.Load()
+			lc.Matches += rep.stats.matches.Load()
+		}
+	}
+	return lc
 }
 
 // ResetStats zeroes the counters without touching installed rules. The
@@ -611,6 +638,7 @@ func (c *Classifier) ResetStats() {
 	c.view().resetCounters()
 	if c.fleet != nil {
 		for _, rep := range c.fleet.replicas {
+			rep.stats.reset()
 			if rep.microflow != nil {
 				rep.microflow.ResetStats()
 			}

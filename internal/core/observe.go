@@ -90,17 +90,14 @@ type ShardReport struct {
 func (c *Classifier) Report() Report {
 	s := c.view()
 	r := Report{
-		ActiveEngine:   s.engineName,
+		ActiveEngine:   s.activeEngineName(),
 		IPEngine:       s.engineName,
 		PacketEngine:   s.packetName,
 		RulesInstalled: len(s.installed),
-		RuleCapacity:   c.cfg.RuleCapacityFor(s.engineName),
-		Stats:          c.stats.snapshot(),
+		RuleCapacity:   c.cfg.RuleCapacityFor(s.activeEngineName()),
+		Stats:          c.statsSnapshot(),
 		Updates:        c.updateStats(s),
 		Memory:         c.memoryReport(s),
-	}
-	if s.packetName != "" {
-		r.ActiveEngine = s.packetName
 	}
 	r.Lookups = LookupCounters{Lookups: r.Stats.Lookups, Matches: r.Stats.Matches}
 	if c.microflow != nil {

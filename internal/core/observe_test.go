@@ -6,6 +6,121 @@ import (
 	"sdnpc/internal/classbench"
 )
 
+// TestReportRuleCapacityTracksActiveTier pins the capacity bugfix: Report
+// (and RuleCapacity, and the memory breakdown) must report the capacity of
+// the engine actually answering lookups, not of the field engine that stays
+// programmed underneath a packet-tier selection. bst's shared-level-2 bonus
+// capacity makes the two observably different.
+func TestReportRuleCapacityTracksActiveTier(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.SelectEngine("bst"); err != nil {
+		t.Fatalf("SelectEngine(bst): %v", err)
+	}
+	bstCap := cfg.RuleCapacityFor("bst")
+	if bstCap <= cfg.RuleFilterSlots() {
+		t.Fatalf("bst capacity %d should exceed the base %d slots", bstCap, cfg.RuleFilterSlots())
+	}
+	if got := c.Report().RuleCapacity; got != bstCap {
+		t.Fatalf("field tier RuleCapacity = %d, want %d", got, bstCap)
+	}
+
+	// Switch the serving tier to hypercuts: bst stays programmed underneath,
+	// but capacity must follow the active engine.
+	if err := c.SelectEngine("hypercuts"); err != nil {
+		t.Fatalf("SelectEngine(hypercuts): %v", err)
+	}
+	wantCap := cfg.RuleCapacityFor("hypercuts")
+	if wantCap == bstCap {
+		t.Fatalf("test needs distinguishable capacities, got %d for both", wantCap)
+	}
+	rep := c.Report()
+	if rep.ActiveEngine != "hypercuts" || rep.IPEngine != "bst" {
+		t.Fatalf("engines = (%q, %q), want (hypercuts, bst)", rep.ActiveEngine, rep.IPEngine)
+	}
+	if rep.RuleCapacity != wantCap {
+		t.Errorf("packet tier Report().RuleCapacity = %d, want %d (active engine), not %d (field engine)",
+			rep.RuleCapacity, wantCap, bstCap)
+	}
+	if got := c.RuleCapacity(); got != wantCap {
+		t.Errorf("packet tier RuleCapacity() = %d, want %d", got, wantCap)
+	}
+	if rep.Memory.RuleCapacity != wantCap {
+		t.Errorf("packet tier Memory.RuleCapacity = %d, want %d", rep.Memory.RuleCapacity, wantCap)
+	}
+
+	// Dropping the packet tier restores the field engine's capacity.
+	if err := c.SelectEngine("bst"); err != nil {
+		t.Fatalf("SelectEngine(bst) back: %v", err)
+	}
+	if got := c.Report().RuleCapacity; got != bstCap {
+		t.Errorf("after tier drop RuleCapacity = %d, want %d", got, bstCap)
+	}
+}
+
+// TestReplicatedStatsAggregation pins the replica-counter bugfix: lookups
+// through worker-pinned Readers (and the fleet-picking Lookup path) must be
+// recorded in the replicas' private counters — not the shared collector the
+// fleet exists to keep off the serving path — and every observation surface
+// must still see the aggregate.
+func TestReplicatedStatsAggregation(t *testing.T) {
+	rs := classbench.Generate(classbench.StandardConfig(classbench.ACL, classbench.Size1K))
+	trace := classbench.GenerateTrace(rs, classbench.TraceConfig{
+		Packets: 300, Seed: 7, MatchFraction: 0.9,
+	})
+	cfg := DefaultConfig()
+	cfg.Replicas = 4
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := c.InstallRuleSet(rs); err != nil {
+		t.Fatalf("InstallRuleSet: %v", err)
+	}
+
+	var want uint64
+	for w := 0; w < 4; w++ {
+		r := c.Reader(w)
+		for _, h := range trace[:50] {
+			r.Lookup(h)
+			want++
+		}
+		r.LookupBatch(trace[50:100])
+		want += 50
+	}
+	c.Lookup(trace[0])
+	c.LookupBatch(trace[:25])
+	want += 26
+
+	if shared := c.stats.lookups.Load(); shared != 0 {
+		t.Errorf("shared collector recorded %d lookups; replicated serving must not touch it", shared)
+	}
+	rep := c.Report()
+	if rep.Stats.Lookups != want {
+		t.Errorf("Report().Stats.Lookups = %d, want %d", rep.Stats.Lookups, want)
+	}
+	if rep.Lookups.Lookups != want {
+		t.Errorf("Report().Lookups = %d, want %d", rep.Lookups.Lookups, want)
+	}
+	if got := c.Stats().Lookups; got != want {
+		t.Errorf("Stats().Lookups = %d, want %d", got, want)
+	}
+	if got := c.LookupCounters().Lookups; got != want {
+		t.Errorf("LookupCounters().Lookups = %d, want %d", got, want)
+	}
+	if rep.Stats.FieldAccesses == 0 || rep.Stats.Matches == 0 {
+		t.Errorf("aggregate lost accounting fields: %+v", rep.Stats)
+	}
+
+	c.ResetStats()
+	if got := c.Stats().Lookups; got != 0 {
+		t.Errorf("after ResetStats Stats().Lookups = %d, want 0", got)
+	}
+}
+
 // TestReportMatchesPerSurfaceAccessors pins the consolidation contract: the
 // one-call Report must agree field-for-field with the five per-surface
 // accessors it supersedes, on both tiers, with the cache on.

@@ -124,7 +124,7 @@ func (c *Classifier) memoryReport(s *snapshot) MemoryReport {
 		RuleFilterUsedBits:        s.filter.usedBits(),
 
 		RulesInstalled: len(s.installed),
-		RuleCapacity:   c.cfg.RuleCapacityFor(s.engineName),
+		RuleCapacity:   c.cfg.RuleCapacityFor(s.activeEngineName()),
 	}
 	report.PacketEngine = s.packetName
 	if s.packet != nil {

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync"
+
+	"sdnpc/internal/fivetuple"
+)
+
+// headerSampler is a bounded ring buffer of recently served headers — the
+// traffic slice the advisor shadow-benches candidate engines on. It is built
+// for the serving path's constraints, not for fidelity: offer performs no
+// allocation, and it takes the ring lock only opportunistically (TryLock),
+// dropping the sample when another core holds it. Lookups therefore never
+// wait on the sampler, and concurrent offers degrade to "fewer samples", not
+// contention — an acceptable trade for a statistical sample of the traffic
+// mix.
+//
+// A nil *headerSampler is valid and inert, so the serving path offers
+// unconditionally without a branch on configuration.
+type headerSampler struct {
+	mu sync.Mutex
+	// buf is the ring storage; pos counts headers ever accepted, so
+	// pos % len(buf) is the next write slot and min(pos, len(buf)) the
+	// number of valid entries.
+	buf []fivetuple.Header
+	pos uint64
+}
+
+// newHeaderSampler builds a sampler holding up to capacity headers.
+func newHeaderSampler(capacity int) *headerSampler {
+	return &headerSampler{buf: make([]fivetuple.Header, capacity)}
+}
+
+// offer records one header unless the ring is momentarily busy.
+func (hs *headerSampler) offer(h fivetuple.Header) {
+	if hs == nil || !hs.mu.TryLock() {
+		return
+	}
+	hs.buf[hs.pos%uint64(len(hs.buf))] = h
+	hs.pos++
+	hs.mu.Unlock()
+}
+
+// sample returns a copy of the currently held headers, oldest first. The
+// copy means the caller can replay the slice at leisure while the serving
+// path keeps overwriting the ring.
+func (hs *headerSampler) sample() []fivetuple.Header {
+	if hs == nil {
+		return nil
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	n := hs.pos
+	if n > uint64(len(hs.buf)) {
+		n = uint64(len(hs.buf))
+	}
+	out := make([]fivetuple.Header, n)
+	start := hs.pos - n
+	for i := uint64(0); i < n; i++ {
+		out[i] = hs.buf[(start+i)%uint64(len(hs.buf))]
+	}
+	return out
+}
+
+// SampledHeaders returns a copy of the recently served headers captured by
+// the traffic sampler (oldest first), or nil when sampling is disabled
+// (Config.SampleHeaders == 0). This is the slice of live traffic the advisor
+// replays against shadow candidates.
+func (c *Classifier) SampledHeaders() []fivetuple.Header {
+	return c.sampler.sample()
+}
+
+// SamplingEnabled reports whether the traffic sampler is configured.
+func (c *Classifier) SamplingEnabled() bool { return c.sampler != nil }

@@ -86,6 +86,16 @@ type snapshot struct {
 	shards []*snapshot
 }
 
+// activeEngineName returns the registry name of the engine answering this
+// snapshot's lookups: the whole-packet engine when that tier is selected,
+// the IP-segment field engine otherwise.
+func (s *snapshot) activeEngineName() string {
+	if s.packetName != "" {
+		return s.packetName
+	}
+	return s.engineName
+}
+
 // packetDelta is one pending rule mutation awaiting packet-tier sync.
 type packetDelta struct {
 	delete bool

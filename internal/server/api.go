@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	"sdnpc"
@@ -47,6 +48,8 @@ func (a *api) routes() map[string]http.HandlerFunc {
 		"POST /v1/tenants/{id}/classify":       a.handleClassify,
 		"POST /v1/tenants/{id}/classify-batch": a.handleClassifyBatch,
 		"GET /v1/tenants/{id}/stats":           a.handleTenantStats,
+		"GET /v1/tenants/{id}/advise":          a.handleAdvise,
+		"POST /v1/tenants/{id}/advise":         a.handleAdviseApply,
 	}
 }
 
@@ -76,6 +79,9 @@ type CreateTenantRequest struct {
 	Replicas             int     `json:"replicas,omitempty"`
 	Shards               int     `json:"shards,omitempty"`
 	PartitionBy          string  `json:"partition_by,omitempty"`
+	Sampling             int     `json:"sampling,omitempty"`
+	AutoTune             bool    `json:"auto_tune,omitempty"`
+	AutoTuneIntervalMs   int     `json:"auto_tune_interval_ms,omitempty"`
 }
 
 // WireTenant describes one tenant in list/get/create responses.
@@ -196,6 +202,24 @@ type WireGlobalStats struct {
 	PerTenant  []WireTenantStats `json:"per_tenant"`
 }
 
+// AdviseRequest is the optional POST /v1/tenants/{id}/advise body.
+type AdviseRequest struct {
+	// Candidates restricts the shadow-benched engines; empty considers every
+	// selectable engine.
+	Candidates []string `json:"candidates,omitempty"`
+}
+
+// AdviseResponse is the advise payload: the ranked recommendations, the
+// tenant's auto-tune state, and (POST only) the recommendation that was
+// applied.
+type AdviseResponse struct {
+	Recommendations []sdnpc.Recommendation `json:"recommendations"`
+	AutoTune        bool                   `json:"auto_tune"`
+	AutoApplied     []sdnpc.Recommendation `json:"auto_applied,omitempty"`
+	Applied         *sdnpc.Recommendation  `json:"applied,omitempty"`
+	Engine          string                 `json:"engine"`
+}
+
 // errorResponse is the uniform error envelope.
 type errorResponse struct {
 	Error string `json:"error"`
@@ -313,6 +337,9 @@ func (a *api) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 		Replicas:             req.Replicas,
 		Shards:               req.Shards,
 		PartitionBy:          req.PartitionBy,
+		Sampling:             req.Sampling,
+		AutoTune:             req.AutoTune,
+		AutoTuneIntervalMs:   req.AutoTuneIntervalMs,
 	})
 	if err != nil {
 		status := http.StatusBadRequest
@@ -566,6 +593,67 @@ func (a *api) handleTenantStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, wireTenantStats(t))
+}
+
+// handleAdvise runs the workload-adaptive advisor for one tenant and
+// returns its ranked recommendations without applying anything. A
+// comma-separated ?candidates= query restricts the shadow-benched engines.
+func (a *api) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	var candidates []string
+	if q := r.URL.Query().Get("candidates"); q != "" {
+		candidates = strings.Split(q, ",")
+	}
+	recs, err := t.Classifier.Advise(candidates...)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("advising tenant %q: %w", t.ID, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, adviseResponse(t, recs, nil))
+}
+
+// handleAdviseApply runs the advisor and applies its strongest applicable
+// recommendation through the classifier's atomic switch paths — the wire
+// form of advise-then-apply for deployments that keep AutoTune off.
+func (a *api) handleAdviseApply(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	var req AdviseRequest
+	if r.ContentLength != 0 {
+		if err := readJSON(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	recs, err := t.Classifier.Advise(req.Candidates...)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("advising tenant %q: %w", t.ID, err))
+		return
+	}
+	var applied *sdnpc.Recommendation
+	for i := range recs {
+		if err := t.Classifier.ApplyRecommendation(recs[i]); err == nil {
+			applied = &recs[i]
+			a.log.Info("recommendation applied", "tenant", t.ID, "recommendation", recs[i].String())
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, adviseResponse(t, recs, applied))
+}
+
+func adviseResponse(t *Tenant, recs []sdnpc.Recommendation, applied *sdnpc.Recommendation) AdviseResponse {
+	return AdviseResponse{
+		Recommendations: recs,
+		AutoTune:        t.Classifier.AutoTuneEnabled(),
+		AutoApplied:     t.Classifier.AutoApplied(),
+		Applied:         applied,
+		Engine:          t.Classifier.Engine(),
+	}
 }
 
 // handleGlobalStats sums the served-traffic and memory accounting across

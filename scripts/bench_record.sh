@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# bench_record.sh — run the recording sweep and persist a BENCH_*.json
+# perf artifact at the repo root (or $RECORD_DIR).
+#
+# The artifact (schema sdnpc-bench/v1, see internal/bench/record.go) captures
+# every measured cell of the engine, throughput and churn sweeps together
+# with the workload configuration and the machine environment — the perf
+# trajectory across PRs, the advisor's fallback engine ranking
+# (bench.LatestRecord), and the CI bench job's uploaded artifact.
+#
+# Knobs (environment):
+#   RECORD_DIR   output directory          (default: repo root)
+#   CLASS/SIZE   ClassBench workload       (default: acl / 1k)
+#   PACKETS      trace length              (default: 10000)
+#   CHURN_OPS    churn ops per update cell (default: 1000)
+#   ENGINE       restrict to one engine    (default: all selectable)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RECORD_DIR="${RECORD_DIR:-.}"
+CLASS="${CLASS:-acl}"
+SIZE="${SIZE:-1k}"
+PACKETS="${PACKETS:-10000}"
+CHURN_OPS="${CHURN_OPS:-1000}"
+ENGINE="${ENGINE:-}"
+
+args=(-experiment sweep -class "$CLASS" -size "$SIZE" -packets "$PACKETS"
+      -churn-ops "$CHURN_OPS" -record-dir "$RECORD_DIR")
+if [[ -n "$ENGINE" ]]; then
+  args+=(-ip-engine "$ENGINE")
+fi
+
+go run ./cmd/experiments "${args[@]}"

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# check_bench_record.sh — CI gate for the persisted benchmark artifact.
+#
+# Runs the recording sweep (cmd/experiments -experiment sweep) on a small,
+# fast workload into a scratch directory, then validates the written
+# BENCH_<date>_<host>.json against the sdnpc-bench/v1 schema contract with
+# an independent reader (python3), so a drift between writer and schema
+# cannot slip through just because both sides share the Go struct.
+#
+# On success the artifact's path is exported via $GITHUB_OUTPUT (key
+# `record`) when running under GitHub Actions, so the workflow can upload it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="$(mktemp -d)"
+trap 'rm -rf "$outdir"' EXIT
+
+# Small + single-engine keeps this under a minute on a CI runner while still
+# exercising all three sweeps (engines, throughput, churn) end to end.
+go run ./cmd/experiments -experiment sweep \
+  -class acl -size 1k -packets 2000 -churn-ops 200 -workers 1,2 \
+  -ip-engine mbt -record-dir "$outdir" > /dev/null
+
+record="$(ls "$outdir"/BENCH_*.json)"
+python3 - "$record" <<'EOF'
+import json, re, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    rec = json.load(f)
+
+def fail(msg):
+    sys.exit(f"check_bench_record: {path}: {msg}")
+
+if rec.get("schema") != "sdnpc-bench/v1":
+    fail(f"schema {rec.get('schema')!r}, want 'sdnpc-bench/v1'")
+if not re.fullmatch(r"\d{4}-\d{2}-\d{2}", rec.get("date", "")):
+    fail(f"date {rec.get('date')!r} is not YYYY-MM-DD")
+if not rec.get("host"):
+    fail("no host")
+env = rec.get("environment", {})
+for key in ("go_version", "goos", "goarch", "num_cpu"):
+    if not env.get(key):
+        fail(f"environment.{key} missing")
+cfg = rec.get("config", {})
+for key in ("class", "size", "rules", "packets"):
+    if not cfg.get(key):
+        fail(f"config.{key} missing")
+results = rec.get("results", [])
+if not results:
+    fail("no results")
+experiments = {r.get("experiment") for r in results}
+for want in ("engines", "throughput", "updates"):
+    if want not in experiments:
+        fail(f"no {want!r} cells (have {sorted(experiments)})")
+for i, r in enumerate(results):
+    if not r.get("experiment") or not r.get("engine"):
+        fail(f"results[{i}] missing experiment or engine")
+    metrics = r.get("metrics", {})
+    if not metrics:
+        fail(f"results[{i}] has no metrics")
+    for name, value in metrics.items():
+        if not isinstance(value, (int, float)):
+            fail(f"results[{i}].metrics[{name!r}] is not numeric")
+name = path.rsplit("/", 1)[-1]
+if not re.fullmatch(r"BENCH_\d{4}-\d{2}-\d{2}_[A-Za-z0-9-]+\.json", name):
+    fail(f"file name {name!r} does not match BENCH_<date>_<host>.json")
+print(f"check_bench_record: OK — {name}: {len(results)} cells, "
+      f"{sorted(experiments)} on {cfg['class']}/{cfg['size']} ({cfg['rules']} rules)")
+EOF
+
+# Hand the artifact to the workflow for upload (survives the trap's cleanup).
+if [[ -n "${GITHUB_OUTPUT:-}" ]]; then
+  keep="${RUNNER_TEMP:-/tmp}/$(basename "$record")"
+  cp "$record" "$keep"
+  echo "record=$keep" >> "$GITHUB_OUTPUT"
+fi

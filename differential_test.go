@@ -51,13 +51,14 @@ func decodeDifferentialInput(data []byte) ([]fivetuple.Rule, []fivetuple.Header)
 	// Aim the first header at the first rule so random inputs exercise the
 	// match path, not only misses.
 	if len(rules) > 0 && len(headers) > 0 {
-		r := rules[0]
-		headers[0] = fivetuple.Header{
-			SrcIP:    r.SrcPrefix.Addr,
-			DstIP:    r.DstPrefix.Addr,
-			SrcPort:  r.SrcPort.Lo,
-			DstPort:  r.DstPort.Hi,
-			Protocol: r.Protocol.Value,
+		headers[0] = headerMatchingRule(rules[0])
+	}
+	// Every extended-dimension rule gets one engineered header too — random
+	// headers essentially never land inside a 128-bit prefix or an exact VLAN
+	// tag, so without this the extended match path would go unexercised.
+	for _, r := range rules {
+		if r.IsExtended() {
+			headers = append(headers, headerMatchingRule(r))
 		}
 	}
 	return rules, headers
@@ -91,7 +92,54 @@ func decodeFuzzRule(b []byte, arg int) fivetuple.Rule {
 	if b[19]&1 == 1 {
 		r.Protocol = fivetuple.WildcardProtocol()
 	}
+	// The remaining bits of b[19] switch on extension dimensions, reusing
+	// earlier bytes as entropy so the decode stays deterministic. Paths that
+	// cannot serve the resulting dimension set are skipped by the runner
+	// (differentialPaths gates on the registry-declared engine dims).
+	if b[19]&2 != 0 {
+		r.Src6 = fivetuple.Prefix6{
+			Addr: fivetuple.IPv6{Hi: 0x20010db8<<32 | uint64(fuzzU32(b[0:])), Lo: uint64(fuzzU32(b[5:])) << 32},
+			Len:  16 + b[4]%113,
+		}.Canonical()
+		r.Dst6 = fivetuple.Prefix6{
+			Addr: fivetuple.IPv6{Hi: 0x20010db8<<32 | uint64(fuzzU32(b[5:])), Lo: uint64(fuzzU32(b[0:])) << 32},
+			Len:  16 + b[9]%113,
+		}.Canonical()
+		// A rule constrains one family: going IPv6 clears the v4 prefixes.
+		r.SrcPrefix, r.DstPrefix = fivetuple.Prefix{}, fivetuple.Prefix{}
+	}
+	if b[19]&4 != 0 {
+		r.VLAN = fivetuple.ExactVLAN(1 + fuzzU16(b[10:])%fivetuple.MaxVLAN)
+	}
+	if b[19]&8 != 0 {
+		r.TCPFlags = fivetuple.TCPFlagMatch{Value: b[5], Mask: b[9] | 1}
+	}
+	if b[19]&16 != 0 {
+		r.NonTerminating = true
+	}
 	return r
+}
+
+// headerMatchingRule engineers a header that the rule matches, family-aware:
+// it sits at the rule's prefix base addresses, its port/protocol extremes and
+// the rule's exact VLAN/flag bits.
+func headerMatchingRule(r fivetuple.Rule) fivetuple.Header {
+	h := fivetuple.Header{
+		SrcPort:  r.SrcPort.Lo,
+		DstPort:  r.DstPort.Hi,
+		Protocol: r.Protocol.Value & r.Protocol.Mask,
+		VLAN:     r.VLAN.Value & r.VLAN.Mask,
+		TCPFlags: r.TCPFlags.Value & r.TCPFlags.Mask,
+	}
+	if !r.Src6.IsWildcard() || !r.Dst6.IsWildcard() {
+		h.Family = fivetuple.FamilyIPv6
+		h.SrcIP6 = r.Src6.Canonical().Addr
+		h.DstIP6 = r.Dst6.Canonical().Addr
+	} else {
+		h.SrcIP = r.SrcPrefix.Addr
+		h.DstIP = r.DstPrefix.Addr
+	}
+	return h
 }
 
 // decodeFuzzHeader maps fuzzHdrBytes bytes to one header.
@@ -149,6 +197,11 @@ func decodeFuzzTopology(data []byte) fuzzTopology {
 // unsharded single-snapshot classifier.
 func differentialPaths(t testing.TB, rs *fivetuple.RuleSet, topo fuzzTopology) map[string]*core.Classifier {
 	t.Helper()
+	// Paths whose engine does not declare the workload's required dimensions
+	// are skipped: the core would (correctly) refuse the install. At least the
+	// linear engine declares every dimension, so no workload runs path-less.
+	need := fivetuple.RequiredDims(rs.Rules())
+	covers := func(name string) bool { return engine.Dims(name).Covers(need) }
 	paths := make(map[string]*core.Classifier)
 	build := func(label string, cfg core.Config) {
 		c, err := core.New(cfg)
@@ -161,37 +214,54 @@ func differentialPaths(t testing.TB, rs *fivetuple.RuleSet, topo fuzzTopology) m
 		paths[label] = c
 	}
 	for _, name := range engine.SelectableNames() {
-		build(name, bench.EngineConfig(name))
+		if covers(name) {
+			build(name, bench.EngineConfig(name))
+		}
 	}
 	// The cache front must be transparent over both tiers; the second lookup
 	// pass below is served from the cache.
-	build("mbt+cache", bench.CachedEngineConfig("mbt", 4, 4096))
-	build("hypercuts+cache", bench.CachedEngineConfig("hypercuts", 4, 4096))
+	if covers("mbt") {
+		build("mbt+cache", bench.CachedEngineConfig("mbt", 4, 4096))
 
-	// Replicated fleet: every publish fans out to per-worker replicas with
-	// private caches; lookups rotate over replicas, so both passes cross
-	// replica boundaries.
-	repl := bench.CachedEngineConfig("mbt", 4, 4096)
-	repl.Replicas = topo.replicas
-	build(fmt.Sprintf("mbt+replicas=%d", topo.replicas), repl)
+		// Replicated fleet: every publish fans out to per-worker replicas with
+		// private caches; lookups rotate over replicas, so both passes cross
+		// replica boundaries.
+		repl := bench.CachedEngineConfig("mbt", 4, 4096)
+		repl.Replicas = topo.replicas
+		build(fmt.Sprintf("mbt+replicas=%d", topo.replicas), repl)
 
-	// Rule-space partitioning on both tiers: the steered shard's first match
-	// must be the global first match.
-	shardedField := bench.EngineConfig("mbt")
-	shardedField.Shards = topo.shards
-	shardedField.PartitionBy = topo.partitionBy
-	build(fmt.Sprintf("mbt+shards=%d/%s", topo.shards, topo.partitionBy), shardedField)
-	shardedPacket := bench.EngineConfig("hypercuts")
-	shardedPacket.Shards = topo.shards
-	shardedPacket.PartitionBy = topo.partitionBy
-	build(fmt.Sprintf("hypercuts+shards=%d/%s", topo.shards, topo.partitionBy), shardedPacket)
+		// Rule-space partitioning on both tiers: the steered shard's first
+		// match must be the global first match.
+		shardedField := bench.EngineConfig("mbt")
+		shardedField.Shards = topo.shards
+		shardedField.PartitionBy = topo.partitionBy
+		build(fmt.Sprintf("mbt+shards=%d/%s", topo.shards, topo.partitionBy), shardedField)
+	}
+	if covers("hypercuts") {
+		build("hypercuts+cache", bench.CachedEngineConfig("hypercuts", 4, 4096))
+		shardedPacket := bench.EngineConfig("hypercuts")
+		shardedPacket.Shards = topo.shards
+		shardedPacket.PartitionBy = topo.partitionBy
+		build(fmt.Sprintf("hypercuts+shards=%d/%s", topo.shards, topo.partitionBy), shardedPacket)
 
-	// Everything at once: replicated fleet over a sharded, cached table.
-	combined := bench.CachedEngineConfig("hypercuts", 4, 4096)
-	combined.Replicas = topo.replicas
-	combined.Shards = topo.shards
-	combined.PartitionBy = topo.partitionBy
-	build(fmt.Sprintf("hypercuts+replicas=%d+shards=%d/%s", topo.replicas, topo.shards, topo.partitionBy), combined)
+		// Everything at once: replicated fleet over a sharded, cached table.
+		combined := bench.CachedEngineConfig("hypercuts", 4, 4096)
+		combined.Replicas = topo.replicas
+		combined.Shards = topo.shards
+		combined.PartitionBy = topo.partitionBy
+		build(fmt.Sprintf("hypercuts+replicas=%d+shards=%d/%s", topo.replicas, topo.shards, topo.partitionBy), combined)
+	}
+	// The linear engine declares AllDims, so extended workloads always have a
+	// sharded/replicated path beside the plain one.
+	if need != 0 && covers("linear") {
+		shardedLinear := bench.EngineConfig("linear")
+		shardedLinear.Shards = topo.shards
+		shardedLinear.PartitionBy = topo.partitionBy
+		build(fmt.Sprintf("linear+shards=%d/%s", topo.shards, topo.partitionBy), shardedLinear)
+		repl := bench.EngineConfig("linear")
+		repl.Replicas = topo.replicas
+		build(fmt.Sprintf("linear+replicas=%d", topo.replicas), repl)
+	}
 	return paths
 }
 
@@ -212,6 +282,7 @@ func runDifferentialTopo(t testing.TB, rules []fivetuple.Rule, headers []fivetup
 	t.Helper()
 	rs := fivetuple.NewRuleSet("differential", rules)
 	paths := differentialPaths(t, rs, topo)
+	var refs []core.ActionRef
 	for label, c := range paths {
 		for pass := 0; pass < 2; pass++ {
 			reader := c.Reader(pass)
@@ -237,7 +308,40 @@ func runDifferentialTopo(t testing.TB, rules []fivetuple.Rule, headers []fivetup
 							wantIdx, want, want.Action, want.ActionArg)
 					}
 				}
+
+				// Multi-action semantics: the full ordered action list must
+				// equal the ClassifyAll reference, on the anonymous path and
+				// the worker-pinned reader alike, and refs[0] must agree with
+				// the first-match verdict above.
+				wantAll := rs.ClassifyAll(h)
+				refs, _ = reader.LookupAllInto(refs, h)
+				checkActionRefs(t, label, "reader-all", pass, i, h, rs, wantAll, refs)
+				gotAll, _ := c.LookupAll(h)
+				checkActionRefs(t, label, "lookup-all", pass, i, h, rs, wantAll, gotAll)
+				if wantOK && len(gotAll) > 0 && gotAll[0].Priority != wantIdx {
+					t.Fatalf("%s pass %d header %d (%s): LookupAll[0] priority %d disagrees with Lookup priority %d",
+						label, pass, i, h, gotAll[0].Priority, wantIdx)
+				}
 			}
+		}
+	}
+}
+
+// checkActionRefs asserts one multi-action result list equals the ClassifyAll
+// oracle's index list entry by entry: rule identity (priority), action, action
+// argument and terminality, in strict priority order.
+func checkActionRefs(t testing.TB, label, path string, pass, hdr int, h fivetuple.Header, rs *fivetuple.RuleSet, want []int, got []core.ActionRef) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s %s pass %d header %d (%s): %d action refs, oracle says %d (%v vs %v)",
+			label, path, pass, hdr, h, len(got), len(want), got, want)
+	}
+	for j, idx := range want {
+		r := rs.Rule(idx)
+		ref := got[j]
+		if ref.Priority != idx || ref.Action != r.Action || ref.ActionArg != r.ActionArg || ref.Terminal == r.NonTerminating {
+			t.Fatalf("%s %s pass %d header %d (%s): action ref %d = %+v, oracle rule %d (%s)",
+				label, path, pass, hdr, h, j, ref, idx, r)
 		}
 	}
 }
@@ -262,6 +366,17 @@ func FuzzDifferentialLookup(f *testing.F) {
 	f.Add([]byte{255, 255, 100, 101, 102, 103, 104, 105, 106, 107, 108, 109,
 		110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120, 121,
 		130, 131, 132, 133, 134, 135, 136, 137, 138, 139, 140})
+	// Extension-dimension seeds: b[19] bits switch on IPv6 prefixes +
+	// non-terminating (18 = 2|16) and VLAN + TCP flags + non-terminating
+	// (28 = 4|8|16), steering the smoke pass through the extended decode
+	// paths and the dims-gated engine selection.
+	f.Add([]byte{1, 0,
+		10, 0, 0, 1, 32, 192, 168, 0, 1, 24, 0, 0, 255, 255, 0, 80, 0, 80, 6, 18,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+		10, 0, 0, 1, 192, 168, 0, 99, 1, 1, 0, 80, 6})
+	f.Add([]byte{0, 0,
+		1, 2, 3, 4, 16, 5, 6, 7, 8, 0, 255, 255, 255, 255, 0, 0, 0, 0, 6, 28,
+		1, 2, 3, 4, 5, 6, 7, 8, 255, 255, 255, 255, 6})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rules, headers := decodeDifferentialInput(data)
 		if len(rules) == 0 || len(headers) == 0 {
@@ -289,6 +404,22 @@ func TestDifferentialEngines(t *testing.T) {
 				runDifferential(t, rs.Rules(), trace)
 			})
 		}
+	})
+
+	// Generated extended-dimension workload: IPv6 prefixes, VLAN tags,
+	// TCP-flag matches and non-terminating rules mixed into one ACL set. Only
+	// dimension-covering engines are built for it (differentialPaths gates on
+	// the registry), and every lookup is also checked under multi-action
+	// semantics against ClassifyAll.
+	t.Run("generated-extended", func(t *testing.T) {
+		rs := classbench.Generate(classbench.Config{
+			Class: classbench.ACL, Rules: 120, Seed: 77,
+			IPv6Fraction: 0.4, VLANFraction: 0.25, TCPFlagFraction: 0.25, NonTerminatingFraction: 0.3,
+		})
+		trace := classbench.GenerateTrace(rs, classbench.TraceConfig{
+			Packets: 250, Seed: 78, MatchFraction: 0.9,
+		})
+		runDifferential(t, rs.Rules(), trace)
 	})
 
 	prefix := fivetuple.MustParsePrefix
@@ -385,6 +516,88 @@ func TestDifferentialEngines(t *testing.T) {
 		})
 	}
 
+	// Extended-dimension edge cases: hand-built IPv6 boundary prefixes, VLAN
+	// and TCP-flag masks, dual-family wildcards, and multi-action stacks whose
+	// rule order is deliberately unsorted relative to priority.
+	t.Run("extended-dimensions", func(t *testing.T) {
+		prefix6 := fivetuple.MustParsePrefix6
+		v6hdr := func(src, dst string, dstPort uint16) fivetuple.Header {
+			return fivetuple.Header{
+				Family: fivetuple.FamilyIPv6,
+				SrcIP6: fivetuple.MustParseIPv6(src), DstIP6: fivetuple.MustParseIPv6(dst),
+				SrcPort: 1234, DstPort: dstPort, Protocol: fivetuple.ProtoTCP,
+			}
+		}
+		extCases := []struct {
+			name    string
+			rules   []fivetuple.Rule
+			headers []fivetuple.Header
+		}{
+			{
+				name: "ipv6-adjacent-prefixes",
+				rules: []fivetuple.Rule{
+					{Src6: prefix6("2001:db8::/128"), SrcPort: wildPorts, DstPort: wildPorts, Protocol: wild, Action: fivetuple.ActionForward, ActionArg: 0},
+					{Src6: prefix6("2001:db8::/64"), SrcPort: wildPorts, DstPort: wildPorts, Protocol: wild, Action: fivetuple.ActionForward, ActionArg: 1},
+					{Src6: prefix6("2001:db8::/32"), Dst6: prefix6("2001:db8:ff::/48"), SrcPort: wildPorts, DstPort: wildPorts, Protocol: wild, Action: fivetuple.ActionForward, ActionArg: 2},
+					// The /65 straddles the Hi/Lo word split of the address
+					// representation.
+					{Src6: prefix6("2001:db8:0:0:8000::/65"), SrcPort: wildPorts, DstPort: wildPorts, Protocol: wild, Action: fivetuple.ActionForward, ActionArg: 3},
+					// Dual-family wildcard default: matches v4 and v6 headers.
+					rule("0.0.0.0/0", "0.0.0.0/0", wildPorts, wildPorts, wild, 4),
+				},
+				headers: []fivetuple.Header{
+					v6hdr("2001:db8::", "2001:db8:ff::1", 80),
+					v6hdr("2001:db8::1", "::1", 80),
+					v6hdr("2001:db8:0:0:8000::1", "::1", 80),
+					v6hdr("2001:db8:0:0:7fff:ffff:ffff:ffff", "::1", 80),
+					v6hdr("2001:db9::1", "::1", 80),
+					{SrcIP: fivetuple.MustParseIPv4("10.0.0.1"), Protocol: fivetuple.ProtoTCP},
+				},
+			},
+			{
+				name: "vlan-and-flag-masks",
+				rules: []fivetuple.Rule{
+					{SrcPort: wildPorts, DstPort: wildPorts, Protocol: tcp, VLAN: fivetuple.ExactVLAN(100), Action: fivetuple.ActionForward, ActionArg: 0},
+					{SrcPort: wildPorts, DstPort: wildPorts, Protocol: tcp, TCPFlags: fivetuple.TCPFlagMatch{Value: fivetuple.TCPSyn, Mask: fivetuple.TCPSyn | fivetuple.TCPAck}, Action: fivetuple.ActionForward, ActionArg: 1},
+					{SrcPort: wildPorts, DstPort: wildPorts, Protocol: tcp, VLAN: fivetuple.VLANMatch{Value: 0x0F0, Mask: 0x0F0}, Action: fivetuple.ActionForward, ActionArg: 2},
+					rule("0.0.0.0/0", "0.0.0.0/0", wildPorts, wildPorts, wild, 3),
+				},
+				headers: []fivetuple.Header{
+					{Protocol: fivetuple.ProtoTCP, VLAN: 100, TCPFlags: fivetuple.TCPSyn},
+					{Protocol: fivetuple.ProtoTCP, VLAN: 0x0F7, TCPFlags: fivetuple.TCPSyn | fivetuple.TCPAck},
+					{Protocol: fivetuple.ProtoTCP, VLAN: 0, TCPFlags: fivetuple.TCPSyn},
+					{Protocol: fivetuple.ProtoTCP, VLAN: 101, TCPFlags: fivetuple.TCPAck},
+					{Protocol: fivetuple.ProtoUDP},
+				},
+			},
+			{
+				name: "multi-action-stack",
+				rules: []fivetuple.Rule{
+					// Mirror-then-forward: two non-terminating observers above
+					// a terminating verdict, with a dead rule below it.
+					{SrcPrefix: prefix("10.0.0.0/8"), SrcPort: wildPorts, DstPort: wildPorts, Protocol: wild, NonTerminating: true, Action: fivetuple.ActionController, ActionArg: 0},
+					{SrcPrefix: prefix("10.0.0.0/8"), SrcPort: wildPorts, DstPort: fivetuple.PortRange{Lo: 80, Hi: 80}, Protocol: wild, NonTerminating: true, Action: fivetuple.ActionModify, ActionArg: 7},
+					rule("10.0.0.0/8", "0.0.0.0/0", wildPorts, wildPorts, wild, 9),
+					rule("10.0.0.0/8", "0.0.0.0/0", wildPorts, wildPorts, wild, 10),
+					{SrcPort: wildPorts, DstPort: wildPorts, Protocol: wild, NonTerminating: true, Action: fivetuple.ActionController, ActionArg: 99},
+				},
+				headers: []fivetuple.Header{
+					{SrcIP: fivetuple.MustParseIPv4("10.1.2.3"), DstPort: 80, Protocol: fivetuple.ProtoTCP},
+					{SrcIP: fivetuple.MustParseIPv4("10.1.2.3"), DstPort: 81, Protocol: fivetuple.ProtoTCP},
+					// Matches only the trailing non-terminating observer: the
+					// action list is non-empty while the first-match verdict
+					// reports its (non-terminal) action.
+					{SrcIP: fivetuple.MustParseIPv4("11.1.2.3"), DstPort: 80, Protocol: fivetuple.ProtoTCP},
+				},
+			},
+		}
+		for _, tc := range extCases {
+			t.Run(tc.name, func(t *testing.T) {
+				runDifferential(t, tc.rules, tc.headers)
+			})
+		}
+	})
+
 	// Shard-boundary corpus: rules built to stress the rule-space partitioner
 	// — wildcard protocols (replicate into every shard), prefixes straddling
 	// the partition byte (/7 and /9 around a top-byte boundary) and identical
@@ -471,7 +684,9 @@ func TestDecodeDifferentialInputShapes(t *testing.T) {
 	if len(rules) == 0 || len(headers) == 0 {
 		t.Fatal("full-length input decoded to an empty workload")
 	}
-	if len(rules) > maxFuzzRules || len(headers) > maxFuzzHeaders {
+	// Beyond the decoded headers, every extended-dimension rule contributes
+	// one engineered header, so the header bound is the sum of both caps.
+	if len(rules) > maxFuzzRules || len(headers) > maxFuzzHeaders+maxFuzzRules {
 		t.Fatalf("decode exceeded caps: %d rules / %d headers", len(rules), len(headers))
 	}
 	for i, r := range rules {

@@ -75,10 +75,19 @@ func decodeUpdateInput(data []byte) (init []fivetuple.Rule, ops []fuzzUpdateOp, 
 	// Aim the first header at the first initial rule so sequences exercise
 	// the match path.
 	if len(init) > 0 && len(headers) > 0 {
-		r := init[0]
-		headers[0] = fivetuple.Header{
-			SrcIP: r.SrcPrefix.Addr, DstIP: r.DstPrefix.Addr,
-			SrcPort: r.SrcPort.Lo, DstPort: r.DstPort.Hi, Protocol: r.Protocol.Value,
+		headers[0] = headerMatchingRule(init[0])
+	}
+	// Extended-dimension rules (IPv6 prefixes, exact VLAN tags) are
+	// essentially unreachable by random headers; engineer one probe per
+	// extended rule so churn over them is actually observed.
+	for _, r := range init {
+		if r.IsExtended() {
+			headers = append(headers, headerMatchingRule(r))
+		}
+	}
+	for _, op := range ops {
+		if op.kind <= 1 && op.rule.IsExtended() {
+			headers = append(headers, headerMatchingRule(op.rule))
 		}
 	}
 	return init, ops, headers
@@ -98,8 +107,29 @@ func bestFirstOracle(live []fivetuple.Rule, h fivetuple.Header) (fivetuple.Rule,
 	return best, found
 }
 
+// multiActionOracle returns the live rules contributing to the multi-action
+// verdict for h, in priority order: every matching non-terminating rule up to
+// and including the first matching terminating one.
+func multiActionOracle(live []fivetuple.Rule, h fivetuple.Header) []fivetuple.Rule {
+	var matched []fivetuple.Rule
+	for _, r := range live {
+		if r.Matches(h) {
+			matched = append(matched, r)
+		}
+	}
+	sort.SliceStable(matched, func(i, j int) bool { return matched[i].Priority < matched[j].Priority })
+	out := matched[:0]
+	for _, r := range matched {
+		out = append(out, r)
+		if !r.NonTerminating {
+			break
+		}
+	}
+	return out
+}
+
 // checkAgainstOracle asserts one classifier agrees with the best-first
-// oracle on every header.
+// oracle on every header, under first-match and multi-action semantics.
 func checkAgainstOracle(t testing.TB, phase, label string, c *core.Classifier, live []fivetuple.Rule, headers []fivetuple.Header) {
 	t.Helper()
 	for i, h := range headers {
@@ -112,6 +142,19 @@ func checkAgainstOracle(t testing.TB, phase, label string, c *core.Classifier, l
 			t.Fatalf("%s %s header %d (%s): got priority %d action %v/%d, oracle priority %d action %v/%d",
 				phase, label, i, h, got.Priority, got.Action, got.ActionArg,
 				want.Priority, want.Action, want.ActionArg)
+		}
+		wantAll := multiActionOracle(live, h)
+		gotAll, _ := c.LookupAll(h)
+		if len(gotAll) != len(wantAll) {
+			t.Fatalf("%s %s header %d (%s): %d action refs, oracle says %d (%v vs %v)",
+				phase, label, i, h, len(gotAll), len(wantAll), gotAll, wantAll)
+		}
+		for j, r := range wantAll {
+			ref := gotAll[j]
+			if ref.Priority != r.Priority || ref.Action != r.Action || ref.ActionArg != r.ActionArg || ref.Terminal == r.NonTerminating {
+				t.Fatalf("%s %s header %d (%s): action ref %d = %+v, oracle rule %s",
+					phase, label, i, h, j, ref, r)
+			}
 		}
 	}
 }
@@ -148,9 +191,28 @@ func runDifferentialUpdates(t testing.TB, init []fivetuple.Rule, ops []fuzzUpdat
 // shards the rule covers) and the combination of both.
 func runDifferentialUpdatesTopo(t testing.TB, init []fivetuple.Rule, ops []fuzzUpdateOp, headers []fivetuple.Header, topo fuzzTopology) {
 	t.Helper()
-	selectable := engine.SelectableNames()
+	// The whole sequence's dimension requirement (initial rules plus every
+	// inserted rule) gates which engines run it and which engine hops are
+	// legal — the core refuses to install or switch onto an engine that does
+	// not declare a live rule's dimensions, and that refusal is a correct
+	// answer, not a differential divergence.
+	need := fivetuple.RequiredDims(init)
+	for _, op := range ops {
+		if op.kind <= 1 {
+			need |= op.rule.Dims()
+		}
+	}
+	var selectable []string
+	for _, name := range engine.SelectableNames() {
+		if engine.Dims(name).Covers(need) {
+			selectable = append(selectable, name)
+		}
+	}
 	variants := make(map[string]core.Config)
 	for _, name := range engine.PacketEngineNames() {
+		if !engine.Dims(name).Covers(need) {
+			continue
+		}
 		cfg := bench.EngineConfig(name)
 		// Keep the whole sequence on the delta path: unbounded budget and a
 		// disabled degradation trip (Degradation never exceeds 1).
@@ -158,30 +220,37 @@ func runDifferentialUpdatesTopo(t testing.TB, init []fivetuple.Rule, ops []fuzzU
 		cfg.DegradationThreshold = 1.01
 		variants[name] = cfg
 	}
+	// The topology variants ride on the richest gated engine: hypercuts when
+	// it covers the sequence, the always-covering linear engine otherwise, so
+	// extended sequences still churn through replicas and shards.
+	topoBase := "hypercuts"
+	if !engine.Dims(topoBase).Covers(need) {
+		topoBase = "linear"
+	}
 	{
-		cfg := bench.CachedEngineConfig("hypercuts", 4, 1024)
+		cfg := bench.CachedEngineConfig(topoBase, 4, 1024)
 		cfg.RebuildAfterDeltas = 1 << 20
 		cfg.DegradationThreshold = 1.01
-		variants["hypercuts+cache"] = cfg
+		variants[topoBase+"+cache"] = cfg
 	}
 	{
-		cfg := variants["hypercuts+cache"]
+		cfg := variants[topoBase+"+cache"]
 		cfg.Replicas = topo.replicas
-		variants[fmt.Sprintf("hypercuts+cache+replicas=%d", topo.replicas)] = cfg
+		variants[fmt.Sprintf("%s+cache+replicas=%d", topoBase, topo.replicas)] = cfg
 	}
 	{
-		cfg := variants["hypercuts"]
+		cfg := variants[topoBase]
 		cfg.Shards = topo.shards
 		cfg.PartitionBy = topo.partitionBy
-		variants[fmt.Sprintf("hypercuts+shards=%d/%s", topo.shards, topo.partitionBy)] = cfg
+		variants[fmt.Sprintf("%s+shards=%d/%s", topoBase, topo.shards, topo.partitionBy)] = cfg
 	}
 	{
-		cfg := variants["hypercuts+cache"]
+		cfg := variants[topoBase+"+cache"]
 		cfg.Replicas = topo.replicas
 		cfg.Shards = topo.shards
 		cfg.PartitionBy = topo.partitionBy
-		variants[fmt.Sprintf("hypercuts+cache+replicas=%d+shards=%d/%s",
-			topo.replicas, topo.shards, topo.partitionBy)] = cfg
+		variants[fmt.Sprintf("%s+cache+replicas=%d+shards=%d/%s",
+			topoBase, topo.replicas, topo.shards, topo.partitionBy)] = cfg
 	}
 
 	for label, cfg := range variants {
@@ -278,6 +347,14 @@ func FuzzDifferentialUpdates(f *testing.F) {
 		110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120, 121,
 		130, 131, 132, 133, 134, 135, 136, 137, 138, 139, 140,
 		3, 3, 2, 200, 1, 50, 0, 9, 9, 9, 9, 8, 7, 7, 7, 7, 33, 0, 1, 255, 254, 128, 0, 255, 255, 6, 0})
+	// Extension-dimension seed: the init rule carries IPv6 prefixes +
+	// non-terminating (b[19] = 18 = 2|16) and the inserted rule VLAN + TCP
+	// flags + non-terminating (28 = 4|8|16), driving the delta path and the
+	// dims-gated engine hops through the extended decode.
+	f.Add([]byte{0, 0, 0,
+		10, 0, 0, 1, 32, 192, 168, 0, 1, 24, 0, 0, 255, 255, 0, 80, 0, 80, 6, 18,
+		10, 0, 0, 1, 192, 168, 0, 99, 1, 1, 0, 80, 6,
+		0, 7, 9, 9, 9, 9, 8, 7, 7, 7, 7, 33, 0, 1, 255, 254, 128, 0, 255, 255, 6, 28})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		init, ops, headers := decodeUpdateInput(data)
 		if len(init) == 0 || len(ops) == 0 || len(headers) == 0 {
@@ -409,8 +486,10 @@ func TestDifferentialUpdateSequences(t *testing.T) {
 			// testing the rebuild path.
 			stats := c.UpdateStats()
 			if def, _ := engine.Get(name); def.Incremental {
-				if stats.DeltasApplied == 0 || stats.Rebuilds != 1 {
-					t.Errorf("update-sequence corpus for %s left stats %+v; want deltas with only the seed rebuild", name, stats)
+				// At most the seed build pays a rebuild: engines that splice
+				// deltas straight into an empty structure (linear) report zero.
+				if stats.DeltasApplied == 0 || stats.Rebuilds > 1 {
+					t.Errorf("update-sequence corpus for %s left stats %+v; want deltas with at most the seed rebuild", name, stats)
 				}
 			} else if stats.DeltasApplied != 0 {
 				t.Errorf("non-incremental %s applied deltas: %+v", name, stats)
@@ -457,7 +536,10 @@ func TestDecodeUpdateInputShapes(t *testing.T) {
 	if len(init) == 0 || len(ops) == 0 || len(headers) == 0 {
 		t.Fatal("full-length input decoded to an empty workload")
 	}
-	if len(init) > maxFuzzInitRules || len(ops) > maxFuzzOps || len(headers) > maxFuzzOpHeaders {
+	// Beyond the decoded probe headers, every extended-dimension rule (initial
+	// or inserted) contributes one engineered probe.
+	if len(init) > maxFuzzInitRules || len(ops) > maxFuzzOps ||
+		len(headers) > maxFuzzOpHeaders+maxFuzzInitRules+maxFuzzOps {
 		t.Fatalf("decode exceeded caps: %d/%d/%d", len(init), len(ops), len(headers))
 	}
 	seen := map[int]bool{}

@@ -250,6 +250,91 @@ func TestServiceDocCoversRoutes(t *testing.T) {
 	}
 }
 
+// TestDocsCoverDimensionModel keeps the generalized dimension model
+// documented: the ENGINES.md dimension-support matrix must agree cell by
+// cell with the registry's declared DimSet for every selectable engine (so
+// the docs cannot claim or forget a dimension the code does not serve),
+// ARCHITECTURE.md must describe the extended header layout and its serving
+// consequences, and SERVICE.md must name the extension wire fields and the
+// multi-action query parameter.
+func TestDocsCoverDimensionModel(t *testing.T) {
+	engines, err := os.ReadFile("docs/ENGINES.md")
+	if err != nil {
+		t.Fatalf("reading docs/ENGINES.md: %v", err)
+	}
+	text := string(engines)
+	for _, want := range []string{
+		"Dimension-support matrix", "MultiMatchPacketEngine", "LookupPacketAll",
+		"ErrDimsUnsupported", "non-terminating",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("docs/ENGINES.md does not mention %q", want)
+		}
+	}
+	// Matrix honesty: within the dimension-support matrix section, one row
+	// per selectable engine whose second column is exactly the
+	// DimSet.String() rendering of the registry declaration.
+	section := text
+	if i := strings.Index(section, "### Dimension-support matrix"); i >= 0 {
+		section = section[i:]
+		if j := strings.Index(section, "\n## "); j >= 0 {
+			section = section[:j]
+		}
+	} else {
+		t.Fatal("docs/ENGINES.md has no \"### Dimension-support matrix\" section")
+	}
+	for _, name := range engine.SelectableNames() {
+		want := engine.Dims(name).String()
+		rowPrefix := fmt.Sprintf("| `%s` |", name)
+		found := false
+		for _, line := range strings.Split(section, "\n") {
+			if !strings.HasPrefix(line, rowPrefix) {
+				continue
+			}
+			cells := strings.Split(line, "|")
+			if len(cells) < 3 {
+				continue
+			}
+			found = true
+			if got := strings.TrimSpace(cells[2]); got != want {
+				t.Errorf("docs/ENGINES.md dimension matrix says %q for %s, registry declares %q",
+					got, name, want)
+			}
+			break
+		}
+		if !found {
+			t.Errorf("docs/ENGINES.md dimension-support matrix has no row for %q", name)
+		}
+	}
+
+	arch, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("reading docs/ARCHITECTURE.md: %v", err)
+	}
+	for _, want := range []string{
+		"SrcIP6", "DstIP6", "VLAN", "TCPFlags", "Family",
+		"hashHeader", "TestHashHeaderCoversEveryField",
+		"LookupAll", "LookupAllInto", "packetDims", "family-fallback",
+	} {
+		if !strings.Contains(string(arch), want) {
+			t.Errorf("docs/ARCHITECTURE.md does not mention %q", want)
+		}
+	}
+
+	service, err := os.ReadFile("docs/SERVICE.md")
+	if err != nil {
+		t.Fatalf("reading docs/SERVICE.md: %v", err)
+	}
+	for _, want := range []string{
+		"src6", "dst6", "vlan", "tcp_flags", "non_terminating",
+		"?all=true", "actions",
+	} {
+		if !strings.Contains(string(service), want) {
+			t.Errorf("docs/SERVICE.md does not mention %q", want)
+		}
+	}
+}
+
 // TestDocsCoverCacheFlags keeps the microflow-cache surface documented: the
 // README must name the cache flags and facade option, and ENGINES.md must
 // explain generation-based invalidation — the piece of the serving contract

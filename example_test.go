@@ -92,5 +92,5 @@ func Example_engineInventory() {
 	fmt.Println("packet:", sdnpc.PacketEngines())
 	// Output:
 	// field:  [bst mbt rfc segtrie]
-	// packet: [dcfl hypercuts rfc-full]
+	// packet: [dcfl hypercuts linear rfc-full]
 }

@@ -437,6 +437,65 @@ func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, 
 	return best, true, accesses
 }
 
+// ClassifyAll appends the indices of every rule matching the header to dst
+// and returns the extended slice plus the number of memory accesses. Each
+// rule belongs to exactly one final-table combination, so the surviving
+// combination spans are disjoint and no deduplication is needed — but the
+// concatenation of spans is not globally ordered (and delta churn reorders
+// combinations), so callers needing priority order must sort the result. dst
+// is appended to without allocating when it has sufficient capacity.
+func (c *Classifier) ClassifyAll(h fivetuple.Header, dst []int) ([]int, int) {
+	c.lookups.Add(1)
+	sc := scratchPool.Get().(*scratch)
+	for f := range sc.labels {
+		sc.labels[f] = sc.labels[f][:0]
+	}
+	sc.ip, sc.port, sc.trans = sc.ip[:0], sc.port[:0], sc.trans[:0]
+
+	accesses := c.fieldSearch(h, sc)
+
+	w := c.words
+	for _, s := range sc.labels[fieldSrcIP] {
+		for _, d := range sc.labels[fieldDstIP] {
+			accesses++
+			if id, ok := c.probe(&c.ipTable, s, d); ok {
+				sc.ip = append(sc.ip, id)
+			}
+		}
+	}
+	for _, s := range sc.labels[fieldSrcPort] {
+		for _, d := range sc.labels[fieldDstPort] {
+			accesses++
+			if id, ok := c.probe(&c.portTable, s, d); ok {
+				sc.port = append(sc.port, id)
+			}
+		}
+	}
+	for _, p := range sc.port {
+		for _, pr := range sc.labels[fieldProto] {
+			accesses++
+			if id, ok := c.probe(&c.transTable, p, pr); ok {
+				sc.trans = append(sc.trans, id)
+			}
+		}
+	}
+	for _, ip := range sc.ip {
+		for _, tr := range sc.trans {
+			accesses++
+			if id, ok := c.probe(&c.finalTable, ip, tr); ok {
+				off, n, _ := c.setView(&c.finalTable, id)
+				accesses += n
+				for j := 0; j < n; j++ {
+					dst = append(dst, int(w[off+j]))
+				}
+			}
+		}
+	}
+	scratchPool.Put(sc)
+	c.lookupAccesses.Add(uint64(accesses))
+	return dst, accesses
+}
+
 // MemoryBits returns the storage consumed by the field structures and the
 // aggregation tables.
 func (c *Classifier) MemoryBits() int {

@@ -502,6 +502,61 @@ func (c *Classifier) Classify(h fivetuple.Header) (ruleIndex int, matched bool, 
 	return best, true, accesses
 }
 
+// ClassifyAll appends the indices of every rule matching the header to dst
+// and returns the extended slice plus the number of memory accesses. A lookup
+// visits exactly one leaf and each rule is stored in every leaf its region
+// overlaps, so the full scan of that leaf enumerates each match exactly once,
+// in ascending (best-first) index order — the delta path keeps leaf spans
+// sorted. dst is appended to without allocating when it has sufficient
+// capacity.
+func (c *Classifier) ClassifyAll(h fivetuple.Header, dst []int) ([]int, int) {
+	c.lookups.Add(1)
+	w := c.words
+	fields := fivetuple.Fields()
+	base := 0
+	accesses := 0
+	for w[base+nwFlags]&leafFlag == 0 {
+		accesses++
+		cutCount := int(w[base+nwFlags])
+		child := 0
+		mult := 1
+		for i := 0; i < cutCount; i++ {
+			dk := w[base+nwB+i]
+			di := int(dk >> 16)
+			k := int(dk & 0xFFFF)
+			lo := uint64(w[base+nwLo+di])
+			span := uint64(w[base+nwHi+di]) - lo + 1
+			width := span / uint64(k)
+			if width == 0 {
+				width = 1
+			}
+			v := headerValue(h, fields[di])
+			if v < lo {
+				v = lo
+			}
+			slice := int((v - lo) / width)
+			if slice >= k {
+				slice = k - 1
+			}
+			child += slice * mult
+			mult *= k
+		}
+		base = (int(w[base+nwA]) + child) * nodeWords
+	}
+	accesses++ // reading the leaf header
+	off := int(w[base+nwA])
+	n := int(w[base+nwB])
+	for j := 0; j < n; j++ {
+		accesses++
+		ri := int(w[off+j])
+		if c.rules[ri].Matches(h) {
+			dst = append(dst, ri)
+		}
+	}
+	c.lookupAccesses.Add(uint64(accesses))
+	return dst, accesses
+}
+
 // NodeCount returns the number of tree nodes.
 func (c *Classifier) NodeCount() int { return c.nodeCount }
 

@@ -266,13 +266,30 @@ func (s *shard[V]) bucketBase(h fivetuple.Header) int {
 	return int(hashHeader(h, s.seed)&s.bucketMask) * ways
 }
 
-// hashHeader hashes the five-tuple with the given seed: the 104 header bits
-// are packed into two words and passed through two rounds of the splitmix64
-// finaliser, which is cheap and mixes every input bit into every output bit.
+// hashHeader hashes the full header with the given seed: every dimension —
+// the 104 five-tuple bits, the family/VLAN/TCP-flag metadata word and the two
+// 128-bit IPv6 addresses — is packed into words and chained through the
+// splitmix64 finaliser, which is cheap and mixes every input bit into every
+// output bit.
+//
+// Folding EVERY Header field in is a correctness requirement, not a quality
+// tweak: the cache buckets by this hash and then compares keys with struct
+// equality, so a missed field merely degrades bucketing — but the same
+// function also steers the shard partitioner's tests and once hashed only the
+// five-tuple, making two headers differing solely in an IPv6 address or VLAN
+// tag collide pathologically. TestHashHeaderCoversEveryField walks the struct
+// by reflection and fails when a newly added field is not mixed in here.
 func hashHeader(h fivetuple.Header, seed uint64) uint64 {
 	a := uint64(h.SrcIP)<<32 | uint64(h.DstIP)
 	b := uint64(h.SrcPort)<<24 | uint64(h.DstPort)<<8 | uint64(h.Protocol)
-	return mix(a ^ mix(b^seed))
+	m := uint64(h.Family)<<24 | uint64(h.VLAN)<<8 | uint64(h.TCPFlags)
+	x := mix(b ^ seed)
+	x = mix(a ^ x)
+	x = mix(m ^ x)
+	x = mix(h.SrcIP6.Hi ^ x)
+	x = mix(h.SrcIP6.Lo ^ x)
+	x = mix(h.DstIP6.Hi ^ x)
+	return mix(h.DstIP6.Lo ^ x)
 }
 
 // mix is the splitmix64 finaliser.

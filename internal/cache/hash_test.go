@@ -1,0 +1,86 @@
+package cache
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sdnpc/internal/fivetuple"
+)
+
+// TestHashHeaderCoversEveryField pins the bug where hashHeader keyed only the
+// 104 five-tuple bits and ignored the IPv6/VLAN/flag extensions: two headers
+// differing only in an unhashed dimension landed in the same bucket on every
+// shard, turning the cache into a pathological collision chain. The test
+// walks fivetuple.Header by reflection — recursing into nested structs — and
+// flips one bit of each leaf field in turn: every flip must change the hash.
+// Adding a Header field without extending hashHeader fails this test.
+func TestHashHeaderCoversEveryField(t *testing.T) {
+	base := fivetuple.Header{
+		SrcIP:    fivetuple.MustParseIPv4("10.1.2.3"),
+		DstIP:    fivetuple.MustParseIPv4("192.168.9.17"),
+		SrcPort:  4242,
+		DstPort:  443,
+		Protocol: 6,
+		Family:   fivetuple.FamilyIPv4,
+		VLAN:     100,
+		TCPFlags: fivetuple.TCPSyn | fivetuple.TCPAck,
+		SrcIP6:   fivetuple.MustParseIPv6("2001:db8::1"),
+		DstIP6:   fivetuple.MustParseIPv6("2001:db8:ffff::2"),
+	}
+	const seed = 0x51cc5d1a_b00df00d
+	want := hashHeader(base, seed)
+
+	var paths []string
+	var collect func(prefix string, tp reflect.Type)
+	collect = func(prefix string, tp reflect.Type) {
+		for i := 0; i < tp.NumField(); i++ {
+			f := tp.Field(i)
+			name := f.Name
+			if prefix != "" {
+				name = prefix + "." + f.Name
+			}
+			if f.Type.Kind() == reflect.Struct {
+				collect(name, f.Type)
+				continue
+			}
+			paths = append(paths, name)
+		}
+	}
+	collect("", reflect.TypeOf(base))
+
+	// Sanity floor: the header has at least the classic five-tuple plus the
+	// family/VLAN/flag/IPv6 extensions. Fewer leaves means the walk broke.
+	if len(paths) < 10 {
+		t.Fatalf("reflection walk found only %d Header leaf fields: %v", len(paths), paths)
+	}
+
+	for _, path := range paths {
+		hdr := base
+		fv := reflect.ValueOf(&hdr).Elem()
+		for _, seg := range strings.Split(path, ".") {
+			fv = fv.FieldByName(seg)
+		}
+		switch fv.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			fv.SetUint(fv.Uint() ^ 1)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			fv.SetInt(fv.Int() ^ 1)
+		default:
+			t.Fatalf("Header field %s has kind %s: teach this test's perturbation switch about it, and hashHeader about the field", path, fv.Kind())
+		}
+		if got := hashHeader(hdr, seed); got == want {
+			t.Errorf("hashHeader ignores Header field %s: flipping it left the hash at %#x", path, want)
+		}
+	}
+}
+
+// TestHashHeaderSeedSensitivity keeps the per-shard seeding meaningful: the
+// same header under different seeds must hash differently, or every shard's
+// bucket choice degenerates to one global function.
+func TestHashHeaderSeedSensitivity(t *testing.T) {
+	h := fivetuple.Header{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Protocol: 5}
+	if hashHeader(h, 1) == hashHeader(h, 2) {
+		t.Fatalf("hashHeader is seed-insensitive")
+	}
+}

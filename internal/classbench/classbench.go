@@ -148,6 +148,25 @@ type Config struct {
 	UniqueSrcPort  int
 	UniqueDstPort  int
 	UniqueProtocol int
+
+	// Generalized-dimension knobs. Each is the fraction of body rules the
+	// corresponding extension applies to; 0 (the default) generates classic
+	// IPv4 five-tuple sets. Extended rules require a packet engine declaring
+	// the dimension (see engine.Definition.Dims) — the field tier refuses
+	// them.
+	//
+	// IPv6Fraction converts rules to IPv6: the v4 prefixes are cleared (a rule
+	// constrains one family) and documentation-prefix (2001:db8::/32) source
+	// and destination v6 prefixes are drawn instead.
+	IPv6Fraction float64
+	// VLANFraction adds an exact 802.1Q tag match.
+	VLANFraction float64
+	// TCPFlagFraction adds a TCP-flag match (SYN-only or established-style).
+	TCPFlagFraction float64
+	// NonTerminatingFraction marks rules non-terminating: a lookup that
+	// matches one collects its action and keeps evaluating (multi-action
+	// semantics). The trailing default rule always terminates.
+	NonTerminatingFraction float64
 }
 
 // StandardConfig returns the configuration reproducing the paper's filter
@@ -288,19 +307,61 @@ func (g *generator) run() *fivetuple.RuleSet {
 
 	rules := make([]fivetuple.Rule, 0, n)
 	for i := 0; i < body; i++ {
-		rules = append(rules, fivetuple.Rule{
+		r := fivetuple.Rule{
 			SrcPrefix: srcPrefixes[srcIdx[i]],
 			DstPrefix: dstPrefixes[dstIdx[i]],
 			SrcPort:   srcPorts[spIdx[i]],
 			DstPort:   dstPorts[dpIdx[i]],
 			Protocol:  protos[prIdx[i]],
 			Action:    g.action(),
-		})
+		}
+		rules = append(rules, g.extend(r))
 	}
 	if n > 0 {
 		rules = append(rules, fivetuple.Wildcard(len(rules), fivetuple.ActionDrop))
 	}
 	return fivetuple.NewRuleSet(g.cfg.Name(), rules)
+}
+
+// extend applies the generalized-dimension knobs to one body rule.
+func (g *generator) extend(r fivetuple.Rule) fivetuple.Rule {
+	cfg := g.cfg
+	if cfg.IPv6Fraction > 0 && g.rng.Float64() < cfg.IPv6Fraction {
+		r.Src6 = g.prefix6()
+		r.Dst6 = g.prefix6()
+		// A rule constrains one family: the v4 prefixes must be wildcard for
+		// the v6 matches to be reachable (fivetuple.Rule.Matches).
+		r.SrcPrefix, r.DstPrefix = fivetuple.Prefix{}, fivetuple.Prefix{}
+	}
+	if cfg.VLANFraction > 0 && g.rng.Float64() < cfg.VLANFraction {
+		r.VLAN = fivetuple.ExactVLAN(uint16(1 + g.rng.Intn(int(fivetuple.MaxVLAN))))
+	}
+	if cfg.TCPFlagFraction > 0 && g.rng.Float64() < cfg.TCPFlagFraction {
+		// The two flag shapes that dominate real sets: SYN-only (new
+		// connections) and established-style (ACK set).
+		if g.rng.Intn(2) == 0 {
+			r.TCPFlags = fivetuple.TCPFlagMatch{Value: fivetuple.TCPSyn, Mask: fivetuple.TCPSyn | fivetuple.TCPAck}
+		} else {
+			r.TCPFlags = fivetuple.TCPFlagMatch{Value: fivetuple.TCPAck, Mask: fivetuple.TCPAck}
+		}
+	}
+	if cfg.NonTerminatingFraction > 0 && g.rng.Float64() < cfg.NonTerminatingFraction {
+		r.NonTerminating = true
+	}
+	return r
+}
+
+// prefix6 draws an IPv6 prefix inside the 2001:db8::/32 documentation block,
+// with the subnet/host length mix of real v6 deployments.
+func (g *generator) prefix6() fivetuple.Prefix6 {
+	lens := []uint8{32, 48, 56, 64, 96, 128}
+	return fivetuple.Prefix6{
+		Addr: fivetuple.IPv6{
+			Hi: 0x20010db8_00000000 | g.rng.Uint64()&0x00000000_ffffffff,
+			Lo: g.rng.Uint64(),
+		},
+		Len: lens[g.rng.Intn(len(lens))],
+	}.Canonical()
 }
 
 func boolToInt(b bool) int {

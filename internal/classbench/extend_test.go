@@ -1,0 +1,82 @@
+package classbench
+
+import (
+	"testing"
+
+	"sdnpc/internal/fivetuple"
+)
+
+// TestGenerateExtendedDimensions checks the generalized-dimension knobs: the
+// requested fractions of body rules carry IPv6 prefixes, VLAN tags, TCP-flag
+// matches and non-terminating semantics, family exclusivity holds (an IPv6
+// rule keeps its v4 prefixes wildcard), and the trailing default rule stays a
+// terminating full wildcard.
+func TestGenerateExtendedDimensions(t *testing.T) {
+	cfg := Config{
+		Class:                  ACL,
+		Rules:                  400,
+		Seed:                   21,
+		IPv6Fraction:           0.5,
+		VLANFraction:           0.3,
+		TCPFlagFraction:        0.3,
+		NonTerminatingFraction: 0.25,
+	}
+	rs := Generate(cfg)
+	if rs.Len() != cfg.Rules {
+		t.Fatalf("generated %d rules, want %d", rs.Len(), cfg.Rules)
+	}
+	var v6, vlan, flags, nonTerm int
+	for i := 0; i < rs.Len(); i++ {
+		r := rs.Rule(i)
+		if !r.Src6.IsWildcard() || !r.Dst6.IsWildcard() {
+			v6++
+			if !r.SrcPrefix.IsWildcard() || !r.DstPrefix.IsWildcard() {
+				t.Fatalf("rule %d constrains both families: %s", i, r)
+			}
+		}
+		if !r.VLAN.IsWildcard() {
+			vlan++
+			if tag := r.VLAN.Value; tag == 0 || tag > fivetuple.MaxVLAN {
+				t.Fatalf("rule %d has out-of-range VLAN tag %d", i, tag)
+			}
+		}
+		if !r.TCPFlags.IsWildcard() {
+			flags++
+		}
+		if r.NonTerminating {
+			nonTerm++
+		}
+	}
+	body := cfg.Rules - 1
+	checkFraction := func(name string, got int, want float64) {
+		lo, hi := int(want*float64(body)*0.6), int(want*float64(body)*1.4)
+		if got < lo || got > hi {
+			t.Errorf("%s rules: %d of %d body rules, want roughly %.0f%%", name, got, body, want*100)
+		}
+	}
+	checkFraction("IPv6", v6, cfg.IPv6Fraction)
+	checkFraction("VLAN", vlan, cfg.VLANFraction)
+	checkFraction("TCP-flag", flags, cfg.TCPFlagFraction)
+	checkFraction("non-terminating", nonTerm, cfg.NonTerminatingFraction)
+
+	last := rs.Rule(rs.Len() - 1)
+	if last.Dims() != 0 || last.NonTerminating {
+		t.Errorf("trailing default rule gained extension dims: %s (dims %s)", last, last.Dims())
+	}
+
+	// Determinism: the same config reproduces the same set.
+	again := Generate(cfg)
+	for i := 0; i < rs.Len(); i++ {
+		if !rs.Rule(i).SameMatch(again.Rule(i)) || rs.Rule(i).NonTerminating != again.Rule(i).NonTerminating {
+			t.Fatalf("rule %d differs between identical-config generations", i)
+		}
+	}
+
+	// Zero-valued knobs keep the classic generator byte-compatible.
+	classic := Generate(Config{Class: ACL, Rules: 100, Seed: 3})
+	for i := 0; i < classic.Len(); i++ {
+		if classic.Rule(i).Dims() != 0 {
+			t.Fatalf("classic config generated an extended rule: %s", classic.Rule(i))
+		}
+	}
+}

@@ -105,8 +105,19 @@ func generateZipfTrace(rs *fivetuple.RuleSet, cfg TraceConfig, rng *rand.Rand) [
 	for i := range population {
 		population[i] = drawHeader(rng, rs, cfg)
 	}
-	z := rand.NewZipf(rng, cfg.ZipfSkew, 1, uint64(flows-1))
 	headers := make([]fivetuple.Header, 0, cfg.Packets)
+	if flows < 2 {
+		// A single-flow population needs no rank distribution — and must not
+		// reach rand.NewZipf, whose imax parameter would be 0 (flows-1).
+		// Zipf's rejection sampler is only specified for imax >= 1; feeding it
+		// a degenerate domain leans on undocumented behaviour of its internal
+		// state, so the one-flow trace is replayed directly instead.
+		for i := 0; i < cfg.Packets; i++ {
+			headers = append(headers, population[0])
+		}
+		return headers
+	}
+	z := rand.NewZipf(rng, cfg.ZipfSkew, 1, uint64(flows-1))
 	for i := 0; i < cfg.Packets; i++ {
 		headers = append(headers, population[z.Uint64()])
 	}
@@ -144,14 +155,41 @@ func pickRule(rng *rand.Rand, n int, locality float64) int {
 	return idx
 }
 
-// headerInRule draws a header uniformly from the rule's match region.
+// headerInRule draws a header uniformly from the rule's match region. The
+// draw is family-aware: a rule constraining the IPv6 prefixes yields an IPv6
+// header (its v4 fields stay zero), anything else a classic IPv4 header.
+// VLAN and TCP-flag dimensions fill in only when the rule constrains them —
+// unconstrained traffic is untagged with empty flags, so classic rule sets
+// generate byte-identical five-tuple traces.
 func headerInRule(rng *rand.Rand, r fivetuple.Rule) fivetuple.Header {
-	return fivetuple.Header{
-		SrcIP:    addrInPrefix(rng, r.SrcPrefix),
-		DstIP:    addrInPrefix(rng, r.DstPrefix),
-		SrcPort:  portInRange(rng, r.SrcPort),
-		DstPort:  portInRange(rng, r.DstPort),
-		Protocol: protocolInMatch(rng, r.Protocol),
+	var h fivetuple.Header
+	if !r.Src6.IsWildcard() || !r.Dst6.IsWildcard() {
+		h.Family = fivetuple.FamilyIPv6
+		h.SrcIP6 = addr6InPrefix(rng, r.Src6)
+		h.DstIP6 = addr6InPrefix(rng, r.Dst6)
+	} else {
+		h.SrcIP = addrInPrefix(rng, r.SrcPrefix)
+		h.DstIP = addrInPrefix(rng, r.DstPrefix)
+	}
+	h.SrcPort = portInRange(rng, r.SrcPort)
+	h.DstPort = portInRange(rng, r.DstPort)
+	h.Protocol = protocolInMatch(rng, r.Protocol)
+	if !r.VLAN.IsWildcard() {
+		h.VLAN = (r.VLAN.Value & r.VLAN.Mask) | (uint16(rng.Intn(int(fivetuple.MaxVLAN)+1)) &^ r.VLAN.Mask)
+	}
+	if !r.TCPFlags.IsWildcard() {
+		h.TCPFlags = (r.TCPFlags.Value & r.TCPFlags.Mask) | (uint8(rng.Intn(256)) &^ r.TCPFlags.Mask)
+	}
+	return h
+}
+
+// addr6InPrefix draws an IPv6 address uniformly inside the prefix.
+func addr6InPrefix(rng *rand.Rand, p fivetuple.Prefix6) fivetuple.IPv6 {
+	c := p.Canonical()
+	hiMask, loMask := c.Masks()
+	return fivetuple.IPv6{
+		Hi: c.Addr.Hi | rng.Uint64()&^hiMask,
+		Lo: c.Addr.Lo | rng.Uint64()&^loMask,
 	}
 }
 

@@ -160,6 +160,56 @@ func TestZipfTraceShape(t *testing.T) {
 	}
 }
 
+// TestZipfTraceSingleFlow pins the flows==1 guard: a one-flow population
+// must replay that flow for every packet without consulting rand.NewZipf
+// (whose imax parameter would be 0, outside its documented domain).
+func TestZipfTraceSingleFlow(t *testing.T) {
+	rs := smallSet()
+	for _, skew := range []float64{1.1, 2, 16, 64, math.Inf(1)} {
+		trace := GenerateTrace(rs, TraceConfig{Packets: 100, Seed: 9, MatchFraction: 1, ZipfSkew: skew, Flows: 1})
+		if len(trace) != 100 {
+			t.Fatalf("skew %v: trace length = %d, want 100", skew, len(trace))
+		}
+		for i, h := range trace {
+			if h != trace[0] {
+				t.Fatalf("skew %v: packet %d is %v, want the single flow %v", skew, i, h, trace[0])
+			}
+		}
+	}
+	// Packets == 1 clamps any flow request to a one-flow population and must
+	// take the same guard.
+	if trace := GenerateTrace(rs, TraceConfig{Packets: 1, Seed: 9, MatchFraction: 1, ZipfSkew: 2, Flows: 4096}); len(trace) != 1 {
+		t.Fatalf("single-packet Zipf trace length = %d, want 1", len(trace))
+	}
+}
+
+// TestTraceExtendedRules checks the family-aware header derivation: headers
+// engineered from IPv6/VLAN/flag rules must actually match them.
+func TestTraceExtendedRules(t *testing.T) {
+	rules := []fivetuple.Rule{
+		{
+			Src6:     fivetuple.MustParsePrefix6("2001:db8:aa::/48"),
+			Dst6:     fivetuple.MustParsePrefix6("2001:db8:bb::/48"),
+			SrcPort:  fivetuple.WildcardPortRange(),
+			DstPort:  fivetuple.ExactPort(443),
+			Protocol: fivetuple.ExactProtocol(fivetuple.ProtoTCP),
+			VLAN:     fivetuple.ExactVLAN(42),
+			TCPFlags: fivetuple.TCPFlagMatch{Value: fivetuple.TCPSyn, Mask: fivetuple.TCPSyn | fivetuple.TCPAck},
+			Action:   fivetuple.ActionForward,
+		},
+	}
+	rs := fivetuple.NewRuleSet("ext", rules)
+	trace := GenerateTrace(rs, TraceConfig{Packets: 200, Seed: 13, MatchFraction: 1})
+	for i, h := range trace {
+		if h.Family != fivetuple.FamilyIPv6 {
+			t.Fatalf("header %d: family %v, want IPv6", i, h.Family)
+		}
+		if !rules[0].Matches(h) {
+			t.Fatalf("header %d (%s) does not match the rule it was derived from", i, h)
+		}
+	}
+}
+
 // TestZipfTraceSmallPopulations covers the degenerate Zipf geometries.
 func TestZipfTraceSmallPopulations(t *testing.T) {
 	rs := smallSet()

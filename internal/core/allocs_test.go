@@ -106,6 +106,55 @@ func TestLookupBatchZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestLookupAllZeroAllocs asserts 0 allocs/op for the multi-action path
+// (LookupAllInto with a recycled ActionRef slice) on every selectable
+// engine. Engines declaring multi-action support serve a workload with
+// real non-terminating chains; the rest serve the classic set through the
+// same API (a chain of one). Either way the serving path must stay off the
+// heap once the pooled scratch has warmed up.
+func TestLookupAllZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector (sync.Pool drops puts)")
+	}
+	for _, name := range engine.SelectableNames() {
+		t.Run(name, func(t *testing.T) {
+			rs, trace := allocTrace(t)
+			if engine.Dims(name).Has(fivetuple.DimMultiAction) {
+				gen := classbench.StandardConfig(classbench.ACL, classbench.Size1K)
+				gen.NonTerminatingFraction = 0.3
+				rs = classbench.Generate(gen)
+				trace = classbench.GenerateTrace(rs, classbench.TraceConfig{
+					Packets: 256, Seed: 11, MatchFraction: 0.9, Locality: 0.3,
+				})
+			}
+			cfg := DefaultConfig()
+			cfg.CacheCapacity = 0
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			if err := c.SelectEngine(name); err != nil {
+				t.Fatalf("SelectEngine(%q): %v", name, err)
+			}
+			if _, err := c.InstallRuleSet(rs); err != nil {
+				t.Fatalf("InstallRuleSet: %v", err)
+			}
+			var refs []ActionRef
+			for _, h := range trace {
+				refs, _ = c.LookupAllInto(refs[:0], h)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(400, func() {
+				refs, _ = c.LookupAllInto(refs[:0], trace[i%len(trace)])
+				i++
+			})
+			if avg != 0 {
+				t.Fatalf("LookupAllInto on %s allocates %.2f allocs/op, want 0", name, avg)
+			}
+		})
+	}
+}
+
 // TestLookupZeroAllocsCrossProduct pins the combination mode that probes the
 // Rule Filter hardest: the odometer enumeration must stay allocation-free
 // too, not just the single-probe HPML path.

@@ -83,6 +83,10 @@ func (u *fieldUse) clone() *fieldUse {
 type installedRule struct {
 	rule fivetuple.Rule
 	key  label.CombinationKey
+	// ext marks an extended rule (Rule.Dims() != 0): it bypassed the field
+	// tier — no labels, no filter entry, key is zero — and exists only in
+	// this shadow and the whole-packet engine.
+	ext bool
 }
 
 // Classifier is one instance of the configurable packet classification
@@ -326,6 +330,19 @@ func (c *Classifier) selectIPEngineLocked(name string, def engine.Definition, dr
 	if dropPacket {
 		packetName = ""
 	}
+	// An engine switch must keep every installed rule servable: extended
+	// rules live only in the packet tier, so the switch target must still
+	// cover their dimensions.
+	if need := current.requiredDims(); need != 0 {
+		if packetName == "" {
+			return fmt.Errorf("%w: installed rules require dimensions %s but the %s field tier serves only the IPv4 five-tuple",
+				ErrDimsUnsupported, need, name)
+		}
+		if have := engine.Dims(packetName); !have.Covers(need) {
+			return fmt.Errorf("%w: installed rules require dimensions %s but engine %q declares %s",
+				ErrDimsUnsupported, need, packetName, have)
+		}
+	}
 	if name == current.engineName {
 		if packetName == current.packetName {
 			return nil
@@ -395,6 +412,19 @@ func (c *Classifier) SelectPacketEngine(name string) error {
 	if current.packetName == name {
 		return nil
 	}
+	// The target tier must cover every installed rule's dimensions —
+	// extended rules cannot return to the field tier or move onto an engine
+	// that declined their dimensions.
+	if need := current.requiredDims(); need != 0 {
+		if name == "" {
+			return fmt.Errorf("%w: installed rules require dimensions %s but the field tier serves only the IPv4 five-tuple",
+				ErrDimsUnsupported, need)
+		}
+		if have := engine.Dims(name); !have.Covers(need) {
+			return fmt.Errorf("%w: installed rules require dimensions %s but engine %q declares %s",
+				ErrDimsUnsupported, need, name, have)
+		}
+	}
 	next, err := current.clone(&c.cfg)
 	if err != nil {
 		return err
@@ -460,7 +490,10 @@ func fieldValueKey(d label.Dimension, r fivetuple.Rule) string {
 		if r.Protocol.IsWildcard() {
 			return "*"
 		}
-		return fivetuple.ExactProtocol(r.Protocol.Value).String()
+		// Key on the full value/mask pair. Partially masked protocols never
+		// reach the field tier (they are extended rules), but the key must
+		// not collapse distinct matches onto one label regardless.
+		return r.Protocol.String()
 	default:
 		return ""
 	}

@@ -226,6 +226,15 @@ func (s *snapshot) lookup(cfg *Config, h fivetuple.Header) Result {
 		return s.shards[s.part.Steer(h)].lookup(cfg, h)
 	}
 
+	// Family fallback: an IPv6 header can only be answered by a structure
+	// whose engine declares DimIPv6 — the field tier and the IPv4-only packet
+	// engines key on 32-bit addresses and would misclassify it. Those
+	// snapshots serve the header honestly from the installed-rule shadow
+	// (correct, O(n)); the wildcard-in-both-families rules still match.
+	if h.Family != fivetuple.FamilyIPv4 && !s.packetDims.Has(fivetuple.DimIPv6) {
+		return s.lookupFallback(h)
+	}
+
 	// Whole-packet tier: one precomputed multi-field structure answers the
 	// five-tuple directly, bypassing the per-field engines, the label
 	// fetches and the Rule Filter.

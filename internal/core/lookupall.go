@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sync"
+
+	"sdnpc/internal/engine"
+	"sdnpc/internal/fivetuple"
+)
+
+// ActionRef is one entry of a multi-action verdict: the action of one
+// matching rule, in strict priority order. Terminal marks a terminating rule
+// — the entry that ends the collection; every entry before it came from a
+// non-terminating rule.
+type ActionRef struct {
+	Priority  int
+	Action    fivetuple.Action
+	ActionArg uint32
+	// Terminal reports whether this rule terminates evaluation. A verdict
+	// list contains zero or more non-terminal entries followed by at most one
+	// terminal entry.
+	Terminal bool
+}
+
+// multiScratchPool recycles the rule-index scratch LookupAll hands to the
+// engine's LookupPacketAll, so the multi-action serving path performs no
+// per-packet heap allocation once warm.
+var multiScratchPool = sync.Pool{New: func() any {
+	sc := make([]int, 0, 64)
+	return &sc
+}}
+
+// LookupAll classifies one header and returns every matching rule's action in
+// strict priority order, stopping after (and including) the first terminating
+// match — the multi-action semantics non-terminating rules opt into. The
+// returned Result is the ordinary single-verdict outcome: its action fields
+// always equal the first entry of the list (the HPMR), so LookupAll and
+// Lookup agree by construction.
+//
+// Like Lookup it is lock-free and serves one consistent snapshot. It bypasses
+// the microflow cache — cached verdicts memoise the single-action Result, not
+// the list. Allocation-free steady state needs LookupAllInto with a recycled
+// destination slice.
+func (c *Classifier) LookupAll(h fivetuple.Header) ([]ActionRef, Result) {
+	return c.LookupAllInto(nil, h)
+}
+
+// LookupAllInto is the allocation-free variant of LookupAll: matches are
+// appended to dst[:0], reusing its backing array when capacity allows.
+func (c *Classifier) LookupAllInto(dst []ActionRef, h fivetuple.Header) ([]ActionRef, Result) {
+	dst = dst[:0]
+	var result Result
+	if c.fleet != nil {
+		rep, sl := c.fleet.pick()
+		dst, result = rep.snap.Load().lookupAllInto(&c.cfg, h, dst)
+		rep.stats.recordLookup(result)
+		c.fleet.release(sl)
+	} else {
+		dst, result = c.view().lookupAllInto(&c.cfg, h, dst)
+		c.stats.recordLookup(result)
+	}
+	c.sampler.offer(h)
+	return dst, result
+}
+
+// LookupAllInto collects the multi-action verdict from this reader's replica,
+// appending to dst[:0] like Classifier.LookupAllInto.
+func (r *Reader) LookupAllInto(dst []ActionRef, h fivetuple.Header) ([]ActionRef, Result) {
+	dst = dst[:0]
+	var result Result
+	if r.rep != nil {
+		dst, result = r.rep.snap.Load().lookupAllInto(&r.c.cfg, h, dst)
+		r.rep.stats.recordLookup(result)
+	} else {
+		dst, result = r.c.view().lookupAllInto(&r.c.cfg, h, dst)
+		r.c.stats.recordLookup(result)
+	}
+	r.c.sampler.offer(h)
+	return dst, result
+}
+
+// lookupAllInto is the snapshot-level multi-action lookup. Routing mirrors
+// snapshot.lookup — shard steer, family fallback, packet tier, field tier —
+// with one addition: a packet engine declaring multi-match support is asked
+// for every matching rule. Engines without multi-match support can only be
+// serving terminating rules (DimMultiAction is gated at install), so their
+// single verdict IS the complete list.
+func (s *snapshot) lookupAllInto(cfg *Config, h fivetuple.Header, dst []ActionRef) ([]ActionRef, Result) {
+	if s.part != nil {
+		return s.shards[s.part.Steer(h)].lookupAllInto(cfg, h, dst)
+	}
+	if h.Family != fivetuple.FamilyIPv4 && !s.packetDims.Has(fivetuple.DimIPv6) {
+		return s.collectFallback(h, dst)
+	}
+	if s.packet != nil {
+		if mm, ok := s.packet.(engine.MultiMatchPacketEngine); ok {
+			return s.collectPacket(mm, h, dst)
+		}
+		res := s.lookupPacket(h)
+		if res.Matched {
+			dst = append(dst, ActionRef{Priority: res.Priority, Action: res.Action, ActionArg: res.ActionArg, Terminal: true})
+		}
+		return dst, res
+	}
+	res := s.lookup(cfg, h)
+	if res.Matched {
+		dst = append(dst, ActionRef{Priority: res.Priority, Action: res.Action, ActionArg: res.ActionArg, Terminal: true})
+	}
+	return dst, res
+}
+
+// collectPacket gathers the multi-match verdict from a multi-match packet
+// engine. The engine contract already yields priority order (ascending
+// indices into the best-first packetRules slice) truncated at the first
+// terminating rule; the re-sort and re-truncation here defend that contract
+// against engine-internal orderings that drift after delta churn — the
+// classifier's verdict is priority-ordered no matter what the structure
+// returned. Both passes are allocation-free (insertion sort over the verdict
+// list, pooled index scratch).
+func (s *snapshot) collectPacket(mm engine.MultiMatchPacketEngine, h fivetuple.Header, dst []ActionRef) ([]ActionRef, Result) {
+	scp := multiScratchPool.Get().(*[]int)
+	idxs, accesses := mm.LookupPacketAll(h, (*scp)[:0])
+	start := len(dst)
+	for _, i := range idxs {
+		r := &s.packetRules[i]
+		dst = append(dst, ActionRef{Priority: r.Priority, Action: r.Action, ActionArg: r.ActionArg, Terminal: !r.NonTerminating})
+	}
+	*scp = idxs[:0]
+	multiScratchPool.Put(scp)
+	sortRefsByPriority(dst[start:])
+	dst = truncateAtTerminal(dst, start)
+	result := Result{
+		FieldAccesses: accesses,
+		LatencyCycles: CyclesDispatch + accesses + CyclesPacketResult,
+	}
+	if len(dst) > start {
+		ref := dst[start]
+		result.Matched = true
+		result.Priority = ref.Priority
+		result.Action = ref.Action
+		result.ActionArg = ref.ActionArg
+	}
+	return dst, result
+}
+
+// collectFallback serves a header no precomputed structure can answer (an
+// IPv6 header under an IPv4-only engine selection) by scanning the
+// installed-rule shadow. Installation order is not priority order, so the
+// matches are collected first and sorted before the terminal truncation.
+func (s *snapshot) collectFallback(h fivetuple.Header, dst []ActionRef) ([]ActionRef, Result) {
+	start := len(dst)
+	accesses := 0
+	for i := range s.installed {
+		accesses++
+		r := &s.installed[i].rule
+		if !r.Matches(h) {
+			continue
+		}
+		dst = append(dst, ActionRef{Priority: r.Priority, Action: r.Action, ActionArg: r.ActionArg, Terminal: !r.NonTerminating})
+	}
+	sortRefsByPriority(dst[start:])
+	dst = truncateAtTerminal(dst, start)
+	result := Result{
+		FieldAccesses: accesses,
+		LatencyCycles: CyclesDispatch + accesses + CyclesPacketResult,
+	}
+	if len(dst) > start {
+		ref := dst[start]
+		result.Matched = true
+		result.Priority = ref.Priority
+		result.Action = ref.Action
+		result.ActionArg = ref.ActionArg
+	}
+	return dst, result
+}
+
+// lookupFallback is the single-verdict form of collectFallback: the
+// best-priority scan an IPv6 header falls back to when the active engine
+// serves only the IPv4 five-tuple.
+func (s *snapshot) lookupFallback(h fivetuple.Header) Result {
+	best := -1
+	accesses := 0
+	for i := range s.installed {
+		accesses++
+		r := &s.installed[i].rule
+		if !r.Matches(h) {
+			continue
+		}
+		if best < 0 || r.Priority < s.installed[best].rule.Priority {
+			best = i
+		}
+	}
+	result := Result{
+		FieldAccesses: accesses,
+		LatencyCycles: CyclesDispatch + accesses + CyclesPacketResult,
+	}
+	if best >= 0 {
+		r := &s.installed[best].rule
+		result.Matched = true
+		result.Priority = r.Priority
+		result.Action = r.Action
+		result.ActionArg = r.ActionArg
+	}
+	return result
+}
+
+// sortRefsByPriority sorts a verdict list in place by ascending priority.
+// Stable insertion sort: the lists are short (one entry per matching rule)
+// and usually already ordered, and the hot path cannot afford sort.Slice's
+// closure allocation.
+func sortRefsByPriority(refs []ActionRef) {
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refs[j].Priority < refs[j-1].Priority; j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+}
+
+// truncateAtTerminal cuts the verdict list after its first terminal entry:
+// everything past the first terminating rule is unreachable.
+func truncateAtTerminal(dst []ActionRef, start int) []ActionRef {
+	for i := start; i < len(dst); i++ {
+		if dst[i].Terminal {
+			return dst[:i+1]
+		}
+	}
+	return dst
+}

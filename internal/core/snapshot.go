@@ -63,6 +63,14 @@ type snapshot struct {
 	packet      engine.PacketEngine
 	packetRules []fivetuple.Rule
 
+	// packetDims caches the packet engine's registry-declared dimension
+	// support (engine.Dims(packetName)), resolved once per publish by prepare
+	// so the per-packet serving path never takes the registry lock. It decides
+	// the family fallback: an IPv6 header is served by the packet structure
+	// only when this set covers DimIPv6, and by the installed-rule scan
+	// otherwise (the field tier serves only the IPv4 five-tuple).
+	packetDims fivetuple.DimSet
+
 	// Update plane. packetPending records the rule mutations applied to this
 	// (unpublished) snapshot since it was cloned; syncPacket drains it —
 	// through the engine's delta ops when it is incremental and the policy
@@ -228,6 +236,7 @@ func (s *snapshot) clone(cfg *Config) (*snapshot, error) {
 		c.engines[d] = rebuilt
 	}
 	c.packetName = s.packetName
+	c.packetDims = s.packetDims
 	c.packetRules = s.packetRules
 	c.packetPending = append([]packetDelta(nil), s.packetPending...)
 	c.packetDeltas = s.packetDeltas
@@ -386,17 +395,15 @@ func (s *snapshot) applyPacketDeltas(cfg *Config, inc engine.IncrementalPacketEn
 }
 
 // packetRuleIndex locates a rule in the best-first packet order by its field
-// matches and priority — the same identity findInstalled uses. The slice is
-// priority-sorted, so the scan is bounded to the equal-priority run.
+// matches and priority — the same identity findInstalled uses. Identity goes
+// through Rule.SameMatch so every dimension participates: comparing only the
+// classic five fields would let a delete land on a rule differing in an
+// IPv6/VLAN/flag match. The slice is priority-sorted, so the scan is bounded
+// to the equal-priority run.
 func packetRuleIndex(rules []fivetuple.Rule, r fivetuple.Rule) int {
 	lo := sort.Search(len(rules), func(i int) bool { return rules[i].Priority >= r.Priority })
 	for i := lo; i < len(rules) && rules[i].Priority == r.Priority; i++ {
-		pr := rules[i]
-		if pr.SrcPrefix.Canonical() == r.SrcPrefix.Canonical() &&
-			pr.DstPrefix.Canonical() == r.DstPrefix.Canonical() &&
-			pr.SrcPort == r.SrcPort &&
-			pr.DstPort == r.DstPort &&
-			pr.Protocol == r.Protocol {
+		if rules[i].SameMatch(r) {
 			return i
 		}
 	}
@@ -429,8 +436,13 @@ func (s *snapshot) rebuildEngine(cfg *Config, d label.Dimension) (engine.FieldEn
 }
 
 // prepare forces every deferred engine-side build (engine.Preparer) so that
-// a published snapshot never mutates itself inside Lookup.
+// a published snapshot never mutates itself inside Lookup, and resolves the
+// serving-path caches (packetDims) that must not be recomputed per packet.
 func (s *snapshot) prepare() {
+	s.packetDims = 0
+	if s.packetName != "" {
+		s.packetDims = engine.Dims(s.packetName)
+	}
 	for _, eng := range s.engines {
 		if p, ok := eng.(engine.Preparer); ok {
 			p.Prepare()
@@ -473,19 +485,23 @@ func (s *snapshot) reprioritiseFieldValue(d label.Dimension, r fivetuple.Rule, l
 }
 
 // findInstalled locates an installed rule with the same field matches and
-// priority.
+// priority. Identity goes through Rule.SameMatch so every dimension —
+// including the IPv6/VLAN/flag extensions — participates in the comparison.
 func (s *snapshot) findInstalled(r fivetuple.Rule) int {
 	for i, ir := range s.installed {
-		if ir.rule.Priority != r.Priority {
-			continue
-		}
-		if ir.rule.SrcPrefix.Canonical() == r.SrcPrefix.Canonical() &&
-			ir.rule.DstPrefix.Canonical() == r.DstPrefix.Canonical() &&
-			ir.rule.SrcPort == r.SrcPort &&
-			ir.rule.DstPort == r.DstPort &&
-			ir.rule.Protocol == r.Protocol {
+		if ir.rule.Priority == r.Priority && ir.rule.SameMatch(r) {
 			return i
 		}
 	}
 	return -1
+}
+
+// requiredDims returns the union of extension dimensions required by the
+// installed rules — what any engine serving this snapshot must cover.
+func (s *snapshot) requiredDims() fivetuple.DimSet {
+	var d fivetuple.DimSet
+	for _, ir := range s.installed {
+		d |= ir.rule.Dims()
+	}
+	return d
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"sdnpc/internal/engine"
 	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/hw/hashunit"
 	"sdnpc/internal/label"
@@ -12,6 +13,12 @@ import (
 
 // ErrRuleNotInstalled is returned when deleting a rule that is not present.
 var ErrRuleNotInstalled = errors.New("core: rule not installed")
+
+// ErrDimsUnsupported is returned when installing a rule that requires
+// extension dimensions (IPv6, VLAN, TCP flags, masked protocol,
+// non-terminating semantics) the serving engine does not declare, or when
+// switching to an engine that does not cover the installed rules' dimensions.
+var ErrDimsUnsupported = errors.New("core: extension dimensions unsupported by engine")
 
 // UpdateReport describes the cost of one rule insertion or deletion.
 type UpdateReport struct {
@@ -170,6 +177,25 @@ func (s *snapshot) insertRuleLocal(cfg *Config, r fivetuple.Rule) (UpdateReport,
 		return UpdateReport{}, fmt.Errorf("%w: capacity %d under the %s configuration",
 			ErrRuleFilterFull, cfg.RuleCapacityFor(s.engineName), s.engineName)
 	}
+	if dims := r.Dims(); dims != 0 {
+		// Extended rules (IPv6/VLAN/TCP-flag/masked-proto/non-terminating)
+		// bypass the five-tuple field tier entirely: no labels, no engine
+		// writes, no rule-filter entry. They ride the installed shadow into
+		// the whole-packet engine, so that engine must declare every
+		// dimension the rule requires — otherwise the install is refused
+		// rather than silently misclassified.
+		if s.packetName == "" {
+			return UpdateReport{}, fmt.Errorf("%w: rule %s requires dimensions %s but the %s field tier serves only the IPv4 five-tuple",
+				ErrDimsUnsupported, r, dims, s.engineName)
+		}
+		if have := engine.Dims(s.packetName); !have.Covers(dims) {
+			return UpdateReport{}, fmt.Errorf("%w: rule %s requires dimensions %s but engine %q declares %s",
+				ErrDimsUnsupported, r, dims, s.packetName, have)
+		}
+		s.installed = append(s.installed, installedRule{rule: r, ext: true})
+		s.packetPending = append(s.packetPending, packetDelta{rule: r})
+		return UpdateReport{ClockCycles: hardwareUpdateCycles()}, nil
+	}
 	report := UpdateReport{ClockCycles: hardwareUpdateCycles()}
 
 	// Track what has been acquired so a failure midway can be rolled back.
@@ -288,6 +314,14 @@ func (s *snapshot) deleteRuleLocal(r fivetuple.Rule) (report UpdateReport, mutat
 	}
 	installed := s.installed[idx]
 	report = UpdateReport{ClockCycles: hardwareUpdateCycles()}
+
+	if installed.ext {
+		// Extended rules hold no labels and no filter entry; only the
+		// installed shadow and the packet tier know them.
+		s.installed = append(s.installed[:idx], s.installed[idx+1:]...)
+		s.packetPending = append(s.packetPending, packetDelta{delete: true, rule: installed.rule})
+		return report, true, nil
+	}
 
 	found, probes := s.filter.remove(installed.key, installed.rule.Priority)
 	report.RuleFilterProbes = probes

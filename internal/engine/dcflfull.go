@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"slices"
 
 	"sdnpc/internal/algo/dcfl"
 	"sdnpc/internal/fivetuple"
@@ -13,6 +14,10 @@ func init() {
 		Description:   "Distributed Crossproducting of Field Labels: parallel field searches + aggregation-network probes (Table I)",
 		PacketFactory: newDCFLEngine,
 		Incremental:   true,
+		// The aggregation network enumerates every surviving combination,
+		// so multi-match comes for free; the range-based field searches
+		// cannot represent IPv6/VLAN/flag or partially masked dimensions.
+		Dims: fivetuple.DimMultiAction,
 	})
 }
 
@@ -102,6 +107,26 @@ func (e *dcflEngine) LookupPacket(h fivetuple.Header) (int, bool, int) {
 		return 0, false, 0
 	}
 	return e.c.Classify(h)
+}
+
+// LookupPacketAll enumerates every matching rule in priority order. The
+// final-table spans are disjoint but their concatenation is unordered across
+// combinations (and delta churn reorders it further), so the collected
+// indices are sorted before the terminal-rule truncation — unsorted spans
+// would otherwise truncate the action chain at the wrong rule.
+func (e *dcflEngine) LookupPacketAll(h fivetuple.Header, dst []int) ([]int, int) {
+	if e.c == nil {
+		return dst, 0
+	}
+	start := len(dst)
+	dst, accesses := e.c.ClassifyAll(h, dst)
+	slices.Sort(dst[start:])
+	for i := start; i < len(dst); i++ {
+		if !e.rules[dst[i]].NonTerminating {
+			return dst[:i+1], accesses
+		}
+	}
+	return dst, accesses
 }
 
 // dcflProvisionedAccesses is the provisioned per-packet access budget of the

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"slices"
 
 	"sdnpc/internal/algo/hypercuts"
 	"sdnpc/internal/fivetuple"
@@ -13,6 +14,10 @@ func init() {
 		Description:   "HyperCuts decision tree: multi-dimensional cuts + linear leaf scan, smallest memory (Table I)",
 		PacketFactory: newHyperCutsEngine,
 		Incremental:   true,
+		// One leaf holds every rule overlapping the lookup point, so a full
+		// leaf scan enumerates all matches; the 5-dimension cut geometry
+		// cannot represent IPv6/VLAN/flag or partially masked dimensions.
+		Dims: fivetuple.DimMultiAction,
 	})
 }
 
@@ -104,6 +109,26 @@ func (e *hypercutsEngine) LookupPacket(h fivetuple.Header) (int, bool, int) {
 		return 0, false, 0
 	}
 	return e.c.Classify(h)
+}
+
+// LookupPacketAll enumerates every matching rule in priority order: the leaf
+// spans stay sorted ascending through delta churn, so the scan already yields
+// best-first order and only the terminal-rule truncation remains. The
+// defensive sort guards the ordering contract against slack-padded span
+// relocations regardless.
+func (e *hypercutsEngine) LookupPacketAll(h fivetuple.Header, dst []int) ([]int, int) {
+	if e.c == nil {
+		return dst, 0
+	}
+	start := len(dst)
+	dst, accesses := e.c.ClassifyAll(h, dst)
+	slices.Sort(dst[start:])
+	for i := start; i < len(dst); i++ {
+		if !e.rules[dst[i]].NonTerminating {
+			return dst[:i+1], accesses
+		}
+	}
+	return dst, accesses
 }
 
 func (e *hypercutsEngine) Cost() CostModel {

@@ -58,6 +58,24 @@ type PacketEngine interface {
 	Clone() PacketEngine
 }
 
+// MultiMatchPacketEngine is implemented by packet engines that can enumerate
+// every matching rule, not only the highest-priority one. It is required of
+// engines whose registry definition declares DimMultiAction: the core's
+// multi-action lookup (LookupAll) collects the ordered action chain of
+// non-terminating rules through this interface.
+type MultiMatchPacketEngine interface {
+	PacketEngine
+	// LookupPacketAll appends the indices (into the installed rule slice)
+	// of every rule matching the header to dst, in ascending index order —
+	// which is priority order, because Install receives rules best-first —
+	// truncated after the first terminating (non-NonTerminating) match. It
+	// returns the extended slice and the number of memory accesses
+	// performed. Implementations must not allocate when dst has sufficient
+	// capacity, so the zero-allocation serving guarantee extends to the
+	// multi-action path.
+	LookupPacketAll(h fivetuple.Header, dst []int) ([]int, int)
+}
+
 // PacketFactory builds one whole-packet engine instance.
 type PacketFactory func(spec Spec) (PacketEngine, error)
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"sdnpc/internal/fivetuple"
 	"sdnpc/internal/hw/memory"
 )
 
@@ -74,6 +75,14 @@ type Definition struct {
 	// Legacy is the IPalg_s signal value that historically named this
 	// engine, or 0 when the engine has no legacy selection value.
 	Legacy memory.AlgSelect
+	// Dims declares the extension dimensions beyond the classic IPv4
+	// first-match five-tuple this engine serves (IPv6 prefixes, VLAN tags,
+	// TCP-flag masks, partial protocol masks, non-terminating rules). The
+	// classifier refuses to install a rule requiring dimensions outside
+	// this set — an engine either serves a dimension or honestly declines
+	// it; it never silently misclassifies. A Dims containing DimMultiAction
+	// promises the packet instances implement MultiMatchPacketEngine.
+	Dims fivetuple.DimSet
 }
 
 var (
@@ -161,6 +170,16 @@ func IPEngineNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Dims returns the extension-dimension set declared by the named engine. An
+// unknown name declares nothing.
+func Dims(name string) fivetuple.DimSet {
+	def, ok := Get(name)
+	if !ok {
+		return 0
+	}
+	return def.Dims
 }
 
 // LegacyName maps an IPalg_s signal value to the name of the engine it

@@ -1,0 +1,95 @@
+package fivetuple
+
+import "strings"
+
+// DimSet is a bitmask of extension dimensions beyond the classic IPv4
+// five-tuple. Engines declare the set they can serve in their registry
+// definition; every rule reports the set it requires via Rule.Dims. The core
+// refuses to install a rule whose required dimensions exceed what the active
+// engine declared, so engines never silently misclassify — they either serve
+// a dimension or honestly decline it.
+type DimSet uint8
+
+// Extension dimensions.
+const (
+	// DimIPv6 marks 128-bit IPv6 source/destination prefix matching.
+	DimIPv6 DimSet = 1 << iota
+	// DimVLAN marks 802.1Q VLAN tag matching.
+	DimVLAN
+	// DimTCPFlags marks TCP flags value/mask matching.
+	DimTCPFlags
+	// DimMaskedProto marks partial (non-wildcard, non-exact) protocol
+	// masks, which range- and lut-based engines cannot represent.
+	DimMaskedProto
+	// DimMultiAction marks non-terminating rules, which require the engine
+	// to enumerate all matches (LookupPacketAll) rather than stop at the
+	// first.
+	DimMultiAction
+)
+
+// AllDims is the set of every extension dimension.
+const AllDims = DimIPv6 | DimVLAN | DimTCPFlags | DimMaskedProto | DimMultiAction
+
+// Covers reports whether every dimension in need is present in d.
+func (d DimSet) Covers(need DimSet) bool { return need&^d == 0 }
+
+// Has reports whether the dimension bit is set.
+func (d DimSet) Has(bit DimSet) bool { return d&bit != 0 }
+
+// String renders the set as a "+"-joined list of dimension names, or "none".
+func (d DimSet) String() string {
+	if d == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, e := range []struct {
+		bit  DimSet
+		name string
+	}{
+		{DimIPv6, "ipv6"},
+		{DimVLAN, "vlan"},
+		{DimTCPFlags, "tcp-flags"},
+		{DimMaskedProto, "masked-proto"},
+		{DimMultiAction, "multi-action"},
+	} {
+		if d.Has(e.bit) {
+			parts = append(parts, e.name)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// Dims returns the extension dimensions this rule requires from the engine
+// serving it. A classic IPv4 first-match five-tuple rule returns 0.
+func (r Rule) Dims() DimSet {
+	var d DimSet
+	if !r.Src6.IsWildcard() || !r.Dst6.IsWildcard() {
+		d |= DimIPv6
+	}
+	if !r.VLAN.IsWildcard() {
+		d |= DimVLAN
+	}
+	if !r.TCPFlags.IsWildcard() {
+		d |= DimTCPFlags
+	}
+	if m := r.Protocol.Mask; m != 0x00 && m != 0xFF {
+		d |= DimMaskedProto
+	}
+	if r.NonTerminating {
+		d |= DimMultiAction
+	}
+	return d
+}
+
+// IsExtended reports whether the rule requires any extension dimension.
+func (r Rule) IsExtended() bool { return r.Dims() != 0 }
+
+// RequiredDims returns the union of extension dimensions required by the
+// rules.
+func RequiredDims(rules []Rule) DimSet {
+	var d DimSet
+	for _, r := range rules {
+		d |= r.Dims()
+	}
+	return d
+}

@@ -72,6 +72,19 @@ type Rule struct {
 	DstPort   PortRange
 	Protocol  ProtocolMatch
 
+	// Src6 and Dst6 are optional IPv6 prefix matches. A rule with a
+	// non-wildcard IPv6 prefix only matches FamilyIPv6 headers; a rule with
+	// a non-wildcard IPv4 prefix only matches FamilyIPv4 headers. A rule
+	// wildcard in both families matches headers of either family.
+	Src6 Prefix6
+	Dst6 Prefix6
+	// VLAN optionally matches the 802.1Q tag; the zero value is the
+	// wildcard.
+	VLAN VLANMatch
+	// TCPFlags optionally matches the TCP flags byte; the zero value is the
+	// wildcard.
+	TCPFlags TCPFlagMatch
+
 	// Priority is the rule's position in the filter set; smaller is higher
 	// priority.
 	Priority int
@@ -79,15 +92,52 @@ type Rule struct {
 	Action Action
 	// ActionArg carries the action parameter (egress port, group id, ...).
 	ActionArg uint32
+	// NonTerminating marks a rule that contributes its action to the
+	// ordered multi-action result (LookupAll) without stopping collection —
+	// mirror/count chains stack on top of a later terminating verdict. The
+	// first-match verdict (Lookup) still reports the HPMR regardless.
+	NonTerminating bool
 }
 
-// Matches reports whether the header satisfies all five field matches.
+// Matches reports whether the header satisfies every match dimension of the
+// rule, including the optional IPv6/VLAN/TCP-flag extensions.
 func (r Rule) Matches(h Header) bool {
-	return r.SrcPrefix.Matches(h.SrcIP) &&
-		r.DstPrefix.Matches(h.DstIP) &&
-		r.SrcPort.Matches(h.SrcPort) &&
+	if h.Family == FamilyIPv6 {
+		if !r.SrcPrefix.IsWildcard() || !r.DstPrefix.IsWildcard() {
+			return false
+		}
+		if !r.Src6.Matches(h.SrcIP6) || !r.Dst6.Matches(h.DstIP6) {
+			return false
+		}
+	} else {
+		if !r.Src6.IsWildcard() || !r.Dst6.IsWildcard() {
+			return false
+		}
+		if !r.SrcPrefix.Matches(h.SrcIP) || !r.DstPrefix.Matches(h.DstIP) {
+			return false
+		}
+	}
+	return r.SrcPort.Matches(h.SrcPort) &&
 		r.DstPort.Matches(h.DstPort) &&
-		r.Protocol.Matches(h.Protocol)
+		r.Protocol.Matches(h.Protocol) &&
+		r.VLAN.Matches(h.VLAN) &&
+		r.TCPFlags.Matches(h.TCPFlags)
+}
+
+// SameMatch reports whether two rules match exactly the same set of headers,
+// comparing every dimension in canonical form. Priority, action and
+// termination semantics are not part of the comparison: this is the identity
+// used by the update plane to locate an installed rule.
+func (r Rule) SameMatch(o Rule) bool {
+	return r.SrcPrefix.Canonical() == o.SrcPrefix.Canonical() &&
+		r.DstPrefix.Canonical() == o.DstPrefix.Canonical() &&
+		r.SrcPort == o.SrcPort &&
+		r.DstPort == o.DstPort &&
+		r.Protocol == o.Protocol &&
+		r.Src6.Canonical() == o.Src6.Canonical() &&
+		r.Dst6.Canonical() == o.Dst6.Canonical() &&
+		r.VLAN == o.VLAN &&
+		r.TCPFlags == o.TCPFlags
 }
 
 // Wildcard returns a rule matching every packet, with the given priority and
@@ -102,8 +152,23 @@ func Wildcard(priority int, action Action) Rule {
 }
 
 // String renders the rule in ClassBench syntax (without the leading '@').
+// Extension dimensions, when present, are appended as "key=value" suffixes so
+// classic five-tuple rules keep their exact legacy rendering.
 func (r Rule) String() string {
-	return fmt.Sprintf("%s %s %s %s %s", r.SrcPrefix, r.DstPrefix, r.SrcPort, r.DstPort, r.Protocol)
+	s := fmt.Sprintf("%s %s %s %s %s", r.SrcPrefix, r.DstPrefix, r.SrcPort, r.DstPort, r.Protocol)
+	if !r.Src6.IsWildcard() || !r.Dst6.IsWildcard() {
+		s += fmt.Sprintf(" src6=%s dst6=%s", r.Src6, r.Dst6)
+	}
+	if !r.VLAN.IsWildcard() {
+		s += fmt.Sprintf(" vlan=%s", r.VLAN)
+	}
+	if !r.TCPFlags.IsWildcard() {
+		s += fmt.Sprintf(" flags=%s", r.TCPFlags)
+	}
+	if r.NonTerminating {
+		s += " non-terminating"
+	}
+	return s
 }
 
 // FieldKey returns a canonical string key identifying the rule's match value

@@ -99,6 +99,25 @@ func (rs *RuleSet) MatchingRules(h Header) []int {
 	return out
 }
 
+// ClassifyAll returns the indices of the matching rules that contribute to
+// the multi-action verdict, in priority order: every matching non-terminating
+// rule up to and including the first matching terminating rule. This is the
+// reference semantics for Classifier.LookupAll — for a set without
+// non-terminating rules it returns at most one index, the HPMR.
+func (rs *RuleSet) ClassifyAll(h Header) []int {
+	var out []int
+	for i, r := range rs.rules {
+		if !r.Matches(h) {
+			continue
+		}
+		out = append(out, i)
+		if !r.NonTerminating {
+			break
+		}
+	}
+	return out
+}
+
 // UniqueFieldValues returns the distinct field keys present in the set for
 // the given dimension, in first-appearance (priority) order. The length of
 // the result is the "number of unique rule fields" reported in Table II of

@@ -300,18 +300,46 @@ const (
 	ProtoESP  uint8 = 50
 )
 
-// Header is the 5-tuple extracted from a packet header. It is the unit of
-// work handed to every classifier in this repository.
+// Header is the tuple extracted from a packet header. It is the unit of work
+// handed to every classifier in this repository. The zero value of the
+// extension dimensions (Family == FamilyIPv4, VLAN == 0, TCPFlags == 0,
+// all-zero IPv6 addresses) describes an untagged IPv4 packet, so legacy
+// five-tuple callers are unaffected.
+//
+// Header is a comparable struct: the microflow cache and test harnesses rely
+// on struct equality covering every dimension. When adding a field here, also
+// extend cache.hashHeader and shard.Partitioner.Steer — the cache package has
+// a reflection-based regression test that fails if the hash misses a field.
 type Header struct {
 	SrcIP    IPv4
 	DstIP    IPv4
 	SrcPort  uint16
 	DstPort  uint16
 	Protocol uint8
+
+	// Family selects which address fields are meaningful. FamilyIPv4 (the
+	// zero value) uses SrcIP/DstIP; FamilyIPv6 uses SrcIP6/DstIP6.
+	Family Family
+	// VLAN is the 12-bit 802.1Q tag; 0 means untagged.
+	VLAN uint16
+	// TCPFlags is the TCP flags byte; 0 for non-TCP traffic.
+	TCPFlags uint8
+	// SrcIP6 and DstIP6 carry the 128-bit addresses when Family ==
+	// FamilyIPv6.
+	SrcIP6 IPv6
+	DstIP6 IPv6
 }
 
 // String renders the header in a compact human-readable form.
 func (h Header) String() string {
+	if h.Family == FamilyIPv6 {
+		return fmt.Sprintf("%s:%d -> %s:%d proto %d vlan %d flags 0x%02X",
+			h.SrcIP6, h.SrcPort, h.DstIP6, h.DstPort, h.Protocol, h.VLAN, h.TCPFlags)
+	}
+	if h.VLAN != 0 || h.TCPFlags != 0 {
+		return fmt.Sprintf("%s:%d -> %s:%d proto %d vlan %d flags 0x%02X",
+			h.SrcIP, h.SrcPort, h.DstIP, h.DstPort, h.Protocol, h.VLAN, h.TCPFlags)
+	}
 	return fmt.Sprintf("%s:%d -> %s:%d proto %d", h.SrcIP, h.SrcPort, h.DstIP, h.DstPort, h.Protocol)
 }
 

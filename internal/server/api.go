@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -524,6 +525,10 @@ func (a *api) handlePutEngine(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"engine": t.Classifier.Engine()})
 }
 
+// handleClassify classifies one header. With ?all=true the response also
+// carries the full ordered action list under multi-action semantics: every
+// matching rule's action in priority order, up to and including the first
+// terminating match (actions[0] always agrees with the first-match verdict).
 func (a *api) handleClassify(w http.ResponseWriter, r *http.Request) {
 	t, ok := a.tenant(w, r)
 	if !ok {
@@ -537,6 +542,13 @@ func (a *api) handleClassify(w http.ResponseWriter, r *http.Request) {
 	h, err := decodeHeader(wh)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if all, _ := strconv.ParseBool(r.URL.Query().Get("all")); all {
+		refs, res := t.Classifier.LookupAll(h)
+		wr := encodeResult(res)
+		wr.Actions = encodeActionRefs(refs)
+		writeJSON(w, http.StatusOK, wr)
 		return
 	}
 	writeJSON(w, http.StatusOK, encodeResult(t.Classifier.Lookup(h)))

@@ -338,6 +338,101 @@ func TestClassifyAgreesWithOracle(t *testing.T) {
 	}
 }
 
+// TestExtendedDimensionWire drives the extension dimensions end to end
+// over the wire: IPv6/VLAN/TCP-flag/non-terminating rules install and
+// round-trip through the rule listing, address family is inferred from the
+// header syntax (mixed families are a 400), ?all=true returns the ordered
+// multi-action chain, and a tenant whose engine does not declare the
+// needed dimensions reports a per-op refusal instead of misclassifying.
+func TestExtendedDimensionWire(t *testing.T) {
+	_, h := newTestServer()
+	wantStatus(t, do(t, h, "POST", "/v1/tenants", server.CreateTenantRequest{ID: "ext", Engine: "linear"}), http.StatusCreated)
+
+	vlan := uint16(100)
+	rules := []server.WireRule{
+		{Priority: 0, Action: "controller", NonTerminating: true,
+			TCPFlags: &server.WireFlagMatch{Value: 2, Mask: 6}}, // SYN set, RST clear
+		{Priority: 1, Src6: "2001:db8::/32", Action: "forward", ActionArg: 4},
+		{Priority: 2, VLAN: &vlan, Action: "modify", ActionArg: 7},
+		{Priority: 3, Action: "drop"},
+	}
+	rec := do(t, h, "POST", "/v1/tenants/ext/rules", map[string]any{"rules": rules})
+	wantStatus(t, rec, http.StatusOK)
+	var resp server.RulesResponse
+	decode(t, rec, &resp)
+	if resp.Installed != len(rules) || len(resp.Errors) != 0 {
+		t.Fatalf("installed %d/%d extended rules, errors %v", resp.Installed, len(rules), resp.Errors)
+	}
+
+	// Round-trip: the extension fields must survive decode → install → encode.
+	rec = do(t, h, "GET", "/v1/tenants/ext/rules", nil)
+	wantStatus(t, rec, http.StatusOK)
+	var listed struct {
+		Rules []server.WireRule `json:"rules"`
+	}
+	decode(t, rec, &listed)
+	if len(listed.Rules) != len(rules) {
+		t.Fatalf("listed %d rules, want %d", len(listed.Rules), len(rules))
+	}
+	if fm := listed.Rules[0].TCPFlags; fm == nil || fm.Value != 2 || fm.Mask != 6 || !listed.Rules[0].NonTerminating {
+		t.Fatalf("rule 0 round-trip = %+v, want tcp_flags {2 6} non_terminating", listed.Rules[0])
+	}
+	if listed.Rules[1].Src6 != "2001:db8::/32" {
+		t.Fatalf("rule 1 round-trip src6 = %q", listed.Rules[1].Src6)
+	}
+	if v := listed.Rules[2].VLAN; v == nil || *v != 100 {
+		t.Fatalf("rule 2 round-trip vlan = %v, want 100", v)
+	}
+
+	// Family inference: colon syntax selects IPv6; the v6 rule matches.
+	rec = do(t, h, "POST", "/v1/tenants/ext/classify",
+		server.WireHeader{SrcIP: "2001:db8::5", DstIP: "2001:4860::8", Proto: 6})
+	wantStatus(t, rec, http.StatusOK)
+	var res server.WireResult
+	decode(t, rec, &res)
+	if !res.Matched || res.Action != "forward" || res.ActionArg != 4 {
+		t.Fatalf("v6 classify = %+v, want forward/4", res)
+	}
+
+	// Mixed families in one header cannot be parsed into either family.
+	wantStatus(t, do(t, h, "POST", "/v1/tenants/ext/classify",
+		server.WireHeader{SrcIP: "10.0.0.1", DstIP: "2001:db8::1"}), http.StatusBadRequest)
+
+	// ?all=true returns the ordered action chain: the non-terminating
+	// observer stacks on top of the terminating verdict.
+	rec = do(t, h, "POST", "/v1/tenants/ext/classify?all=true",
+		server.WireHeader{SrcIP: "10.0.0.1", DstIP: "1.1.1.1", Proto: 6, TCPFlags: 2})
+	wantStatus(t, rec, http.StatusOK)
+	decode(t, rec, &res)
+	if !res.Matched || res.Action != "controller" || len(res.Actions) != 2 {
+		t.Fatalf("?all=true classify = %+v, want controller verdict with a 2-action chain", res)
+	}
+	if a := res.Actions[0]; a.Priority != 0 || a.Action != "controller" || a.Terminal {
+		t.Fatalf("chain[0] = %+v, want non-terminal controller at priority 0", a)
+	}
+	if a := res.Actions[1]; a.Priority != 3 || a.Action != "drop" || !a.Terminal {
+		t.Fatalf("chain[1] = %+v, want terminal drop at priority 3", a)
+	}
+	// Without the flag the chain stays off the wire.
+	rec = do(t, h, "POST", "/v1/tenants/ext/classify",
+		server.WireHeader{SrcIP: "10.0.0.1", DstIP: "1.1.1.1", Proto: 6, TCPFlags: 2})
+	wantStatus(t, rec, http.StatusOK)
+	var plain server.WireResult
+	decode(t, rec, &plain)
+	if len(plain.Actions) != 0 {
+		t.Fatalf("plain classify leaked an action chain: %+v", plain)
+	}
+
+	// A tenant on a five-tuple-only engine declines extended rules per op.
+	wantStatus(t, do(t, h, "POST", "/v1/tenants", server.CreateTenantRequest{ID: "v4only", Engine: "mbt"}), http.StatusCreated)
+	rec = do(t, h, "POST", "/v1/tenants/v4only/rules", server.WireRule{Priority: 0, Src6: "2001:db8::/32", Action: "drop"})
+	wantStatus(t, rec, http.StatusOK)
+	decode(t, rec, &resp)
+	if resp.Installed != 0 || len(resp.Errors) != 1 {
+		t.Fatalf("extended rule on mbt tenant: %+v, want 0 installed with 1 per-op error", resp)
+	}
+}
+
 func TestEngineSwitch(t *testing.T) {
 	_, h := newTestServer()
 	wantStatus(t, do(t, h, "POST", "/v1/tenants", server.CreateTenantRequest{ID: "sw", Engine: "bst"}), http.StatusCreated)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"strings"
 
 	"sdnpc"
 )
@@ -15,18 +16,36 @@ import (
 type WireRule struct {
 	// Priority orders the rule within the tenant's table; smaller wins.
 	Priority int `json:"priority"`
-	// Src and Dst are CIDR prefixes; empty or omitted means any address.
+	// Src and Dst are IPv4 CIDR prefixes; empty or omitted means any address.
 	Src string `json:"src,omitempty"`
 	Dst string `json:"dst,omitempty"`
+	// Src6 and Dst6 are IPv6 CIDR prefixes. Constraining one makes the rule
+	// IPv6-only; a rule may not constrain both families.
+	Src6 string `json:"src6,omitempty"`
+	Dst6 string `json:"dst6,omitempty"`
 	// SrcPort and DstPort are inclusive ranges; omitted means any port.
 	SrcPort *WirePortRange `json:"src_port,omitempty"`
 	DstPort *WirePortRange `json:"dst_port,omitempty"`
 	// Proto is an exact IP protocol number; omitted means any protocol.
 	Proto *uint8 `json:"proto,omitempty"`
+	// VLAN is an exact 802.1Q tag match (1..4095); omitted means any tag.
+	VLAN *uint16 `json:"vlan,omitempty"`
+	// TCPFlags constrains the TCP flags byte; omitted means any flags.
+	TCPFlags *WireFlagMatch `json:"tcp_flags,omitempty"`
+	// NonTerminating marks a rule whose match contributes its action to a
+	// multi-action classification and lets evaluation continue.
+	NonTerminating bool `json:"non_terminating,omitempty"`
 	// Action is one of forward, drop, modify, group, controller.
 	Action string `json:"action"`
 	// ActionArg carries the action parameter (egress port, group id, ...).
 	ActionArg uint32 `json:"action_arg,omitempty"`
+}
+
+// WireFlagMatch is a value/mask match over the TCP flags byte: header bits
+// selected by mask must equal the corresponding bits of value.
+type WireFlagMatch struct {
+	Value uint8 `json:"value"`
+	Mask  uint8 `json:"mask"`
 }
 
 // WirePortRange is an inclusive port range on the wire.
@@ -35,13 +54,19 @@ type WirePortRange struct {
 	Hi uint16 `json:"hi"`
 }
 
-// WireHeader is the JSON form of one packet five-tuple.
+// WireHeader is the JSON form of one packet header. The address family is
+// inferred from the address syntax: dotted-quad addresses build an IPv4
+// header, colon-separated addresses an IPv6 one (both addresses must agree).
 type WireHeader struct {
 	SrcIP   string `json:"src_ip"`
 	SrcPort uint16 `json:"src_port"`
 	DstIP   string `json:"dst_ip"`
 	DstPort uint16 `json:"dst_port"`
 	Proto   uint8  `json:"proto"`
+	// VLAN is the 802.1Q tag; 0 (or omitted) means untagged.
+	VLAN uint16 `json:"vlan,omitempty"`
+	// TCPFlags is the TCP flags byte; meaningful only for TCP traffic.
+	TCPFlags uint8 `json:"tcp_flags,omitempty"`
 }
 
 // WireResult is the JSON form of one classification verdict.
@@ -52,6 +77,19 @@ type WireResult struct {
 	Action        string `json:"action,omitempty"`
 	ActionArg     uint32 `json:"action_arg,omitempty"`
 	LatencyCycles int    `json:"latency_cycles"`
+	// Actions is the full ordered action list under multi-action semantics,
+	// present only when the classify request asked for it (?all=true): every
+	// matching rule's action in priority order, up to and including the
+	// first terminating match.
+	Actions []WireActionRef `json:"actions,omitempty"`
+}
+
+// WireActionRef is one entry of a multi-action classification result.
+type WireActionRef struct {
+	Priority  int    `json:"priority"`
+	Action    string `json:"action"`
+	ActionArg uint32 `json:"action_arg,omitempty"`
+	Terminal  bool   `json:"terminal"`
 }
 
 // decodeRule converts a wire rule into a facade rule through the rule
@@ -70,8 +108,23 @@ func decodeRule(wr WireRule) (sdnpc.Rule, error) {
 	if wr.DstPort != nil {
 		b = b.DstPorts(wr.DstPort.Lo, wr.DstPort.Hi)
 	}
+	if wr.Src6 != "" {
+		b = b.From6(wr.Src6)
+	}
+	if wr.Dst6 != "" {
+		b = b.To6(wr.Dst6)
+	}
 	if wr.Proto != nil {
 		b = b.Proto(*wr.Proto)
+	}
+	if wr.VLAN != nil {
+		b = b.VLAN(*wr.VLAN)
+	}
+	if wr.TCPFlags != nil {
+		b = b.TCPFlags(wr.TCPFlags.Value, wr.TCPFlags.Mask)
+	}
+	if wr.NonTerminating {
+		b = b.NonTerminating()
 	}
 	switch wr.Action {
 	case "forward":
@@ -115,12 +168,43 @@ func encodeRule(r sdnpc.Rule) WireRule {
 		proto := r.Protocol.Value
 		wr.Proto = &proto
 	}
+	if !r.Src6.IsWildcard() {
+		wr.Src6 = r.Src6.String()
+	}
+	if !r.Dst6.IsWildcard() {
+		wr.Dst6 = r.Dst6.String()
+	}
+	if !r.VLAN.IsWildcard() {
+		tag := r.VLAN.Value & r.VLAN.Mask
+		wr.VLAN = &tag
+	}
+	if !r.TCPFlags.IsWildcard() {
+		wr.TCPFlags = &WireFlagMatch{Value: r.TCPFlags.Value, Mask: r.TCPFlags.Mask}
+	}
+	wr.NonTerminating = r.NonTerminating
 	return wr
 }
 
-// decodeHeader converts a wire header into a facade header.
+// decodeHeader converts a wire header into a facade header, inferring the
+// address family from the address syntax.
 func decodeHeader(wh WireHeader) (sdnpc.Header, error) {
-	return sdnpc.ParseHeader(wh.SrcIP, wh.SrcPort, wh.DstIP, wh.DstPort, wh.Proto)
+	v6 := strings.Contains(wh.SrcIP, ":")
+	if v6 != strings.Contains(wh.DstIP, ":") {
+		return sdnpc.Header{}, fmt.Errorf("server: header mixes IPv4 and IPv6 addresses (%q, %q)", wh.SrcIP, wh.DstIP)
+	}
+	var h sdnpc.Header
+	var err error
+	if v6 {
+		h, err = sdnpc.ParseHeader6(wh.SrcIP, wh.SrcPort, wh.DstIP, wh.DstPort, wh.Proto)
+	} else {
+		h, err = sdnpc.ParseHeader(wh.SrcIP, wh.SrcPort, wh.DstIP, wh.DstPort, wh.Proto)
+	}
+	if err != nil {
+		return sdnpc.Header{}, err
+	}
+	h.VLAN = wh.VLAN
+	h.TCPFlags = wh.TCPFlags
+	return h, nil
 }
 
 // encodeResult converts a lookup result to its wire form.
@@ -135,4 +219,18 @@ func encodeResult(r sdnpc.Result) WireResult {
 		wr.ActionArg = r.ActionArg
 	}
 	return wr
+}
+
+// encodeActionRefs converts a multi-action result list to its wire form.
+func encodeActionRefs(refs []sdnpc.ActionRef) []WireActionRef {
+	out := make([]WireActionRef, len(refs))
+	for i, ref := range refs {
+		out[i] = WireActionRef{
+			Priority:  ref.Priority,
+			Action:    ref.Action.String(),
+			ActionArg: ref.ActionArg,
+			Terminal:  ref.Terminal,
+		}
+	}
+	return out
 }

@@ -93,9 +93,16 @@ func (p *Partitioner) Steer(h fivetuple.Header) int {
 	return int(p.steerByte(h)) % p.k
 }
 
-// steerByte extracts the partition byte of a header under the strategy.
+// steerByte extracts the partition byte of a header under the strategy. The
+// extraction is family-aware: an IPv6 header steers by the top byte of its
+// 128-bit source address, not the (zero) IPv4 field — steering every v6
+// header into shard 0 would break the covering invariant for any v6 rule
+// whose source prefix pins a different top byte.
 func (p *Partitioner) steerByte(h fivetuple.Header) uint8 {
 	if p.strategy == BySrcByte {
+		if h.Family == fivetuple.FamilyIPv6 {
+			return h.SrcIP6.TopByte()
+		}
 		return uint8(uint32(h.SrcIP) >> 24)
 	}
 	return h.Protocol
@@ -104,21 +111,43 @@ func (p *Partitioner) steerByte(h fivetuple.Header) uint8 {
 // Assign returns the sorted set of shard indices the rule must be installed
 // into: exactly the shards Steer can pick for some header the rule matches.
 // The set is computed by enumerating the 256 values of the partition byte the
-// rule's match condition covers, which is exact for wildcard and partially
-// masked protocols and for prefixes of any length.
+// rule's match condition covers. Enumerating through Protocol.Matches keeps
+// ByProtocol exact for wildcard AND partially masked protocols (a mask like
+// 0xFE covers two scattered values no contiguous range captures); BySrcByte
+// unions the coverage of each address family the rule can match, so a
+// family-specific rule replicates only into its own family's byte range while
+// a both-families wildcard covers every shard it can steer to.
 func (p *Partitioner) Assign(r fivetuple.Rule) []int {
 	var covered [256]bool
 	switch p.strategy {
 	case BySrcByte:
-		pre := r.SrcPrefix.Canonical()
-		if pre.Len >= 8 {
-			covered[uint8(uint32(pre.Addr)>>24)] = true
-		} else {
-			// A /len prefix with len < 8 covers 2^(8-len) consecutive top
-			// bytes starting at the prefix's (masked) top byte.
-			start := int(uint32(pre.Addr) >> 24)
-			for b := 0; b < 1<<(8-pre.Len); b++ {
-				covered[start+b] = true
+		// A rule matches IPv4 headers only when its IPv6 prefixes are
+		// wildcard, and vice versa (fivetuple.Rule.Matches); each reachable
+		// family contributes its source top-byte coverage to the union. A
+		// contradictory rule constraining both families matches nothing and
+		// honestly covers no shard.
+		if r.Src6.IsWildcard() && r.Dst6.IsWildcard() {
+			pre := r.SrcPrefix.Canonical()
+			if pre.Len >= 8 {
+				covered[uint8(uint32(pre.Addr)>>24)] = true
+			} else {
+				// A /len prefix with len < 8 covers 2^(8-len) consecutive top
+				// bytes starting at the prefix's (masked) top byte.
+				start := int(uint32(pre.Addr) >> 24)
+				for b := 0; b < 1<<(8-pre.Len); b++ {
+					covered[start+b] = true
+				}
+			}
+		}
+		if r.SrcPrefix.IsWildcard() && r.DstPrefix.IsWildcard() {
+			pre6 := r.Src6.Canonical()
+			if pre6.Len >= 8 {
+				covered[pre6.Addr.TopByte()] = true
+			} else {
+				start := int(pre6.Addr.TopByte())
+				for b := 0; b < 1<<(8-pre6.Len); b++ {
+					covered[start+b] = true
+				}
 			}
 		}
 	default: // ByProtocol

@@ -1,0 +1,202 @@
+package shard_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sdnpc/internal/fivetuple"
+	"sdnpc/internal/shard"
+)
+
+// src6Rule builds a rule matching only the IPv6 source prefix; the IPv4
+// prefixes stay wildcard (the family contract), so the rule matches only v6
+// headers.
+func src6Rule(prefix string) fivetuple.Rule {
+	r := fivetuple.Wildcard(0, fivetuple.ActionForward)
+	r.Src6 = fivetuple.MustParsePrefix6(prefix)
+	return r
+}
+
+// TestAssignMaskedProtocolAdversarial pins Assign's exactness for partial
+// protocol masks whose covered values are NOT a contiguous range — the shapes
+// a first-byte/last-byte range computation gets wrong. Every case is
+// cross-checked against the brute-force cover over a non-power-of-two shard
+// count, where residue aliasing is least forgiving.
+func TestAssignMaskedProtocolAdversarial(t *testing.T) {
+	masks := []fivetuple.ProtocolMatch{
+		// Low bit masked: covers every even value — 128 scattered values.
+		{Value: 0, Mask: 0x01},
+		// High bit masked: two contiguous halves 0..127 or 128..255.
+		{Value: 0x80, Mask: 0x80},
+		// Scattered pairs: 0x81 covers {1, 3, 5, ...}? No — v&0x81 == 0x01
+		// covers v in {1, 3, ..} minus high-bit values: four-corner shape.
+		{Value: 0x01, Mask: 0x81},
+		// Value bits outside the mask must be ignored (v&0xFE == 6 covers 6,7
+		// regardless of Value's low bit).
+		{Value: 0x07, Mask: 0xFE},
+		// Checkerboard mask.
+		{Value: 0x55, Mask: 0x55},
+		// Full mask and empty mask as the boundary cases.
+		{Value: 0x11, Mask: 0xFF},
+		{Value: 0x99, Mask: 0x00},
+	}
+	for _, k := range []int{2, 3, 5, 7, 256} {
+		p, err := shard.New(k, shard.ByProtocol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range masks {
+			r := protoRule(m)
+			want := bruteForceCover(p, r, k, shard.ByProtocol)
+			got := p.Assign(r)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("k=%d mask %02x/%02x: Assign = %v; want %v", k, m.Value, m.Mask, got, want)
+			}
+		}
+	}
+}
+
+// TestSteerBySrcByteIPv6 checks that IPv6 headers steer by the top byte of
+// the 128-bit source address — not the zero IPv4 field, which would funnel
+// every v6 packet into shard 0.
+func TestSteerBySrcByteIPv6(t *testing.T) {
+	p, err := shard.New(4, shard.BySrcByte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fivetuple.Header{
+		Family: fivetuple.FamilyIPv6,
+		SrcIP6: fivetuple.MustParseIPv6("2001:db8::1"), // top byte 0x20
+	}
+	if got, want := p.Steer(h), 0x20%4; got != want {
+		t.Errorf("v6 header steered to shard %d; want %d (top byte 0x20)", got, want)
+	}
+	// The IPv4 field must be ignored for a v6 header even when (bogusly) set.
+	h.SrcIP = fivetuple.MustParseIPv4("99.0.0.1")
+	if got, want := p.Steer(h), 0x20%4; got != want {
+		t.Errorf("v6 header with stray v4 field steered to shard %d; want %d", got, want)
+	}
+}
+
+// TestAssignBySrcByteFamilies checks the per-family coverage union: a
+// family-specific rule covers only its own family's top-byte range, and a
+// rule wildcard in both families covers the union.
+func TestAssignBySrcByteFamilies(t *testing.T) {
+	p, err := shard.New(4, shard.BySrcByte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := []int{0, 1, 2, 3}
+	cases := []struct {
+		name string
+		rule fivetuple.Rule
+		want []int
+	}{
+		// 0x20 % 4 == 0.
+		{"v6 /32", src6Rule("2001:db8::/32"), []int{0}},
+		{"v6 /128", src6Rule("fe80::1/128"), []int{0xfe % 4}},
+		// A v6 /7 covers top bytes 0xfe and 0xff.
+		{"v6 /7 straddle", src6Rule("fe00::/7"), []int{0xfe % 4, 0xff % 4}},
+		// A v6 wildcard source with a pinned v6 destination still matches any
+		// v6 source byte — but no v4 header (Dst6 constrained).
+		{"v6 dst-only", func() fivetuple.Rule {
+			r := fivetuple.Wildcard(0, fivetuple.ActionForward)
+			r.Dst6 = fivetuple.MustParsePrefix6("2001:db8::/32")
+			return r
+		}(), all},
+		// A v4-constrained rule (non-wildcard v4 source) covers only its v4
+		// byte: it can never match a v6 header.
+		{"v4 only", srcRule("10.0.0.0/8"), []int{10 % 4}},
+		// Wildcard in both families: matches any header of either family.
+		{"dual wildcard", fivetuple.Wildcard(0, fivetuple.ActionForward), all},
+		// Contradictory rule constraining both families matches nothing.
+		{"contradictory", func() fivetuple.Rule {
+			r := srcRule("10.0.0.0/8")
+			r.Src6 = fivetuple.MustParsePrefix6("2001:db8::/32")
+			return r
+		}(), []int{}},
+	}
+	for _, tc := range cases {
+		got := p.Assign(tc.rule)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: Assign = %v; want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSteerAssignAgreementIPv6 extends the covering invariant to mixed-family
+// traffic: for every v6 (and v4) header a rule matches, the steered shard must
+// be in the rule's assigned set.
+func TestSteerAssignAgreementIPv6(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	rules := make([]fivetuple.Rule, 48)
+	for i := range rules {
+		r := fivetuple.Wildcard(i, fivetuple.ActionForward)
+		switch rng.Intn(3) {
+		case 0: // v6-constrained rule
+			r.Src6 = fivetuple.Prefix6{
+				Addr: fivetuple.IPv6{Hi: rng.Uint64(), Lo: rng.Uint64()},
+				Len:  uint8(rng.Intn(129)),
+			}
+		case 1: // v4-constrained rule
+			r.SrcPrefix = fivetuple.Prefix{Addr: fivetuple.IPv4(rng.Uint32()), Len: uint8(rng.Intn(33))}
+		}
+		if rng.Intn(2) == 0 {
+			r.Protocol = fivetuple.ProtocolMatch{Value: uint8(rng.Intn(256)), Mask: uint8(rng.Intn(256))}
+		}
+		rules[i] = r
+	}
+	for _, strategy := range []shard.Strategy{shard.ByProtocol, shard.BySrcByte} {
+		for _, k := range []int{2, 5, 16} {
+			p, err := shard.New(k, strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assigned := make([][]int, len(rules))
+			for ri, r := range rules {
+				assigned[ri] = p.Assign(r)
+			}
+			for i := 0; i < 20000; i++ {
+				var h fivetuple.Header
+				if i%2 == 0 {
+					h = fivetuple.Header{
+						Family: fivetuple.FamilyIPv6,
+						SrcIP6: fivetuple.IPv6{Hi: rng.Uint64(), Lo: rng.Uint64()},
+						DstIP6: fivetuple.IPv6{Hi: rng.Uint64(), Lo: rng.Uint64()},
+					}
+					// Half the v6 headers are derived from a v6 rule's prefix
+					// so matches actually occur.
+					if i%4 == 0 {
+						r := rules[rng.Intn(len(rules))]
+						c := r.Src6.Canonical()
+						h.SrcIP6 = c.Addr
+					}
+				} else {
+					h = fivetuple.Header{
+						SrcIP: fivetuple.IPv4(rng.Uint32()),
+						DstIP: fivetuple.IPv4(rng.Uint32()),
+					}
+				}
+				h.Protocol = uint8(rng.Intn(256))
+				steered := p.Steer(h)
+				for ri, r := range rules {
+					if !r.Matches(h) {
+						continue
+					}
+					found := false
+					for _, s := range assigned[ri] {
+						if s == steered {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("%v k=%d: header %v steered to %d, but matching rule %v assigned to %v",
+							strategy, k, h, steered, r, assigned[ri])
+					}
+				}
+			}
+		}
+	}
+}

@@ -88,6 +88,53 @@ func (b *RuleBuilder) Proto(protocol uint8) *RuleBuilder {
 	return b
 }
 
+// From6 sets the IPv6 source prefix from CIDR notation ("2001:db8::/32").
+// Constraining an IPv6 prefix makes the rule IPv6-only; its IPv4 prefixes
+// must stay wildcards (Build rejects rules constraining both families).
+func (b *RuleBuilder) From6(cidr string) *RuleBuilder {
+	p, err := fivetuple.ParsePrefix6(cidr)
+	if err != nil {
+		return b.fail(fmt.Errorf("sdnpc: IPv6 source prefix: %w", err))
+	}
+	b.r.Src6 = p
+	return b
+}
+
+// To6 sets the IPv6 destination prefix from CIDR notation.
+func (b *RuleBuilder) To6(cidr string) *RuleBuilder {
+	p, err := fivetuple.ParsePrefix6(cidr)
+	if err != nil {
+		return b.fail(fmt.Errorf("sdnpc: IPv6 destination prefix: %w", err))
+	}
+	b.r.Dst6 = p
+	return b
+}
+
+// VLAN matches one exact 802.1Q VLAN tag (1..4095).
+func (b *RuleBuilder) VLAN(tag uint16) *RuleBuilder {
+	if tag > fivetuple.MaxVLAN {
+		return b.fail(fmt.Errorf("sdnpc: VLAN tag %d exceeds %d", tag, fivetuple.MaxVLAN))
+	}
+	b.r.VLAN = fivetuple.ExactVLAN(tag)
+	return b
+}
+
+// TCPFlags constrains the TCP flags byte: header bits selected by mask must
+// equal the corresponding bits of value. TCPFlags(TCPSyn, TCPSyn|TCPAck)
+// matches SYNs that are not SYN-ACKs.
+func (b *RuleBuilder) TCPFlags(value, mask uint8) *RuleBuilder {
+	b.r.TCPFlags = fivetuple.TCPFlagMatch{Value: value, Mask: mask}
+	return b
+}
+
+// NonTerminating marks the rule as non-terminating: in a LookupAll a match
+// contributes its action and evaluation continues to lower-priority rules.
+// Plain Lookup still reports the best match's verdict.
+func (b *RuleBuilder) NonTerminating() *RuleBuilder {
+	b.r.NonTerminating = true
+	return b
+}
+
 // Forward sets the action to forward on the given egress port.
 func (b *RuleBuilder) Forward(egressPort uint32) *RuleBuilder {
 	b.r.Action = fivetuple.ActionForward
@@ -127,6 +174,11 @@ func (b *RuleBuilder) GroupTo(group uint32) *RuleBuilder {
 func (b *RuleBuilder) Build() (Rule, error) {
 	if b.err != nil {
 		return Rule{}, b.err
+	}
+	v4 := !b.r.SrcPrefix.IsWildcard() || !b.r.DstPrefix.IsWildcard()
+	v6 := !b.r.Src6.IsWildcard() || !b.r.Dst6.IsWildcard()
+	if v4 && v6 {
+		return Rule{}, fmt.Errorf("sdnpc: rule constrains both IPv4 and IPv6 prefixes and can match no header")
 	}
 	return b.r, nil
 }

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # check_allocs.sh — the zero-allocation gate of the flat-memory hot path.
 #
-# Runs the testing.AllocsPerRun-based tests asserting 0 allocs/op for Lookup
-# and LookupBatchInto on every selectable engine of both tiers, cached and
-# uncached, plus the cross-product combination mode. A single stray
+# Runs the testing.AllocsPerRun-based tests asserting 0 allocs/op for Lookup,
+# LookupBatchInto and the multi-action LookupAllInto on every selectable
+# engine of both tiers, cached and uncached, plus the cross-product
+# combination mode. A single stray
 # allocation on any serving path fails the gate, so the arena layout's
 # headline contract cannot erode silently — these are the same tests a
 # developer runs locally with:
@@ -15,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-go test -count=1 -run 'TestLookupZeroAllocs|TestLookupBatchZeroAllocs|TestLookupZeroAllocsCrossProduct' -v ./internal/core/ | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)' || {
+go test -count=1 -run 'TestLookupZeroAllocs|TestLookupBatchZeroAllocs|TestLookupZeroAllocsCrossProduct|TestLookupAllZeroAllocs' -v ./internal/core/ | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)' || {
   echo "check_allocs: the zero-allocation gate failed" >&2
   exit 1
 }

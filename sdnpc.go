@@ -75,6 +75,24 @@ type (
 	ShardReport = core.ShardReport
 	// Action is a rule's forwarding action.
 	Action = fivetuple.Action
+	// ActionRef is one entry of a LookupAll result: a matching rule's
+	// priority, action and terminality, in strict priority order.
+	ActionRef = core.ActionRef
+	// DimSet is a bitmask of the optional header dimensions a rule
+	// constrains or an engine supports (IPv6, VLAN, TCP flags, ...).
+	DimSet = fivetuple.DimSet
+)
+
+// TCP flag bits, for RuleBuilder.TCPFlags.
+const (
+	TCPFin = fivetuple.TCPFin
+	TCPSyn = fivetuple.TCPSyn
+	TCPRst = fivetuple.TCPRst
+	TCPPsh = fivetuple.TCPPsh
+	TCPAck = fivetuple.TCPAck
+	TCPUrg = fivetuple.TCPUrg
+	TCPEce = fivetuple.TCPEce
+	TCPCwr = fivetuple.TCPCwr
 )
 
 // Rule actions.
@@ -273,6 +291,28 @@ func (c *Classifier) Lookup(h Header) Result { return c.inner.Lookup(h) }
 // Use SummarizeBatch for the batch-level accounting totals.
 func (c *Classifier) LookupBatch(hs []Header) []Result { return c.inner.LookupBatch(hs) }
 
+// LookupAll classifies one packet header under multi-action semantics: it
+// returns every matching rule's action in strict priority order, up to and
+// including the first terminating match, together with the first-match
+// Result (refs[0] always agrees with Lookup's verdict). Non-terminating
+// rules (RuleBuilder.NonTerminating) contribute their action and let
+// evaluation continue — mirroring, logging or counting beside a forwarding
+// verdict.
+func (c *Classifier) LookupAll(h Header) ([]ActionRef, Result) { return c.inner.LookupAll(h) }
+
+// LookupAllInto is LookupAll reusing the caller's slice, for allocation-free
+// serving loops: refs are appended to dst[:0] and the (possibly regrown)
+// slice is returned.
+func (c *Classifier) LookupAllInto(dst []ActionRef, h Header) ([]ActionRef, Result) {
+	return c.inner.LookupAllInto(dst, h)
+}
+
+// EngineDims returns the optional header dimensions the named selectable
+// engine declares support for. Installing a rule that constrains a
+// dimension outside the active engine's set fails with an error rather than
+// silently misclassifying.
+func EngineDims(name string) DimSet { return engine.Dims(name) }
+
 // SummarizeBatch aggregates per-lookup results into batch-level totals:
 // match rate, summed and worst-case modelled latency, and the summed memory
 // access counters.
@@ -376,6 +416,37 @@ func ParseHeader(srcIP string, srcPort uint16, dstIP string, dstPort uint16, pro
 // MustParseHeader is like ParseHeader but panics on error.
 func MustParseHeader(srcIP string, srcPort uint16, dstIP string, dstPort uint16, protocol uint8) Header {
 	h, err := ParseHeader(srcIP, srcPort, dstIP, dstPort, protocol)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// ParseHeader6 builds an IPv6 packet header from textual addresses such as
+// "2001:db8::1". The header's Family is FamilyIPv6; its 32-bit address
+// fields stay zero.
+func ParseHeader6(srcIP string, srcPort uint16, dstIP string, dstPort uint16, protocol uint8) (Header, error) {
+	src, err := fivetuple.ParseIPv6(srcIP)
+	if err != nil {
+		return Header{}, fmt.Errorf("sdnpc: source address: %w", err)
+	}
+	dst, err := fivetuple.ParseIPv6(dstIP)
+	if err != nil {
+		return Header{}, fmt.Errorf("sdnpc: destination address: %w", err)
+	}
+	return Header{
+		Family:   fivetuple.FamilyIPv6,
+		SrcIP6:   src,
+		DstIP6:   dst,
+		SrcPort:  srcPort,
+		DstPort:  dstPort,
+		Protocol: protocol,
+	}, nil
+}
+
+// MustParseHeader6 is like ParseHeader6 but panics on error.
+func MustParseHeader6(srcIP string, srcPort uint16, dstIP string, dstPort uint16, protocol uint8) Header {
+	h, err := ParseHeader6(srcIP, srcPort, dstIP, dstPort, protocol)
 	if err != nil {
 		panic(err)
 	}
